@@ -1,0 +1,21 @@
+"""Shared helpers for the bench harness.
+
+Every bench runs its experiment exactly once (rounds=1): these are
+simulation-campaign benchmarks whose interesting output is the table
+itself, not a microsecond timing distribution.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment function once under pytest-benchmark and print it."""
+
+    def runner(func, *args, **kwargs):
+        result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        print()
+        print(result.text)
+        return result
+
+    return runner

@@ -1,0 +1,12 @@
+"""Fig R1: speedup vs thread count per scheme (coarse-grained scaling)."""
+
+from repro.bench.experiments import fig_r1
+
+
+def test_fig_r1_scaling(run_once):
+    result = run_once(fig_r1)
+    for series, values in result.data.items():
+        assert abs(values[1] - 1.0) < 0.05, (
+            f"{series}: single-thread pipelining must match sequential, got {values[1]:.3f}"
+        )
+        assert values[4] >= values[1] * 0.95, f"{series}: scaling regressed at 4 threads"

@@ -1,0 +1,14 @@
+"""Fig R2: accepted-step profile, sequential vs backward pipelining.
+
+Shape claim: WavePipe covers the same window in fewer stages than the
+sequential run has points (that is the whole speedup mechanism), while
+accepting a comparable number of points.
+"""
+
+from repro.bench.experiments import fig_r2
+
+
+def test_fig_r2_stepsizes(run_once):
+    result = run_once(fig_r2)
+    assert result.data["pipe_stages"] < result.data["seq_points"]
+    assert result.data["pipe_points"] >= 0.8 * result.data["seq_points"]

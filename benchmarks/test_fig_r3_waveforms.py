@@ -1,0 +1,16 @@
+"""Fig R3: waveform overlay on the LC oscillator.
+
+Shape claim: the pipelined run reproduces the oscillation — frequency
+within 1% of sequential (pointwise voltage deviation is phase-sensitive
+and therefore not the right oscillator metric; frequency is).
+"""
+
+from repro.bench.experiments import fig_r3
+
+
+def test_fig_r3_waveforms(run_once):
+    result = run_once(fig_r3)
+    f_seq = result.data["seq_frequency"]
+    f_pipe = result.data["pipe_frequency"]
+    assert f_seq is not None and f_pipe is not None, "oscillator did not oscillate"
+    assert abs(f_pipe - f_seq) / f_seq < 0.01

@@ -1,0 +1,20 @@
+"""Fig R4: WavePipe vs the two conventional parallel approaches.
+
+Shape claims from the abstract: (a) fine-grained intra-iteration
+parallelism saturates with thread count (Amdahl); (b) waveform relaxation
+needs many sweeps / fails to converge on feedback circuits, while
+WavePipe (Table R5) matches direct-method accuracy by construction.
+"""
+
+from repro.bench.experiments import fig_r4
+
+
+def test_fig_r4_baselines(run_once):
+    result = run_once(fig_r4)
+    fine = result.data["fine_grained"]
+    # Amdahl saturation: the 8 -> 16 thread gain is well below 2x, and
+    # parallel efficiency at 16 threads has collapsed below 60%.
+    assert fine[16] / fine[8] < 1.6, "fine-grained baseline failed to saturate"
+    assert fine[16] / 16.0 < 0.6, "fine-grained efficiency did not collapse"
+    # WR diverges (or at best crawls) on the feedback circuit.
+    assert not result.data["wr"]["ring5"]["converged"]

@@ -1,0 +1,17 @@
+"""Fig R5 (extension): robustness to synchronisation overhead."""
+
+from repro.bench.experiments import fig_r5
+
+
+def test_fig_r5_sync(run_once):
+    result = run_once(fig_r5)
+    # fine-grained starts ahead but degrades faster: the advantage ratio
+    # wavepipe/fine-grained must grow monotonically with sync cost, and
+    # wavepipe must be ahead once sync reaches one Newton iteration.
+    fractions = sorted(result.data)
+    ratios = [
+        result.data[f]["wavepipe"] / result.data[f]["fine_grained"]
+        for f in fractions
+    ]
+    assert all(b >= a * 0.99 for a, b in zip(ratios, ratios[1:]))
+    assert result.data[1.0]["wavepipe"] > result.data[1.0]["fine_grained"]

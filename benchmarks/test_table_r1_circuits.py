@@ -1,0 +1,12 @@
+"""Table R1: benchmark circuit statistics (the evaluation's workload table)."""
+
+from repro.bench.experiments import table_r1
+from repro.circuits.registry import BENCHMARKS
+
+
+def test_table_r1_circuits(run_once):
+    result = run_once(table_r1)
+    assert set(result.data) == set(BENCHMARKS)
+    kinds = {row["kind"] for row in result.data.values()}
+    # The paper targets "general analog and digital ICs".
+    assert {"analog", "digital", "interconnect"} <= kinds

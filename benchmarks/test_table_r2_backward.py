@@ -1,0 +1,20 @@
+"""Table R2: backward pipelining speedup vs the sequential baseline.
+
+Reproduction claim (shape, not absolute numbers): backward pipelining is
+never slower than sequential on aggregate and exploits extra threads on
+ratio-limited workloads.
+"""
+
+from repro.bench.experiments import table_r2
+
+
+def test_table_r2_backward(run_once):
+    result = run_once(table_r2)
+    geo = result.data["geomean"]
+    assert geo[2] >= 1.0, f"2-thread backward geomean {geo[2]:.2f} below 1.0"
+    assert geo[4] >= geo[2] * 0.95, "speedup should not collapse with more threads"
+    # At least one circuit shows a clearly material gain.
+    best = max(
+        cells[4] for name, cells in result.data.items() if name != "geomean"
+    )
+    assert best >= 1.10, f"best backward speedup only {best:.2f}"

@@ -1,0 +1,18 @@
+"""Table R3: forward (predictive) pipelining speedup vs sequential.
+
+Shape claim: forward pipelining helps where Newton solves are expensive
+and degrades gracefully (to ~1.0, never a large slowdown) where a solve
+is too cheap for speculation to pay.
+"""
+
+from repro.bench.experiments import table_r3
+
+
+def test_table_r3_forward(run_once):
+    result = run_once(table_r3)
+    geo = result.data["geomean"]
+    assert geo[2] >= 0.95, f"forward geomean {geo[2]:.2f} regressed below 0.95"
+    best = max(
+        cells[2] for name, cells in result.data.items() if name != "geomean"
+    )
+    assert best >= 1.05, f"forward never paid off anywhere (best {best:.2f})"

@@ -1,0 +1,14 @@
+"""Table R4: combined backward+forward speedup vs sequential.
+
+Shape claim: the combined scheme adapts per-regime and matches or beats
+the better single scheme on aggregate.
+"""
+
+from repro.bench.experiments import table_r2, table_r4
+
+
+def test_table_r4_combined(run_once):
+    result = run_once(table_r4)
+    geo = result.data["geomean"]
+    assert geo[3] >= 1.0
+    assert geo[4] >= 1.0

@@ -1,0 +1,20 @@
+"""Table R5: waveform accuracy of WavePipe vs sequential.
+
+The paper's central correctness claim: pipelining does not jeopardise
+accuracy. Deviations must stay within integration-tolerance scale
+(oscillators are excluded from the tight bound: their phase is chaotic
+in the cycle count simulated, so pointwise deviation grows with time
+even between two equally correct runs — frequency is checked in Fig R3).
+"""
+
+from repro.bench.experiments import table_r5
+
+
+def test_table_r5_accuracy(run_once):
+    result = run_once(table_r5)
+    for name, cells in result.data.items():
+        bound = 0.15 if name == "ring5" else 0.05
+        assert cells["worst_rel"] <= bound, (
+            f"{name}: worst relative deviation {cells['worst_rel']:.3e} "
+            f"exceeds {bound}"
+        )

@@ -1,0 +1,12 @@
+"""Table R6: ablation of the backward scheduler's design choices."""
+
+from repro.bench.experiments import table_r6
+
+
+def test_table_r6_ablation(run_once):
+    result = run_once(table_r6)
+    default = result.data["default"]["speedup"]
+    no_guard = result.data["no guard"]["speedup"]
+    assert default >= 1.0
+    # The guard is the rejection-salvage mechanism; dropping it should not help.
+    assert no_guard <= default * 1.05

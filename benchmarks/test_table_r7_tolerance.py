@@ -1,0 +1,15 @@
+"""Table R7 (extension): speedup sensitivity to integration tolerance."""
+
+from repro.bench.experiments import table_r7
+
+
+def test_table_r7_tolerance(run_once):
+    result = run_once(table_r7)
+    loosest = result.data[1e-2]
+    tightest = result.data[3e-4]
+    # looser tolerance -> more Newton iterations per solve
+    assert loosest["iters_per_solve"] > tightest["iters_per_solve"]
+    # and no configuration regresses badly below sequential
+    for cells in result.data.values():
+        for scheme in ("backward", "forward", "combined"):
+            assert cells[scheme] >= 0.9

@@ -1,0 +1,12 @@
+"""Table R8 (extension): size independence of time-axis parallelism."""
+
+from repro.bench.experiments import table_r8
+
+
+def test_table_r8_scaling(run_once):
+    result = run_once(table_r8)
+    for family in (("invchain4", "invchain16"), ("grid4x4", "grid8x8")):
+        small, large = (result.data[n]["backward"] for n in family)
+        # 4x size change moves speedup by well under the gain itself
+        assert abs(large - small) < 0.25, f"{family}: {small:.2f} -> {large:.2f}"
+    assert all(c["backward"] >= 0.95 for c in result.data.values())

@@ -1,0 +1,71 @@
+"""Analog workload: Gilbert-cell mixer down-conversion under WavePipe.
+
+The double-balanced mixer is the evaluation's strongly nonlinear analog
+block: eight BJT junctions iterating per Newton solve. That makes it both
+a convergence stress test and forward pipelining's best case (expensive
+solves leave real work for speculation to pre-pay). The example verifies
+the mixer *mixes* — the differential output contains the LO±RF products —
+and reports per-scheme speedups.
+
+Run with::
+
+    python examples/mixer_wavepipe.py
+"""
+
+import numpy as np
+
+from repro import compare_with_sequential, run_transient
+from repro.circuits.analog import gilbert_mixer
+from repro.mna.compiler import compile_circuit
+
+
+def tone_amplitude(times, values, freq):
+    """Single-bin DFT magnitude at *freq* (uniform resample first)."""
+    grid = np.linspace(times[0], times[-1], 4096)
+    resampled = np.interp(grid, times, values)
+    resampled = resampled - resampled.mean()
+    phase = 2j * np.pi * freq * grid
+    return 2.0 * abs(np.mean(resampled * np.exp(-phase)))
+
+
+def main() -> None:
+    rf, lo = 10e6, 100e6
+    compiled = compile_circuit(gilbert_mixer(rf_freq=rf, lo_freq=lo))
+    tstop = 0.4e-6  # four full IF (90 MHz) beats, 4 RF periods
+    print(f"Gilbert mixer: {compiled.n} unknowns, RF={rf/1e6:.0f} MHz, "
+          f"LO={lo/1e6:.0f} MHz, window {tstop*1e6:.2f} us\n")
+
+    from repro.utils.options import SimOptions
+
+    options = SimOptions(max_step=1e-9)
+    seq = run_transient(compiled, tstop, options=options)
+    diff = seq.waveforms.voltage("outp").values - seq.waveforms.voltage("outm").values
+    times = seq.times
+
+    print("differential output spectrum (single-bin DFT):")
+    for label, freq in (
+        ("LO - RF (IF, wanted)", lo - rf),
+        ("LO + RF (image)", lo + rf),
+        ("RF leakage", rf),
+        ("LO leakage", lo),
+    ):
+        amp = tone_amplitude(times, diff, freq)
+        print(f"  {label:22s} {freq/1e6:6.1f} MHz : {amp*1e3:8.2f} mV")
+
+    if_amp = tone_amplitude(times, diff, lo - rf)
+    rf_leak = tone_amplitude(times, diff, rf)
+    print(f"\nIF product is {if_amp/max(rf_leak, 1e-12):.0f}x the RF leakage "
+          "(double-balanced cancellation at work)")
+
+    print("\nWavePipe on a junction-heavy analog netlist "
+          f"(~{seq.stats.newton_iterations/(seq.stats.accepted_points + seq.stats.rejected_points):.1f} Newton iterations/solve):")
+    for scheme, threads in (("backward", 2), ("forward", 2), ("combined", 4)):
+        report = compare_with_sequential(
+            compiled, tstop, scheme=scheme, threads=threads, options=options,
+            signals=["v(outp)", "v(outm)"],
+        )
+        print(f"  {report.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Interconnect workload: power-grid IR-droop analysis under WavePipe.
+
+A power-delivery mesh with switching current loads is the canonical
+ratio-limited workload: every load edge collapses the time step, and the
+quiet settling between edges lets it ramp back up — exactly the regime
+backward pipelining converts idle cores into. This example measures the
+droop (the signal a power-integrity engineer wants) and shows how the
+stage structure of the pipelined run compresses the sequential point
+sequence.
+
+Run with::
+
+    python examples/power_grid_wavepipe.py
+"""
+
+import numpy as np
+
+from repro import run_transient, run_wavepipe
+from repro.bench.tables import render_series, render_table
+from repro.circuits.interconnect import rc_grid
+from repro.mna.compiler import compile_circuit
+
+
+def main() -> None:
+    compiled = compile_circuit(rc_grid(nx=6, ny=6))
+    tstop = 40e-9
+    print(f"power grid: {compiled.n} unknowns, simulating {tstop*1e9:.0f} ns\n")
+
+    seq = run_transient(compiled, tstop)
+    pipe = run_wavepipe(compiled, tstop, scheme="backward", threads=4)
+
+    # --- the engineering answer: worst-case droop per corner ---------------
+    rows = []
+    for node in ("p_5_5", "p_3_5", "p_0_5", "p_5_0"):
+        w_seq = seq.waveforms.voltage(node)
+        w_pipe = pipe.waveforms.voltage(node)
+        rows.append(
+            [
+                node,
+                f"{(1.8 - w_seq.values.min())*1e3:.1f} mV",
+                f"{(1.8 - w_pipe.values.min())*1e3:.1f} mV",
+                f"{np.abs(w_seq.at(w_pipe.times) - w_pipe.values).max()*1e3:.2f} mV",
+            ]
+        )
+    print(
+        render_table(
+            ["node", "droop (sequential)", "droop (wavepipe)", "max |dv|"],
+            rows,
+            title="Worst-case IR droop",
+        )
+    )
+
+    # --- the mechanism: stage compression ----------------------------------
+    stats = pipe.stats
+    print(
+        f"\nsequential solves {seq.stats.accepted_points} points one at a time; "
+        f"backward x4 computed {stats.accepted_points} points in "
+        f"{stats.clock.stages} pipeline stages "
+        f"(mean width {stats.clock.mean_width:.2f}, peak {stats.clock.peak_width})."
+    )
+    print(
+        f"virtual speedup: {seq.stats.total_work / stats.virtual_total:.2f}x, "
+        f"wasted speculative solves: {stats.wasted_solves}"
+    )
+
+    # --- droop waveform, both engines overlaid -----------------------------
+    grid = np.linspace(0, tstop, 110)
+    print()
+    print(
+        render_series(
+            grid * 1e9,
+            {
+                "sequential": seq.waveforms.voltage("p_5_5").at(grid),
+                "wavepipe": pipe.waveforms.voltage("p_5_5").at(grid),
+            },
+            title="v(p_5_5): far-corner supply voltage (x axis in ns)",
+            height=12,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Digital workload study: CMOS ring oscillators under WavePipe.
+
+Reproduces in miniature what the paper's evaluation does for digital ICs:
+sweep ring-oscillator sizes, report the oscillation each engine computes
+(frequency must match — the accuracy claim) and the speedup of every
+pipelining scheme (the performance claim).
+
+Run with::
+
+    python examples/ring_oscillator_study.py
+"""
+
+from repro import compare_with_sequential, run_transient
+from repro.bench.tables import render_table
+from repro.circuits.digital import ring_oscillator
+from repro.mna.compiler import compile_circuit
+
+
+def study_ring(stages: int, tstop: float) -> list:
+    compiled = compile_circuit(ring_oscillator(stages=stages))
+    seq = run_transient(compiled, tstop)
+    signal = seq.waveforms.voltage("n0")
+    settled = signal.slice(tstop / 3, tstop)
+    f_seq = settled.frequency()
+
+    row = [f"ring{stages}", compiled.n, seq.stats.accepted_points,
+           f"{f_seq/1e6:.1f} MHz" if f_seq else "n/a"]
+    for scheme, threads in (("backward", 2), ("forward", 2), ("combined", 4)):
+        report = compare_with_sequential(
+            compiled, tstop, scheme=scheme, threads=threads
+        )
+        pipe_signal = report.pipelined.waveforms.voltage("n0").slice(tstop / 3, tstop)
+        f_pipe = pipe_signal.frequency()
+        freq_error = abs(f_pipe - f_seq) / f_seq if f_seq and f_pipe else float("nan")
+        row.append(f"{report.speedup:.2f} ({freq_error*100:.2f}%)")
+    return row
+
+
+def main() -> None:
+    print("CMOS ring oscillators: WavePipe speedup and frequency fidelity")
+    print("(speedup cells show 'speedup (frequency error vs sequential)')\n")
+    rows = [
+        study_ring(3, 20e-9),
+        study_ring(5, 30e-9),
+        study_ring(7, 40e-9),
+    ]
+    print(
+        render_table(
+            ["circuit", "unknowns", "seq points", "f_osc",
+             "backward x2", "forward x2", "combined x4"],
+            rows,
+        )
+    )
+    print(
+        "\nNote how the oscillation frequency — the quantity a designer "
+        "reads off this simulation — is preserved to a fraction of a "
+        "percent by every scheme: pipelined points pass exactly the same "
+        "LTE acceptance test as sequential ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

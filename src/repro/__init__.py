@@ -1,0 +1,127 @@
+"""repro — WavePipe (DAC 2008) reproduction.
+
+A SPICE-class transient circuit simulator with coarse-grained parallel
+time-stepping: **waveform pipelining** (backward, forward and combined
+schemes) per Dong, Li & Ye, "WavePipe: Parallel transient simulation of
+analog and digital circuits on multi-core shared-memory machines",
+DAC 2008.
+
+Quickstart::
+
+    from repro import Circuit, Pulse, run_transient, run_wavepipe
+
+    c = Circuit("rc")
+    c.add_vsource("V1", "in", "0", Pulse(0, 1, delay=1e-9, rise=1e-12, width=1e-3))
+    c.add_resistor("R1", "in", "out", "1k")
+    c.add_capacitor("C1", "out", "0", "1n")
+
+    seq = run_transient(c, tstop=10e-6)             # sequential baseline
+    par = run_wavepipe(c, tstop=10e-6, scheme="combined", threads=4)
+    print(par.stats.self_speedup(), par.waveforms.voltage("out"))
+"""
+
+from repro.analysis.ac import AcResult, ac_analysis
+from repro.analysis.dc import DcSweepResult, dc_sweep
+from repro.analysis.sweep import SweepResult, sweep
+from repro.circuit.circuit import Circuit, Subcircuit
+from repro.circuit.components import (
+    Bjt,
+    BjtModel,
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    Mosfet,
+    MosfetModel,
+    MutualInductance,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.sources import Dc, Exp, Pulse, Pwl, SampledWaveform, Sin
+from repro.core.pipeline import PipelineResult, PipelineStats
+from repro.core.wavepipe import SpeedupReport, compare_with_sequential, run_wavepipe
+from repro.engine.transient import TransientResult, TransientStats, run_transient
+from repro.errors import (
+    CircuitError,
+    ConvergenceError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+    TimestepError,
+    UnitError,
+)
+from repro.netlist.parser import Netlist, parse_file, parse_netlist
+from repro.utils.options import SimOptions
+from repro.utils.units import format_si, parse_value
+from repro.waveform.export import read_csv, to_csv_text, write_csv
+from repro.waveform.waveform import Deviation, Waveform, WaveformSet, compare
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcResult",
+    "ac_analysis",
+    "Bjt",
+    "BjtModel",
+    "Capacitor",
+    "Cccs",
+    "Ccvs",
+    "Circuit",
+    "CircuitError",
+    "compare",
+    "compare_with_sequential",
+    "ConvergenceError",
+    "CurrentSource",
+    "Dc",
+    "dc_sweep",
+    "DcSweepResult",
+    "Deviation",
+    "Diode",
+    "DiodeModel",
+    "Exp",
+    "format_si",
+    "Inductor",
+    "Mosfet",
+    "MosfetModel",
+    "MutualInductance",
+    "Netlist",
+    "NetlistError",
+    "parse_file",
+    "parse_netlist",
+    "parse_value",
+    "PipelineResult",
+    "PipelineStats",
+    "Pulse",
+    "Pwl",
+    "ReproError",
+    "Resistor",
+    "read_csv",
+    "run_transient",
+    "run_wavepipe",
+    "SampledWaveform",
+    "SimOptions",
+    "SimulationError",
+    "Sin",
+    "SingularMatrixError",
+    "SpeedupReport",
+    "Subcircuit",
+    "sweep",
+    "SweepResult",
+    "TimestepError",
+    "TransientResult",
+    "TransientStats",
+    "to_csv_text",
+    "UnitError",
+    "Vccs",
+    "Vcvs",
+    "VoltageSource",
+    "Waveform",
+    "WaveformSet",
+    "write_csv",
+]

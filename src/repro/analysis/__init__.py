@@ -1,0 +1,1 @@
+"""Analyses beyond transient: DC sweep, small-signal AC, parameter sweeps."""

@@ -1,0 +1,123 @@
+"""Small-signal AC analysis.
+
+Linearises the circuit at its DC operating point and solves the complex
+system ``(G + j*omega*C) x = u`` over a frequency list, with a unit
+excitation applied at one independent source (1 V for voltage sources,
+1 A for current sources). Standard SPICE ``.ac`` semantics with the
+excitation magnitude fixed at 1 so results read directly as transfer
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.circuit.circuit import Circuit
+from repro.errors import SimulationError
+from repro.mna.compiler import CompiledCircuit, compile_circuit
+from repro.mna.system import MnaSystem
+from repro.solver.dcop import solve_operating_point
+from repro.utils.options import SimOptions
+
+
+@dataclass
+class AcResult:
+    """Complex transfer functions per unknown over frequency."""
+
+    freqs: np.ndarray
+    transfer: dict[str, np.ndarray]
+
+    def magnitude(self, name: str) -> np.ndarray:
+        """|H(f)| of the named unknown across the frequency sweep."""
+        return np.abs(self._get(name))
+
+    def magnitude_db(self, name: str) -> np.ndarray:
+        """Magnitude in dB (floored to avoid log(0))."""
+        mag = self.magnitude(name)
+        return 20.0 * np.log10(np.maximum(mag, 1e-300))
+
+    def phase_deg(self, name: str) -> np.ndarray:
+        """Phase of H(f) in degrees."""
+        return np.angle(self._get(name), deg=True)
+
+    def _get(self, name: str) -> np.ndarray:
+        if name not in self.transfer:
+            available = ", ".join(sorted(self.transfer)[:8])
+            raise SimulationError(f"no AC trace {name!r}; available include {available}")
+        return self.transfer[name]
+
+    def corner_frequency(self, name: str, drop_db: float = 3.0) -> float | None:
+        """First frequency where |H| falls *drop_db* below its low-f value."""
+        mag = self.magnitude_db(name)
+        target = mag[0] - drop_db
+        below = np.nonzero(mag <= target)[0]
+        if below.size == 0:
+            return None
+        i = below[0]
+        if i == 0:
+            return float(self.freqs[0])
+        # log-linear interpolation between the bracketing samples
+        f0, f1 = np.log10(self.freqs[i - 1]), np.log10(self.freqs[i])
+        m0, m1 = mag[i - 1], mag[i]
+        frac = (target - m0) / (m1 - m0)
+        return float(10 ** (f0 + frac * (f1 - f0)))
+
+
+def ac_analysis(
+    circuit: Circuit | CompiledCircuit,
+    source: str,
+    freqs,
+    options: SimOptions | None = None,
+) -> AcResult:
+    """Frequency sweep with unit excitation at *source*."""
+    compiled = (
+        circuit
+        if isinstance(circuit, CompiledCircuit)
+        else compile_circuit(circuit, options)
+    )
+    options = options or compiled.options
+    freqs = np.asarray(list(freqs), dtype=float)
+    if freqs.size == 0 or np.any(freqs <= 0):
+        raise SimulationError("AC analysis needs positive frequencies")
+
+    system = MnaSystem(compiled)
+    op = solve_operating_point(system, options)
+    out = system.make_buffers()
+    system.eval(op.x, 0.0, out)
+    zeros_g = np.zeros_like(out.g_vals)
+    zeros_c = np.zeros_like(out.c_vals)
+    g_matrix = system.pattern.assemble(out.g_vals, zeros_c, 0.0, diag_shift=system.gshunt)
+    c_matrix = system.pattern.assemble(zeros_g, out.c_vals, 1.0)
+
+    rhs = _excitation(compiled, source)
+    solutions = np.zeros((freqs.size, system.n), dtype=complex)
+    for k, f in enumerate(freqs):
+        a_matrix = (g_matrix + 2j * np.pi * f * c_matrix).tocsc()
+        lu = spla.splu(a_matrix)
+        solutions[k] = lu.solve(rhs.astype(complex))
+
+    transfer = {
+        name: solutions[:, i] for i, name in enumerate(compiled.unknown_names)
+    }
+    return AcResult(freqs, transfer)
+
+
+def _excitation(compiled: CompiledCircuit, source: str) -> np.ndarray:
+    rhs = np.zeros(compiled.n)
+    vbank = compiled.vsource_bank
+    if vbank is not None and source in vbank.names:
+        rhs[compiled.branch_current_index(source)] = 1.0
+        return rhs
+    ibank = compiled.isource_bank
+    if ibank is not None and source in ibank.names:
+        i = ibank.names.index(source)
+        plus, minus = int(ibank.p[i]), int(ibank.m[i])
+        if plus < compiled.n:
+            rhs[plus] -= 1.0
+        if minus < compiled.n:
+            rhs[minus] += 1.0
+        return rhs
+    raise SimulationError(f"{source!r} is not an independent source in this circuit")

@@ -1,0 +1,89 @@
+"""DC sweep analysis.
+
+Sweeps the level of one independent source, solving the operating point
+at each value with continuation (each solution seeds the next) — the
+standard way transfer curves (e.g. an inverter's VTC) are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Dc
+from repro.errors import SimulationError
+from repro.mna.compiler import CompiledCircuit, compile_circuit
+from repro.mna.system import MnaSystem
+from repro.solver.dcop import solve_operating_point
+from repro.utils.options import SimOptions
+from repro.waveform.waveform import WaveformSet
+
+
+@dataclass
+class DcSweepResult:
+    """Solutions across the swept values.
+
+    ``curves`` is indexed like a transient :class:`WaveformSet`, with the
+    swept source level playing the role of the time axis.
+    """
+
+    source: str
+    values: np.ndarray
+    curves: WaveformSet
+    iterations: int
+
+
+def dc_sweep(
+    circuit: Circuit | CompiledCircuit,
+    source: str,
+    values,
+    options: SimOptions | None = None,
+) -> DcSweepResult:
+    """Sweep independent source *source* through *values*.
+
+    Raises:
+        SimulationError: when *source* names no independent V/I source.
+    """
+    compiled = (
+        circuit
+        if isinstance(circuit, CompiledCircuit)
+        else compile_circuit(circuit, options)
+    )
+    options = options or compiled.options
+    values = np.asarray(list(values), dtype=float)
+    if values.size < 1:
+        raise SimulationError("dc sweep needs at least one value")
+    if values.size >= 2 and np.any(np.diff(values) <= 0):
+        raise SimulationError("dc sweep values must be strictly increasing")
+
+    bank, index = _find_source(compiled, source)
+    original = bank.waveforms[index]
+    system = MnaSystem(compiled)
+    solutions = []
+    iterations = 0
+    x_prev = None
+    try:
+        for value in values:
+            bank.waveforms[index] = Dc(float(value))
+            op = solve_operating_point(system, options, x0=x_prev)
+            iterations += op.iterations
+            solutions.append(op.x)
+            x_prev = op.x
+    finally:
+        bank.waveforms[index] = original
+
+    matrix = np.vstack(solutions)
+    curves = WaveformSet(
+        values,
+        {name: matrix[:, i] for i, name in enumerate(compiled.unknown_names)},
+    )
+    return DcSweepResult(source, values, curves, iterations)
+
+
+def _find_source(compiled: CompiledCircuit, name: str):
+    for bank in (compiled.vsource_bank, compiled.isource_bank):
+        if bank is not None and name in bank.names:
+            return bank, bank.names.index(name)
+    raise SimulationError(f"{name!r} is not an independent source in this circuit")

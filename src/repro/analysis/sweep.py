@@ -1,0 +1,129 @@
+"""Generic parameter sweeps: run a study across circuit or option values.
+
+The workhorse behind "how does X vary with Y" questions — corner tables,
+tolerance studies, sizing sweeps. A sweep takes:
+
+* a **circuit factory** accepting the swept parameter (or a fixed circuit
+  with an options field swept instead),
+* the transient window,
+* one or more **metrics**: callables mapping a
+  :class:`~repro.engine.transient.TransientResult` to a float
+  (:mod:`repro.waveform.measure` provides the usual ones).
+
+Results come back as a :class:`SweepResult` table that renders itself and
+exposes the raw columns for further analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.tables import render_table
+from repro.circuit.circuit import Circuit
+from repro.core.wavepipe import run_wavepipe
+from repro.engine.transient import TransientResult, run_transient
+from repro.errors import SimulationError
+from repro.utils.options import SimOptions
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a parameter sweep.
+
+    Attributes:
+        parameter: name of the swept quantity.
+        values: swept values, in run order.
+        metrics: metric name -> per-value results (NaN where a metric
+            returned None or the run failed and ``skip_failures`` was on).
+        failures: value -> error message for failed runs.
+    """
+
+    parameter: str
+    values: list
+    metrics: dict[str, np.ndarray]
+    failures: dict = field(default_factory=dict)
+
+    def column(self, metric: str) -> np.ndarray:
+        """Per-value results of one metric, aligned with ``values``."""
+        try:
+            return self.metrics[metric]
+        except KeyError:
+            raise SimulationError(
+                f"no metric {metric!r}; available: {', '.join(self.metrics)}"
+            ) from None
+
+    def table(self, float_format: str = "{:.4g}") -> str:
+        """Render the sweep as an aligned text table."""
+        headers = [self.parameter] + list(self.metrics)
+        rows = []
+        for k, value in enumerate(self.values):
+            rows.append(
+                [value] + [float(self.metrics[m][k]) for m in self.metrics]
+            )
+        return render_table(headers, rows, float_format=float_format)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.table()
+
+
+def sweep(
+    parameter: str,
+    values,
+    metrics: dict[str, Callable[[TransientResult], float | None]],
+    tstop: float,
+    circuit_factory: Callable[[object], Circuit] | None = None,
+    circuit: Circuit | None = None,
+    options: SimOptions | None = None,
+    option_field: str | None = None,
+    scheme: str | None = None,
+    threads: int = 2,
+    skip_failures: bool = False,
+) -> SweepResult:
+    """Run the transient study across *values*.
+
+    Exactly one of *circuit_factory* (the value parameterises the circuit)
+    or *circuit* + *option_field* (the value patches ``SimOptions``) must
+    be given. With *scheme* set, runs WavePipe instead of the sequential
+    engine.
+    """
+    if (circuit_factory is None) == (circuit is None):
+        raise SimulationError("provide exactly one of circuit_factory or circuit")
+    if circuit is not None and option_field is None:
+        raise SimulationError("a fixed circuit needs option_field to sweep")
+    if not metrics:
+        raise SimulationError("sweep needs at least one metric")
+
+    values = list(values)
+    columns = {name: np.full(len(values), np.nan) for name in metrics}
+    failures: dict = {}
+    base_options = options or SimOptions()
+
+    for k, value in enumerate(values):
+        try:
+            if circuit_factory is not None:
+                target = circuit_factory(value)
+                run_options = base_options
+            else:
+                target = circuit
+                run_options = base_options.replace(**{option_field: value})
+            if scheme is None:
+                result = run_transient(target, tstop, options=run_options)
+            else:
+                result = run_wavepipe(
+                    target, tstop, scheme=scheme, threads=threads,
+                    options=run_options,
+                )
+        except Exception as exc:
+            if not skip_failures:
+                raise
+            failures[value] = f"{type(exc).__name__}: {exc}"
+            continue
+        for name, metric in metrics.items():
+            measured = metric(result)
+            if measured is not None:
+                columns[name][k] = float(measured)
+
+    return SweepResult(parameter, values, columns, failures)

@@ -1,0 +1,1 @@
+"""The parallel-SPICE baselines WavePipe is contrasted against."""

@@ -1,0 +1,103 @@
+"""Fine-grained intra-iteration parallelism baseline (Amdahl model).
+
+The conventional way to parallelise SPICE — the approach the abstract says
+WavePipe goes *beyond* — splits each Newton iteration internally:
+
+* device model evaluation: embarrassingly parallel across devices;
+* sparse matrix factorisation / triangular solves: notoriously resistant
+  to parallelism (dependency chains along the elimination tree), with
+  small circuit matrices capping at a low speedup regardless of cores.
+
+We model it from *measured* serial runs: the instrumented work split
+between device evaluation and matrix work comes from the same cost model
+that prices WavePipe's tasks, so the comparison in Fig. R4 is
+apples-to-apples. The matrix portion is given a generous parallel cap
+(:data:`MATRIX_SPEEDUP_CAP`); per-iteration fork/join overhead charges a
+fixed fraction per thread.
+
+This is the one *modelled* (rather than executed) component in this
+reproduction: executing real fine-grained parallel LU in pure Python
+would measure interpreter overheads, not the algorithm. The model is
+deliberately optimistic — it gives the baseline every benefit of the
+doubt, so WavePipe's advantage where shown is conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.transient import TransientResult
+from repro.mna.system import MnaSystem
+
+#: Max speedup of the sparse factorisation/solve portion, independent of
+#: thread count (elimination-tree parallelism on circuit matrices).
+MATRIX_SPEEDUP_CAP = 2.0
+
+#: Per-thread fork/join overhead as a fraction of one iteration's work.
+FORK_JOIN_OVERHEAD = 0.002
+
+
+@dataclass(frozen=True)
+class FineGrainedEstimate:
+    """Projected fine-grained runtime for one measured serial run."""
+
+    threads: int
+    serial_work: float
+    parallel_work: float
+
+    @property
+    def speedup(self) -> float:
+        """Projected speedup over the measured serial run."""
+        if self.parallel_work <= 0:
+            return 1.0
+        return self.serial_work / self.parallel_work
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup divided by thread count (parallel efficiency)."""
+        return self.speedup / max(self.threads, 1)
+
+
+def work_split(system: MnaSystem) -> tuple[float, float]:
+    """(device-eval work, matrix work) per Newton iteration — the same
+    decomposition :func:`repro.solver.newton.iteration_work` charges."""
+    return system.work_units_per_eval, 0.05 * system.pattern.nnz
+
+
+def fine_grained_estimate(
+    system: MnaSystem,
+    sequential: TransientResult,
+    threads: int,
+) -> FineGrainedEstimate:
+    """Project the ideal fine-grained runtime of a measured serial run.
+
+    Device evaluation scales as ``1/threads``; matrix work scales as
+    ``1/min(threads, MATRIX_SPEEDUP_CAP)``; every iteration pays the
+    fork/join overhead once per extra thread.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    dev_work, mat_work = work_split(system)
+    iter_work = dev_work + mat_work
+    iterations = sequential.stats.newton_iterations
+    serial = iterations * iter_work + sequential.stats.dc_work_units
+
+    overhead = FORK_JOIN_OVERHEAD * iter_work * (threads - 1)
+    per_iter = (
+        dev_work / threads
+        + mat_work / min(float(threads), MATRIX_SPEEDUP_CAP)
+        + overhead
+    )
+    # The DC operating point parallelises the same way.
+    dc_scale = per_iter / iter_work
+    parallel = iterations * per_iter + sequential.stats.dc_work_units * dc_scale
+    return FineGrainedEstimate(threads, serial, parallel)
+
+
+def fine_grained_curve(
+    system: MnaSystem,
+    sequential: TransientResult,
+    thread_counts: list[int],
+) -> list[FineGrainedEstimate]:
+    """Speedup-vs-threads curve for Fig. R4."""
+    return [fine_grained_estimate(system, sequential, t) for t in thread_counts]

@@ -1,0 +1,1 @@
+"""Evaluation harness: experiment registry, tables, EXPERIMENTS.md."""

@@ -1,0 +1,495 @@
+"""Experiment registry: one entry per reconstructed table / figure.
+
+Each experiment function runs its workloads, returns an
+:class:`ExperimentResult` carrying both the rendered text (what the bench
+harness prints) and the raw data (what EXPERIMENTS.md records). The
+mapping to the paper's evaluation is documented in DESIGN.md's
+"Reconstructed evaluation index".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.finegrained import fine_grained_curve
+from repro.baselines.relaxation import WaveformRelaxation
+from repro.bench.tables import render_series, render_table
+from repro.circuits.registry import BENCHMARKS, Benchmark, get_benchmark
+from repro.core.wavepipe import compare_with_sequential, run_wavepipe
+from repro.engine.transient import run_transient
+from repro.mna.compiler import compile_circuit
+from repro.mna.system import MnaSystem
+from repro.waveform.waveform import compare, worst_deviation
+
+#: Default circuit subset for the speedup tables (full registry).
+SPEEDUP_CIRCUITS = [
+    "ring5",
+    "ring9",
+    "invchain8",
+    "nandchain6",
+    "powergrid6x6",
+    "rlcline8",
+    "mixer",
+    "lcosc",
+    "rectifier",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Rendered text + raw data of one experiment."""
+
+    exp_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def _speedup_row(bench: Benchmark, scheme: str, threads: list[int]) -> tuple[list, dict]:
+    compiled = compile_circuit(bench.build(), bench.options)
+    seq = run_transient(compiled, bench.tstop, tstep=bench.tstep, options=bench.options)
+    row: list[object] = [bench.name, seq.stats.accepted_points]
+    cells = {}
+    for t in threads:
+        report = compare_with_sequential(
+            compiled, bench.tstop, scheme=scheme, threads=t,
+            tstep=bench.tstep, options=bench.options,
+        )
+        row.append(report.speedup)
+        cells[t] = report.speedup
+    return row, cells
+
+
+def _speedup_table(exp_id: str, title: str, scheme: str, threads: list[int], names) -> ExperimentResult:
+    headers = ["circuit", "seq points"] + [f"{t} thr" for t in threads]
+    rows = []
+    data = {}
+    for name in names:
+        row, cells = _speedup_row(get_benchmark(name), scheme, threads)
+        rows.append(row)
+        data[name] = cells
+    geo = {
+        t: float(np.exp(np.mean([np.log(max(data[n][t], 1e-9)) for n in names])))
+        for t in threads
+    }
+    rows.append(["geomean", ""] + [geo[t] for t in threads])
+    data["geomean"] = geo
+    text = render_table(headers, rows, title=title)
+    return ExperimentResult(exp_id, title, text, data)
+
+
+# -- tables ----------------------------------------------------------------------
+
+
+def table_r1(names=None) -> ExperimentResult:
+    """Benchmark circuit statistics."""
+    names = names or list(BENCHMARKS)
+    headers = ["circuit", "kind", "unknowns", "devices", "tstop", "description"]
+    rows = []
+    data = {}
+    for name in names:
+        bench = get_benchmark(name)
+        compiled = compile_circuit(bench.build(), bench.options)
+        devices = sum(b.count for b in compiled.banks)
+        rows.append(
+            [name, bench.kind, compiled.n, devices, f"{bench.tstop:.3g}s", bench.description]
+        )
+        data[name] = {"unknowns": compiled.n, "devices": devices, "kind": bench.kind}
+    return ExperimentResult(
+        "table_r1", "Table R1: benchmark circuits", render_table(headers, rows, "Table R1"), data
+    )
+
+
+def table_r2(threads=(2, 3, 4), names=None) -> ExperimentResult:
+    """Backward pipelining speedups."""
+    return _speedup_table(
+        "table_r2",
+        "Table R2: backward pipelining speedup vs sequential",
+        "backward",
+        list(threads),
+        names or SPEEDUP_CIRCUITS,
+    )
+
+
+def table_r3(threads=(2, 3), names=None) -> ExperimentResult:
+    """Forward pipelining speedups."""
+    return _speedup_table(
+        "table_r3",
+        "Table R3: forward pipelining speedup vs sequential",
+        "forward",
+        list(threads),
+        names or SPEEDUP_CIRCUITS,
+    )
+
+
+def table_r4(threads=(3, 4), names=None) -> ExperimentResult:
+    """Combined scheme speedups."""
+    return _speedup_table(
+        "table_r4",
+        "Table R4: combined backward+forward speedup vs sequential",
+        "combined",
+        list(threads),
+        names or SPEEDUP_CIRCUITS,
+    )
+
+
+def table_r5(names=None, scheme="combined", threads=4) -> ExperimentResult:
+    """Accuracy: WavePipe vs sequential waveforms (paper: no accuracy loss)."""
+    names = names or ["ring5", "invchain8", "powergrid6x6", "mixer", "rectifier"]
+    headers = ["circuit", "signal", "max |dv| (V)", "rel. to swing", "rms (V)"]
+    rows = []
+    data = {}
+    for name in names:
+        bench = get_benchmark(name)
+        compiled = compile_circuit(bench.build(), bench.options)
+        report = compare_with_sequential(
+            compiled, bench.tstop, scheme=scheme, threads=threads,
+            tstep=bench.tstep, options=bench.options, signals=list(bench.signals),
+        )
+        for dev in report.deviations:
+            rows.append([name, dev.name, dev.max_abs, dev.max_relative, dev.rms])
+        worst = report.worst_deviation
+        data[name] = {
+            "worst_signal": worst.name if worst else None,
+            "worst_rel": worst.max_relative if worst else 0.0,
+        }
+    title = f"Table R5: waveform deviation, {scheme} x{threads} vs sequential"
+    return ExperimentResult("table_r5", title, render_table(headers, rows, title), data)
+
+
+def table_r6(name="invchain8", threads=4) -> ExperimentResult:
+    """Ablation: scheduler knobs of the backward scheme."""
+    bench = get_benchmark(name)
+    compiled = compile_circuit(bench.build(), bench.options)
+    variants = {
+        "default": {},
+        "no guard": {"backward_guard_fraction": 0.0},
+        "guard 0.25": {"backward_guard_fraction": 0.25},
+        "ratio 1.5": {"step_ratio_max": 1.5},
+        "ratio 3.0": {"step_ratio_max": 3.0},
+        "margin 0.7": {"lte_cap_margin": 0.7},
+        "predictor guess": {"newton_guess": "predictor"},
+    }
+    headers = ["variant", "speedup", "wasted solves", "accepted"]
+    rows = []
+    data = {}
+    for label, changes in variants.items():
+        options = bench.options.replace(**changes)
+        report = compare_with_sequential(
+            bench.build(), bench.tstop, scheme="backward", threads=threads,
+            tstep=bench.tstep, options=options,
+        )
+        stats = report.pipelined.stats
+        rows.append([label, report.speedup, stats.wasted_solves, stats.accepted_points])
+        data[label] = {"speedup": report.speedup, "wasted": stats.wasted_solves}
+    title = f"Table R6: backward-scheme ablation on {name} ({threads} threads)"
+    return ExperimentResult("table_r6", title, render_table(headers, rows, title), data)
+
+
+# -- figures ------------------------------------------------------------------------
+
+
+def fig_r1(names=("invchain8", "powergrid6x6"), threads=(1, 2, 3, 4, 6)) -> ExperimentResult:
+    """Speedup vs thread count per scheme."""
+    threads = list(threads)
+    series = {}
+    data = {}
+    for name in names:
+        bench = get_benchmark(name)
+        compiled = compile_circuit(bench.build(), bench.options)
+        for scheme in ("backward", "combined"):
+            speedups = []
+            for t in threads:
+                report = compare_with_sequential(
+                    compiled, bench.tstop, scheme=scheme, threads=t,
+                    tstep=bench.tstep, options=bench.options,
+                )
+                speedups.append(report.speedup)
+            series[f"{name}/{scheme}"] = np.array(speedups)
+            data[f"{name}/{scheme}"] = dict(zip(threads, speedups))
+    text = render_series(
+        np.array(threads, dtype=float), series,
+        title="Fig R1: speedup vs threads",
+    )
+    table = render_table(
+        ["series"] + [f"{t} thr" for t in threads],
+        [[k] + [float(v) for v in vals] for k, vals in series.items()],
+    )
+    return ExperimentResult("fig_r1", "Fig R1: speedup vs threads", text + "\n\n" + table, data)
+
+
+def fig_r2(name="powergrid6x6", threads=4) -> ExperimentResult:
+    """Accepted step size vs time: sequential vs backward pipelining."""
+    bench = get_benchmark(name)
+    compiled = compile_circuit(bench.build(), bench.options)
+    seq = run_transient(compiled, bench.tstop, tstep=bench.tstep, options=bench.options)
+    pipe = run_wavepipe(
+        compiled, bench.tstop, scheme="backward", threads=threads,
+        tstep=bench.tstep, options=bench.options,
+    )
+    data = {
+        "sequential": {"t": seq.times[1:].tolist(), "h": seq.step_sizes.tolist()},
+        "backward": {"t": pipe.times[1:].tolist(), "h": pipe.step_sizes.tolist()},
+        "seq_points": seq.stats.accepted_points,
+        "pipe_points": pipe.stats.accepted_points,
+        "pipe_stages": pipe.stats.clock.stages,
+    }
+    # Resample the step profile on a common grid for the ASCII plot.
+    grid = np.linspace(0, bench.tstop, 120)
+    seq_h = np.interp(grid, seq.times[1:], seq.step_sizes)
+    pipe_h = np.interp(grid, pipe.times[1:], pipe.step_sizes)
+    text = render_series(
+        grid,
+        {"seq log10(h)": np.log10(seq_h), "wavepipe log10(h)": np.log10(pipe_h)},
+        title=f"Fig R2: step size vs time on {name} (backward x{threads})",
+    )
+    summary = (
+        f"sequential: {seq.stats.accepted_points} points; backward x{threads}: "
+        f"{pipe.stats.accepted_points} points in {pipe.stats.clock.stages} stages "
+        f"(mean stage width {pipe.stats.clock.mean_width:.2f})"
+    )
+    return ExperimentResult("fig_r2", "Fig R2: step sizes", text + "\n" + summary, data)
+
+
+def fig_r3(name="lcosc", scheme="combined", threads=4) -> ExperimentResult:
+    """Waveform overlay: WavePipe vs sequential (visual accuracy claim)."""
+    bench = get_benchmark(name)
+    compiled = compile_circuit(bench.build(), bench.options)
+    seq = run_transient(compiled, bench.tstop, tstep=bench.tstep, options=bench.options)
+    pipe = run_wavepipe(
+        compiled, bench.tstop, scheme=scheme, threads=threads,
+        tstep=bench.tstep, options=bench.options,
+    )
+    signal = bench.signals[0]
+    grid = np.linspace(0, bench.tstop, 160)
+    seq_v = seq.waveforms[signal].at(grid)
+    pipe_v = pipe.waveforms[signal].at(grid)
+    deviations = compare(seq.waveforms, pipe.waveforms, names=list(bench.signals))
+    worst = worst_deviation(deviations)
+    text = render_series(
+        grid,
+        {f"seq {signal}": seq_v, f"{scheme} {signal}": pipe_v},
+        title=f"Fig R3: {signal} on {name}, sequential vs {scheme} x{threads}",
+    )
+    text += f"\nworst deviation: {worst.max_abs:.3e} V ({worst.max_relative:.2e} of swing) on {worst.name}"
+    data = {
+        "signal": signal,
+        "worst_rel": worst.max_relative,
+        "worst_abs": worst.max_abs,
+        "seq_frequency": seq.waveforms[signal].frequency(),
+        "pipe_frequency": pipe.waveforms[signal].frequency(),
+    }
+    return ExperimentResult("fig_r3", "Fig R3: waveform overlay", text, data)
+
+
+def fig_r4(threads=(2, 4, 8, 16)) -> ExperimentResult:
+    """WavePipe vs baselines: fine-grained parallelism and WR."""
+    threads = list(threads)
+    # Fine-grained projection + WavePipe on the inverter chain.
+    bench = get_benchmark("invchain8")
+    compiled = compile_circuit(bench.build(), bench.options)
+    seq = run_transient(compiled, bench.tstop, tstep=bench.tstep, options=bench.options)
+    system = MnaSystem(compiled)
+    fine = fine_grained_curve(system, seq, threads)
+    wave = []
+    for t in threads:
+        report = compare_with_sequential(
+            compiled, bench.tstop, scheme="combined", threads=t,
+            tstep=bench.tstep, options=bench.options,
+        )
+        wave.append(report.speedup)
+    rows = [
+        ["fine-grained (model)"] + [e.speedup for e in fine],
+        ["wavepipe combined"] + list(wave),
+    ]
+    table = render_table(
+        ["method"] + [f"{t} thr" for t in threads],
+        rows,
+        title="Fig R4a: speedup vs threads, WavePipe vs fine-grained baseline (invchain8)",
+    )
+
+    # Waveform relaxation behaviour: friendly vs feedback circuit.
+    wr_rows = []
+    wr_data = {}
+    from repro.circuits.digital import inverter_chain, ring_oscillator
+
+    chain = inverter_chain(stages=4, period=10e-9)
+    wr_chain = WaveformRelaxation(
+        chain, tstop=12e-9,
+        partition=[{"vdd", "n0", "n1", "n2"}, {"n3", "n4"}],
+    ).run(max_sweeps=12, wr_vtol=2e-2)
+    wr_rows.append(["invchain4 (cut at gate)", wr_chain.sweeps, wr_chain.converged,
+                    f"{wr_chain.sweep_deltas[-1]:.2e}"])
+    wr_data["invchain4"] = {"sweeps": wr_chain.sweeps, "converged": wr_chain.converged}
+
+    ring = ring_oscillator(5)
+    wr_ring = WaveformRelaxation(ring, tstop=10e-9, blocks=2).run(
+        max_sweeps=12, wr_vtol=2e-2
+    )
+    wr_rows.append(["ring5 (feedback loop)", wr_ring.sweeps, wr_ring.converged,
+                    f"{wr_ring.sweep_deltas[-1]:.2e}"])
+    wr_data["ring5"] = {"sweeps": wr_ring.sweeps, "converged": wr_ring.converged}
+
+    wr_table = render_table(
+        ["circuit", "sweeps", "converged", "final delta (V)"],
+        wr_rows,
+        title="Fig R4b: waveform relaxation convergence (the method WavePipe avoids)",
+    )
+    data = {
+        "fine_grained": {t: e.speedup for t, e in zip(threads, fine)},
+        "wavepipe": dict(zip(threads, wave)),
+        "wr": wr_data,
+    }
+    return ExperimentResult(
+        "fig_r4", "Fig R4: baselines", table + "\n\n" + wr_table, data
+    )
+
+
+def table_r7(name="ring5", threads=3) -> ExperimentResult:
+    """Extension: speedup vs integration tolerance.
+
+    Looser tolerances mean bigger steps, worse predictor starts and more
+    Newton iterations per solve — more work for pipelining to hide; tight
+    tolerances approach the regime where solves are too cheap to
+    parallelise coarsely. Not a paper table (the abstract is silent on
+    tolerance), but it quantifies the sensitivity any adopter will hit.
+    """
+    bench = get_benchmark(name)
+    headers = ["reltol", "seq points", "iters/solve", "backward", "forward", "combined"]
+    rows = []
+    data = {}
+    for reltol in (1e-2, 3e-3, 1e-3, 3e-4):
+        options = bench.options.replace(reltol=reltol)
+        compiled = compile_circuit(bench.build(), options)
+        seq = run_transient(compiled, bench.tstop, tstep=bench.tstep, options=options)
+        solves = seq.stats.accepted_points + seq.stats.rejected_points
+        iters_per = seq.stats.newton_iterations / max(solves, 1)
+        row = [f"{reltol:g}", seq.stats.accepted_points, iters_per]
+        cells = {"iters_per_solve": iters_per}
+        for scheme in ("backward", "forward", "combined"):
+            report = compare_with_sequential(
+                compiled, bench.tstop, scheme=scheme, threads=threads,
+                tstep=bench.tstep, options=options,
+            )
+            row.append(report.speedup)
+            cells[scheme] = report.speedup
+        rows.append(row)
+        data[reltol] = cells
+    title = f"Table R7 (extension): speedup vs reltol on {name} ({threads} threads)"
+    return ExperimentResult("table_r7", title, render_table(headers, rows, title), data)
+
+
+def fig_r5(name="invchain8", threads=3) -> ExperimentResult:
+    """Extension: sensitivity to per-stage synchronisation overhead.
+
+    The abstract argues coarse-grained parallelism needs "low parallel
+    programming effort"; the quantitative counterpart is that WavePipe
+    synchronises once per *time point*, not once per device evaluation,
+    so its speedup should survive sync costs that would erase any
+    fine-grained scheme's gains. The sweep charges each pipeline stage an
+    extra cost expressed as a fraction of one Newton iteration and
+    compares against the fine-grained baseline under the same overhead.
+    """
+    bench = get_benchmark(name)
+    compiled = compile_circuit(bench.build(), bench.options)
+    seq = run_transient(compiled, bench.tstop, tstep=bench.tstep, options=bench.options)
+    system = MnaSystem(compiled)
+    from repro.solver.newton import iteration_work
+
+    iter_cost = iteration_work(system)
+    fractions = (0.0, 0.1, 0.5, 1.0, 2.0)
+    headers = ["sync cost (iterations)", "wavepipe combined", "fine-grained (model)"]
+    rows = []
+    data = {}
+    from repro.baselines.finegrained import FORK_JOIN_OVERHEAD, fine_grained_estimate
+    import repro.baselines.finegrained as fg
+
+    for frac in fractions:
+        options = bench.options.replace(sync_overhead=frac * iter_cost)
+        report = compare_with_sequential(
+            compiled, bench.tstop, scheme="combined", threads=threads,
+            tstep=bench.tstep, options=options,
+        )
+        # fine-grained pays the same cost *every iteration*, not per stage
+        original = fg.FORK_JOIN_OVERHEAD
+        try:
+            fg.FORK_JOIN_OVERHEAD = frac / max(threads - 1, 1)
+            fine = fine_grained_estimate(system, seq, threads)
+        finally:
+            fg.FORK_JOIN_OVERHEAD = original
+        rows.append([f"{frac:g}", report.speedup, fine.speedup])
+        data[frac] = {"wavepipe": report.speedup, "fine_grained": fine.speedup}
+    title = f"Fig R5 (extension): speedup vs sync overhead on {name} ({threads} threads)"
+    return ExperimentResult("fig_r5", title, render_table(headers, rows, title), data)
+
+
+def table_r8(threads=3) -> ExperimentResult:
+    """Extension: speedup vs circuit size.
+
+    WavePipe parallelises the *time axis*, so — unlike fine-grained
+    device/matrix parallelism, whose efficiency depends on how much work
+    each iteration offers the threads — its gains should be roughly
+    independent of circuit size. Swept on the two scalable generators.
+    """
+    from repro.circuits.digital import inverter_chain
+    from repro.circuits.interconnect import rc_grid
+
+    cases = [
+        ("invchain4", lambda: inverter_chain(stages=4), 50e-9),
+        ("invchain8", lambda: inverter_chain(stages=8), 50e-9),
+        ("invchain16", lambda: inverter_chain(stages=16), 50e-9),
+        ("grid4x4", lambda: rc_grid(4, 4), 40e-9),
+        ("grid6x6", lambda: rc_grid(6, 6), 40e-9),
+        ("grid8x8", lambda: rc_grid(8, 8), 40e-9),
+    ]
+    headers = ["circuit", "unknowns", "backward", "combined"]
+    rows = []
+    data = {}
+    for name, factory, tstop in cases:
+        compiled = compile_circuit(factory())
+        row = [name, compiled.n]
+        cells = {"unknowns": compiled.n}
+        for scheme in ("backward", "combined"):
+            report = compare_with_sequential(
+                compiled, tstop, scheme=scheme, threads=threads
+            )
+            row.append(report.speedup)
+            cells[scheme] = report.speedup
+        rows.append(row)
+        data[name] = cells
+    title = f"Table R8 (extension): speedup vs circuit size ({threads} threads)"
+    return ExperimentResult("table_r8", title, render_table(headers, rows, title), data)
+
+
+#: Experiment id -> callable returning an ExperimentResult.
+EXPERIMENTS = {
+    "table_r1": table_r1,
+    "table_r2": table_r2,
+    "table_r3": table_r3,
+    "table_r4": table_r4,
+    "table_r5": table_r5,
+    "table_r6": table_r6,
+    "table_r7": table_r7,
+    "table_r8": table_r8,
+    "fig_r1": fig_r1,
+    "fig_r2": fig_r2,
+    "fig_r3": fig_r3,
+    "fig_r4": fig_r4,
+    "fig_r5": fig_r5,
+}
+
+
+def run_experiment(exp_id: str) -> ExperimentResult:
+    """Run one registered experiment by id."""
+    try:
+        func = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {', '.join(EXPERIMENTS)}"
+        ) from None
+    return func()

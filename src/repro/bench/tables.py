@@ -1,0 +1,86 @@
+"""ASCII table and line-plot rendering for the bench harness.
+
+The evaluation regenerates the paper's tables and figure *series* as
+text: tables in aligned monospace (same rows a paper table reports), and
+figures as ASCII plots plus their raw series so EXPERIMENTS.md can quote
+exact numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def render_table(
+    headers: list[str],
+    rows: list[list[object]],
+    title: str = "",
+    float_format: str = "{:.3g}",
+) -> str:
+    """Monospace table with per-column alignment."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(r) for r in text_rows)
+    return "\n".join(parts)
+
+
+def render_series(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+) -> str:
+    """ASCII line plot of one or more named series over a shared x axis."""
+    x = np.asarray(x, dtype=float)
+    if logx:
+        x = np.log10(np.maximum(x, 1e-300))
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    for idx, (name, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        values = np.asarray(values, dtype=float)
+        for xv, yv in zip(x, values):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.3g}, {y_max:.3g}]")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:.3g}, {x_max:.3g}]" + (" (log10)" if logx else ""))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

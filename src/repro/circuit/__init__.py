@@ -1,0 +1,1 @@
+"""Circuit description layer: builder, components, source waveforms."""

@@ -1,0 +1,372 @@
+"""Circuit builder.
+
+:class:`Circuit` is the user-facing container: a named bag of component
+records plus convenience ``add_*`` methods that parse SPICE-style value
+strings. :class:`Subcircuit` is a circuit with declared ports; instancing
+one into a parent circuit flattens it immediately, prefixing internal names
+with ``<instance>.`` exactly like SPICE's ``Xname`` expansion.
+
+Topology validation (:meth:`Circuit.validate`) catches the classic MNA
+killers before they become cryptic singular-matrix errors: missing ground,
+floating nodes reachable only capacitively, voltage-source loops, and
+duplicate component names.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.circuit.components import (
+    Bjt,
+    BjtModel,
+    Capacitor,
+    Cccs,
+    Ccvs,
+    Component,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    Mosfet,
+    MosfetModel,
+    MutualInductance,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.sources import as_waveform
+from repro.errors import CircuitError
+from repro.utils.units import parse_value
+
+#: Node names treated as the ground reference.
+GROUND_NAMES = frozenset({"0", "gnd", "GND", "Gnd"})
+
+
+def is_ground(node: str) -> bool:
+    """True if *node* names the ground reference."""
+    return node in GROUND_NAMES
+
+
+def canonical_node(node: str) -> str:
+    """Map any ground alias to ``"0"``; other names pass through."""
+    return "0" if is_ground(node) else node
+
+
+class Circuit:
+    """A mutable collection of component records forming one circuit.
+
+    Components are added either directly (:meth:`add`) or via the typed
+    helpers (:meth:`add_resistor` etc.) which accept SPICE value strings
+    (``"1k"``, ``"2.5u"``). Node names are arbitrary strings; use ``"0"``
+    or ``"gnd"`` for ground.
+    """
+
+    def __init__(self, title: str = "circuit"):
+        self.title = title
+        self._components: dict[str, Component] = {}
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def components(self) -> tuple[Component, ...]:
+        """All components in insertion order."""
+        return tuple(self._components.values())
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __getitem__(self, name: str) -> Component:
+        try:
+            return self._components[name]
+        except KeyError:
+            raise CircuitError(f"no component named {name!r} in {self.title!r}") from None
+
+    def __repr__(self) -> str:
+        return f"Circuit({self.title!r}, {len(self)} components, {len(self.nodes())} nodes)"
+
+    # -- adding components --------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Add a pre-built component record; returns it for chaining."""
+        if component.name in self._components:
+            raise CircuitError(
+                f"duplicate component name {component.name!r} in circuit {self.title!r}"
+            )
+        self._components[component.name] = component
+        return component
+
+    def add_resistor(self, name: str, a: str, b: str, value) -> Resistor:
+        return self.add(Resistor(name, a, b, parse_value(value)))
+
+    def add_capacitor(self, name: str, a: str, b: str, value, ic: float | None = None) -> Capacitor:
+        return self.add(Capacitor(name, a, b, parse_value(value), ic=ic))
+
+    def add_inductor(self, name: str, a: str, b: str, value, ic: float | None = None) -> Inductor:
+        return self.add(Inductor(name, a, b, parse_value(value), ic=ic))
+
+    def add_vsource(self, name: str, plus: str, minus: str, waveform) -> VoltageSource:
+        return self.add(VoltageSource(name, plus, minus, as_waveform(waveform)))
+
+    def add_isource(self, name: str, plus: str, minus: str, waveform) -> CurrentSource:
+        return self.add(CurrentSource(name, plus, minus, as_waveform(waveform)))
+
+    def add_vcvs(self, name, plus, minus, cp, cm, gain) -> Vcvs:
+        return self.add(Vcvs(name, plus, minus, cp, cm, parse_value(gain)))
+
+    def add_vccs(self, name, plus, minus, cp, cm, gm) -> Vccs:
+        return self.add(Vccs(name, plus, minus, cp, cm, parse_value(gm)))
+
+    def add_cccs(self, name, plus, minus, ctrl_source, gain) -> Cccs:
+        return self.add(Cccs(name, plus, minus, ctrl_source, parse_value(gain)))
+
+    def add_ccvs(self, name, plus, minus, ctrl_source, r) -> Ccvs:
+        return self.add(Ccvs(name, plus, minus, ctrl_source, parse_value(r)))
+
+    def add_diode(self, name, anode, cathode, model: DiodeModel | None = None, area: float = 1.0) -> Diode:
+        return self.add(Diode(name, anode, cathode, model or DiodeModel(), area))
+
+    def add_mosfet(
+        self, name, drain, gate, source, bulk, model: MosfetModel | None = None, w=1e-6, l=1e-6
+    ) -> Mosfet:
+        return self.add(
+            Mosfet(name, drain, gate, source, bulk, model or MosfetModel(), parse_value(w), parse_value(l))
+        )
+
+    def add_bjt(self, name, collector, base, emitter, model: BjtModel | None = None, area: float = 1.0) -> Bjt:
+        return self.add(Bjt(name, collector, base, emitter, model or BjtModel(), area))
+
+    def add_mutual(self, name, inductor1, inductor2, coupling) -> MutualInductance:
+        return self.add(
+            MutualInductance(name, inductor1, inductor2, parse_value(coupling))
+        )
+
+    def add_subcircuit(self, instance_name: str, subcircuit: "Subcircuit", connections: dict[str, str]) -> None:
+        """Flatten *subcircuit* into this circuit as instance *instance_name*.
+
+        *connections* maps the subcircuit's port names to nodes of this
+        circuit. Internal nodes and component names get the prefix
+        ``<instance_name>.``.
+        """
+        subcircuit.instantiate_into(self, instance_name, connections)
+
+    # -- inspection ----------------------------------------------------------
+
+    def nodes(self) -> tuple[str, ...]:
+        """All non-ground node names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for comp in self._components.values():
+            for node in comp.nodes:
+                node = canonical_node(node)
+                if node != "0":
+                    seen.setdefault(node)
+        return tuple(seen)
+
+    def stats(self) -> dict[str, int]:
+        """Counts by component class name plus node count (for Table R1)."""
+        counts: dict[str, int] = defaultdict(int)
+        for comp in self._components.values():
+            counts[type(comp).__name__] += 1
+        counts["nodes"] = len(self.nodes())
+        counts["components"] = len(self)
+        return dict(counts)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`CircuitError` for structurally unsolvable circuits.
+
+        Checks: non-empty, touches ground somewhere, every controlled
+        source's controlling V-source exists, no node connected solely by
+        a single two-terminal component dangling in space (degree-1 node
+        on a current source or capacitor would make the DC matrix
+        singular), and no loop made purely of voltage sources.
+        """
+        if not self._components:
+            raise CircuitError(f"circuit {self.title!r} has no components")
+
+        touches_ground = any(
+            is_ground(node) for comp in self._components.values() for node in comp.nodes
+        )
+        if not touches_ground:
+            raise CircuitError(f"circuit {self.title!r} has no ground node ('0'/'gnd')")
+
+        vsource_names = {
+            c.name for c in self._components.values() if isinstance(c, VoltageSource)
+        }
+        inductor_names = {
+            c.name for c in self._components.values() if isinstance(c, Inductor)
+        }
+        for comp in self._components.values():
+            if isinstance(comp, (Cccs, Ccvs)) and comp.ctrl_source not in vsource_names:
+                raise CircuitError(
+                    f"{comp.name}: controlling source {comp.ctrl_source!r} is not a "
+                    "voltage source in this circuit"
+                )
+            if isinstance(comp, MutualInductance):
+                for ref in (comp.inductor1, comp.inductor2):
+                    if ref not in inductor_names:
+                        raise CircuitError(
+                            f"{comp.name}: {ref!r} is not an inductor in this circuit"
+                        )
+
+        self._check_dc_path_to_ground()
+        self._check_vsource_loops()
+
+    def _check_dc_path_to_ground(self) -> None:
+        """Every node needs a DC-conductive path to ground.
+
+        Capacitors and current sources don't conduct at DC (gmin aside);
+        a node reachable only through them yields a singular DC matrix.
+        We run a union-find over DC-conducting edges (everything except
+        capacitors and current sources) and complain about stranded nodes.
+        """
+        parent: dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        find("0")
+        all_nodes: set[str] = set()
+        for comp in self._components.values():
+            names = [canonical_node(n) for n in comp.nodes]
+            all_nodes.update(names)
+            if isinstance(comp, (Capacitor, CurrentSource)):
+                continue
+            if isinstance(comp, (Vcvs, Vccs)):
+                # Only the output branch conducts; control pins sense voltage.
+                pair = names[:2]
+            else:
+                pair = names
+            for a, b in zip(pair, pair[1:]):
+                union(a, b)
+
+        ground_root = find("0")
+        stranded = sorted(
+            n for n in all_nodes if n != "0" and find(n) != ground_root
+        )
+        if stranded:
+            raise CircuitError(
+                f"circuit {self.title!r}: node(s) {', '.join(stranded)} have no DC "
+                "path to ground (connect a resistor or source path)"
+            )
+
+    def _check_vsource_loops(self) -> None:
+        """Detect cycles in the graph of voltage-source (and VCVS/CCVS) branches."""
+        parent: dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for comp in self._components.values():
+            if isinstance(comp, (VoltageSource, Vcvs, Ccvs)):
+                a = find(canonical_node(comp.nodes[0]))
+                b = find(canonical_node(comp.nodes[1]))
+                if a == b:
+                    raise CircuitError(
+                        f"circuit {self.title!r}: voltage-source loop involving "
+                        f"{comp.name} (sources in a cycle fix the same voltage twice)"
+                    )
+                parent[a] = b
+
+
+class Subcircuit:
+    """A reusable circuit fragment with declared port nodes.
+
+    Build it exactly like a :class:`Circuit`; list external connection
+    points in *ports*. :meth:`instantiate_into` flattens a copy into a
+    parent circuit with hierarchical ``instance.`` name prefixes.
+    """
+
+    def __init__(self, name: str, ports: list[str] | tuple[str, ...]):
+        if not ports:
+            raise CircuitError(f"subcircuit {name!r} must declare at least one port")
+        if len(set(ports)) != len(ports):
+            raise CircuitError(f"subcircuit {name!r} has duplicate port names")
+        self.name = name
+        self.ports = tuple(ports)
+        self.circuit = Circuit(title=f"subckt {name}")
+
+    def __getattr__(self, attr: str):
+        # Delegate add_* helpers to the inner circuit for ergonomic building.
+        if attr.startswith("add"):
+            return getattr(self.circuit, attr)
+        raise AttributeError(attr)
+
+    def instantiate_into(
+        self, parent: Circuit, instance_name: str, connections: dict[str, str]
+    ) -> None:
+        missing = set(self.ports) - set(connections)
+        if missing:
+            raise CircuitError(
+                f"instance {instance_name!r} of subcircuit {self.name!r} missing "
+                f"connections for port(s): {', '.join(sorted(missing))}"
+            )
+        extra = set(connections) - set(self.ports)
+        if extra:
+            raise CircuitError(
+                f"instance {instance_name!r}: unknown port(s) {', '.join(sorted(extra))}"
+            )
+
+        def map_node(node: str) -> str:
+            node_c = canonical_node(node)
+            if node in connections:
+                return connections[node]
+            if node_c == "0":
+                return "0"
+            return f"{instance_name}.{node}"
+
+        def map_name(name: str) -> str:
+            return f"{instance_name}.{name}"
+
+        for comp in self.circuit.components:
+            parent.add(_remap_component(comp, map_name, map_node))
+
+
+def _remap_component(comp: Component, map_name, map_node) -> Component:
+    """Return a copy of *comp* with renamed nodes and a prefixed name."""
+    import dataclasses
+
+    changes: dict[str, object] = {"name": map_name(comp.name)}
+    node_fields = {
+        Resistor: ("a", "b"),
+        Capacitor: ("a", "b"),
+        Inductor: ("a", "b"),
+        VoltageSource: ("plus", "minus"),
+        CurrentSource: ("plus", "minus"),
+        Vcvs: ("plus", "minus", "ctrl_plus", "ctrl_minus"),
+        Vccs: ("plus", "minus", "ctrl_plus", "ctrl_minus"),
+        Cccs: ("plus", "minus"),
+        Ccvs: ("plus", "minus"),
+        Diode: ("anode", "cathode"),
+        Mosfet: ("drain", "gate", "source", "bulk"),
+        Bjt: ("collector", "base", "emitter"),
+        MutualInductance: (),
+    }
+    fields = node_fields.get(type(comp))
+    if fields is None:
+        raise CircuitError(f"cannot instantiate component type {type(comp).__name__}")
+    for fieldname in fields:
+        changes[fieldname] = map_node(getattr(comp, fieldname))
+    if isinstance(comp, (Cccs, Ccvs)):
+        changes["ctrl_source"] = map_name(comp.ctrl_source)
+    if isinstance(comp, MutualInductance):
+        changes["inductor1"] = map_name(comp.inductor1)
+        changes["inductor2"] = map_name(comp.inductor2)
+    return dataclasses.replace(comp, **changes)

@@ -1,0 +1,384 @@
+"""Component records and device model cards.
+
+These are *descriptions*, not simulation objects: immutable dataclasses the
+user (or the netlist parser) creates and hands to a
+:class:`~repro.circuit.circuit.Circuit`. The compiler
+(:mod:`repro.compilepkg`) later groups them into vectorised device banks.
+
+Node names are plain strings; ``"0"`` and ``"gnd"`` are ground. Component
+names must be unique within a circuit and conventionally start with the
+SPICE type letter (R1, C2, M3...), though this is not enforced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.sources import SourceWaveform
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class Component:
+    """Base class for all component records."""
+
+    name: str
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """All nodes this component touches, in declaration order."""
+        raise NotImplementedError
+
+    def __post_init__(self):
+        if not self.name:
+            raise CircuitError("component name must be non-empty")
+
+
+def _require_positive(name: str, value: float, what: str) -> None:
+    if value <= 0:
+        raise CircuitError(f"{name}: {what} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class Resistor(Component):
+    """Linear resistor between *a* and *b* with ``resistance`` ohms."""
+
+    a: str
+    b: str
+    resistance: float
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.name, self.resistance, "resistance")
+
+    @property
+    def nodes(self):
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Capacitor(Component):
+    """Linear capacitor between *a* and *b*; optional initial voltage ``ic``."""
+
+    a: str
+    b: str
+    capacitance: float
+    ic: float | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.name, self.capacitance, "capacitance")
+
+    @property
+    def nodes(self):
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class Inductor(Component):
+    """Linear inductor between *a* and *b*; optional initial current ``ic``.
+
+    Adds one branch-current unknown to the MNA system.
+    """
+
+    a: str
+    b: str
+    inductance: float
+    ic: float | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.name, self.inductance, "inductance")
+
+    @property
+    def nodes(self):
+        return (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class VoltageSource(Component):
+    """Independent voltage source from *plus* to *minus*.
+
+    Adds one branch-current unknown. ``waveform`` is any
+    :class:`~repro.circuit.sources.SourceWaveform`.
+    """
+
+    plus: str
+    minus: str
+    waveform: SourceWaveform
+
+    @property
+    def nodes(self):
+        return (self.plus, self.minus)
+
+
+@dataclass(frozen=True)
+class CurrentSource(Component):
+    """Independent current source pushing current from *plus* to *minus*
+    through the source (SPICE convention: positive value pulls current out
+    of *plus* node into *minus* node externally)."""
+
+    plus: str
+    minus: str
+    waveform: SourceWaveform
+
+    @property
+    def nodes(self):
+        return (self.plus, self.minus)
+
+
+@dataclass(frozen=True)
+class Vcvs(Component):
+    """Voltage-controlled voltage source (SPICE ``E``): V(p,m) = gain * V(cp,cm)."""
+
+    plus: str
+    minus: str
+    ctrl_plus: str
+    ctrl_minus: str
+    gain: float
+
+    @property
+    def nodes(self):
+        return (self.plus, self.minus, self.ctrl_plus, self.ctrl_minus)
+
+
+@dataclass(frozen=True)
+class Vccs(Component):
+    """Voltage-controlled current source (SPICE ``G``): I(p->m) = gm * V(cp,cm)."""
+
+    plus: str
+    minus: str
+    ctrl_plus: str
+    ctrl_minus: str
+    transconductance: float
+
+    @property
+    def nodes(self):
+        return (self.plus, self.minus, self.ctrl_plus, self.ctrl_minus)
+
+
+@dataclass(frozen=True)
+class Cccs(Component):
+    """Current-controlled current source (SPICE ``F``).
+
+    The controlling current is the branch current of the named voltage
+    source ``ctrl_source``.
+    """
+
+    plus: str
+    minus: str
+    ctrl_source: str
+    gain: float
+
+    @property
+    def nodes(self):
+        return (self.plus, self.minus)
+
+
+@dataclass(frozen=True)
+class Ccvs(Component):
+    """Current-controlled voltage source (SPICE ``H``).
+
+    Adds its own branch-current unknown; the controlling current is the
+    branch current of the named voltage source ``ctrl_source``.
+    """
+
+    plus: str
+    minus: str
+    ctrl_source: str
+    transresistance: float
+
+    @property
+    def nodes(self):
+        return (self.plus, self.minus)
+
+
+@dataclass(frozen=True)
+class MutualInductance(Component):
+    """Magnetic coupling between two inductors (SPICE ``K`` element).
+
+    ``coupling`` is the dimensionless k factor, |k| < 1; the mutual
+    inductance is ``M = k * sqrt(L1 * L2)``. The named inductors must
+    exist in the same circuit.
+    """
+
+    inductor1: str
+    inductor2: str
+    coupling: float
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not 0 < abs(self.coupling) < 1:
+            raise CircuitError(
+                f"{self.name}: coupling factor must satisfy 0 < |k| < 1 "
+                f"(got {self.coupling}); k = +-1 would make the inductance "
+                "matrix singular"
+            )
+        if self.inductor1 == self.inductor2:
+            raise CircuitError(f"{self.name}: cannot couple an inductor to itself")
+
+    @property
+    def nodes(self):
+        return ()  # couples branches, not nodes
+
+
+# --------------------------------------------------------------------------
+# Model cards
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiodeModel:
+    """Shockley diode model card.
+
+    Attributes follow SPICE: saturation current ``is_``, emission
+    coefficient ``n``, series resistance ``rs`` (0 disables), junction
+    capacitance ``cj0`` with built-in potential ``vj`` and grading ``m``,
+    transit time ``tt``.
+    """
+
+    name: str = "D"
+    is_: float = 1e-14
+    n: float = 1.0
+    rs: float = 0.0
+    cj0: float = 0.0
+    vj: float = 1.0
+    m: float = 0.5
+    tt: float = 0.0
+
+    def __post_init__(self):
+        if self.is_ <= 0 or self.n <= 0 or self.vj <= 0:
+            raise CircuitError(f"diode model {self.name}: is/n/vj must be positive")
+        if self.rs < 0 or self.cj0 < 0 or self.tt < 0:
+            raise CircuitError(f"diode model {self.name}: rs/cj0/tt must be >= 0")
+
+
+@dataclass(frozen=True)
+class MosfetModel:
+    """Level-1 (Shichman–Hodges) MOSFET model card.
+
+    Attributes:
+        polarity: ``"nmos"`` or ``"pmos"``.
+        vto: zero-bias threshold voltage (positive for NMOS enhancement).
+        kp: transconductance parameter (A/V^2), multiplies W/L.
+        lambda_: channel-length modulation (1/V).
+        gamma / phi: body-effect coefficient and surface potential.
+        cox: gate-oxide capacitance per area (F/m^2) for charge model.
+        cgso / cgdo: gate overlap capacitances per width (F/m).
+    """
+
+    name: str = "M"
+    polarity: str = "nmos"
+    vto: float = 0.7
+    kp: float = 110e-6
+    lambda_: float = 0.04
+    gamma: float = 0.0
+    phi: float = 0.65
+    cox: float = 3.45e-3
+    cgso: float = 0.0
+    cgdo: float = 0.0
+
+    def __post_init__(self):
+        if self.polarity not in ("nmos", "pmos"):
+            raise CircuitError(f"mosfet model {self.name}: polarity must be nmos/pmos")
+        if self.kp <= 0 or self.phi <= 0:
+            raise CircuitError(f"mosfet model {self.name}: kp/phi must be positive")
+        if self.lambda_ < 0 or self.gamma < 0 or self.cox < 0:
+            raise CircuitError(f"mosfet model {self.name}: lambda/gamma/cox must be >= 0")
+
+
+@dataclass(frozen=True)
+class BjtModel:
+    """Ebers–Moll BJT model card.
+
+    Attributes:
+        polarity: ``"npn"`` or ``"pnp"``.
+        is_: transport saturation current.
+        bf / br: forward / reverse beta.
+        vaf: forward Early voltage (inf disables).
+        cje / cjc: zero-bias junction capacitances.
+        tf: forward transit time (diffusion capacitance).
+    """
+
+    name: str = "Q"
+    polarity: str = "npn"
+    is_: float = 1e-16
+    bf: float = 100.0
+    br: float = 1.0
+    vaf: float = float("inf")
+    cje: float = 0.0
+    cjc: float = 0.0
+    tf: float = 0.0
+
+    def __post_init__(self):
+        if self.polarity not in ("npn", "pnp"):
+            raise CircuitError(f"bjt model {self.name}: polarity must be npn/pnp")
+        if self.is_ <= 0 or self.bf <= 0 or self.br <= 0:
+            raise CircuitError(f"bjt model {self.name}: is/bf/br must be positive")
+
+
+# --------------------------------------------------------------------------
+# Nonlinear devices
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Diode(Component):
+    """Junction diode from *anode* to *cathode* using ``model``.
+
+    ``area`` scales saturation current and capacitance.
+    """
+
+    anode: str
+    cathode: str
+    model: DiodeModel = field(default_factory=DiodeModel)
+    area: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.name, self.area, "area")
+
+    @property
+    def nodes(self):
+        return (self.anode, self.cathode)
+
+
+@dataclass(frozen=True)
+class Mosfet(Component):
+    """MOSFET with terminals drain, gate, source, bulk."""
+
+    drain: str
+    gate: str
+    source: str
+    bulk: str
+    model: MosfetModel = field(default_factory=MosfetModel)
+    w: float = 1e-6
+    l: float = 1e-6
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.name, self.w, "width")
+        _require_positive(self.name, self.l, "length")
+
+    @property
+    def nodes(self):
+        return (self.drain, self.gate, self.source, self.bulk)
+
+
+@dataclass(frozen=True)
+class Bjt(Component):
+    """Bipolar transistor with terminals collector, base, emitter."""
+
+    collector: str
+    base: str
+    emitter: str
+    model: BjtModel = field(default_factory=BjtModel)
+    area: float = 1.0
+
+    def __post_init__(self):
+        super().__post_init__()
+        _require_positive(self.name, self.area, "area")
+
+    @property
+    def nodes(self):
+        return (self.collector, self.base, self.emitter)

@@ -1,0 +1,1 @@
+"""Benchmark circuit generators and the evaluation registry."""

@@ -1,0 +1,128 @@
+"""Analog benchmark circuits: mixer, LC oscillator, rectifier.
+
+These cover the "general analog ICs" half of the paper's claim:
+
+* :func:`gilbert_mixer` — BJT double-balanced mixer (the classic RF
+  analog block); exponential devices make Newton genuinely iterate, which
+  is the regime where forward pipelining's pre-paid iterations matter.
+* :func:`lc_oscillator` — cross-coupled NMOS pair with an LC tank;
+  smooth quasi-sinusoidal waveforms, inductor branch currents.
+* :func:`rectifier` — full-wave diode bridge with an RC smoothing load;
+  stiff diode turn-on corners every half cycle drive repeated step
+  collapse/ramp cycles.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import BjtModel, DiodeModel, MosfetModel
+from repro.circuit.sources import Pulse, Sin
+
+NPN = BjtModel("npn-default", "npn", is_=1e-16, bf=100.0, br=1.0, vaf=50.0, cje=0.5e-12, cjc=0.3e-12, tf=10e-12)
+RECT_DIODE = DiodeModel("rect-diode", is_=1e-12, n=1.05, cj0=5e-12, tt=5e-9)
+OSC_NMOS = MosfetModel("osc-nmos", "nmos", vto=0.6, kp=300e-6, lambda_=0.02, cgso=0.3e-9, cgdo=0.3e-9)
+
+
+def gilbert_mixer(
+    vcc: float = 5.0,
+    rf_freq: float = 10e6,
+    lo_freq: float = 100e6,
+    rf_amp: float = 0.05,
+    lo_amp: float = 0.4,
+    load_r: float = 1e3,
+    tail_i: float = 2e-3,
+) -> Circuit:
+    """BJT double-balanced (Gilbert-cell) mixer.
+
+    Structure: RF differential pair degenerates a tail current source;
+    each RF collector feeds a cross-coupled LO quad whose collectors sum
+    into two resistive loads. Output is differential ``v(outp) - v(outm)``
+    containing the lo±rf products.
+    """
+    c = Circuit("gilbert-mixer")
+    c.add_vsource("VCC", "vcc", "0", vcc)
+
+    # Bias dividers for the LO quad and RF pair bases.
+    c.add_resistor("RB1", "vcc", "vblo", 10e3)
+    c.add_resistor("RB2", "vblo", "0", 20e3)  # vblo ~ 3.3 V
+    c.add_resistor("RB3", "vcc", "vbrf", 20e3)
+    c.add_resistor("RB4", "vbrf", "0", 15e3)  # vbrf ~ 2.1 V
+
+    # Differential drive sources ride on the bias nodes.
+    c.add_vsource("VLOP", "lop", "vblo", Sin(0.0, lo_amp / 2, lo_freq))
+    c.add_vsource("VLOM", "lom", "vblo", Sin(0.0, -lo_amp / 2, lo_freq))
+    c.add_vsource("VRFP", "rfp", "vbrf", Sin(0.0, rf_amp / 2, rf_freq))
+    c.add_vsource("VRFM", "rfm", "vbrf", Sin(0.0, -rf_amp / 2, rf_freq))
+
+    # Loads.
+    c.add_resistor("RLP", "vcc", "outp", load_r)
+    c.add_resistor("RLM", "vcc", "outm", load_r)
+    c.add_capacitor("CLP", "outp", "0", 2e-12)
+    c.add_capacitor("CLM", "outm", "0", 2e-12)
+
+    # LO quad: collectors cross-coupled to the two outputs.
+    c.add_bjt("Q1", "outp", "lop", "erf1", NPN)
+    c.add_bjt("Q2", "outm", "lom", "erf1", NPN)
+    c.add_bjt("Q3", "outm", "lop", "erf2", NPN)
+    c.add_bjt("Q4", "outp", "lom", "erf2", NPN)
+
+    # RF pair with emitter degeneration.
+    c.add_bjt("Q5", "erf1", "rfp", "etail1", NPN)
+    c.add_bjt("Q6", "erf2", "rfm", "etail2", NPN)
+    c.add_resistor("RE1", "etail1", "tail", 50.0)
+    c.add_resistor("RE2", "etail2", "tail", 50.0)
+    c.add_isource("ITAIL", "tail", "0", tail_i)
+    return c
+
+
+def lc_oscillator(
+    vdd: float = 1.8,
+    l_tank: float = 5e-9,
+    c_tank: float = 1e-12,
+    r_loss: float = 5.0,
+    tail_i: float = 2e-3,
+) -> Circuit:
+    """Cross-coupled NMOS LC oscillator (resonance ~2.25 GHz by default).
+
+    Tank inductors from the supply to each output, cross-coupled pair
+    providing -gm, tail current source. A brief current kick on one
+    output starts the oscillation.
+    """
+    c = Circuit("lc-oscillator")
+    c.add_vsource("VDD", "vdd", "0", vdd)
+    for side, out in (("P", "outp"), ("M", "outm")):
+        mid = f"l{side}#loss"
+        c.add_inductor(f"L{side}", "vdd", mid, l_tank)
+        c.add_resistor(f"RL{side}", mid, out, r_loss)
+        c.add_capacitor(f"CT{side}", out, "0", c_tank)
+    c.add_mosfet("M1", "outp", "outm", "tail", "0", OSC_NMOS, w=20e-6, l=0.5e-6)
+    c.add_mosfet("M2", "outm", "outp", "tail", "0", OSC_NMOS, w=20e-6, l=0.5e-6)
+    c.add_resistor("RTAIL", "tail", "0", 400.0)
+    c.add_isource(
+        "IKICK", "outp", "0", Pulse(0.0, 1e-3, delay=0.05e-9, rise=0.02e-9, width=0.1e-9)
+    )
+    return c
+
+
+def rectifier(
+    amplitude: float = 5.0,
+    freq: float = 50e3,
+    load_r: float = 2e3,
+    load_c: float = 0.5e-6,
+) -> Circuit:
+    """Full-wave diode bridge rectifier with an RC smoothing load.
+
+    The source floats between ``acp`` and ``acm``; the bridge rectifies
+    onto ``dcp``/ground. A small series resistor models source impedance
+    (and keeps the diode current loop well conditioned).
+    """
+    c = Circuit("bridge-rectifier")
+    c.add_vsource("VAC", "acp", "acsrc", Sin(0.0, amplitude, freq))
+    c.add_resistor("RSRC", "acsrc", "acm", 10.0)
+    c.add_diode("D1", "acp", "dcp", RECT_DIODE)
+    c.add_diode("D2", "acm", "dcp", RECT_DIODE)
+    c.add_diode("D3", "0", "acp", RECT_DIODE)
+    c.add_diode("D4", "0", "acm", RECT_DIODE)
+    c.add_resistor("RLOAD", "dcp", "0", load_r)
+    c.add_capacitor("CLOAD", "dcp", "0", load_c)
+    return c

@@ -1,0 +1,129 @@
+"""Digital benchmark circuits: ring oscillators and inverter chains.
+
+Both are the canonical "general digital IC" workloads a parallel-SPICE
+evaluation runs: level-1 CMOS inverters with load capacitances, either
+closed into an odd-stage ring (free-running oscillation, no breakpoints)
+or driven as an open chain by a pulse train (breakpoint-rich, step-ramping
+— backward pipelining's best case).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import MosfetModel
+from repro.circuit.sources import Pulse
+
+#: Default 0.35um-flavoured level-1 model cards.
+NMOS = MosfetModel("nmos-default", "nmos", vto=0.7, kp=200e-6, lambda_=0.05, cgso=0.2e-9, cgdo=0.2e-9)
+PMOS = MosfetModel("pmos-default", "pmos", vto=0.7, kp=100e-6, lambda_=0.05, cgso=0.2e-9, cgdo=0.2e-9)
+
+
+def add_inverter(
+    circuit: Circuit,
+    tag: str,
+    vin: str,
+    vout: str,
+    vdd: str = "vdd",
+    nmos: MosfetModel = NMOS,
+    pmos: MosfetModel = PMOS,
+    wn: float = 1e-6,
+    wp: float = 2e-6,
+    length: float = 1e-6,
+) -> None:
+    """Stamp one CMOS inverter (PMOS pull-up + NMOS pull-down) into *circuit*."""
+    circuit.add_mosfet(f"MP{tag}", vout, vin, vdd, vdd, pmos, w=wp, l=length)
+    circuit.add_mosfet(f"MN{tag}", vout, vin, "0", "0", nmos, w=wn, l=length)
+
+
+def ring_oscillator(
+    stages: int = 5,
+    vdd: float = 3.0,
+    load_cap: float = 10e-15,
+    kick: float = 50e-6,
+) -> Circuit:
+    """Free-running CMOS ring oscillator with *stages* inverters (odd).
+
+    A short current kick on node ``n0`` breaks the metastable DC symmetry
+    so oscillation starts deterministically.
+    """
+    if stages % 2 == 0 or stages < 3:
+        raise ValueError("ring oscillator needs an odd stage count >= 3")
+    circuit = Circuit(f"ring-oscillator-{stages}")
+    circuit.add_vsource("VDD", "vdd", "0", vdd)
+    for i in range(stages):
+        vin, vout = f"n{i}", f"n{(i + 1) % stages}"
+        add_inverter(circuit, str(i), vin, vout)
+        circuit.add_capacitor(f"CL{i}", vout, "0", load_cap)
+    circuit.add_isource(
+        "IKICK", "n0", "0", Pulse(0.0, kick, delay=0.1e-9, rise=0.05e-9, width=0.3e-9)
+    )
+    return circuit
+
+
+def inverter_chain(
+    stages: int = 8,
+    vdd: float = 3.0,
+    load_cap: float = 5e-15,
+    period: float = 10e-9,
+    pulse_width: float = 4e-9,
+    edge: float = 0.1e-9,
+) -> Circuit:
+    """Pulse-driven inverter chain (breakpoint-rich digital workload)."""
+    if stages < 1:
+        raise ValueError("inverter chain needs at least one stage")
+    circuit = Circuit(f"inverter-chain-{stages}")
+    circuit.add_vsource("VDD", "vdd", "0", vdd)
+    circuit.add_vsource(
+        "VIN",
+        "n0",
+        "0",
+        Pulse(0.0, vdd, delay=1e-9, rise=edge, fall=edge, width=pulse_width, period=period),
+    )
+    for i in range(stages):
+        add_inverter(circuit, str(i), f"n{i}", f"n{i + 1}")
+        circuit.add_capacitor(f"CL{i}", f"n{i + 1}", "0", load_cap)
+    return circuit
+
+
+def nand_stage(
+    circuit: Circuit,
+    tag: str,
+    a: str,
+    b: str,
+    out: str,
+    vdd: str = "vdd",
+    wn: float = 2e-6,
+    wp: float = 2e-6,
+    length: float = 1e-6,
+) -> None:
+    """Stamp a 2-input CMOS NAND gate into *circuit*."""
+    mid = f"{tag}#stack"
+    circuit.add_mosfet(f"MPA{tag}", out, a, vdd, vdd, PMOS, w=wp, l=length)
+    circuit.add_mosfet(f"MPB{tag}", out, b, vdd, vdd, PMOS, w=wp, l=length)
+    circuit.add_mosfet(f"MNA{tag}", out, a, mid, "0", NMOS, w=wn, l=length)
+    circuit.add_mosfet(f"MNB{tag}", mid, b, "0", "0", NMOS, w=wn, l=length)
+
+
+def nand_chain(
+    stages: int = 6,
+    vdd: float = 3.0,
+    load_cap: float = 5e-15,
+    period: float = 12e-9,
+) -> Circuit:
+    """Chain of 2-input NANDs with one input tied high (inverting chain).
+
+    Adds stacked devices and internal nodes — a denser digital netlist
+    than the plain inverter chain.
+    """
+    circuit = Circuit(f"nand-chain-{stages}")
+    circuit.add_vsource("VDD", "vdd", "0", vdd)
+    circuit.add_vsource(
+        "VIN",
+        "n0",
+        "0",
+        Pulse(0.0, vdd, delay=1e-9, rise=0.1e-9, fall=0.1e-9, width=period / 2, period=period),
+    )
+    for i in range(stages):
+        nand_stage(circuit, str(i), f"n{i}", "vdd", f"n{i + 1}")
+        circuit.add_capacitor(f"CL{i}", f"n{i + 1}", "0", load_cap)
+    return circuit

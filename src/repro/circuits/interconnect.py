@@ -1,0 +1,105 @@
+"""Interconnect and power-delivery benchmark circuits (linear networks).
+
+* :func:`rc_ladder` — the classic distributed-RC line; has a closed-form
+  step response for the single-segment case and well-understood Elmore
+  behaviour, so tests can check the engine analytically.
+* :func:`rc_grid` — a power-grid mesh with switching current loads, the
+  breakpoint-heavy workload where step ramping (and hence backward
+  pipelining) dominates.
+* :func:`rlc_line` — lossy RLC transmission-line ladder driven by a pulse;
+  adds inductor branch unknowns and ringing dynamics.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Pulse
+
+
+def rc_ladder(
+    sections: int = 10,
+    r_per_section: float = 100.0,
+    c_per_section: float = 0.1e-12,
+    vstep: float = 1.0,
+    delay: float = 1e-10,
+) -> Circuit:
+    """Voltage-step-driven RC ladder with *sections* identical segments."""
+    if sections < 1:
+        raise ValueError("rc ladder needs at least one section")
+    circuit = Circuit(f"rc-ladder-{sections}")
+    circuit.add_vsource(
+        "VIN", "n0", "0", Pulse(0.0, vstep, delay=delay, rise=1e-12, width=1.0)
+    )
+    for i in range(sections):
+        circuit.add_resistor(f"R{i}", f"n{i}", f"n{i + 1}", r_per_section)
+        circuit.add_capacitor(f"C{i}", f"n{i + 1}", "0", c_per_section)
+    return circuit
+
+
+def rc_grid(
+    nx: int = 5,
+    ny: int = 5,
+    r_mesh: float = 2.0,
+    c_node: float = 1e-12,
+    vdd: float = 1.8,
+    load_period: float = 8e-9,
+) -> Circuit:
+    """Power-grid mesh with pulsed current loads at two far corners.
+
+    The supply pins at (0,0); loads switch with sub-ns edges, so the
+    transient alternates between sharp ramps and quiet exponential
+    settling — strongly consecutive-step-ratio-limited.
+    """
+    if nx < 2 or ny < 2:
+        raise ValueError("rc grid needs at least a 2x2 mesh")
+    circuit = Circuit(f"rc-grid-{nx}x{ny}")
+    circuit.add_vsource("VDD", "p_0_0", "0", vdd)
+    for i in range(nx):
+        for j in range(ny):
+            node = f"p_{i}_{j}"
+            if i + 1 < nx:
+                circuit.add_resistor(f"Rx{i}_{j}", node, f"p_{i + 1}_{j}", r_mesh)
+            if j + 1 < ny:
+                circuit.add_resistor(f"Ry{i}_{j}", node, f"p_{i}_{j + 1}", r_mesh)
+            circuit.add_capacitor(f"C{i}_{j}", node, "0", c_node)
+    circuit.add_isource(
+        "ILOAD1",
+        f"p_{nx - 1}_{ny - 1}",
+        "0",
+        Pulse(0.0, 20e-3, delay=1e-9, rise=0.2e-9, fall=0.2e-9, width=2e-9, period=load_period),
+    )
+    circuit.add_isource(
+        "ILOAD2",
+        f"p_{nx // 2}_{ny - 1}",
+        "0",
+        Pulse(0.0, 10e-3, delay=3e-9, rise=0.2e-9, fall=0.2e-9, width=1e-9, period=load_period),
+    )
+    return circuit
+
+
+def rlc_line(
+    sections: int = 8,
+    r_per_section: float = 5.0,
+    l_per_section: float = 1e-9,
+    c_per_section: float = 0.2e-12,
+    vstep: float = 1.0,
+    period: float | None = 20e-9,
+) -> Circuit:
+    """Lossy RLC transmission-line ladder driven by a (repeating) pulse."""
+    if sections < 1:
+        raise ValueError("rlc line needs at least one section")
+    circuit = Circuit(f"rlc-line-{sections}")
+    circuit.add_vsource(
+        "VIN",
+        "n0",
+        "0",
+        Pulse(0.0, vstep, delay=0.5e-9, rise=0.1e-9, fall=0.1e-9, width=5e-9, period=period),
+    )
+    for i in range(sections):
+        mid = f"n{i}#rl"
+        circuit.add_resistor(f"R{i}", f"n{i}", mid, r_per_section)
+        circuit.add_inductor(f"L{i}", mid, f"n{i + 1}", l_per_section)
+        circuit.add_capacitor(f"C{i}", f"n{i + 1}", "0", c_per_section)
+    # Matched-ish termination tames reflections at the far end.
+    circuit.add_resistor("RTERM", f"n{sections}", "0", 70.0)
+    return circuit

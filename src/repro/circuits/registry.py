@@ -1,0 +1,169 @@
+"""Benchmark registry: the reconstructed evaluation suite.
+
+Each entry binds a circuit generator to the transient window, options and
+signals-of-interest its table rows use, so tests, benches and examples
+all simulate exactly the same workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.circuit.circuit import Circuit
+from repro.circuits.analog import gilbert_mixer, lc_oscillator, rectifier
+from repro.circuits.digital import inverter_chain, nand_chain, ring_oscillator
+from repro.circuits.interconnect import rc_grid, rc_ladder, rlc_line
+from repro.utils.options import SimOptions
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One evaluation workload.
+
+    Attributes:
+        name: registry key (also the table row label).
+        kind: "digital", "analog" or "interconnect".
+        factory: zero-argument circuit builder.
+        tstop: transient window (s).
+        tstep: suggested initial-step hint (s), optional.
+        signals: traces compared for the accuracy table.
+        options: simulator options for this workload.
+        description: one-line summary for Table R1.
+    """
+
+    name: str
+    kind: str
+    factory: Callable[[], Circuit]
+    tstop: float
+    signals: tuple[str, ...]
+    description: str
+    tstep: float | None = None
+    options: SimOptions = field(default_factory=SimOptions)
+
+    def build(self) -> Circuit:
+        return self.factory()
+
+
+BENCHMARKS: dict[str, Benchmark] = {}
+
+
+def _register(benchmark: Benchmark) -> None:
+    BENCHMARKS[benchmark.name] = benchmark
+
+
+_register(
+    Benchmark(
+        name="ring5",
+        kind="digital",
+        factory=lambda: ring_oscillator(stages=5),
+        tstop=30e-9,
+        signals=("v(n1)", "v(n3)"),
+        description="5-stage CMOS ring oscillator (free-running)",
+    )
+)
+_register(
+    Benchmark(
+        name="ring9",
+        kind="digital",
+        factory=lambda: ring_oscillator(stages=9),
+        tstop=40e-9,
+        signals=("v(n1)", "v(n5)"),
+        description="9-stage CMOS ring oscillator (free-running)",
+    )
+)
+_register(
+    Benchmark(
+        name="invchain8",
+        kind="digital",
+        factory=lambda: inverter_chain(stages=8),
+        tstop=50e-9,
+        signals=("v(n4)", "v(n8)"),
+        description="8-stage inverter chain, 100 MHz pulse train",
+    )
+)
+_register(
+    Benchmark(
+        name="nandchain6",
+        kind="digital",
+        factory=lambda: nand_chain(stages=6),
+        tstop=50e-9,
+        signals=("v(n3)", "v(n6)"),
+        description="6-stage NAND chain (stacked devices), pulsed",
+    )
+)
+_register(
+    Benchmark(
+        name="rcladder20",
+        kind="interconnect",
+        factory=lambda: rc_ladder(sections=20),
+        tstop=2e-9 * 20,
+        signals=("v(n10)", "v(n20)"),
+        description="20-section RC interconnect ladder, voltage step",
+    )
+)
+_register(
+    Benchmark(
+        name="powergrid6x6",
+        kind="interconnect",
+        factory=lambda: rc_grid(nx=6, ny=6),
+        tstop=40e-9,
+        signals=("v(p_5_5)", "v(p_3_5)"),
+        description="6x6 RC power-grid mesh with switching loads",
+    )
+)
+_register(
+    Benchmark(
+        name="rlcline8",
+        kind="interconnect",
+        factory=lambda: rlc_line(sections=8),
+        tstop=40e-9,
+        signals=("v(n4)", "v(n8)"),
+        description="8-section lossy RLC transmission line, pulsed",
+    )
+)
+_register(
+    Benchmark(
+        name="mixer",
+        kind="analog",
+        factory=gilbert_mixer,
+        tstop=0.2e-6,
+        signals=("v(outp)", "v(outm)"),
+        description="BJT Gilbert-cell double-balanced mixer",
+        options=SimOptions(max_step=1e-9),
+    )
+)
+_register(
+    Benchmark(
+        name="lcosc",
+        kind="analog",
+        factory=lc_oscillator,
+        tstop=8e-9,
+        signals=("v(outp)", "v(outm)"),
+        description="Cross-coupled NMOS LC oscillator (~2 GHz)",
+    )
+)
+_register(
+    Benchmark(
+        name="rectifier",
+        kind="analog",
+        factory=rectifier,
+        tstop=60e-6,
+        signals=("v(dcp)",),
+        description="Full-wave diode bridge rectifier with RC load",
+    )
+)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(sorted(BENCHMARKS))}"
+        ) from None
+
+
+def benchmark_names(kind: str | None = None) -> list[str]:
+    """Registry keys, optionally filtered by circuit kind."""
+    return [b.name for b in BENCHMARKS.values() if kind is None or b.kind == kind]

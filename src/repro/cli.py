@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <deck.cir> [options]``.
+
+Runs the analyses a SPICE deck requests (``.op``, ``.dc``, ``.tran``) and
+prints results as tables; ``--wavepipe SCHEME`` switches the transient to
+waveform pipelining and reports the virtual-clock speedup against the
+sequential baseline. ``--csv FILE`` exports transient waveforms.
+
+Examples::
+
+    python -m repro lowpass.cir
+    python -m repro ring.cir --wavepipe combined --threads 4
+    python -m repro grid.cir --csv out.csv --signals "v(out)" "i(V1)"
+    python -m repro --experiment table_r2          # bench harness access
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.dc import dc_sweep
+from repro.bench.tables import render_table
+from repro.core.wavepipe import compare_with_sequential
+from repro.engine.transient import run_transient
+from repro.errors import ReproError
+from repro.mna.compiler import compile_circuit
+from repro.mna.system import MnaSystem
+from repro.netlist.parser import DcCommand, OpCommand, TranCommand, parse_file
+from repro.solver.dcop import solve_operating_point
+from repro.utils.units import format_si
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WavePipe-reproduction circuit simulator",
+        epilog="Analyses come from the deck's .op/.dc/.tran cards.",
+    )
+    parser.add_argument("deck", nargs="?", help="SPICE netlist file")
+    parser.add_argument(
+        "--wavepipe",
+        choices=["backward", "forward", "combined"],
+        help="run the transient with this waveform-pipelining scheme",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=2, help="thread count for --wavepipe"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=["serial", "thread"],
+        default="serial",
+        help="pipeline runtime (serial = deterministic reference)",
+    )
+    parser.add_argument("--csv", help="export transient waveforms to this CSV file")
+    parser.add_argument(
+        "--signals", nargs="*", help="trace names for printing/CSV (default: node voltages)"
+    )
+    parser.add_argument(
+        "--samples", type=int, default=20, help="printed sample rows for waveforms"
+    )
+    parser.add_argument(
+        "--experiment",
+        help="run a registered evaluation experiment (e.g. table_r2, fig_r1) instead of a deck",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.experiment:
+            return _run_experiment(args.experiment)
+        if not args.deck:
+            build_parser().print_usage()
+            print("error: provide a deck file or --experiment", file=sys.stderr)
+            return 2
+        return _run_deck(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_experiment(exp_id: str) -> int:
+    from repro.bench.experiments import run_experiment
+
+    try:
+        result = run_experiment(exp_id)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.text)
+    return 0
+
+
+def _run_deck(args) -> int:
+    netlist = parse_file(args.deck)
+    print(f"* {netlist.title}")
+    compiled = compile_circuit(netlist.circuit, netlist.options)
+    print(
+        f"* {compiled.n} unknowns ({compiled.n_nodes} nodes, "
+        f"{compiled.n_branches} branch currents)"
+    )
+
+    analyses = netlist.analyses or [OpCommand()]
+    for command in analyses:
+        if isinstance(command, OpCommand):
+            _print_op(compiled, netlist)
+        elif isinstance(command, DcCommand):
+            _print_dc(compiled, command, args)
+        elif isinstance(command, TranCommand):
+            _print_tran(compiled, netlist, command, args)
+    return 0
+
+
+def _print_op(compiled, netlist) -> None:
+    system = MnaSystem(compiled)
+    op = solve_operating_point(system, netlist.options)
+    rows = [
+        [name, format_si(value, "V" if name.startswith("v") else "A")]
+        for name, value in zip(compiled.unknown_names, op.x)
+    ]
+    print(render_table(["unknown", "value"], rows, title="Operating point"))
+    print(f"* strategy: {op.strategy}, {op.iterations} Newton iterations")
+
+
+def _print_dc(compiled, command: DcCommand, args) -> None:
+    count = int(round((command.stop - command.start) / command.step)) + 1
+    values = np.linspace(command.start, command.stop, max(count, 2))
+    result = dc_sweep(compiled, command.source, values)
+    signals = args.signals or [n for n in result.curves.names if n.startswith("v")][:4]
+    step = max(1, len(values) // args.samples)
+    rows = [
+        [format_si(v, "")] + [result.curves[s].values[k] for s in signals]
+        for k, v in enumerate(values)
+        if k % step == 0
+    ]
+    print(
+        render_table(
+            [command.source] + signals, rows, title=f"DC sweep of {command.source}"
+        )
+    )
+
+
+def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
+    if args.wavepipe:
+        report = compare_with_sequential(
+            compiled,
+            command.tstop,
+            scheme=args.wavepipe,
+            threads=args.threads,
+            tstep=command.tstep,
+            options=netlist.options,
+            executor=args.executor,
+        )
+        result = report.pipelined
+        print(f"* wavepipe {report.summary()}")
+    else:
+        result = run_transient(
+            compiled, command.tstop, tstep=command.tstep, options=netlist.options
+        )
+        print(
+            f"* transient: {result.stats.accepted_points} points, "
+            f"{result.stats.rejected_points} rejected, "
+            f"{result.stats.newton_iterations} Newton iterations"
+        )
+
+    signals = args.signals or [n for n in result.waveforms.names if n.startswith("v")][:4]
+    grid = np.linspace(0.0, result.final_time, args.samples)
+    rows = [
+        [format_si(t, "s")] + [result.waveforms[s].at(t) for s in signals]
+        for t in grid
+    ]
+    print(render_table(["time"] + signals, rows, title="Transient samples"))
+
+    if args.csv:
+        from repro.waveform.export import write_csv
+
+        write_csv(result.waveforms, args.csv, args.signals)
+        print(f"* waveforms written to {args.csv}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""WavePipe: the paper's contribution — parallel time-stepping schemes."""

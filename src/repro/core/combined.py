@@ -1,0 +1,168 @@
+"""Combined backward + forward pipelining (WavePipe scheme 3).
+
+Threads split between the two mechanisms: up to ``threads - 1`` backward
+tasks (guard + ramp chain, planned exactly as in
+:class:`~repro.core.backward.BackwardPipeline`) plus one forward-
+speculative task *beyond* the stage's leading target, integrating against
+a predicted history entry for it.
+
+The split is adaptive by construction: in ratio-bound regions the
+backward plan uses its full budget and the speculative point extends the
+front; in smooth LTE-limited regions the backward plan collapses to a
+single target and the scheme behaves like pure forward pipelining. This
+is why the paper runs the combined scheme at 3+ threads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backward import BackwardPipeline
+from repro.core.forward import HIT_ITERATIONS
+from repro.engine.transient import PointSolution, solve_timepoint
+from repro.integration.controller import BREAKPOINT_SNAP
+from repro.linalg.solve import LinearSolver
+
+
+class CombinedPipeline(BackwardPipeline):
+    """Backward guard/ramp tasks plus one forward-speculative front task."""
+
+    scheme_name = "combined"
+
+    def run_stage(self) -> None:
+        controller = self.controller
+        h_seq, _ = controller.propose(self.t)
+        room = controller.next_breakpoint(self.t) - self.t
+
+        backward_budget = max(1, self.threads - 1)
+        targets, has_guard = self.plan_targets(h_seq, room, backward_budget)
+        base = self.history.clone()
+        force_be = controller.force_be
+        tasks = [self.make_point_task(base, self.t + d, force_be) for d in targets]
+
+        chain_targets = targets[1:] if has_guard else targets
+        spare_threads = self.threads - len(targets)
+        spec_task, spec_gap = self._plan_speculation(
+            base, chain_targets, room, force_be, spare_threads
+        )
+        all_tasks = tasks + ([spec_task] if spec_task else [])
+        solutions = self.executor.run_stage(all_tasks)
+        backward_solutions = solutions[: len(tasks)]
+        speculative = solutions[len(tasks) :]
+
+        backward_costs = [s.result.work_units for s in backward_solutions]
+        if speculative:
+            # The forward task overlaps the backward stage; only its
+            # overshoot past the widest backward task is exposed.
+            self.stats.clock.advance_producer_stage(
+                max(backward_costs),
+                [s.result.work_units for s in speculative],
+            )
+        else:
+            self.stats.clock.advance_stage(backward_costs)
+        for sol in solutions:
+            self.charge_solution(sol)
+        self.stats.speculative_solves += len(speculative)
+
+        guard = backward_solutions[0] if has_guard else None
+        regular = backward_solutions[1:] if has_guard else backward_solutions
+        gaps = [
+            d - (chain_targets[k - 1] if k else 0.0)
+            for k, d in enumerate(chain_targets)
+        ]
+        guard_gap = targets[0] if has_guard else 0.0
+        accepted_before = self.stats.accepted_points
+        failed = self.verify_ascending(
+            regular, guard, gaps, guard_gap, stage_base=self.t
+        )
+        accepted = self.stats.accepted_points - accepted_before
+        if len(regular) > 1:
+            self.note_chain_outcome(len(regular) - 1, max(0, accepted - 1))
+        self.note_stage_outcome(failed)
+        if failed or not speculative:
+            self.waste(speculative)
+            return
+        self._corrective_commit(speculative[0])
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _plan_speculation(self, base, targets, room, force_be, spare_threads):
+        """Build the forward task past the leading backward target.
+
+        Speculation is only worthwhile in the **LTE-limited** regime
+        (single-target backward plan): there the predicted next step is
+        trustworthy and the prediction distance is one step. Past a ramped
+        multi-target chain front the extrapolation is hopeless and the
+        chain's own acceptance risk would waste the speculative solve
+        almost every stage — measured, not assumed (see the ablation
+        bench).
+        """
+        if spare_threads < 1 or force_be or self.history.era_length < 2:
+            return None, 0.0
+        if self.controller.ratio_limited or len(targets) > 1:
+            return None, 0.0
+        if not self.speculation_pays:
+            return None, 0.0
+        front = targets[-1]
+        if front >= room * (1.0 - BREAKPOINT_SNAP):
+            return None, 0.0
+        spec_gap = min(
+            self._predicted_next_step(front),
+            room * (1.0 - BREAKPOINT_SNAP) - front,
+        )
+        if spec_gap <= 0:
+            return None, 0.0
+        try:
+            predicted = self.predicted_timepoint(base, self.t + front)
+        except Exception:
+            return None, 0.0
+        spec_hist = base.clone()
+        spec_hist.append(predicted)
+        task = self.make_point_task(
+            spec_hist,
+            self.t + front + spec_gap,
+            False,
+            iter_cap=self.options.speculative_iter_cap,
+        )
+        return task, spec_gap
+
+    def _corrective_commit(self, spec: PointSolution) -> None:
+        """Re-solve the speculative point against exact history and commit."""
+        corrected = self._corrective_solve(spec)
+        self.stats.newton_iterations += corrected.result.iterations
+        self.stats.work_units += corrected.result.work_units
+        self.stats.clock.advance_serial(corrected.result.work_units)
+        if not corrected.converged:
+            self.stats.newton_failures += 1
+            self.note_spec_outcome(False)
+            self.waste([spec])
+            return
+        verdict = self.verdict_for(corrected)
+        if not verdict.accepted:
+            self.stats.rejected_points += 1
+            self.note_spec_outcome(False)
+            self.waste([spec])
+            gap = corrected.t - self.t
+            self.controller.on_reject(gap, verdict)
+            return
+        self.note_spec_outcome(True)
+        if corrected.result.iterations <= HIT_ITERATIONS:
+            self.stats.speculative_hits += 1
+        gap = corrected.t - self.t
+        self.commit_point(corrected, gap)
+        self.controller.on_accept(gap, verdict, False)
+
+    def _corrective_solve(self, speculative: PointSolution) -> PointSolution:
+        x0 = speculative.result.x
+        if not np.all(np.isfinite(x0)):
+            x0 = None
+        return solve_timepoint(
+            self.system,
+            self.history,
+            speculative.t,
+            self.options,
+            force_be=False,
+            buffers=self.system.make_buffers(),
+            solver=LinearSolver(self.system.unknown_names),
+            x_guess=x0,
+        )

@@ -1,0 +1,380 @@
+"""WavePipe pipeline engine: shared machinery of all three schemes.
+
+:class:`PipelineEngine` owns everything a pipelined transient run shares
+with the sequential baseline — operating point, accepted history, step
+controller, waveform recording — plus the parallel additions: a stage
+executor, the virtual clock, and speculative/wasted work accounting.
+Scheme subclasses implement :meth:`PipelineEngine.run_stage`, advancing
+simulated time by one pipeline stage per call.
+
+Correctness contract (the paper's central claim): a point enters the
+history only if (a) its Newton solve converged against already-accepted
+history using the exact integration formula, and (b) it passed the same
+LTE test the sequential engine applies. Pipelining therefore changes
+*which* time points get computed and *when*, never the equations any
+accepted point satisfies.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.engine.transient import (
+    PointSolution,
+    TransientResult,
+    TransientStats,
+    _build_waveforms,
+    _initial_solution,
+    solve_timepoint,
+)
+from repro.errors import SimulationError, TimestepError
+from repro.integration.controller import StepController
+from repro.integration.history import Timepoint, TimepointHistory
+from repro.integration.lte import lte_verdict
+from repro.linalg.solve import LinearSolver
+from repro.mna.compiler import CompiledCircuit, compile_circuit
+from repro.mna.system import MnaSystem
+from repro.parallel.clock import VirtualClock
+from repro.parallel.executors import SerialExecutor, StageExecutor
+from repro.utils.options import SimOptions
+
+#: Attempt budget multiplier (runaway guard, mirrors the sequential engine).
+MAX_STAGES_FACTOR = 400
+
+#: Smoothing factor for the stage rejection-rate EWMA.
+REJECT_EWMA_ALPHA = 0.2
+
+
+@dataclass
+class PipelineStats(TransientStats):
+    """Sequential stats extended with pipeline accounting.
+
+    ``work_units`` holds the *serial-equivalent* work (every task fully
+    charged); the virtual clock's ``virtual_work`` is the pipelined cost.
+    """
+
+    clock: VirtualClock = field(default_factory=VirtualClock)
+    speculative_solves: int = 0
+    speculative_hits: int = 0
+    wasted_solves: int = 0
+    wasted_work: float = 0.0
+
+    @property
+    def virtual_total(self) -> float:
+        """Pipelined cost including the (serial) operating point."""
+        return self.clock.virtual_work + self.dc_work_units
+
+    @property
+    def serial_total(self) -> float:
+        """What one thread would pay for the same set of solves."""
+        return self.clock.serial_work + self.dc_work_units
+
+    def self_speedup(self) -> float:
+        """Serial-equivalent / virtual: parallelism actually exploited
+        (>= true speedup vs the sequential baseline, which does less work)."""
+        if self.virtual_total <= 0:
+            return 1.0
+        return self.serial_total / self.virtual_total
+
+
+@dataclass
+class PipelineResult(TransientResult):
+    """Transient result plus scheme identification."""
+
+    scheme: str = ""
+    threads: int = 1
+
+    @property
+    def pipeline_stats(self) -> PipelineStats:
+        return self.stats  # typed convenience
+
+
+class PipelineEngine:
+    """Template for one pipelined transient run (single use)."""
+
+    #: Scheme name reported in results; subclasses override.
+    scheme_name = "base"
+
+    def __init__(
+        self,
+        compiled: CompiledCircuit | Circuit,
+        tstop: float,
+        threads: int,
+        tstep: float | None = None,
+        options: SimOptions | None = None,
+        executor: StageExecutor | None = None,
+        uic: bool = False,
+        node_ics: dict[str, float] | None = None,
+    ):
+        if threads < 1:
+            raise SimulationError("WavePipe needs threads >= 1")
+        if isinstance(compiled, Circuit):
+            compiled = compile_circuit(compiled, options)
+        self.compiled = compiled
+        self.options = options or compiled.options
+        self.tstop = float(tstop)
+        self.threads = threads
+        self.executor = executor or SerialExecutor()
+        self._uic = uic
+        self._node_ics = node_ics
+
+        self.system = MnaSystem(compiled)
+        self.stats = PipelineStats(
+            clock=VirtualClock(sync_overhead=self.options.sync_overhead)
+        )
+        self.history = TimepointHistory()
+        self.t = 0.0
+        self._rec_times: list[float] = []
+        self._rec_x: list[np.ndarray] = []
+        self._step_sizes: list[float] = []
+        h0 = self.options.first_step_fraction * (tstep if tstep else tstop / 50.0)
+        self.controller = StepController(
+            self.options, self.tstop, h0, compiled.collect_breakpoints(self.tstop)
+        )
+        self._ran = False
+        #: EWMA of stage failure (any rejection / Newton failure); drives
+        #: adaptive guard scheduling in every scheme.
+        self._reject_ewma = 0.0
+        #: EWMA of Newton iterations per main solve; forward speculation
+        #: only pays when solves are expensive relative to a corrective.
+        self._iters_ewma = 4.0
+        #: EWMA of chain-extension success (backward points beyond the
+        #: sequential step that passed verification): throttles chain
+        #: width when extensions keep getting rejected.
+        self._chain_ewma = 0.5
+        #: EWMA of speculation success (corrective converged + accepted):
+        #: throttles forward depth when predictions keep missing.
+        self._spec_ewma = 0.5
+        #: Last few LTE-optimal step estimates. The *minimum* over this
+        #: window is the conservative headroom estimate used to gate and
+        #: cap backward chains: a single spiked estimate (curvature
+        #: inflection, where the divided difference passes through zero)
+        #: cannot green-light an extension on its own.
+        self._recent_h_opt: deque[float] = deque(maxlen=3)
+
+    def note_stage_outcome(self, failed: bool) -> None:
+        """Update the rejection-rate estimate after a stage."""
+        self._reject_ewma = (1 - REJECT_EWMA_ALPHA) * self._reject_ewma + (
+            REJECT_EWMA_ALPHA if failed else 0.0
+        )
+
+    def note_solve_cost(self, iterations: int) -> None:
+        """Update the average-solve-cost estimate (main solves only)."""
+        self._iters_ewma = (
+            1 - REJECT_EWMA_ALPHA
+        ) * self._iters_ewma + REJECT_EWMA_ALPHA * iterations
+
+    def note_h_optimal(self, h_optimal: float) -> None:
+        """Record an LTE-optimal step estimate for the headroom window."""
+        self._recent_h_opt.append(h_optimal)
+
+    @property
+    def conservative_h_opt(self) -> float:
+        """Pessimistic LTE-optimal step: minimum over the recent window."""
+        if not self._recent_h_opt:
+            return float("inf")
+        return min(self._recent_h_opt)
+
+    @property
+    def guard_active(self) -> bool:
+        """True when recent rejection pressure justifies a guard task."""
+        return (
+            self.options.backward_guard_fraction > 0
+            and self._reject_ewma >= self.options.reject_ewma_threshold
+        )
+
+    @property
+    def speculation_pays(self) -> bool:
+        """True when solves cost enough for speculation to save work."""
+        return self._iters_ewma >= self.options.spec_min_iters
+
+    def note_chain_outcome(self, scheduled: int, accepted: int) -> None:
+        """Update the chain-extension success estimate (per extra point)."""
+        for k in range(scheduled):
+            hit = 1.0 if k < accepted else 0.0
+            self._chain_ewma = (
+                1 - REJECT_EWMA_ALPHA
+            ) * self._chain_ewma + REJECT_EWMA_ALPHA * hit
+
+    def note_spec_outcome(self, success: bool) -> None:
+        """Update the speculation success estimate."""
+        self._spec_ewma = (
+            1 - REJECT_EWMA_ALPHA
+        ) * self._spec_ewma + REJECT_EWMA_ALPHA * (1.0 if success else 0.0)
+
+    @property
+    def chain_budget_scale(self) -> float:
+        """Fraction of the thread budget the chain has been earning."""
+        return self._chain_ewma
+
+    @property
+    def spec_depth_limit(self) -> int:
+        """Speculation depth the recent hit rate justifies (at least 1)."""
+        if self._spec_ewma >= 0.6:
+            return 8  # effectively unlimited; thread count binds first
+        if self._spec_ewma >= 0.3:
+            return 2
+        return 1
+
+    # -- scheme hook ------------------------------------------------------------
+
+    def run_stage(self) -> None:
+        """Advance the run by one pipeline stage (subclass responsibility).
+
+        Must make progress or adjust the controller so a later stage can;
+        the attempt budget catches livelock.
+        """
+        raise NotImplementedError
+
+    # -- shared services --------------------------------------------------------
+
+    def make_point_task(
+        self,
+        history: TimepointHistory,
+        t_new: float,
+        force_be: bool,
+        x_guess: np.ndarray | None = None,
+        iter_cap: int | None = None,
+    ):
+        """Closure solving one time point with task-private scratch state."""
+        system, options = self.system, self.options
+
+        def task() -> PointSolution:
+            return solve_timepoint(
+                system,
+                history,
+                t_new,
+                options,
+                force_be,
+                buffers=system.make_buffers(),
+                solver=LinearSolver(system.unknown_names),
+                x_guess=x_guess,
+                iter_cap=iter_cap,
+            )
+
+        return task
+
+    def verdict_for(self, solution: PointSolution):
+        """LTE test against the live history, honouring the solve step."""
+        return lte_verdict(
+            solution.scheme.method_used,
+            solution.scheme.order,
+            self.history,
+            solution.t,
+            solution.result.x,
+            self.system.voltage_mask,
+            self.options,
+            h_solve=solution.scheme.h,
+        )
+
+    def commit_point(self, solution: PointSolution, h_taken: float) -> None:
+        """Append an accepted point and record its trace sample."""
+        self.history.append(solution.to_timepoint())
+        self.t = solution.t
+        self.stats.accepted_points += 1
+        self._rec_times.append(self.t)
+        self._rec_x.append(solution.result.x)
+        self._step_sizes.append(h_taken)
+
+    def charge_solution(self, solution: PointSolution) -> None:
+        """Book per-solution Newton statistics (not clock time)."""
+        self.stats.newton_iterations += solution.result.iterations
+        self.stats.work_units += solution.result.work_units
+
+    def waste(self, solutions) -> None:
+        """Mark discarded solutions (their cost is already on the clock)."""
+        for sol in solutions:
+            self.stats.wasted_solves += 1
+            self.stats.wasted_work += sol.result.work_units
+
+    def _try_guard(self, guard, guard_gap: float = 0.0) -> bool:
+        """Commit a guard (insurance) point if it converged and passes LTE.
+
+        Shared by every scheme: when the main candidate of a stage fails,
+        the guard converts the otherwise-wasted stage into accepted
+        progress. Returns True when the guard was committed.
+        """
+        if guard is None or not guard.converged:
+            return False
+        verdict = self.verdict_for(guard)
+        if not verdict.accepted:
+            return False
+        gap = guard_gap if guard_gap > 0.0 else guard.t - self.t
+        self.commit_point(guard, gap)
+        self.controller.on_accept(gap, verdict, False)
+        self.stats.extra["guard_salvages"] = (
+            self.stats.extra.get("guard_salvages", 0) + 1
+        )
+        return True
+
+    def _predicted_next_step(self, h_current: float) -> float:
+        """Best guess at the step the controller will pick after the next
+        acceptance: the unclamped LTE-optimal estimate bounded by the ratio
+        cap, mirroring :meth:`StepController.on_accept` (ratio cap on faith
+        when no estimate exists, e.g. right after a restart)."""
+        cap = self.options.step_ratio_max * h_current
+        h_unclamped = self.controller.h_unclamped
+        guess = cap if not np.isfinite(h_unclamped) else min(h_unclamped, cap)
+        return max(guess, 0.25 * h_current)
+
+    def predicted_timepoint(self, history: TimepointHistory, t_new: float) -> Timepoint:
+        """Speculative history entry at *t_new* from the polynomial predictor.
+
+        Charges one evaluation's worth of work to the caller's accounting
+        via the returned object's use; the charge evaluation itself is
+        cheap relative to a Newton solve and is folded into the
+        speculative task's cost by the scheme.
+        """
+        x_hat = history.predict(t_new, self.options.predictor_order)
+        out = self.system.make_buffers()
+        self.system.eval(x_hat, t_new, out)
+        q_hat = self.system.charge(out)
+        from repro.integration.methods import scheme_coefficients
+
+        scheme = scheme_coefficients(self.options.method, history, t_new)
+        return Timepoint(t_new, x_hat, q_hat, scheme.qdot(q_hat))
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Execute the full transient and package the result."""
+        if self._ran:
+            raise SimulationError("PipelineEngine instances are single-use")
+        self._ran = True
+        started = time.perf_counter()
+
+        x0, q0 = _initial_solution(
+            self.system, self.options, self._uic, self._node_ics, self.stats
+        )
+        self.history.append(Timepoint(0.0, x0, q0, np.zeros(self.system.n)))
+        self._rec_times.append(0.0)
+        self._rec_x.append(x0)
+
+        stages = 0
+        max_stages = MAX_STAGES_FACTOR * max(
+            int(self.tstop / self.controller.h_rec), 1000
+        )
+        while self.t < self.tstop * (1.0 - 1e-12):
+            stages += 1
+            if stages > max_stages:
+                raise TimestepError(
+                    f"stage budget exhausted at t={self.t:.3e}s "
+                    f"(accepted {self.stats.accepted_points})"
+                )
+            self.run_stage()
+
+        self.stats.wall_seconds = time.perf_counter() - started
+        return PipelineResult(
+            waveforms=_build_waveforms(self.system, self._rec_times, self._rec_x),
+            stats=self.stats,
+            times=np.array(self._rec_times),
+            step_sizes=np.array(self._step_sizes),
+            options=self.options,
+            scheme=self.scheme_name,
+            threads=self.threads,
+        )

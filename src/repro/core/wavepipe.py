@@ -1,0 +1,152 @@
+"""Public WavePipe API.
+
+:func:`run_wavepipe` runs one pipelined transient;
+:func:`compare_with_sequential` additionally runs the sequential baseline
+on the same compiled circuit and reports the speedup and waveform accuracy
+— the two quantities the paper's evaluation tables are made of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+from repro.core.backward import BackwardPipeline
+from repro.core.combined import CombinedPipeline
+from repro.core.forward import ForwardPipeline
+from repro.core.pipeline import PipelineResult
+from repro.engine.transient import TransientResult, run_transient
+from repro.errors import SimulationError
+from repro.mna.compiler import CompiledCircuit, compile_circuit
+from repro.parallel.executors import StageExecutor, make_executor
+from repro.utils.options import SimOptions
+from repro.waveform.waveform import Deviation, compare, worst_deviation
+
+#: Scheme name -> engine class.
+SCHEMES = {
+    "backward": BackwardPipeline,
+    "forward": ForwardPipeline,
+    "combined": CombinedPipeline,
+}
+
+
+def run_wavepipe(
+    circuit: Circuit | CompiledCircuit,
+    tstop: float,
+    scheme: str = "combined",
+    threads: int = 2,
+    tstep: float | None = None,
+    options: SimOptions | None = None,
+    executor: str | StageExecutor = "serial",
+    uic: bool = False,
+    node_ics: dict[str, float] | None = None,
+) -> PipelineResult:
+    """Pipelined transient simulation of *circuit* to *tstop*.
+
+    Args:
+        scheme: "backward", "forward" or "combined".
+        threads: simulated thread count (concurrent time points per stage).
+        executor: "serial" (deterministic reference), "thread" (real
+            thread pool), or a custom :class:`StageExecutor`.
+    """
+    if scheme not in SCHEMES:
+        raise SimulationError(
+            f"unknown WavePipe scheme {scheme!r}; expected one of {sorted(SCHEMES)}"
+        )
+    if isinstance(executor, str):
+        executor = make_executor(executor, threads)
+    engine = SCHEMES[scheme](
+        circuit,
+        tstop,
+        threads,
+        tstep=tstep,
+        options=options,
+        executor=executor,
+        uic=uic,
+        node_ics=node_ics,
+    )
+    try:
+        return engine.run()
+    finally:
+        executor.close()
+
+
+@dataclass
+class SpeedupReport:
+    """Sequential-vs-WavePipe comparison on one circuit.
+
+    Attributes:
+        speedup: sequential serial work / WavePipe virtual (pipelined)
+            work, both including the DC operating point — the table metric.
+        efficiency: speedup / threads.
+        worst_deviation: largest relative waveform deviation (paper claim:
+            indistinguishable from sequential up to integration tolerance).
+    """
+
+    sequential: TransientResult
+    pipelined: PipelineResult
+    scheme: str
+    threads: int
+    deviations: list[Deviation]
+
+    @property
+    def speedup(self) -> float:
+        virtual = self.pipelined.stats.virtual_total
+        if virtual <= 0:
+            return 1.0
+        return self.sequential.stats.total_work / virtual
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / max(self.threads, 1)
+
+    @property
+    def worst_deviation(self) -> Deviation | None:
+        return worst_deviation(self.deviations)
+
+    def summary(self) -> str:
+        dev = self.worst_deviation
+        dev_text = f"{dev.max_relative:.2e} rel ({dev.name})" if dev else "n/a"
+        return (
+            f"{self.scheme} x{self.threads}: speedup {self.speedup:.2f} "
+            f"(eff {self.efficiency:.2f}), worst deviation {dev_text}, "
+            f"seq pts {self.sequential.stats.accepted_points}, "
+            f"pipe pts {self.pipelined.stats.accepted_points} "
+            f"(+{self.pipelined.stats.wasted_solves} wasted)"
+        )
+
+
+def compare_with_sequential(
+    circuit: Circuit | CompiledCircuit,
+    tstop: float,
+    scheme: str = "combined",
+    threads: int = 2,
+    tstep: float | None = None,
+    options: SimOptions | None = None,
+    executor: str | StageExecutor = "serial",
+    signals: list[str] | None = None,
+) -> SpeedupReport:
+    """Run sequential and WavePipe on the same compiled circuit and compare."""
+    compiled = (
+        circuit
+        if isinstance(circuit, CompiledCircuit)
+        else compile_circuit(circuit, options)
+    )
+    seq = run_transient(compiled, tstop, tstep=tstep, options=options)
+    pipe = run_wavepipe(
+        compiled,
+        tstop,
+        scheme=scheme,
+        threads=threads,
+        tstep=tstep,
+        options=options,
+        executor=executor,
+    )
+    deviations = compare(seq.waveforms, pipe.waveforms, names=signals)
+    return SpeedupReport(
+        sequential=seq,
+        pipelined=pipe,
+        scheme=scheme,
+        threads=threads,
+        deviations=deviations,
+    )

@@ -1,0 +1,1 @@
+"""Vectorised device banks: the numerical device models."""

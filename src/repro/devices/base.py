@@ -1,0 +1,137 @@
+"""Device bank protocol and shared evaluation buffers.
+
+The compiler groups every component of a given physics into one *bank*: a
+single object holding numpy index arrays and parameter vectors for all
+instances of that device type. Banks evaluate vectorised — one numpy
+expression per physical quantity regardless of instance count — which is
+what makes a pure-Python SPICE engine fast enough for thousands of Newton
+solves.
+
+Contract (all arrays sized ``n_unknowns + 1``; the last element is the
+ground/trash slot):
+
+* ``register(builder)`` — once, at compile time: claim Jacobian slots.
+* ``eval(x_full, t, out)`` — fill the claimed ``out.g_vals``/``out.c_vals``
+  slices and accumulate resistive currents into ``out.f``, charges into
+  ``out.q`` and source injections into ``out.s``. Must not retain state:
+  banks are evaluated concurrently by WavePipe tasks.
+* ``limit(x_proposed, x_previous)`` — optionally adjust the proposed Newton
+  iterate in place (junction limiting). Returns True if it changed anything.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.mna.pattern import PatternBuilder
+
+#: Thermal voltage at the fixed simulation temperature (300.15 K).
+BOLTZMANN = 1.380649e-23
+CHARGE = 1.602176634e-19
+TEMPERATURE = 300.15
+VT = BOLTZMANN * TEMPERATURE / CHARGE
+
+#: Largest exponent argument evaluated exactly; beyond it the exponential
+#: is continued linearly to keep evaluations finite (limiting normally
+#: prevents reaching this).
+EXP_ARG_MAX = 100.0
+
+
+def safe_exp(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Overflow-safe exponential with linear continuation.
+
+    Returns ``(value, derivative)`` of a function equal to ``exp(u)`` for
+    ``u <= EXP_ARG_MAX`` and to its tangent line beyond, so value and first
+    derivative are continuous everywhere.
+    """
+    u = np.asarray(u, dtype=float)
+    clipped = np.minimum(u, EXP_ARG_MAX)
+    base = np.exp(clipped)
+    over = u > EXP_ARG_MAX
+    value = np.where(over, base * (1.0 + (u - EXP_ARG_MAX)), base)
+    deriv = base  # tangent slope equals exp(EXP_ARG_MAX) in the linear region
+    return value, deriv
+
+
+class EvalOutputs:
+    """Per-evaluation accumulation buffers, reused across Newton iterations.
+
+    Attributes:
+        f: resistive-current residual accumulator, length ``n + 1``.
+        q: charge accumulator, length ``n + 1``.
+        s: source-injection accumulator, length ``n + 1``.
+        g_vals / c_vals: Jacobian slot value arrays (dI/dx and dQ/dx).
+    """
+
+    def __init__(self, n_unknowns: int, n_g_slots: int, n_c_slots: int):
+        self.n = n_unknowns
+        self.f = np.zeros(n_unknowns + 1)
+        self.q = np.zeros(n_unknowns + 1)
+        self.s = np.zeros(n_unknowns + 1)
+        self.g_vals = np.zeros(n_g_slots)
+        self.c_vals = np.zeros(n_c_slots)
+
+    def reset(self) -> None:
+        """Zero every accumulator (slot arrays are overwritten, not summed,
+        by each owning bank, but zeroing keeps unclaimed slots clean)."""
+        self.f[:] = 0.0
+        self.q[:] = 0.0
+        self.s[:] = 0.0
+        self.g_vals[:] = 0.0
+        self.c_vals[:] = 0.0
+
+
+class DeviceBank(abc.ABC):
+    """Base class for vectorised device groups."""
+
+    #: Relative work-unit weight of one device evaluation; nonlinear
+    #: devices cost more than linear ones (used by the cost model).
+    work_weight: float = 1.0
+
+    def __init__(self, names: list[str]):
+        self.names = list(names)
+        self.count = len(self.names)
+
+    @abc.abstractmethod
+    def register(self, builder: PatternBuilder) -> None:
+        """Claim Jacobian stamp slots for every instance."""
+
+    @abc.abstractmethod
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        """Evaluate all instances at solution *x_full* and time *t*."""
+
+    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
+        """Junction-limit the proposed iterate in place; default no-op."""
+        return False
+
+    @property
+    def work_units(self) -> float:
+        """Work units charged per evaluation of this bank."""
+        return self.work_weight * self.count
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(count={self.count})"
+
+
+def two_terminal_conductance_pattern(a: np.ndarray, b: np.ndarray):
+    """(rows, cols) for the classic 4-entry conductance stamp of each pair.
+
+    Entry order per device: (a,a), (a,b), (b,a), (b,b) with values
+    (+g, -g, -g, +g); callers tile values in the same order.
+    """
+    rows = np.stack([a, a, b, b], axis=1).ravel()
+    cols = np.stack([a, b, a, b], axis=1).ravel()
+    return rows, cols
+
+
+def two_terminal_values(g: np.ndarray) -> np.ndarray:
+    """Values matching :func:`two_terminal_conductance_pattern` order."""
+    return np.stack([g, -g, -g, g], axis=1).ravel()
+
+
+def scatter_pair(target: np.ndarray, a: np.ndarray, b: np.ndarray, current: np.ndarray) -> None:
+    """Accumulate a through-quantity: ``target[a] += current; target[b] -= current``."""
+    np.add.at(target, a, current)
+    np.add.at(target, b, -current)

@@ -1,0 +1,168 @@
+"""Junction diode bank (Shockley model with depletion + diffusion charge).
+
+Current: ``i = IS*(exp(vd/(n*VT)) - 1) + gmin*vd`` with an overflow-safe
+exponential; the gmin term is the standard SPICE junction regularisation.
+
+Charge: depletion capacitance integrated to a charge with the SPICE
+forward-bias linearisation above ``fc*vj`` (keeps charge and capacitance
+continuous), plus diffusion charge ``tt * i_junction``.
+
+Newton limiting uses the classic SPICE ``pnjlim``: junction voltages are
+pulled back onto a logarithmic trajectory once they exceed the critical
+voltage, which is what makes exponential devices converge from bad initial
+guesses.
+
+Series resistance is not handled here: the compiler synthesises an internal
+node and an explicit resistor when the model card has ``rs > 0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.components import DiodeModel
+from repro.devices.base import (
+    VT,
+    DeviceBank,
+    EvalOutputs,
+    safe_exp,
+    scatter_pair,
+    two_terminal_conductance_pattern,
+    two_terminal_values,
+)
+from repro.mna.pattern import PatternBuilder
+
+#: Depletion-capacitance forward-bias linearisation knee (SPICE ``fc``).
+FC = 0.5
+
+
+def pnjlim(vnew: np.ndarray, vold: np.ndarray, vt: np.ndarray, vcrit: np.ndarray):
+    """SPICE junction-voltage limiter (vectorised).
+
+    Returns ``(vlimited, changed)`` where *changed* is a boolean mask of
+    entries that were pulled back.
+    """
+    vnew = np.asarray(vnew, dtype=float).copy()
+    vold = np.asarray(vold, dtype=float)
+    hot = (vnew > vcrit) & (np.abs(vnew - vold) > 2.0 * vt)
+    changed = np.zeros(vnew.shape, dtype=bool)
+    if not hot.any():
+        return vnew, changed
+
+    idx = np.nonzero(hot)[0]
+    for i in idx:
+        if vold[i] > 0:
+            arg = 1.0 + (vnew[i] - vold[i]) / vt[i]
+            if arg > 0:
+                vnew[i] = vold[i] + vt[i] * np.log(arg)
+            else:
+                vnew[i] = vcrit[i]
+        else:
+            vnew[i] = vt[i] * np.log(vnew[i] / vt[i])
+        changed[i] = True
+    return vnew, changed
+
+
+def depletion_charge(v: np.ndarray, cj0: np.ndarray, vj: np.ndarray, m: np.ndarray):
+    """Depletion charge and capacitance with forward-bias linearisation.
+
+    For ``v < FC*vj``:   q = cj0*vj/(1-m) * (1 - (1 - v/vj)^(1-m))
+    For ``v >= FC*vj``:  capacitance continues linearly in v (SPICE).
+
+    Returns ``(charge, capacitance)`` arrays.
+    """
+    v = np.asarray(v, dtype=float)
+    knee = FC * vj
+    below = v < knee
+    one_m = 1.0 - m
+
+    ratio = 1.0 - np.where(below, v, knee) / vj  # > 0 by construction
+    q_below = cj0 * vj / one_m * (1.0 - ratio ** one_m)
+    c_below = cj0 * ratio ** (-m)
+
+    # Above the knee: c(v) = c_knee * (1 + m*(v - knee)/(vj*(1-FC)))
+    c_knee = cj0 * (1.0 - FC) ** (-m)
+    q_knee = cj0 * vj / one_m * (1.0 - (1.0 - FC) ** one_m)
+    dv = v - knee
+    slope = c_knee * m / (vj * (1.0 - FC))
+    q_above = q_knee + c_knee * dv + 0.5 * slope * dv * dv
+    c_above = c_knee + slope * dv
+
+    charge = np.where(below, q_below, q_above)
+    cap = np.where(below, c_below, c_above)
+    return charge, cap
+
+
+class DiodeBank(DeviceBank):
+    """All junction diodes sharing the Shockley equations (per-instance params)."""
+
+    work_weight = 1.0
+
+    def __init__(self, names, anode_idx, cathode_idx, models, areas, gmin: float):
+        super().__init__(names)
+        self.a = np.asarray(anode_idx, dtype=np.int64)
+        self.b = np.asarray(cathode_idx, dtype=np.int64)
+        areas = np.asarray(areas, dtype=float)
+        self.isat = np.array([m.is_ for m in models]) * areas
+        self.n = np.array([m.n for m in models])
+        self.cj0 = np.array([m.cj0 for m in models]) * areas
+        self.vj = np.array([m.vj for m in models])
+        self.m = np.array([m.m for m in models])
+        self.tt = np.array([m.tt for m in models])
+        self.gmin = gmin
+        self.vt = self.n * VT
+        self.vcrit = self.vt * np.log(self.vt / (np.sqrt(2.0) * self.isat))
+        self._g_slots = None
+        self._c_slots = None
+        self._has_charge = bool(np.any(self.cj0 > 0) or np.any(self.tt > 0))
+
+    @classmethod
+    def single_model(cls, names, anode_idx, cathode_idx, model: DiodeModel, gmin: float):
+        """Convenience constructor for banks sharing one model card."""
+        models = [model] * len(names)
+        areas = [1.0] * len(names)
+        return cls(names, anode_idx, cathode_idx, models, areas, gmin)
+
+    def register(self, builder: PatternBuilder) -> None:
+        rows, cols = two_terminal_conductance_pattern(self.a, self.b)
+        self._g_slots = builder.add_g_entries(rows, cols)
+        self._c_slots = builder.add_c_entries(rows, cols)
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        vd = x_full[self.a] - x_full[self.b]
+        expo, dexpo = safe_exp(vd / self.vt)
+        i_junction = self.isat * (expo - 1.0)
+        g_junction = self.isat * dexpo / self.vt
+
+        current = i_junction + self.gmin * vd
+        conductance = g_junction + self.gmin
+        scatter_pair(out.f, self.a, self.b, current)
+        out.g_vals[self._g_slots.slice] = two_terminal_values(conductance)
+
+        q_dep, c_dep = depletion_charge(vd, self.cj0, self.vj, self.m)
+        charge = q_dep + self.tt * i_junction
+        cap = c_dep + self.tt * g_junction
+        scatter_pair(out.q, self.a, self.b, charge)
+        out.c_vals[self._c_slots.slice] = two_terminal_values(cap)
+
+    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
+        vnew = x_proposed[self.a] - x_proposed[self.b]
+        vold = x_previous[self.a] - x_previous[self.b]
+        vlim, changed = pnjlim(vnew, vold, self.vt, self.vcrit)
+        if not changed.any():
+            return False
+        # Apply the voltage correction across the junction symmetrically
+        # (cathode side held, anode adjusted) unless the anode is ground.
+        delta = vlim - vnew
+        for i in np.nonzero(changed)[0]:
+            ai, bi = self.a[i], self.b[i]
+            if ai < out_of_range(x_proposed):
+                x_proposed[ai] += delta[i]
+            else:
+                x_proposed[bi] -= delta[i]
+        return True
+
+
+def out_of_range(x_full: np.ndarray) -> int:
+    """Index of the trash/ground slot (last element) in a padded vector."""
+    return x_full.size - 1

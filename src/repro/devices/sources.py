@@ -1,0 +1,199 @@
+"""Independent and controlled source banks.
+
+Independent sources carry a :class:`~repro.circuit.sources.SourceWaveform`
+each and a *scale* factor the DC source-stepping homotopy ramps from 0 to
+1. Controlled sources (E/G/F/H) are linear and stamp constants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.sources import SourceWaveform
+from repro.devices.base import DeviceBank, EvalOutputs, scatter_pair
+from repro.mna.pattern import PatternBuilder
+
+
+class VoltageSourceBank(DeviceBank):
+    """Independent voltage sources, one branch-current unknown each.
+
+    Rows: KCL at plus/minus get ``+-x[j]``; branch row enforces
+    ``v_plus - v_minus - scale*V(t) = 0``.
+    """
+
+    work_weight = 0.5
+
+    def __init__(self, names, plus_idx, minus_idx, branch_idx, waveforms):
+        super().__init__(names)
+        self.p = np.asarray(plus_idx, dtype=np.int64)
+        self.m = np.asarray(minus_idx, dtype=np.int64)
+        self.j = np.asarray(branch_idx, dtype=np.int64)
+        self.waveforms: list[SourceWaveform] = list(waveforms)
+        #: Homotopy scale for DC source stepping; 1.0 in normal operation.
+        self.scale = 1.0
+        self._slots = None
+
+    def register(self, builder: PatternBuilder) -> None:
+        p, m, j = self.p, self.m, self.j
+        rows = np.stack([p, m, j, j], axis=1).ravel()
+        cols = np.stack([j, j, p, m], axis=1).ravel()
+        self._slots = builder.add_g_entries(rows, cols)
+
+    def _levels(self, t: float) -> np.ndarray:
+        return np.array([w.value(t) for w in self.waveforms])
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        current = x_full[self.j]
+        scatter_pair(out.f, self.p, self.m, current)
+        np.add.at(out.f, self.j, x_full[self.p] - x_full[self.m])
+        np.add.at(out.s, self.j, -self.scale * self._levels(t))
+        ones = np.ones(self.count)
+        out.g_vals[self._slots.slice] = np.stack(
+            [ones, -ones, ones, -ones], axis=1
+        ).ravel()
+
+    def branch_index(self, name: str) -> int:
+        """MNA unknown index of the branch current of source *name*."""
+        return int(self.j[self.names.index(name)])
+
+
+class CurrentSourceBank(DeviceBank):
+    """Independent current sources (SPICE convention: positive value flows
+    from plus, through the source, out of minus)."""
+
+    work_weight = 0.25
+
+    def __init__(self, names, plus_idx, minus_idx, waveforms):
+        super().__init__(names)
+        self.p = np.asarray(plus_idx, dtype=np.int64)
+        self.m = np.asarray(minus_idx, dtype=np.int64)
+        self.waveforms: list[SourceWaveform] = list(waveforms)
+        self.scale = 1.0
+
+    def register(self, builder: PatternBuilder) -> None:
+        pass  # pure source injection: no Jacobian entries
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        levels = self.scale * np.array([w.value(t) for w in self.waveforms])
+        scatter_pair(out.s, self.p, self.m, levels)
+
+
+class VcvsBank(DeviceBank):
+    """Voltage-controlled voltage sources (E): v_p - v_m = gain*(v_cp - v_cm)."""
+
+    work_weight = 0.5
+
+    def __init__(self, names, plus_idx, minus_idx, cp_idx, cm_idx, branch_idx, gains):
+        super().__init__(names)
+        self.p = np.asarray(plus_idx, dtype=np.int64)
+        self.m = np.asarray(minus_idx, dtype=np.int64)
+        self.cp = np.asarray(cp_idx, dtype=np.int64)
+        self.cm = np.asarray(cm_idx, dtype=np.int64)
+        self.j = np.asarray(branch_idx, dtype=np.int64)
+        self.gain = np.asarray(gains, dtype=float)
+        self._slots = None
+
+    def register(self, builder: PatternBuilder) -> None:
+        p, m, j, cp, cm = self.p, self.m, self.j, self.cp, self.cm
+        rows = np.stack([p, m, j, j, j, j], axis=1).ravel()
+        cols = np.stack([j, j, p, m, cp, cm], axis=1).ravel()
+        self._slots = builder.add_g_entries(rows, cols)
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        current = x_full[self.j]
+        scatter_pair(out.f, self.p, self.m, current)
+        branch = (
+            x_full[self.p]
+            - x_full[self.m]
+            - self.gain * (x_full[self.cp] - x_full[self.cm])
+        )
+        np.add.at(out.f, self.j, branch)
+        ones = np.ones(self.count)
+        out.g_vals[self._slots.slice] = np.stack(
+            [ones, -ones, ones, -ones, -self.gain, self.gain], axis=1
+        ).ravel()
+
+
+class VccsBank(DeviceBank):
+    """Voltage-controlled current sources (G): i(p->m) = gm*(v_cp - v_cm)."""
+
+    work_weight = 0.5
+
+    def __init__(self, names, plus_idx, minus_idx, cp_idx, cm_idx, gms):
+        super().__init__(names)
+        self.p = np.asarray(plus_idx, dtype=np.int64)
+        self.m = np.asarray(minus_idx, dtype=np.int64)
+        self.cp = np.asarray(cp_idx, dtype=np.int64)
+        self.cm = np.asarray(cm_idx, dtype=np.int64)
+        self.gm = np.asarray(gms, dtype=float)
+        self._slots = None
+
+    def register(self, builder: PatternBuilder) -> None:
+        p, m, cp, cm = self.p, self.m, self.cp, self.cm
+        rows = np.stack([p, p, m, m], axis=1).ravel()
+        cols = np.stack([cp, cm, cp, cm], axis=1).ravel()
+        self._slots = builder.add_g_entries(rows, cols)
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        current = self.gm * (x_full[self.cp] - x_full[self.cm])
+        scatter_pair(out.f, self.p, self.m, current)
+        out.g_vals[self._slots.slice] = np.stack(
+            [self.gm, -self.gm, -self.gm, self.gm], axis=1
+        ).ravel()
+
+
+class CccsBank(DeviceBank):
+    """Current-controlled current sources (F): i(p->m) = gain * i(ctrl branch)."""
+
+    work_weight = 0.5
+
+    def __init__(self, names, plus_idx, minus_idx, ctrl_branch_idx, gains):
+        super().__init__(names)
+        self.p = np.asarray(plus_idx, dtype=np.int64)
+        self.m = np.asarray(minus_idx, dtype=np.int64)
+        self.jc = np.asarray(ctrl_branch_idx, dtype=np.int64)
+        self.gain = np.asarray(gains, dtype=float)
+        self._slots = None
+
+    def register(self, builder: PatternBuilder) -> None:
+        rows = np.stack([self.p, self.m], axis=1).ravel()
+        cols = np.stack([self.jc, self.jc], axis=1).ravel()
+        self._slots = builder.add_g_entries(rows, cols)
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        current = self.gain * x_full[self.jc]
+        scatter_pair(out.f, self.p, self.m, current)
+        out.g_vals[self._slots.slice] = np.stack(
+            [self.gain, -self.gain], axis=1
+        ).ravel()
+
+
+class CcvsBank(DeviceBank):
+    """Current-controlled voltage sources (H): v_p - v_m = r * i(ctrl branch)."""
+
+    work_weight = 0.5
+
+    def __init__(self, names, plus_idx, minus_idx, ctrl_branch_idx, branch_idx, rs):
+        super().__init__(names)
+        self.p = np.asarray(plus_idx, dtype=np.int64)
+        self.m = np.asarray(minus_idx, dtype=np.int64)
+        self.jc = np.asarray(ctrl_branch_idx, dtype=np.int64)
+        self.j = np.asarray(branch_idx, dtype=np.int64)
+        self.r = np.asarray(rs, dtype=float)
+        self._slots = None
+
+    def register(self, builder: PatternBuilder) -> None:
+        p, m, j, jc = self.p, self.m, self.j, self.jc
+        rows = np.stack([p, m, j, j, j], axis=1).ravel()
+        cols = np.stack([j, j, p, m, jc], axis=1).ravel()
+        self._slots = builder.add_g_entries(rows, cols)
+
+    def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
+        current = x_full[self.j]
+        scatter_pair(out.f, self.p, self.m, current)
+        branch = x_full[self.p] - x_full[self.m] - self.r * x_full[self.jc]
+        np.add.at(out.f, self.j, branch)
+        ones = np.ones(self.count)
+        out.g_vals[self._slots.slice] = np.stack(
+            [ones, -ones, ones, -ones, -self.r], axis=1
+        ).ravel()

@@ -1,0 +1,1 @@
+"""Sequential transient engine (the WavePipe baseline)."""

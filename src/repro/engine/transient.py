@@ -1,0 +1,272 @@
+"""Sequential LTE-controlled transient analysis (the WavePipe baseline).
+
+This is the reference SPICE loop the paper parallelises: DC operating
+point, then one Newton solve per time point with predictor initial
+guesses, truncation-error acceptance, shrink-and-retry, and breakpoint
+restarts. WavePipe reuses the same building blocks
+(:func:`solve_timepoint`, :func:`accept_point`) so sequential and
+pipelined runs are numerically comparable point for point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.errors import TimestepError
+from repro.integration.controller import StepController
+from repro.integration.history import Timepoint, TimepointHistory
+from repro.integration.lte import LteVerdict, lte_verdict
+from repro.integration.methods import SchemeCoefficients, scheme_coefficients
+from repro.linalg.solve import LinearSolver
+from repro.mna.compiler import CompiledCircuit, compile_circuit
+from repro.mna.system import MnaSystem
+from repro.solver.dcop import solve_operating_point
+from repro.solver.newton import NewtonResult, newton_solve
+from repro.utils.options import SimOptions
+
+#: Fraction of tstop considered "reached the end".
+END_SLACK = 1e-12
+
+#: Hard cap on attempts (reject/retry cycles) per simulation, a runaway guard.
+MAX_ATTEMPTS_FACTOR = 200
+
+
+@dataclass
+class PointSolution:
+    """One attempted time point: Newton outcome plus its integration scheme."""
+
+    t: float
+    result: NewtonResult
+    scheme: SchemeCoefficients
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+    def to_timepoint(self) -> Timepoint:
+        """Package as an accepted history point (requires convergence)."""
+        return Timepoint(
+            t=self.t, x=self.result.x, q=self.result.q, qdot=self.result.qdot
+        )
+
+
+def solve_timepoint(
+    system: MnaSystem,
+    history: TimepointHistory,
+    t_new: float,
+    options: SimOptions,
+    force_be: bool,
+    buffers=None,
+    solver: LinearSolver | None = None,
+    x_guess: np.ndarray | None = None,
+    iter_cap: int | None = None,
+) -> PointSolution:
+    """Newton-solve the circuit at *t_new* against *history*.
+
+    The initial guess defaults to the polynomial predictor. The returned
+    solution carries q and qdot so it can be appended to a history
+    directly. Stateless with respect to *system*: safe for concurrent
+    WavePipe tasks, each with its own *buffers* and *solver*.
+    """
+    buffers = buffers if buffers is not None else system.make_buffers()
+    scheme = scheme_coefficients(options.method, history, t_new, force_be=force_be)
+    if x_guess is None:
+        if options.newton_guess == "predictor":
+            x_guess = history.predict(t_new, options.predictor_order)
+        else:
+            x_guess = history.last.x
+    result = newton_solve(
+        system,
+        t_new,
+        scheme.alpha0,
+        scheme.beta,
+        x_guess,
+        options,
+        out=buffers,
+        solver=solver,
+        iter_cap=iter_cap,
+    )
+    if result.converged:
+        system.eval(result.x, t_new, buffers)
+        result.q = system.charge(buffers)
+        result.qdot = scheme.qdot(result.q)
+    return PointSolution(t_new, result, scheme)
+
+
+def accept_point(
+    system: MnaSystem,
+    history: TimepointHistory,
+    solution: PointSolution,
+    options: SimOptions,
+) -> LteVerdict:
+    """Run the truncation-error test for a converged point."""
+    return lte_verdict(
+        solution.scheme.method_used,
+        solution.scheme.order,
+        history,
+        solution.t,
+        solution.result.x,
+        system.voltage_mask,
+        options,
+        h_solve=solution.scheme.h,
+    )
+
+
+@dataclass
+class TransientStats:
+    """Cost accounting for one transient run (sequential or pipelined)."""
+
+    accepted_points: int = 0
+    rejected_points: int = 0
+    newton_failures: int = 0
+    newton_iterations: int = 0
+    work_units: float = 0.0
+    dc_work_units: float = 0.0
+    wall_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_work(self) -> float:
+        """Serial work including the operating point."""
+        return self.work_units + self.dc_work_units
+
+
+@dataclass
+class TransientResult:
+    """Waveforms plus diagnostics of one transient run."""
+
+    waveforms: "WaveformSet"
+    stats: TransientStats
+    times: np.ndarray
+    step_sizes: np.ndarray
+    options: SimOptions
+
+    @property
+    def final_time(self) -> float:
+        return float(self.times[-1])
+
+
+def _initial_solution(
+    system: MnaSystem,
+    options: SimOptions,
+    uic: bool,
+    node_ics: dict[str, float] | None,
+    stats: TransientStats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Starting (x0, q0) from the operating point or initial conditions."""
+    compiled = system.compiled
+    if not uic:
+        op = solve_operating_point(system, options)
+        stats.dc_work_units = op.work_units
+        stats.newton_iterations += op.iterations
+        return op.x, op.q
+    x0 = np.zeros(system.n)
+    for key, value in compiled.initial_conditions.items():
+        kind, _, name = key.partition(":")
+        if kind == "v":
+            x0[compiled.node_voltage_index(name)] = value
+        else:
+            x0[compiled.branch_current_index(name)] = value
+    for node, value in (node_ics or {}).items():
+        x0[compiled.node_voltage_index(node)] = value
+    out = system.make_buffers()
+    system.eval(x0, 0.0, out)
+    return x0, system.charge(out)
+
+
+def run_transient(
+    compiled: CompiledCircuit | Circuit,
+    tstop: float,
+    tstep: float | None = None,
+    options: SimOptions | None = None,
+    uic: bool = False,
+    node_ics: dict[str, float] | None = None,
+) -> TransientResult:
+    """Sequential transient simulation from 0 to *tstop*.
+
+    Args:
+        compiled: a circuit or an already-compiled circuit.
+        tstep: suggested output/initial step (SPICE ``.tran`` tstep); only
+            influences the first step, not output density.
+        uic: skip the operating point and start from initial conditions.
+        node_ics: extra initial node voltages for ``uic`` runs.
+    """
+    if isinstance(compiled, Circuit):
+        compiled = compile_circuit(compiled, options)
+    options = options or compiled.options
+    system = MnaSystem(compiled)
+    stats = TransientStats()
+    started = time.perf_counter()
+
+    x0, q0 = _initial_solution(system, options, uic, node_ics, stats)
+    history = TimepointHistory()
+    history.append(Timepoint(0.0, x0, q0, np.zeros(system.n)))
+
+    h0 = options.first_step_fraction * (tstep if tstep else tstop / 50.0)
+    controller = StepController(
+        options, tstop, h0, compiled.collect_breakpoints(tstop)
+    )
+
+    rec_times = [0.0]
+    rec_x = [x0]
+    step_sizes: list[float] = []
+    buffers = system.make_buffers()
+    solver = LinearSolver(system.unknown_names)
+
+    t = 0.0
+    attempts = 0
+    max_attempts = MAX_ATTEMPTS_FACTOR * max(int(tstop / h0), 1000)
+    while t < tstop * (1.0 - END_SLACK):
+        attempts += 1
+        if attempts > max_attempts:
+            raise TimestepError(
+                f"attempt budget exhausted at t={t:.3e}s "
+                f"({stats.accepted_points} accepted, {stats.rejected_points} rejected)"
+            )
+        h, hits_bp = controller.propose(t)
+        solution = solve_timepoint(
+            system, history, t + h, options, controller.force_be, buffers, solver
+        )
+        stats.work_units += solution.result.work_units
+        stats.newton_iterations += solution.result.iterations
+        if not solution.converged:
+            stats.newton_failures += 1
+            controller.on_newton_failure(h)
+            continue
+
+        verdict = accept_point(system, history, solution, options)
+        if not verdict.accepted:
+            stats.rejected_points += 1
+            controller.on_reject(h, verdict)
+            continue
+
+        history.append(solution.to_timepoint())
+        controller.on_accept(h, verdict, hits_bp)
+        if hits_bp:
+            history.mark_era()
+        t = solution.t
+        stats.accepted_points += 1
+        rec_times.append(t)
+        rec_x.append(solution.result.x)
+        step_sizes.append(h)
+
+    stats.wall_seconds = time.perf_counter() - started
+    return TransientResult(
+        waveforms=_build_waveforms(system, rec_times, rec_x),
+        stats=stats,
+        times=np.array(rec_times),
+        step_sizes=np.array(step_sizes),
+        options=options,
+    )
+
+
+def _build_waveforms(system: MnaSystem, times, xs) -> "WaveformSet":
+    from repro.waveform.waveform import WaveformSet
+
+    matrix = np.vstack(xs)
+    data = {name: matrix[:, i] for i, name in enumerate(system.unknown_names)}
+    return WaveformSet(np.asarray(times), data)

@@ -1,0 +1,89 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type to handle any simulator failure. Subclasses
+distinguish the phase in which the failure occurred: circuit construction,
+netlist parsing, matrix assembly, linear/nonlinear solve, or time stepping.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CircuitError(ReproError):
+    """The circuit description is invalid (bad nodes, values, or topology)."""
+
+
+class NetlistError(ReproError):
+    """A SPICE netlist could not be parsed.
+
+    Carries the line number (1-based) when it is known.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class UnitError(CircuitError):
+    """A numeric value with an engineering suffix could not be parsed."""
+
+
+class AssemblyError(ReproError):
+    """MNA assembly failed (inconsistent dimensions or unknown indices)."""
+
+
+class SingularMatrixError(ReproError):
+    """The circuit matrix is singular or numerically near-singular.
+
+    Usually indicates a floating node, a loop of voltage sources, or a
+    cutset of current sources. The offending unknown index is attached
+    when the factorisation can identify it.
+    """
+
+    def __init__(self, message: str, unknown: str | None = None):
+        self.unknown = unknown
+        if unknown is not None:
+            message = f"{message} (suspect unknown: {unknown})"
+        super().__init__(message)
+
+
+class ConvergenceError(ReproError):
+    """Newton-Raphson failed to converge.
+
+    Attributes:
+        iterations: number of iterations attempted.
+        residual_norm: infinity norm of the final residual, if available.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        iterations: int | None = None,
+        residual_norm: float | None = None,
+    ):
+        self.iterations = iterations
+        self.residual_norm = residual_norm
+        parts = [message]
+        if iterations is not None:
+            parts.append(f"after {iterations} iterations")
+        if residual_norm is not None:
+            parts.append(f"residual {residual_norm:.3e}")
+        super().__init__(" ".join(parts))
+
+
+class TimestepError(ReproError):
+    """The transient engine could not find an acceptable time step.
+
+    Raised when the step controller shrinks the step below its minimum
+    without achieving Newton convergence and an acceptable LTE.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation-level invariant was violated (misuse of an engine)."""

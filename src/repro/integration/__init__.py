@@ -1,0 +1,1 @@
+"""Numerical integration: methods, history, LTE, step control."""

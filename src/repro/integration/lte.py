@@ -1,0 +1,148 @@
+"""Local truncation error estimation and SPICE-style step control.
+
+LTE is estimated from divided differences of the *solution* over the
+newest point cluster (candidate point included), applied to node-voltage
+unknowns. Error constants per method (magnitude of the leading local
+error term expressed through the divided difference ``dd_{k+1} ~
+x^{(k+1)}/(k+1)!``):
+
+    be    : |LTE| = h^2 * |dd2|              (h^2/2 * x'')
+    trap  : |LTE| = (1/2) h^3 * |dd3|        (h^3/12 * x''')
+    gear2 : |LTE| = (4/3) h^3 * |dd3|        (2/9  h^3 * x''')
+
+Acceptance compares against ``trtol * (lte_reltol*|x| + lte_abstol)``; the
+``trtol`` fudge factor (SPICE default 7) acknowledges that the estimate is
+itself noisy. The *optimal* step returned by :func:`lte_verdict` is
+deliberately **uncapped** — the sequential controller clamps it with the
+consecutive-step ratio bound, while WavePipe's backward pipelining uses
+the uncapped value to place its leading point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.integration.history import TimepointHistory, divided_difference
+from repro.utils.options import SimOptions
+
+#: |LTE| = ERROR_CONSTANT[method] * h^(k+1) * |dd_(k+1)|
+ERROR_CONSTANTS = {"be": 1.0, "trap": 0.5, "gear2": 4.0 / 3.0}
+
+#: Safety factor applied to the LTE-optimal step recommendation.
+SAFETY = 0.9
+
+#: Growth factor used when the error estimate is effectively zero.
+ZERO_ERROR_GROWTH = 100.0
+
+
+@dataclass(frozen=True)
+class LteVerdict:
+    """Outcome of the truncation-error test for one candidate point.
+
+    Attributes:
+        accepted: candidate error within tolerance.
+        error_ratio: max over unknowns of |LTE| / (trtol * tol); <= 1 means
+            accepted. 0.0 when no estimate was possible.
+        h_optimal: uncapped step suggestion for the *next* step (or the
+            retry, when rejected).
+        estimated: False when there were too few points for an estimate
+            (the candidate is then accepted by construction).
+    """
+
+    accepted: bool
+    error_ratio: float
+    h_optimal: float
+    estimated: bool
+
+
+def lte_verdict(
+    method_used: str,
+    order: int,
+    history: TimepointHistory,
+    t_new: float,
+    x_new: np.ndarray,
+    voltage_mask: np.ndarray,
+    options: SimOptions,
+    h_solve: float | None = None,
+) -> LteVerdict:
+    """Run the truncation-error test on a candidate solution.
+
+    The divided difference spans the candidate plus the newest ``order+1``
+    history points. With insufficient history (cold start) the point is
+    accepted and a cautious growth suggestion returned.
+
+    Args:
+        h_solve: the integration step the candidate was actually solved
+            with, when it differs from ``t_new - history.last.t`` —
+            WavePipe's backward points integrate from the stage base while
+            being verified against a history that already contains their
+            accepted siblings.
+    """
+    h = h_solve if h_solve is not None else t_new - history.last.t
+    needed = order + 2  # dd of order k+1 needs k+2 points
+    points = [(t_new, x_new)] + [(p.t, p.x) for p in history.newest(needed - 1)]
+    if len(points) < needed:
+        return LteVerdict(True, 0.0, h * options.step_ratio_max, False)
+
+    dd = divided_difference(points[:needed])
+    err = ERROR_CONSTANTS[method_used] * (h ** (order + 1)) * np.abs(dd)
+
+    scale = np.maximum(np.abs(x_new), np.abs(history.last.x))
+    tol = options.trtol * (
+        options.effective_lte_reltol * scale + options.effective_lte_abstol
+    )
+    masked_err = err[voltage_mask]
+    masked_tol = tol[voltage_mask]
+    if masked_err.size == 0:
+        return LteVerdict(True, 0.0, h * options.step_ratio_max, False)
+
+    ratio = float(np.max(masked_err / masked_tol))
+    if ratio <= 0.0:
+        return LteVerdict(True, 0.0, h * ZERO_ERROR_GROWTH, True)
+
+    factor = ratio ** (-1.0 / (order + 1))
+    h_optimal = h * min(SAFETY * factor, ZERO_ERROR_GROWTH)
+    return LteVerdict(ratio <= 1.0, ratio, h_optimal, True)
+
+
+def predicted_max_step(
+    method_used: str,
+    order: int,
+    history: TimepointHistory,
+    voltage_mask: np.ndarray,
+    options: SimOptions,
+) -> float | None:
+    """A-priori LTE-optimal step predicted from history alone.
+
+    Uses the divided difference over the newest ``order+2`` accepted points
+    (no candidate) as a frozen estimate of the solution's (k+1)-th
+    derivative, and inverts the LTE formula for the step that would just
+    meet tolerance. This is the quantity WavePipe's backward pipelining
+    uses to decide how far ahead its leading point may reach; every point
+    is still verified a posteriori with :func:`lte_verdict`.
+
+    Returns None when history is too short for an estimate.
+    """
+    needed = order + 2
+    if history.era_length < needed:
+        return None
+    points = [(p.t, p.x) for p in history.newest(needed)]
+    dd = divided_difference(points)
+
+    last = history.last
+    scale = np.abs(last.x)
+    tol = options.trtol * (
+        options.effective_lte_reltol * scale + options.effective_lte_abstol
+    )
+    err_per_h = ERROR_CONSTANTS[method_used] * np.abs(dd[voltage_mask])
+    tol_masked = tol[voltage_mask]
+    if err_per_h.size == 0:
+        return None
+    # Step h such that max(err_per_h * h^(k+1) / tol) == 1.
+    worst = float(np.max(err_per_h / tol_masked))
+    if worst <= 0.0:
+        h_ref = history.last_step or 0.0
+        return h_ref * ZERO_ERROR_GROWTH if h_ref else None
+    return SAFETY * worst ** (-1.0 / (order + 1))

@@ -1,0 +1,99 @@
+"""Variable-step integration schemes (BE, trapezoidal, Gear-2/BDF2).
+
+Each scheme reduces ``dq/dt`` at the new time point to the linear form
+
+    qdot_new = alpha0 * q_new + beta
+
+where ``beta`` collects history terms, so one Newton solve handles every
+method uniformly (Jacobian ``G + alpha0*C``).
+
+Order fallback follows SPICE: the first step after a cold start or a
+breakpoint uses backward Euler (trap needs a trusted ``qdot`` history,
+Gear-2 needs two points), then the configured method takes over. The
+*actually used* method is reported so LTE applies the right error constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.integration.history import TimepointHistory
+
+#: Integration order by method name.
+METHOD_ORDER = {"be": 1, "trap": 2, "gear2": 2}
+
+
+@dataclass(frozen=True)
+class SchemeCoefficients:
+    """Discretisation of dq/dt at one target time.
+
+    Attributes:
+        alpha0: coefficient of the unknown q_new.
+        beta: constant history vector.
+        method_used: the method actually applied after fallbacks.
+        order: its integration order.
+        h: step from the newest history point to the target.
+    """
+
+    alpha0: float
+    beta: np.ndarray
+    method_used: str
+    order: int
+    h: float
+
+    def qdot(self, q_new: np.ndarray) -> np.ndarray:
+        """Charge derivative at the new point implied by the scheme."""
+        return self.alpha0 * q_new + self.beta
+
+
+def scheme_coefficients(
+    method: str,
+    history: TimepointHistory,
+    t_new: float,
+    force_be: bool = False,
+) -> SchemeCoefficients:
+    """Build the alpha0/beta form for a solve at *t_new*.
+
+    Args:
+        method: requested method ("be", "trap", "gear2").
+        history: accepted points; the newest anchors the step.
+        force_be: restart flag (first step / just after a breakpoint).
+    """
+    if method not in METHOD_ORDER:
+        raise SimulationError(f"unknown integration method {method!r}")
+    last = history.last
+    h = t_new - last.t
+    if h <= 0:
+        raise SimulationError(f"non-positive step: t_new={t_new}, front={last.t}")
+
+    if force_be:
+        method = "be"
+    if method == "gear2" and history.era_length < 2:
+        # The second-order formula must not reach across a breakpoint
+        # corner (or a cold start) for its older point.
+        method = "be"
+
+    if method == "be":
+        alpha0 = 1.0 / h
+        beta = -last.q / h
+        return SchemeCoefficients(alpha0, beta, "be", 1, h)
+
+    if method == "trap":
+        alpha0 = 2.0 / h
+        beta = -(2.0 / h) * last.q - last.qdot
+        return SchemeCoefficients(alpha0, beta, "trap", 2, h)
+
+    # Variable-step BDF2 from Lagrange differentiation at t_new.
+    prev = history[-2]
+    d1 = t_new - last.t
+    d2 = t_new - prev.t
+    h2 = last.t - prev.t
+    a0 = (d1 + d2) / (d1 * d2)
+    a1 = -d2 / (d1 * h2)
+    a2 = d1 / (d2 * h2)
+    alpha0 = a0
+    beta = a1 * last.q + a2 * prev.q
+    return SchemeCoefficients(alpha0, beta, "gear2", 2, h)

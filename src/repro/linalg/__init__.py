@@ -1,0 +1,1 @@
+"""Sparse linear algebra with circuit-flavoured diagnostics."""

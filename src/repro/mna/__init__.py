@@ -1,0 +1,1 @@
+"""Modified nodal analysis: compiler, pattern cache, assembly."""

@@ -1,0 +1,387 @@
+"""Circuit compiler: component records -> vectorised device banks + index maps.
+
+Compilation performs, in order:
+
+1. Preprocessing — expand model features that need extra topology (a diode
+   model card with ``rs > 0`` becomes an internal node plus an explicit
+   series resistor).
+2. Unknown numbering — node voltages first (``0 .. n_nodes-1``, in first-
+   appearance order), then one branch current per inductor, voltage source,
+   VCVS and CCVS. Ground maps to the trash index ``n_unknowns``.
+3. Bank construction — one :class:`~repro.devices.base.DeviceBank` per
+   device physics present in the circuit.
+
+The result, :class:`CompiledCircuit`, is immutable and shared (read-only)
+by every concurrent WavePipe task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit, canonical_node
+from repro.circuit.components import (
+    Bjt,
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    MutualInductance,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.devices.bjt import BjtBank
+from repro.devices.diode import DiodeBank
+from repro.devices.linear import (
+    CapacitorBank,
+    InductorBank,
+    MutualInductanceBank,
+    ResistorBank,
+)
+from repro.devices.mosfet import MosfetBank
+from repro.devices.sources import (
+    CccsBank,
+    CcvsBank,
+    CurrentSourceBank,
+    VccsBank,
+    VcvsBank,
+    VoltageSourceBank,
+)
+from repro.errors import CircuitError
+from repro.utils.options import SimOptions
+
+
+class CompiledCircuit:
+    """Frozen, solver-ready form of a circuit.
+
+    Attributes:
+        n_nodes / n_branches / n: unknown counts (n = total).
+        node_index: node name -> unknown index (ground absent).
+        branch_index: component name -> branch-current unknown index.
+        unknown_names: diagnostic label per unknown ("v(out)", "i(V1)").
+        voltage_mask: boolean per unknown, True for node voltages (used by
+            LTE, which is applied to voltage-like states).
+        banks: all device banks.
+        breakpoints: sorted source-waveform corner times builder
+            (:meth:`collect_breakpoints`).
+    """
+
+    def __init__(self, circuit: Circuit, options: SimOptions):
+        circuit.validate()
+        self.title = circuit.title
+        self.options = options
+        components = _preprocess(list(circuit.components))
+
+        # ---- unknown numbering -------------------------------------------
+        node_index: dict[str, int] = {}
+        for comp in components:
+            for node in comp.nodes:
+                node = canonical_node(node)
+                if node != "0" and node not in node_index:
+                    node_index[node] = len(node_index)
+        self.n_nodes = len(node_index)
+
+        branch_owners = [
+            c for c in components if isinstance(c, (Inductor, VoltageSource, Vcvs, Ccvs))
+        ]
+        self.branch_index = {
+            c.name: self.n_nodes + k for k, c in enumerate(branch_owners)
+        }
+        self.n_branches = len(branch_owners)
+        self.n = self.n_nodes + self.n_branches
+        self.node_index = node_index
+        self._ground = self.n  # trash slot
+
+        self.unknown_names = [f"v({name})" for name in node_index]
+        self.unknown_names += [f"i({c.name})" for c in branch_owners]
+        self.voltage_mask = np.zeros(self.n, dtype=bool)
+        self.voltage_mask[: self.n_nodes] = True
+
+        # ---- bank construction -------------------------------------------
+        self.banks = []
+        self.vsource_bank: VoltageSourceBank | None = None
+        self.isource_bank: CurrentSourceBank | None = None
+        self._build_banks(components, options)
+
+        self._components = components
+        self._waveforms = [
+            c.waveform
+            for c in components
+            if isinstance(c, (VoltageSource, CurrentSource))
+        ]
+        self.initial_conditions = _collect_initial_conditions(components)
+
+    # -- index helpers ------------------------------------------------------
+
+    def nidx(self, node: str) -> int:
+        """Unknown index of *node* (ground maps to the trash slot)."""
+        node = canonical_node(node)
+        if node == "0":
+            return self._ground
+        try:
+            return self.node_index[node]
+        except KeyError:
+            raise CircuitError(f"unknown node {node!r} in circuit {self.title!r}") from None
+
+    def node_voltage_index(self, node: str) -> int:
+        """Strict variant of :meth:`nidx` that rejects ground."""
+        idx = self.nidx(node)
+        if idx == self._ground:
+            raise CircuitError("ground has no unknown index (voltage is 0)")
+        return idx
+
+    def branch_current_index(self, name: str) -> int:
+        try:
+            return self.branch_index[name]
+        except KeyError:
+            raise CircuitError(f"component {name!r} has no branch current") from None
+
+    # -- misc ----------------------------------------------------------------
+
+    def collect_breakpoints(self, tstop: float) -> np.ndarray:
+        """Sorted unique source-corner times in ``(0, tstop]``."""
+        points: set[float] = set()
+        for wf in self._waveforms:
+            points.update(bp for bp in wf.breakpoints(tstop) if 0.0 < bp <= tstop)
+        points.add(tstop)
+        return np.array(sorted(points))
+
+    @property
+    def work_units_per_eval(self) -> float:
+        """Cost-model work units for one full system evaluation."""
+        return sum(bank.work_units for bank in self.banks) + 0.01 * self.n
+
+    def stats(self) -> dict[str, int | str]:
+        """Summary row for Table R1."""
+        counts: dict[str, int | str] = {"unknowns": self.n, "nodes": self.n_nodes}
+        for bank in self.banks:
+            counts[type(bank).__name__.replace("Bank", "s").lower()] = bank.count
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledCircuit({self.title!r}, n={self.n}, "
+            f"banks={[type(b).__name__ for b in self.banks]})"
+        )
+
+    # -- internal -------------------------------------------------------------
+
+    def _build_banks(self, components, options: SimOptions) -> None:
+        nidx = self.nidx
+        gmin = options.gmin
+
+        def of_type(kind):
+            return [c for c in components if isinstance(c, kind)]
+
+        resistors = of_type(Resistor)
+        if resistors:
+            self.banks.append(
+                ResistorBank(
+                    [c.name for c in resistors],
+                    [nidx(c.a) for c in resistors],
+                    [nidx(c.b) for c in resistors],
+                    [c.resistance for c in resistors],
+                )
+            )
+        capacitors = of_type(Capacitor)
+        if capacitors:
+            self.banks.append(
+                CapacitorBank(
+                    [c.name for c in capacitors],
+                    [nidx(c.a) for c in capacitors],
+                    [nidx(c.b) for c in capacitors],
+                    [c.capacitance for c in capacitors],
+                )
+            )
+        inductors = of_type(Inductor)
+        if inductors:
+            self.banks.append(
+                InductorBank(
+                    [c.name for c in inductors],
+                    [nidx(c.a) for c in inductors],
+                    [nidx(c.b) for c in inductors],
+                    [self.branch_index[c.name] for c in inductors],
+                    [c.inductance for c in inductors],
+                )
+            )
+        mutuals = of_type(MutualInductance)
+        if mutuals:
+            inductance_of = {
+                c.name: c.inductance for c in components if isinstance(c, Inductor)
+            }
+            import math
+
+            self.banks.append(
+                MutualInductanceBank(
+                    [c.name for c in mutuals],
+                    [self.branch_index[c.inductor1] for c in mutuals],
+                    [self.branch_index[c.inductor2] for c in mutuals],
+                    [
+                        c.coupling
+                        * math.sqrt(
+                            inductance_of[c.inductor1] * inductance_of[c.inductor2]
+                        )
+                        for c in mutuals
+                    ],
+                )
+            )
+        vsources = of_type(VoltageSource)
+        if vsources:
+            self.vsource_bank = VoltageSourceBank(
+                [c.name for c in vsources],
+                [nidx(c.plus) for c in vsources],
+                [nidx(c.minus) for c in vsources],
+                [self.branch_index[c.name] for c in vsources],
+                [c.waveform for c in vsources],
+            )
+            self.banks.append(self.vsource_bank)
+        isources = of_type(CurrentSource)
+        if isources:
+            self.isource_bank = CurrentSourceBank(
+                [c.name for c in isources],
+                [nidx(c.plus) for c in isources],
+                [nidx(c.minus) for c in isources],
+                [c.waveform for c in isources],
+            )
+            self.banks.append(self.isource_bank)
+        vcvs = of_type(Vcvs)
+        if vcvs:
+            self.banks.append(
+                VcvsBank(
+                    [c.name for c in vcvs],
+                    [nidx(c.plus) for c in vcvs],
+                    [nidx(c.minus) for c in vcvs],
+                    [nidx(c.ctrl_plus) for c in vcvs],
+                    [nidx(c.ctrl_minus) for c in vcvs],
+                    [self.branch_index[c.name] for c in vcvs],
+                    [c.gain for c in vcvs],
+                )
+            )
+        vccs = of_type(Vccs)
+        if vccs:
+            self.banks.append(
+                VccsBank(
+                    [c.name for c in vccs],
+                    [nidx(c.plus) for c in vccs],
+                    [nidx(c.minus) for c in vccs],
+                    [nidx(c.ctrl_plus) for c in vccs],
+                    [nidx(c.ctrl_minus) for c in vccs],
+                    [c.transconductance for c in vccs],
+                )
+            )
+        cccs = of_type(Cccs)
+        if cccs:
+            self.banks.append(
+                CccsBank(
+                    [c.name for c in cccs],
+                    [nidx(c.plus) for c in cccs],
+                    [nidx(c.minus) for c in cccs],
+                    [self.branch_index[c.ctrl_source] for c in cccs],
+                    [c.gain for c in cccs],
+                )
+            )
+        ccvs = of_type(Ccvs)
+        if ccvs:
+            self.banks.append(
+                CcvsBank(
+                    [c.name for c in ccvs],
+                    [nidx(c.plus) for c in ccvs],
+                    [nidx(c.minus) for c in ccvs],
+                    [self.branch_index[c.ctrl_source] for c in ccvs],
+                    [self.branch_index[c.name] for c in ccvs],
+                    [c.transresistance for c in ccvs],
+                )
+            )
+        diodes = of_type(Diode)
+        if diodes:
+            self.banks.append(
+                DiodeBank(
+                    [c.name for c in diodes],
+                    [nidx(c.anode) for c in diodes],
+                    [nidx(c.cathode) for c in diodes],
+                    [c.model for c in diodes],
+                    [c.area for c in diodes],
+                    gmin,
+                )
+            )
+        mosfets = of_type(Mosfet)
+        if mosfets:
+            self.banks.append(
+                MosfetBank(
+                    [c.name for c in mosfets],
+                    [nidx(c.drain) for c in mosfets],
+                    [nidx(c.gate) for c in mosfets],
+                    [nidx(c.source) for c in mosfets],
+                    [nidx(c.bulk) for c in mosfets],
+                    [c.model for c in mosfets],
+                    [c.w for c in mosfets],
+                    [c.l for c in mosfets],
+                    gmin,
+                )
+            )
+        bjts = of_type(Bjt)
+        if bjts:
+            self.banks.append(
+                BjtBank(
+                    [c.name for c in bjts],
+                    [nidx(c.collector) for c in bjts],
+                    [nidx(c.base) for c in bjts],
+                    [nidx(c.emitter) for c in bjts],
+                    [c.model for c in bjts],
+                    [c.area for c in bjts],
+                    gmin,
+                )
+            )
+
+
+def _preprocess(components: list) -> list:
+    """Expand compiled-away model features (diode series resistance)."""
+    expanded = []
+    for comp in components:
+        if isinstance(comp, Diode) and comp.model.rs > 0:
+            internal = f"{comp.name}#rs"
+            expanded.append(
+                Resistor(f"{comp.name}#rser", comp.anode, internal, comp.model.rs / comp.area)
+            )
+            model = dataclasses.replace(comp.model, rs=0.0)
+            expanded.append(dataclasses.replace(comp, anode=internal, model=model))
+        else:
+            expanded.append(comp)
+    return expanded
+
+
+def _collect_initial_conditions(components) -> dict[str, float]:
+    """UIC support: map cap/inductor ``ic`` fields onto unknowns.
+
+    A capacitor IC is applied as a node voltage when one terminal is
+    ground (the common usage); floating-cap ICs are rejected early rather
+    than silently ignored. Inductor ICs set the branch current directly.
+    """
+    ics: dict[str, float] = {}
+    for comp in components:
+        if isinstance(comp, Capacitor) and comp.ic is not None:
+            a, b = canonical_node(comp.a), canonical_node(comp.b)
+            if b == "0":
+                ics[f"v:{a}"] = comp.ic
+            elif a == "0":
+                ics[f"v:{b}"] = -comp.ic
+            else:
+                raise CircuitError(
+                    f"{comp.name}: initial condition on a floating capacitor is "
+                    "not supported; specify node ICs via transient(..., node_ics=)"
+                )
+        elif isinstance(comp, Inductor) and comp.ic is not None:
+            ics[f"i:{comp.name}"] = comp.ic
+    return ics
+
+
+def compile_circuit(circuit: Circuit, options: SimOptions | None = None) -> CompiledCircuit:
+    """Compile *circuit* with *options* (defaults applied when omitted)."""
+    return CompiledCircuit(circuit, options or SimOptions())

@@ -1,0 +1,208 @@
+"""Sparse Jacobian pattern cache.
+
+MNA assembly is the inner loop of a SPICE engine: every Newton iteration
+rebuilds the Jacobian ``J = G(x) + alpha0 * C(x)`` from per-device stamps.
+Rebuilding a scipy COO matrix each time re-sorts and re-deduplicates the
+pattern — wasteful, since the pattern never changes after compilation.
+
+:class:`PatternBuilder` collects the (row, col) positions of every stamp
+*slot* once, at compile time, separately for the conductance (G) and
+capacitance (C) streams. :meth:`PatternBuilder.finalize` computes the CSC
+structure of the union pattern and a scatter map from each slot to its CSC
+data index. :meth:`JacobianPattern.assemble` then builds a Jacobian with
+two ``np.add.at`` scatters and no sorting.
+
+Ground handling: unknowns are indexed ``0..n-1``; index ``n`` is a *trash*
+position. Stamps touching ground write to row/col ``n`` and are scattered
+into a sacrificial data slot that never enters the matrix, so device banks
+need no ground branches in their inner loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import AssemblyError
+
+
+class SlotRange:
+    """Handle to a contiguous run of stamp slots owned by one device bank."""
+
+    __slots__ = ("start", "stop")
+
+    def __init__(self, start: int, stop: int):
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def slice(self) -> slice:
+        return slice(self.start, self.stop)
+
+
+class PatternBuilder:
+    """Collects stamp positions during compilation.
+
+    Args:
+        size: number of real unknowns; index ``size`` is the trash slot.
+    """
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise AssemblyError("system must have at least one unknown")
+        self.size = size
+        self._g_rows: list[np.ndarray] = []
+        self._g_cols: list[np.ndarray] = []
+        self._c_rows: list[np.ndarray] = []
+        self._c_cols: list[np.ndarray] = []
+        self._g_count = 0
+        self._c_count = 0
+        self._finalized = False
+
+    def _check_indices(self, rows: np.ndarray, cols: np.ndarray) -> None:
+        if rows.shape != cols.shape:
+            raise AssemblyError("stamp rows/cols must have identical shape")
+        if rows.size and (rows.min() < 0 or rows.max() > self.size):
+            raise AssemblyError("stamp row index out of range")
+        if cols.size and (cols.min() < 0 or cols.max() > self.size):
+            raise AssemblyError("stamp col index out of range")
+
+    def add_g_entries(self, rows, cols) -> SlotRange:
+        """Register conductance-stream stamp positions; returns their slots."""
+        if self._finalized:
+            raise AssemblyError("pattern already finalized")
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        self._check_indices(rows, cols)
+        self._g_rows.append(rows)
+        self._g_cols.append(cols)
+        handle = SlotRange(self._g_count, self._g_count + rows.size)
+        self._g_count += rows.size
+        return handle
+
+    def add_c_entries(self, rows, cols) -> SlotRange:
+        """Register capacitance-stream stamp positions; returns their slots."""
+        if self._finalized:
+            raise AssemblyError("pattern already finalized")
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        cols = np.asarray(cols, dtype=np.int64).ravel()
+        self._check_indices(rows, cols)
+        self._c_rows.append(rows)
+        self._c_cols.append(cols)
+        handle = SlotRange(self._c_count, self._c_count + rows.size)
+        self._c_count += rows.size
+        return handle
+
+    def finalize(self, extra_diagonal: bool = True) -> "JacobianPattern":
+        """Compute the CSC union pattern and slot scatter maps.
+
+        Args:
+            extra_diagonal: include every diagonal position in the pattern
+                so gmin regularisation can always be added without a
+                pattern change.
+        """
+        self._finalized = True
+        n = self.size
+
+        def concat(parts: list[np.ndarray]) -> np.ndarray:
+            if not parts:
+                return np.zeros(0, dtype=np.int64)
+            return np.concatenate(parts)
+
+        g_rows, g_cols = concat(self._g_rows), concat(self._g_cols)
+        c_rows, c_cols = concat(self._c_rows), concat(self._c_cols)
+
+        diag = np.arange(n, dtype=np.int64) if extra_diagonal else np.zeros(0, np.int64)
+        all_rows = np.concatenate([g_rows, c_rows, diag])
+        all_cols = np.concatenate([g_cols, c_cols, diag])
+
+        valid = (all_rows < n) & (all_cols < n)
+        # Linear key in CSC order: column-major.
+        keys = all_cols[valid] * np.int64(n) + all_rows[valid]
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        nnz = unique_keys.size
+
+        # Map every slot (valid -> its unique position, invalid -> trash nnz).
+        slot_targets = np.full(all_rows.size, nnz, dtype=np.int64)
+        slot_targets[valid] = inverse
+
+        n_g = g_rows.size
+        n_c = c_rows.size
+        g_map = slot_targets[:n_g]
+        c_map = slot_targets[n_g : n_g + n_c]
+        diag_map = slot_targets[n_g + n_c :]
+
+        indices = (unique_keys % n).astype(np.int32)
+        col_of = unique_keys // n
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.add.at(indptr, col_of + 1, 1)
+        np.cumsum(indptr, out=indptr)
+
+        return JacobianPattern(
+            size=n,
+            nnz=int(nnz),
+            indptr=indptr,
+            indices=indices,
+            g_map=g_map,
+            c_map=c_map,
+            diag_map=diag_map,
+            n_g_slots=n_g,
+            n_c_slots=n_c,
+        )
+
+
+class JacobianPattern:
+    """Frozen CSC pattern plus scatter maps for fast Jacobian assembly."""
+
+    def __init__(
+        self,
+        size: int,
+        nnz: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        g_map: np.ndarray,
+        c_map: np.ndarray,
+        diag_map: np.ndarray,
+        n_g_slots: int,
+        n_c_slots: int,
+    ):
+        self.size = size
+        self.nnz = nnz
+        self.indptr = indptr
+        self.indices = indices
+        self.g_map = g_map
+        self.c_map = c_map
+        self.diag_map = diag_map
+        self.n_g_slots = n_g_slots
+        self.n_c_slots = n_c_slots
+
+    def assemble(
+        self,
+        g_vals: np.ndarray,
+        c_vals: np.ndarray,
+        alpha0: float,
+        diag_shift: float = 0.0,
+    ) -> sp.csc_matrix:
+        """Build ``G + alpha0*C (+ diag_shift*I)`` as a CSC matrix.
+
+        *g_vals*/*c_vals* are the full slot value arrays filled by the
+        device banks for the current operating point.
+        """
+        if g_vals.size != self.n_g_slots or c_vals.size != self.n_c_slots:
+            raise AssemblyError(
+                f"slot value sizes ({g_vals.size}, {c_vals.size}) do not match "
+                f"pattern ({self.n_g_slots}, {self.n_c_slots})"
+            )
+        data = np.zeros(self.nnz + 1)
+        np.add.at(data, self.g_map, g_vals)
+        if alpha0 != 0.0 and c_vals.size:
+            np.add.at(data, self.c_map, alpha0 * c_vals)
+        if diag_shift:
+            np.add.at(data, self.diag_map, diag_shift)
+        return sp.csc_matrix(
+            (data[: self.nnz], self.indices, self.indptr),
+            shape=(self.size, self.size),
+        )

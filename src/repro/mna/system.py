@@ -1,0 +1,108 @@
+"""The assembled MNA system: residual, charge and Jacobian evaluation.
+
+:class:`MnaSystem` owns the frozen Jacobian pattern and provides stateless
+evaluation: every concurrent task allocates its own
+:class:`~repro.devices.base.EvalOutputs` buffers via :meth:`make_buffers`
+and passes them explicitly, so WavePipe tasks can evaluate the same system
+at different time points simultaneously.
+
+Equations solved (residual form):
+
+    F(x, t) = f(x) + dq(x)/dt + s(t) + gshunt*x = 0
+
+where ``dq/dt`` is replaced by the integration scheme's linear form
+``alpha0*q(x) + beta`` (beta collects history), and ``gshunt`` is a tiny
+diagonal conductance (``options.gmin``) that keeps otherwise-floating
+unknowns (e.g. MOS gate nets) non-singular. The gshunt term appears in
+both the residual and the Jacobian so Newton's model stays exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.devices.base import EvalOutputs
+from repro.mna.compiler import CompiledCircuit
+from repro.mna.pattern import PatternBuilder
+
+
+class MnaSystem:
+    """Evaluation facade over a compiled circuit."""
+
+    def __init__(self, compiled: CompiledCircuit):
+        self.compiled = compiled
+        self.n = compiled.n
+        self.options = compiled.options
+        builder = PatternBuilder(self.n)
+        for bank in compiled.banks:
+            bank.register(builder)
+        self._n_g_slots = builder._g_count
+        self._n_c_slots = builder._c_count
+        self.pattern = builder.finalize(extra_diagonal=True)
+        self.gshunt = compiled.options.gmin
+        self.voltage_mask = compiled.voltage_mask
+        self.unknown_names = compiled.unknown_names
+
+    @property
+    def has_nonlinear(self) -> bool:
+        """True when any bank is nonlinear (diode / MOSFET / BJT).
+
+        Newton on a purely linear system converges in one exact step, so
+        update damping and junction limiting are skipped entirely.
+        """
+        return any(
+            type(bank).__name__ in ("DiodeBank", "MosfetBank", "BjtBank")
+            for bank in self.compiled.banks
+        )
+
+    def make_buffers(self) -> EvalOutputs:
+        """Fresh evaluation buffers (one set per concurrent task)."""
+        return EvalOutputs(self.n, self._n_g_slots, self._n_c_slots)
+
+    def pad(self, x: np.ndarray) -> np.ndarray:
+        """Append the ground/trash slot (value 0) to a solution vector."""
+        x_full = np.zeros(self.n + 1)
+        x_full[: self.n] = x
+        return x_full
+
+    def eval(self, x: np.ndarray, t: float, out: EvalOutputs) -> np.ndarray:
+        """Evaluate all banks at (x, t); returns the padded x for reuse."""
+        out.reset()
+        x_full = self.pad(x)
+        for bank in self.compiled.banks:
+            bank.eval(x_full, t, out)
+        return x_full
+
+    def resistive_residual(self, out: EvalOutputs, x: np.ndarray) -> np.ndarray:
+        """``f(x) + s(t) + gshunt*x`` (no charge term) from filled buffers."""
+        return out.f[: self.n] + out.s[: self.n] + self.gshunt * x
+
+    def charge(self, out: EvalOutputs) -> np.ndarray:
+        """Charge vector q(x) from filled buffers."""
+        return out.q[: self.n].copy()
+
+    def jacobian(self, out: EvalOutputs, alpha0: float) -> sp.csc_matrix:
+        """``G + alpha0*C + gshunt*I`` from filled buffers."""
+        return self.pattern.assemble(
+            out.g_vals, out.c_vals, alpha0, diag_shift=self.gshunt
+        )
+
+    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
+        """Run per-device junction limiting on padded vectors, in place."""
+        changed = False
+        for bank in self.compiled.banks:
+            if bank.limit(x_proposed, x_previous):
+                changed = True
+        return changed
+
+    @property
+    def work_units_per_eval(self) -> float:
+        return self.compiled.work_units_per_eval
+
+    def convergence_tolerances(self, options=None) -> np.ndarray:
+        """Per-unknown absolute tolerance: vntol for voltages, abstol for currents."""
+        opts = options or self.options
+        tol = np.full(self.n, opts.abstol)
+        tol[self.voltage_mask] = opts.vntol
+        return tol

@@ -1,0 +1,1 @@
+"""SPICE deck front-end: parser, expression evaluator, writer."""

@@ -1,0 +1,166 @@
+"""Arithmetic expression evaluation for netlist parameters.
+
+SPICE decks parameterise values with ``.param`` and ``{...}`` expressions:
+
+    .param vdd=1.8 half={vdd/2}
+    R1 a b {2*rload}
+
+The evaluator is a small recursive-descent parser over ``+ - * / **``,
+parentheses, numeric literals with engineering suffixes, parameter names,
+and a few safe functions (min, max, abs, sqrt, exp, log, sin, cos). No
+Python ``eval`` — deck content is untrusted input.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import NetlistError
+from repro.utils.units import parse_value
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?[a-zA-Z]*)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op>\*\*|[()+\-*/,])"
+    r")"
+)
+
+FUNCTIONS = {
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "log10": math.log10,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "atan": math.atan,
+    "pow": pow,
+}
+
+CONSTANTS = {"pi": math.pi, "e": math.e}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None or match.end() == pos:
+                if text[pos:].strip():
+                    raise NetlistError(f"bad expression near {text[pos:]!r}")
+                break
+            pos = match.end()
+            for kind in ("number", "name", "op"):
+                value = match.group(kind)
+                if value is not None:
+                    self.items.append((kind, value))
+                    break
+        self.index = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.items[self.index] if self.index < len(self.items) else None
+
+    def pop(self) -> tuple[str, str]:
+        item = self.peek()
+        if item is None:
+            raise NetlistError("unexpected end of expression")
+        self.index += 1
+        return item
+
+    def accept(self, op: str) -> bool:
+        item = self.peek()
+        if item is not None and item == ("op", op):
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, op: str) -> None:
+        if not self.accept(op):
+            found = self.peek()
+            raise NetlistError(f"expected {op!r}, found {found[1] if found else 'end'!r}")
+
+
+def evaluate(text: str, params: dict[str, float] | None = None) -> float:
+    """Evaluate expression *text* with parameter substitutions."""
+    params = params or {}
+    tokens = _Tokens(text)
+    value = _parse_sum(tokens, params)
+    if tokens.peek() is not None:
+        raise NetlistError(f"trailing junk in expression: {tokens.peek()[1]!r}")
+    return value
+
+
+def _parse_sum(tokens: _Tokens, params) -> float:
+    value = _parse_product(tokens, params)
+    while True:
+        if tokens.accept("+"):
+            value += _parse_product(tokens, params)
+        elif tokens.accept("-"):
+            value -= _parse_product(tokens, params)
+        else:
+            return value
+
+
+def _parse_product(tokens: _Tokens, params) -> float:
+    value = _parse_power(tokens, params)
+    while True:
+        if tokens.accept("*"):
+            value *= _parse_power(tokens, params)
+        elif tokens.accept("/"):
+            divisor = _parse_power(tokens, params)
+            if divisor == 0:
+                raise NetlistError("division by zero in expression")
+            value /= divisor
+        else:
+            return value
+
+
+def _parse_power(tokens: _Tokens, params) -> float:
+    base = _parse_unary(tokens, params)
+    if tokens.accept("**"):
+        return base ** _parse_power(tokens, params)  # right-associative
+    return base
+
+
+def _parse_unary(tokens: _Tokens, params) -> float:
+    if tokens.accept("-"):
+        return -_parse_unary(tokens, params)
+    if tokens.accept("+"):
+        return _parse_unary(tokens, params)
+    return _parse_atom(tokens, params)
+
+
+def _parse_atom(tokens: _Tokens, params) -> float:
+    kind, text = tokens.pop()
+    if kind == "number":
+        return parse_value(text)
+    if kind == "name":
+        if tokens.accept("("):
+            func = FUNCTIONS.get(text.lower())
+            if func is None:
+                raise NetlistError(f"unknown function {text!r}")
+            args = [_parse_sum(tokens, params)]
+            while tokens.accept(","):
+                args.append(_parse_sum(tokens, params))
+            tokens.expect(")")
+            try:
+                return float(func(*args))
+            except (ValueError, TypeError) as exc:
+                raise NetlistError(f"error in {text}(): {exc}") from None
+        lowered = text.lower()
+        if lowered in params:
+            return params[lowered]
+        if lowered in CONSTANTS:
+            return CONSTANTS[lowered]
+        raise NetlistError(f"unknown parameter {text!r}")
+    if kind == "op" and text == "(":
+        value = _parse_sum(tokens, params)
+        tokens.expect(")")
+        return value
+    raise NetlistError(f"unexpected token {text!r} in expression")

@@ -1,0 +1,577 @@
+"""SPICE netlist parser.
+
+Supports the deck subset a transient-simulation paper's benchmarks need:
+
+* first line is the title (SPICE convention); ``*`` comment lines,
+  ``$``/``;`` inline comments, ``+`` continuation lines;
+* elements: R, C, L (with ``ic=``), V, I (DC / PULSE / SIN / PWL / EXP),
+  E, G, F, H, D, M (``w=``/``l=``), Q, K (coupled inductors), X
+  (subcircuit instances);
+* cards: ``.model`` (d / nmos / pmos / npn / pnp), ``.subckt``/``.ends``,
+  ``.param``, ``.tran``, ``.dc``, ``.op``, ``.options``, ``.end``;
+* values: engineering suffixes (``1k``, ``2.5u``) and ``{...}``
+  expressions over ``.param`` definitions.
+
+Everything is case-insensitive except node and component names, which
+keep their case (matching ngspice's practical behaviour for readability).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import Circuit, Subcircuit
+from repro.circuit.components import BjtModel, DiodeModel, MosfetModel
+from repro.circuit.sources import Dc, Exp, Pulse, Pwl, Sin, SourceWaveform
+from repro.errors import NetlistError
+from repro.netlist.expressions import evaluate
+from repro.utils.options import SimOptions
+from repro.utils.units import parse_value
+
+
+@dataclass(frozen=True)
+class TranCommand:
+    """``.tran tstep tstop``"""
+
+    tstep: float
+    tstop: float
+
+
+@dataclass(frozen=True)
+class DcCommand:
+    """``.dc source start stop step``"""
+
+    source: str
+    start: float
+    stop: float
+    step: float
+
+
+@dataclass(frozen=True)
+class OpCommand:
+    """``.op``"""
+
+
+@dataclass
+class Netlist:
+    """Parse result: circuit + requested analyses + options."""
+
+    title: str
+    circuit: Circuit
+    analyses: list = field(default_factory=list)
+    options: SimOptions = field(default_factory=SimOptions)
+    models: dict[str, object] = field(default_factory=dict)
+    subcircuits: dict[str, Subcircuit] = field(default_factory=dict)
+
+    @property
+    def tran(self) -> TranCommand | None:
+        for a in self.analyses:
+            if isinstance(a, TranCommand):
+                return a
+        return None
+
+
+_INLINE_COMMENT_RE = re.compile(r"[$;].*$")
+
+
+def _logical_lines(text: str) -> list[tuple[int, str]]:
+    """Join continuations, strip comments; returns (line_number, card)."""
+    raw = text.splitlines()
+    lines: list[tuple[int, str]] = []
+    for number, line in enumerate(raw, start=1):
+        line = _INLINE_COMMENT_RE.sub("", line).rstrip()
+        if not line.strip():
+            continue
+        stripped = line.lstrip()
+        if stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise NetlistError("continuation line with nothing to continue", number)
+            prev_no, prev = lines[-1]
+            lines[-1] = (prev_no, prev + " " + stripped[1:].strip())
+        else:
+            lines.append((number, stripped))
+    return lines
+
+
+_TOKEN_RE = re.compile(r"\{[^}]*\}|\(|\)|=|[^\s()=]+")
+
+
+def _tokenize(card: str) -> list[str]:
+    return _TOKEN_RE.findall(card)
+
+
+class _ParamScope:
+    """Case-insensitive parameter table with expression evaluation."""
+
+    def __init__(self):
+        self.values: dict[str, float] = {}
+
+    def define(self, name: str, text: str, line: int) -> None:
+        self.values[name.lower()] = self.number(text, line)
+
+    def number(self, text: str, line: int) -> float:
+        try:
+            if text.startswith("{") and text.endswith("}"):
+                return evaluate(text[1:-1], self.values)
+            return parse_value(text)
+        except NetlistError:
+            raise
+        except Exception as exc:
+            raise NetlistError(f"bad value {text!r}: {exc}", line) from None
+
+
+class NetlistParser:
+    """Single-use parser; :func:`parse_netlist` is the public entry."""
+
+    def __init__(self, text: str):
+        self.lines = _logical_lines(text)
+        if not self.lines:
+            raise NetlistError("empty netlist")
+        self.params = _ParamScope()
+        self.models: dict[str, object] = {}
+        self.subcircuits: dict[str, Subcircuit] = {}
+        self.analyses: list = []
+        self.option_values: dict[str, float | str] = {}
+
+    def parse(self) -> Netlist:
+        first_no, first = self.lines[0]
+        body = self.lines[1:]
+        if first.startswith("."):
+            raise NetlistError(
+                "first line must be the title (SPICE convention); found a dot card",
+                first_no,
+            )
+        title = first
+        circuit = Circuit(title=title)
+
+        # Pass 1: collect .param and .model cards wherever they appear —
+        # SPICE treats both as global and order-independent with respect
+        # to the elements that use them (.param stays order-dependent
+        # with respect to other .param definitions).
+        for number, card in body:
+            lowered = card.lower()
+            if lowered.startswith(".param"):
+                self._card_param(number, _tokenize(card))
+            elif lowered.startswith(".model"):
+                self._card_model(number, _tokenize(card))
+
+        index = 0
+        while index < len(body):
+            number, card = body[index]
+            lowered = card.lower()
+            if lowered.startswith(".subckt"):
+                index = self._parse_subcircuit(body, index)
+                continue
+            if lowered == ".end":
+                break
+            if lowered.startswith(".param") or lowered.startswith(".model"):
+                index += 1  # handled in pass 1
+                continue
+            self._parse_card(circuit, number, card)
+            index += 1
+
+        options = self._build_options()
+        return Netlist(
+            title=title,
+            circuit=circuit,
+            analyses=self.analyses,
+            options=options,
+            models=self.models,
+            subcircuits=self.subcircuits,
+        )
+
+    # -- cards -------------------------------------------------------------------
+
+    def _parse_card(self, circuit: Circuit, number: int, card: str) -> None:
+        if card.startswith("."):
+            self._parse_dot_card(number, card)
+            return
+        tokens = _tokenize(card)
+        name = tokens[0]
+        kind = name[0].upper()
+        handler = {
+            "R": self._element_rcl,
+            "C": self._element_rcl,
+            "L": self._element_rcl,
+            "V": self._element_source,
+            "I": self._element_source,
+            "E": self._element_vcxs,
+            "G": self._element_vcxs,
+            "F": self._element_ccxs,
+            "H": self._element_ccxs,
+            "D": self._element_diode,
+            "M": self._element_mosfet,
+            "Q": self._element_bjt,
+            "K": self._element_mutual,
+            "X": self._element_subckt,
+        }.get(kind)
+        if handler is None:
+            raise NetlistError(f"unknown element type {name!r}", number)
+        handler(circuit, number, tokens)
+
+    def _keyword_args(self, tokens: list[str], number: int) -> tuple[list[str], dict[str, float]]:
+        """Split tokens into positional part and key=value tail."""
+        positional: list[str] = []
+        kwargs: dict[str, float] = {}
+        i = 0
+        while i < len(tokens):
+            if i + 2 < len(tokens) + 1 and i + 1 < len(tokens) and tokens[i + 1] == "=":
+                if i + 2 >= len(tokens):
+                    raise NetlistError(f"dangling '=' after {tokens[i]!r}", number)
+                kwargs[tokens[i].lower()] = self.params.number(tokens[i + 2], number)
+                i += 3
+            else:
+                positional.append(tokens[i])
+                i += 1
+        return positional, kwargs
+
+    def _element_rcl(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        positional, kwargs = self._keyword_args(tokens, number)
+        if len(positional) != 4:
+            raise NetlistError(
+                f"{positional[0]}: expected 'name n1 n2 value'", number
+            )
+        name, a, b, value_text = positional
+        value = self.params.number(value_text, number)
+        ic = kwargs.pop("ic", None)
+        if kwargs:
+            raise NetlistError(f"{name}: unknown parameter(s) {sorted(kwargs)}", number)
+        kind = name[0].upper()
+        if kind == "R":
+            if ic is not None:
+                raise NetlistError(f"{name}: resistors take no ic", number)
+            circuit.add_resistor(name, a, b, value)
+        elif kind == "C":
+            circuit.add_capacitor(name, a, b, value, ic=ic)
+        else:
+            circuit.add_inductor(name, a, b, value, ic=ic)
+
+    def _element_source(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        name, plus, minus = tokens[0], tokens[1], tokens[2]
+        waveform = self._parse_waveform(tokens[3:], number, name)
+        if name[0].upper() == "V":
+            circuit.add_vsource(name, plus, minus, waveform)
+        else:
+            circuit.add_isource(name, plus, minus, waveform)
+
+    def _parse_waveform(self, rest: list[str], number: int, name: str) -> SourceWaveform:
+        if not rest:
+            return Dc(0.0)
+        head = rest[0].lower()
+        if head == "dc":
+            if len(rest) < 2:
+                raise NetlistError(f"{name}: DC needs a value", number)
+            return Dc(self.params.number(rest[1], number))
+        shapes = {"pulse": Pulse, "sin": Sin, "pwl": Pwl, "exp": Exp}
+        if head in shapes:
+            args = self._paren_args(rest[1:], number, name)
+            return self._build_shape(head, args, number, name)
+        if len(rest) == 1:
+            return Dc(self.params.number(rest[0], number))
+        raise NetlistError(f"{name}: cannot parse source specification {rest!r}", number)
+
+    def _paren_args(self, tokens: list[str], number: int, name: str) -> list[float]:
+        if not tokens or tokens[0] != "(":
+            raise NetlistError(f"{name}: expected '(' after waveform keyword", number)
+        if ")" not in tokens:
+            raise NetlistError(f"{name}: missing ')' in waveform", number)
+        close = tokens.index(")")
+        return [self.params.number(t, number) for t in tokens[1:close]]
+
+    def _build_shape(self, head: str, args: list[float], number: int, name: str):
+        try:
+            if head == "pulse":
+                defaults = [0.0, 0.0, 0.0, 1e-12, 1e-12, 1e-9, None]
+                filled = args + defaults[len(args):]
+                return Pulse(
+                    v1=filled[0], v2=filled[1], delay=filled[2],
+                    rise=filled[3] or 1e-12, fall=filled[4] or 1e-12,
+                    width=filled[5], period=filled[6],
+                )
+            if head == "sin":
+                defaults = [0.0, 0.0, 1e3, 0.0, 0.0]
+                filled = args + defaults[len(args):]
+                return Sin(
+                    offset=filled[0], amplitude=filled[1], freq=filled[2],
+                    delay=filled[3], theta=filled[4],
+                )
+            if head == "exp":
+                defaults = [0.0, 0.0, 0.0, 1e-9, 1e-9, 1e-9]
+                filled = args + defaults[len(args):]
+                return Exp(*filled)
+            # PWL: flat (t, v) list
+            if len(args) % 2 != 0 or not args:
+                raise NetlistError(f"{name}: PWL needs (t v) pairs", number)
+            pairs = tuple(zip(args[0::2], args[1::2]))
+            return Pwl(pairs)
+        except NetlistError:
+            raise
+        except Exception as exc:
+            raise NetlistError(f"{name}: bad {head.upper()} waveform: {exc}", number) from None
+
+    def _element_vcxs(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        if len(tokens) != 6:
+            raise NetlistError(f"{tokens[0]}: expected 'name p m cp cm gain'", number)
+        name, p, m, cp, cm, gain = tokens
+        value = self.params.number(gain, number)
+        if name[0].upper() == "E":
+            circuit.add_vcvs(name, p, m, cp, cm, value)
+        else:
+            circuit.add_vccs(name, p, m, cp, cm, value)
+
+    def _element_ccxs(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        if len(tokens) != 5:
+            raise NetlistError(f"{tokens[0]}: expected 'name p m vsource gain'", number)
+        name, p, m, vname, gain = tokens
+        value = self.params.number(gain, number)
+        if name[0].upper() == "F":
+            circuit.add_cccs(name, p, m, vname, value)
+        else:
+            circuit.add_ccvs(name, p, m, vname, value)
+
+    def _element_diode(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        positional, kwargs = self._keyword_args(tokens, number)
+        if len(positional) not in (4, 5):
+            raise NetlistError(f"{positional[0]}: expected 'name a c model [area]'", number)
+        name, anode, cathode, model_name = positional[:4]
+        model = self._lookup_model(model_name, DiodeModel, number)
+        area = (
+            self.params.number(positional[4], number)
+            if len(positional) == 5
+            else kwargs.pop("area", 1.0)
+        )
+        circuit.add_diode(name, anode, cathode, model, area=float(area))
+
+    def _element_mosfet(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        positional, kwargs = self._keyword_args(tokens, number)
+        if len(positional) != 6:
+            raise NetlistError(f"{positional[0]}: expected 'name d g s b model'", number)
+        name, d, g, s, b, model_name = positional
+        model = self._lookup_model(model_name, MosfetModel, number)
+        w = kwargs.pop("w", 1e-6)
+        length = kwargs.pop("l", 1e-6)
+        if kwargs:
+            raise NetlistError(f"{name}: unknown parameter(s) {sorted(kwargs)}", number)
+        circuit.add_mosfet(name, d, g, s, b, model, w=w, l=length)
+
+    def _element_bjt(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        positional, kwargs = self._keyword_args(tokens, number)
+        if len(positional) not in (5, 6):
+            raise NetlistError(f"{positional[0]}: expected 'name c b e model [area]'", number)
+        name, c, b, e, model_name = positional[:5]
+        model = self._lookup_model(model_name, BjtModel, number)
+        area = (
+            self.params.number(positional[5], number)
+            if len(positional) == 6
+            else kwargs.pop("area", 1.0)
+        )
+        circuit.add_bjt(name, c, b, e, model, area=float(area))
+
+    def _element_mutual(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        if len(tokens) != 4:
+            raise NetlistError(f"{tokens[0]}: expected 'Kname L1 L2 k'", number)
+        name, l1, l2, k = tokens
+        try:
+            circuit.add_mutual(name, l1, l2, self.params.number(k, number))
+        except NetlistError:
+            raise
+        except Exception as exc:
+            raise NetlistError(f"{name}: {exc}", number) from None
+
+    def _element_subckt(self, circuit: Circuit, number: int, tokens: list[str]) -> None:
+        if len(tokens) < 3:
+            raise NetlistError(f"{tokens[0]}: expected 'Xname nodes... subckt'", number)
+        name, *middle, sub_name = tokens
+        sub = self.subcircuits.get(sub_name.lower())
+        if sub is None:
+            raise NetlistError(f"{name}: unknown subcircuit {sub_name!r}", number)
+        if len(middle) != len(sub.ports):
+            raise NetlistError(
+                f"{name}: subcircuit {sub_name!r} has {len(sub.ports)} port(s), "
+                f"got {len(middle)} connection(s)",
+                number,
+            )
+        circuit.add_subcircuit(name, sub, dict(zip(sub.ports, middle)))
+
+    def _lookup_model(self, model_name: str, expected_type, number: int):
+        model = self.models.get(model_name.lower())
+        if model is None:
+            raise NetlistError(f"unknown model {model_name!r}", number)
+        if not isinstance(model, expected_type):
+            raise NetlistError(
+                f"model {model_name!r} is a {type(model).__name__}, "
+                f"expected {expected_type.__name__}",
+                number,
+            )
+        return model
+
+    # -- dot cards ------------------------------------------------------------------
+
+    def _parse_dot_card(self, number: int, card: str) -> None:
+        tokens = _tokenize(card)
+        keyword = tokens[0].lower()
+        if keyword == ".model":
+            self._card_model(number, tokens)
+        elif keyword == ".param":
+            self._card_param(number, tokens)
+        elif keyword == ".tran":
+            self._card_tran(number, tokens)
+        elif keyword == ".dc":
+            self._card_dc(number, tokens)
+        elif keyword == ".op":
+            self.analyses.append(OpCommand())
+        elif keyword == ".options" or keyword == ".option":
+            self._card_options(number, tokens)
+        elif keyword == ".ends":
+            raise NetlistError(".ends without matching .subckt", number)
+        else:
+            raise NetlistError(f"unknown card {tokens[0]!r}", number)
+
+    _MODEL_BUILDERS = {
+        "d": (DiodeModel, {"is": "is_", "n": "n", "rs": "rs", "cj0": "cj0", "cjo": "cj0", "vj": "vj", "m": "m", "tt": "tt"}),
+        "nmos": (MosfetModel, {"vto": "vto", "kp": "kp", "lambda": "lambda_", "gamma": "gamma", "phi": "phi", "cox": "cox", "cgso": "cgso", "cgdo": "cgdo"}),
+        "pmos": (MosfetModel, {"vto": "vto", "kp": "kp", "lambda": "lambda_", "gamma": "gamma", "phi": "phi", "cox": "cox", "cgso": "cgso", "cgdo": "cgdo"}),
+        "npn": (BjtModel, {"is": "is_", "bf": "bf", "br": "br", "vaf": "vaf", "cje": "cje", "cjc": "cjc", "tf": "tf"}),
+        "pnp": (BjtModel, {"is": "is_", "bf": "bf", "br": "br", "vaf": "vaf", "cje": "cje", "cjc": "cjc", "tf": "tf"}),
+    }
+
+    def _card_model(self, number: int, tokens: list[str]) -> None:
+        if len(tokens) < 3:
+            raise NetlistError(".model needs a name and a type", number)
+        name, type_name = tokens[1], tokens[2].lower()
+        builder = self._MODEL_BUILDERS.get(type_name)
+        if builder is None:
+            raise NetlistError(f"unknown model type {tokens[2]!r}", number)
+        cls, aliases = builder
+        rest = [t for t in tokens[3:] if t not in ("(", ")")]
+        kwargs: dict[str, object] = {"name": name}
+        if type_name in ("nmos", "pmos"):
+            kwargs["polarity"] = type_name
+        if type_name in ("npn", "pnp"):
+            kwargs["polarity"] = type_name
+        i = 0
+        while i < len(rest):
+            if i + 2 < len(rest) + 1 and i + 1 < len(rest) and rest[i + 1] == "=":
+                key = rest[i].lower()
+                if key not in aliases:
+                    raise NetlistError(
+                        f"model {name}: unknown parameter {rest[i]!r}", number
+                    )
+                kwargs[aliases[key]] = self.params.number(rest[i + 2], number)
+                i += 3
+            else:
+                raise NetlistError(
+                    f"model {name}: expected key=value, found {rest[i]!r}", number
+                )
+        try:
+            self.models[name.lower()] = cls(**kwargs)
+        except Exception as exc:
+            raise NetlistError(f"model {name}: {exc}", number) from None
+
+    def _card_param(self, number: int, tokens: list[str]) -> None:
+        rest = tokens[1:]
+        i = 0
+        while i < len(rest):
+            if i + 1 < len(rest) and rest[i + 1] == "=":
+                if i + 2 >= len(rest):
+                    raise NetlistError(f".param: dangling '=' after {rest[i]!r}", number)
+                self.params.define(rest[i], rest[i + 2], number)
+                i += 3
+            else:
+                raise NetlistError(f".param: expected name=value, found {rest[i]!r}", number)
+
+    def _card_tran(self, number: int, tokens: list[str]) -> None:
+        if len(tokens) < 3:
+            raise NetlistError(".tran needs tstep and tstop", number)
+        tstep = self.params.number(tokens[1], number)
+        tstop = self.params.number(tokens[2], number)
+        if tstop <= 0 or tstep <= 0:
+            raise NetlistError(".tran times must be positive", number)
+        self.analyses.append(TranCommand(tstep, tstop))
+
+    def _card_dc(self, number: int, tokens: list[str]) -> None:
+        if len(tokens) != 5:
+            raise NetlistError(".dc needs 'source start stop step'", number)
+        self.analyses.append(
+            DcCommand(
+                tokens[1],
+                self.params.number(tokens[2], number),
+                self.params.number(tokens[3], number),
+                self.params.number(tokens[4], number),
+            )
+        )
+
+    def _card_options(self, number: int, tokens: list[str]) -> None:
+        rest = tokens[1:]
+        i = 0
+        while i < len(rest):
+            if i + 1 < len(rest) and rest[i + 1] == "=":
+                if i + 2 >= len(rest):
+                    raise NetlistError(f".options: dangling '=' after {rest[i]!r}", number)
+                key = rest[i].lower()
+                value_text = rest[i + 2]
+                if key == "method":
+                    self.option_values[key] = value_text.lower()
+                else:
+                    self.option_values[key] = self.params.number(value_text, number)
+                i += 3
+            else:
+                raise NetlistError(
+                    f".options: expected key=value, found {rest[i]!r}", number
+                )
+
+    def _build_options(self) -> SimOptions:
+        known = {
+            "reltol", "abstol", "vntol", "chgtol", "gmin", "trtol", "method",
+            "max_step",
+        }
+        kwargs = {}
+        for key, value in self.option_values.items():
+            if key not in known:
+                raise NetlistError(f".options: unsupported option {key!r}")
+            kwargs[key] = value
+        try:
+            return SimOptions(**kwargs)
+        except Exception as exc:
+            raise NetlistError(f".options: {exc}") from None
+
+    # -- subcircuits ---------------------------------------------------------------
+
+    def _parse_subcircuit(self, body, index: int) -> int:
+        number, card = body[index]
+        tokens = _tokenize(card)
+        if len(tokens) < 3:
+            raise NetlistError(".subckt needs a name and at least one port", number)
+        sub_name, ports = tokens[1], tokens[2:]
+        sub = Subcircuit(sub_name, ports)
+        index += 1
+        while index < len(body):
+            inner_no, inner = body[index]
+            lowered = inner.lower()
+            if lowered.startswith(".subckt"):
+                raise NetlistError("nested .subckt is not supported", inner_no)
+            if lowered == ".ends" or lowered.startswith(".ends "):
+                self.subcircuits[sub_name.lower()] = sub
+                return index + 1
+            if lowered == ".end":
+                break  # deck ended inside the block: report missing .ends
+            if lowered.startswith(".param") or lowered.startswith(".model"):
+                index += 1  # handled in the global pre-pass
+                continue
+            self._parse_card(sub.circuit, inner_no, inner)
+            index += 1
+        raise NetlistError(f".subckt {sub_name} missing .ends", number)
+
+
+def parse_netlist(text: str) -> Netlist:
+    """Parse a SPICE deck into a :class:`Netlist`."""
+    return NetlistParser(text).parse()
+
+
+def parse_file(path) -> Netlist:
+    """Parse a deck from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_netlist(handle.read())

@@ -1,0 +1,240 @@
+"""Netlist writer: emit a SPICE deck from a :class:`Circuit`.
+
+The inverse of :mod:`repro.netlist.parser`, used to persist
+programmatically built circuits (including the benchmark generators) as
+decks the CLI — or any other SPICE — can consume. Model cards are
+deduplicated by content; a round trip through
+:func:`~repro.netlist.parser.parse_netlist` reproduces an equivalent
+circuit (same components, nodes, values and waveforms).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import math
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import (
+    Bjt,
+    Capacitor,
+    Cccs,
+    Ccvs,
+    CurrentSource,
+    Diode,
+    Inductor,
+    Mosfet,
+    MutualInductance,
+    Resistor,
+    Vccs,
+    Vcvs,
+    VoltageSource,
+)
+from repro.circuit.sources import Dc, Exp, Pulse, Pwl, Sin
+from repro.errors import NetlistError
+
+#: Model-card fields worth emitting, keyed by model class name:
+#: (deck keyword, attribute, default-to-skip).
+_MODEL_FIELDS = {
+    "DiodeModel": [
+        ("is", "is_", 1e-14), ("n", "n", 1.0), ("rs", "rs", 0.0),
+        ("cj0", "cj0", 0.0), ("vj", "vj", 1.0), ("m", "m", 0.5), ("tt", "tt", 0.0),
+    ],
+    "MosfetModel": [
+        ("vto", "vto", None), ("kp", "kp", None), ("lambda", "lambda_", 0.0),
+        ("gamma", "gamma", 0.0), ("phi", "phi", 0.65), ("cox", "cox", 3.45e-3),
+        ("cgso", "cgso", 0.0), ("cgdo", "cgdo", 0.0),
+    ],
+    "BjtModel": [
+        ("is", "is_", None), ("bf", "bf", None), ("br", "br", 1.0),
+        ("vaf", "vaf", math.inf), ("cje", "cje", 0.0), ("cjc", "cjc", 0.0),
+        ("tf", "tf", 0.0),
+    ],
+}
+
+
+def _num(value: float) -> str:
+    """Compact exact-roundtrip number formatting."""
+    return repr(float(value))
+
+
+def _waveform_text(waveform) -> str:
+    if isinstance(waveform, Dc):
+        return _num(waveform.level)
+    if isinstance(waveform, Pulse):
+        parts = [waveform.v1, waveform.v2, waveform.delay, waveform.rise,
+                 waveform.fall, waveform.width]
+        if waveform.period is not None:
+            parts.append(waveform.period)
+        return "PULSE(" + " ".join(_num(p) for p in parts) + ")"
+    if isinstance(waveform, Sin):
+        parts = [waveform.offset, waveform.amplitude, waveform.freq,
+                 waveform.delay, waveform.theta]
+        return "SIN(" + " ".join(_num(p) for p in parts) + ")"
+    if isinstance(waveform, Exp):
+        parts = [waveform.v1, waveform.v2, waveform.td1, waveform.tau1,
+                 waveform.td2, waveform.tau2]
+        return "EXP(" + " ".join(_num(p) for p in parts) + ")"
+    if isinstance(waveform, Pwl):
+        flat = [x for point in waveform.points for x in point]
+        return "PWL(" + " ".join(_num(p) for p in flat) + ")"
+    raise NetlistError(
+        f"waveform type {type(waveform).__name__} has no deck representation"
+    )
+
+
+class _ModelTable:
+    """Deduplicates model cards by content; assigns deck names."""
+
+    def __init__(self):
+        self._by_content: dict[tuple, str] = {}
+        self.cards: list[str] = []
+
+    def name_for(self, model, deck_type: str) -> str:
+        fields = _MODEL_FIELDS[type(model).__name__]
+        content = (deck_type,) + tuple(
+            getattr(model, attr) for _, attr, _ in fields
+        )
+        if content in self._by_content:
+            return self._by_content[content]
+        name = f"{deck_type}_{len(self._by_content)}"
+        self._by_content[content] = name
+        params = []
+        for keyword, attr, default in fields:
+            value = getattr(model, attr)
+            if default is not None and value == default:
+                continue
+            if isinstance(value, float) and math.isinf(value):
+                continue  # e.g. vaf=inf means "disabled": omit
+            params.append(f"{keyword}={_num(value)}")
+        self.cards.append(f".model {name} {deck_type} " + " ".join(params))
+        return name
+
+
+def write_netlist(
+    circuit: Circuit,
+    target=None,
+    tran: tuple[float, float] | None = None,
+) -> str:
+    """Serialise *circuit* as a SPICE deck.
+
+    Args:
+        target: optional path or text file object to write to.
+        tran: optional ``(tstep, tstop)`` pair emitted as a ``.tran`` card.
+
+    Returns:
+        The deck text (also when *target* is given).
+    """
+    models = _ModelTable()
+    element_lines: list[str] = []
+
+    for comp in circuit.components:
+        name = comp.name.replace(" ", "_")
+        if isinstance(comp, Resistor):
+            element_lines.append(f"{name} {comp.a} {comp.b} {_num(comp.resistance)}")
+        elif isinstance(comp, Capacitor):
+            suffix = f" ic={_num(comp.ic)}" if comp.ic is not None else ""
+            element_lines.append(
+                f"{name} {comp.a} {comp.b} {_num(comp.capacitance)}{suffix}"
+            )
+        elif isinstance(comp, Inductor):
+            suffix = f" ic={_num(comp.ic)}" if comp.ic is not None else ""
+            element_lines.append(
+                f"{name} {comp.a} {comp.b} {_num(comp.inductance)}{suffix}"
+            )
+        elif isinstance(comp, VoltageSource):
+            element_lines.append(
+                f"{name} {comp.plus} {comp.minus} {_waveform_text(comp.waveform)}"
+            )
+        elif isinstance(comp, CurrentSource):
+            element_lines.append(
+                f"{name} {comp.plus} {comp.minus} {_waveform_text(comp.waveform)}"
+            )
+        elif isinstance(comp, Vcvs):
+            element_lines.append(
+                f"{name} {comp.plus} {comp.minus} {comp.ctrl_plus} "
+                f"{comp.ctrl_minus} {_num(comp.gain)}"
+            )
+        elif isinstance(comp, Vccs):
+            element_lines.append(
+                f"{name} {comp.plus} {comp.minus} {comp.ctrl_plus} "
+                f"{comp.ctrl_minus} {_num(comp.transconductance)}"
+            )
+        elif isinstance(comp, Cccs):
+            element_lines.append(
+                f"{name} {comp.plus} {comp.minus} {comp.ctrl_source} {_num(comp.gain)}"
+            )
+        elif isinstance(comp, Ccvs):
+            element_lines.append(
+                f"{name} {comp.plus} {comp.minus} {comp.ctrl_source} "
+                f"{_num(comp.transresistance)}"
+            )
+        elif isinstance(comp, Diode):
+            model = models.name_for(comp.model, "d")
+            element_lines.append(
+                f"{name} {comp.anode} {comp.cathode} {model} {_num(comp.area)}"
+            )
+        elif isinstance(comp, Mosfet):
+            model = models.name_for(comp.model, comp.model.polarity)
+            element_lines.append(
+                f"{name} {comp.drain} {comp.gate} {comp.source} {comp.bulk} "
+                f"{model} w={_num(comp.w)} l={_num(comp.l)}"
+            )
+        elif isinstance(comp, MutualInductance):
+            element_lines.append(
+                f"{name} {comp.inductor1} {comp.inductor2} {_num(comp.coupling)}"
+            )
+        elif isinstance(comp, Bjt):
+            model = models.name_for(comp.model, comp.model.polarity)
+            element_lines.append(
+                f"{name} {comp.collector} {comp.base} {comp.emitter} "
+                f"{model} {_num(comp.area)}"
+            )
+        else:
+            raise NetlistError(
+                f"component type {type(comp).__name__} has no deck representation"
+            )
+
+    buffer = io.StringIO()
+    buffer.write(f"{circuit.title}\n")
+    for card in models.cards:
+        buffer.write(card + "\n")
+    for line in element_lines:
+        buffer.write(line + "\n")
+    if tran is not None:
+        tstep, tstop = tran
+        buffer.write(f".tran {_num(tstep)} {_num(tstop)}\n")
+    buffer.write(".end\n")
+    text = buffer.getvalue()
+
+    if target is not None:
+        if hasattr(target, "write"):
+            target.write(text)
+        else:
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    return text
+
+
+def roundtrip(circuit: Circuit) -> Circuit:
+    """Serialise and re-parse *circuit* (testing/diagnostic helper)."""
+    from repro.netlist.parser import parse_netlist
+
+    return parse_netlist(write_netlist(circuit)).circuit
+
+
+def _equivalent_component(a, b) -> bool:
+    """Structural equality modulo model-card names."""
+    if type(a) is not type(b) or a.nodes != b.nodes:
+        return False
+    for field in dataclasses.fields(a):
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        if dataclasses.is_dataclass(va):
+            named_a = dataclasses.asdict(va)
+            named_b = dataclasses.asdict(vb)
+            named_a.pop("name", None), named_b.pop("name", None)
+            if named_a != named_b:
+                return False
+        elif va != vb:
+            return False
+    return True

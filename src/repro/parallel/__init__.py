@@ -1,0 +1,1 @@
+"""Parallel runtime: stage executors and the virtual clock."""

@@ -1,0 +1,1 @@
+"""Nonlinear solving: Newton-Raphson and DC operating point."""

@@ -1,0 +1,156 @@
+"""Damped Newton–Raphson for the discretised circuit equations.
+
+One call of :func:`newton_solve` finds x with
+
+    F(x) = f(x) + s(t) + gshunt*x + alpha0*q(x) + beta = 0
+
+where ``alpha0``/``beta`` encode the integration scheme (``alpha0 = 0``,
+``beta = 0`` gives the DC equations). Convergence follows SPICE: the
+iteration stops when every component of the update satisfies
+``|dx_i| <= reltol*max(|x_i|, |x_prev_i|) + tol_i`` (vntol for voltages,
+abstol for currents) *and* no device limiter fired on the accepted iterate.
+
+The solver is stateless and re-entrant: all scratch state lives in the
+caller-provided :class:`~repro.devices.base.EvalOutputs` buffers, so
+concurrent WavePipe tasks can run Newton solves on the same system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.base import EvalOutputs
+from repro.errors import SingularMatrixError
+from repro.linalg.solve import LinearSolver
+from repro.mna.system import MnaSystem
+from repro.utils.options import SimOptions
+
+@dataclass
+class NewtonResult:
+    """Outcome of one Newton solve.
+
+    Attributes:
+        x: final iterate (meaningful even when unconverged — speculative
+            WavePipe phases resume from it).
+        converged: True if the SPICE delta-x criterion was met.
+        iterations: Newton iterations performed.
+        residual_norm: infinity norm of F at the final iterate.
+        work_units: cost-model charge for this solve.
+        q / qdot: charge vector at the solution and its derivative
+            ``alpha0*q + beta`` (filled by the caller's integration layer
+            when needed).
+        failure: short reason string when not converged.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    work_units: float
+    q: np.ndarray | None = None
+    qdot: np.ndarray | None = None
+    failure: str = ""
+
+
+def iteration_work(system: MnaSystem) -> float:
+    """Cost-model work units for one Newton iteration on *system*.
+
+    Device evaluation dominates in a SPICE engine; factorisation scales
+    with the pattern's nonzero count. The constants only matter up to an
+    overall scale since speedups are cost ratios on the same system.
+    """
+    return system.work_units_per_eval + 0.05 * system.pattern.nnz
+
+
+def newton_solve(
+    system: MnaSystem,
+    t: float,
+    alpha0: float,
+    beta: np.ndarray | float,
+    x0: np.ndarray,
+    options: SimOptions | None = None,
+    out: EvalOutputs | None = None,
+    solver: LinearSolver | None = None,
+    iter_cap: int | None = None,
+) -> NewtonResult:
+    """Solve the discretised equations at time *t* starting from *x0*.
+
+    Args:
+        alpha0: leading integration coefficient (0 for DC).
+        beta: history vector of the integration scheme (0 for DC).
+        iter_cap: optional hard iteration bound; when hit, returns the
+            current iterate with ``converged=False`` and no error — used
+            by WavePipe's speculative forward phase.
+    """
+    opts = options or system.options
+    out = out if out is not None else system.make_buffers()
+    solver = solver or LinearSolver(system.unknown_names)
+    max_iters = iter_cap if iter_cap is not None else opts.max_newton_iters
+    per_iter = iteration_work(system)
+
+    abs_tol = system.convergence_tolerances(opts)
+    x = np.asarray(x0, dtype=float).copy()
+    residual_norm = np.inf
+
+    for iteration in range(1, max_iters + 1):
+        system.eval(x, t, out)
+        residual = system.resistive_residual(out, x)
+        if alpha0 != 0.0 or np.ndim(beta) > 0:
+            residual = residual + alpha0 * out.q[: system.n] + beta
+        residual_norm = float(np.abs(residual).max()) if residual.size else 0.0
+        # Large-but-finite residuals are recoverable (overflow-safe device
+        # models plus limiting pull the iterate back); only non-finite
+        # values are hopeless.
+        if not np.isfinite(residual_norm):
+            return NewtonResult(
+                x, False, iteration, residual_norm, iteration * per_iter,
+                failure="residual diverged (non-finite)",
+            )
+
+        jac = system.jacobian(out, alpha0)
+        try:
+            delta = solver.solve(jac, -residual)
+        except SingularMatrixError as exc:
+            return NewtonResult(
+                x, False, iteration, residual_norm, iteration * per_iter,
+                failure=f"singular Jacobian: {exc}",
+            )
+
+        # Global damping: cap the largest voltage move per iteration.
+        # Purely linear systems converge in one exact step — damping them
+        # only turns one iteration into several.
+        if system.has_nonlinear:
+            if opts.voltage_limit > 0:
+                vmax = (
+                    np.abs(delta[system.voltage_mask]).max()
+                    if system.voltage_mask.any()
+                    else 0.0
+                )
+                if vmax > opts.voltage_limit:
+                    delta = delta * (opts.voltage_limit / vmax)
+            if opts.damping < 1.0:
+                delta = delta * opts.damping
+
+        x_new = x + delta
+
+        # Per-device junction limiting on the padded iterate.
+        x_new_full = system.pad(x_new)
+        limited = system.limit(x_new_full, system.pad(x))
+        if limited:
+            x_new = x_new_full[: system.n]
+
+        scale = np.maximum(np.abs(x_new), np.abs(x))
+        tol = opts.reltol * scale + abs_tol
+        small = np.all(np.abs(x_new - x) <= tol)
+        x = x_new
+        if small and not limited and iteration >= 1:
+            return NewtonResult(
+                x, True, iteration, residual_norm, iteration * per_iter
+            )
+
+    failure = "" if iter_cap is not None else "iteration limit reached"
+    return NewtonResult(
+        x, False, max_iters, residual_norm, max_iters * per_iter, failure=failure
+    )

@@ -1,0 +1,1 @@
+"""Shared utilities: unit parsing and simulator options."""

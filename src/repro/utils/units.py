@@ -1,0 +1,109 @@
+"""SPICE engineering-notation number parsing and formatting.
+
+SPICE decks write component values with case-insensitive engineering
+suffixes: ``1k`` is 1000, ``2.5u`` is 2.5e-6, ``1meg`` is 1e6 (``m`` alone
+is milli), ``10mil`` is 10 * 25.4e-6. Trailing alphabetic unit garnish is
+tolerated and ignored, as in real SPICE (``10kOhm``, ``5pF``).
+
+:func:`parse_value` is the single entry point used by the circuit builder
+and the netlist parser; :func:`format_si` renders a float back into
+readable engineering notation for tables and reprs.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import UnitError
+
+#: Multipliers keyed by lower-case suffix, longest match first at parse time.
+SUFFIXES: dict[str, float] = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "mil": 25.4e-6,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_NUMBER_RE = re.compile(
+    r"^\s*(?P<num>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)(?P<rest>[a-zA-Z]*)\s*$"
+)
+
+
+def parse_value(text: str | float | int) -> float:
+    """Parse a SPICE-style numeric value into a float.
+
+    Accepts plain numbers (int/float pass through), scientific notation,
+    and engineering suffixes with optional trailing unit letters::
+
+        parse_value("1k")      -> 1000.0
+        parse_value("2.5u")    -> 2.5e-6
+        parse_value("1meg")    -> 1e6
+        parse_value("10pF")    -> 1e-11
+        parse_value(47.0)      -> 47.0
+
+    Raises:
+        UnitError: if *text* is not a recognisable number.
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if math.isnan(value):
+            raise UnitError("value is NaN")
+        return value
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse numeric value {text!r}")
+    base = float(match.group("num"))
+    rest = match.group("rest").lower()
+    if not rest:
+        return base
+    # Longest suffix first so "meg" and "mil" beat "m".
+    for suffix in ("meg", "mil"):
+        if rest.startswith(suffix):
+            return base * SUFFIXES[suffix]
+    head = rest[0]
+    if head in SUFFIXES:
+        return base * SUFFIXES[head]
+    # Unknown letters are unit garnish ("Ohm", "V", "Hz") -> no scaling.
+    return base
+
+
+_SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    # "Meg", not "M": SPICE suffixes are case-insensitive and "m" is milli,
+    # so formatted values must round-trip through parse_value correctly.
+    (1e6, "Meg"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format *value* with an SI prefix, e.g. ``format_si(2.2e-6, "F")`` -> ``"2.2uF"``.
+
+    Values of exactly zero render as ``"0<unit>"``; magnitudes outside the
+    prefix table fall back to scientific notation.
+    """
+    if value == 0:
+        return f"0{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{prefix}{unit}"
+    return f"{value:.{digits}e}{unit}"

@@ -1,0 +1,1 @@
+"""Waveform containers, measurements, comparison, CSV export."""

@@ -1,0 +1,169 @@
+"""SPICE ``.measure``-style scalar measurements on waveforms.
+
+The quantities a designer actually reads off a transient run: edge
+timing, rise/fall times, propagation delay between two signals,
+overshoot, settling time, duty cycle, and harmonic distortion. All
+functions take :class:`~repro.waveform.waveform.Waveform` objects and
+return floats (or None when the feature is absent, matching how
+``.measure`` reports failed measurements).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.waveform.waveform import Waveform
+
+
+def rise_time(
+    waveform: Waveform,
+    low: float | None = None,
+    high: float | None = None,
+    fractions: tuple[float, float] = (0.1, 0.9),
+) -> float | None:
+    """10%-90% (by default) rise time of the first rising edge.
+
+    *low*/*high* default to the waveform's min/max; *fractions* are the
+    measurement thresholds within that span.
+    """
+    low = float(waveform.values.min()) if low is None else low
+    high = float(waveform.values.max()) if high is None else high
+    span = high - low
+    if span <= 0:
+        return None
+    t_lo = waveform.crossings(low + fractions[0] * span, "rise")
+    t_hi = waveform.crossings(low + fractions[1] * span, "rise")
+    if t_lo.size == 0 or t_hi.size == 0:
+        return None
+    t_start = t_lo[0]
+    later = t_hi[t_hi > t_start]
+    if later.size == 0:
+        return None
+    return float(later[0] - t_start)
+
+
+def fall_time(
+    waveform: Waveform,
+    low: float | None = None,
+    high: float | None = None,
+    fractions: tuple[float, float] = (0.1, 0.9),
+) -> float | None:
+    """90%-10% fall time of the first falling edge."""
+    low = float(waveform.values.min()) if low is None else low
+    high = float(waveform.values.max()) if high is None else high
+    span = high - low
+    if span <= 0:
+        return None
+    t_hi = waveform.crossings(low + fractions[1] * span, "fall")
+    t_lo = waveform.crossings(low + fractions[0] * span, "fall")
+    if t_hi.size == 0 or t_lo.size == 0:
+        return None
+    t_start = t_hi[0]
+    later = t_lo[t_lo > t_start]
+    if later.size == 0:
+        return None
+    return float(later[0] - t_start)
+
+
+def propagation_delay(
+    trigger: Waveform,
+    target: Waveform,
+    trigger_level: float,
+    target_level: float,
+    trigger_edge: str = "rise",
+    target_edge: str = "both",
+    occurrence: int = 1,
+) -> float | None:
+    """Delay from the *occurrence*-th trigger edge to the next target edge."""
+    if occurrence < 1:
+        raise SimulationError("occurrence is 1-based")
+    t_trig = trigger.crossings(trigger_level, trigger_edge)
+    if t_trig.size < occurrence:
+        return None
+    t0 = t_trig[occurrence - 1]
+    t_targ = target.crossings(target_level, target_edge)
+    after = t_targ[t_targ > t0]
+    if after.size == 0:
+        return None
+    return float(after[0] - t0)
+
+
+def overshoot(waveform: Waveform, final: float | None = None) -> float:
+    """Peak excursion beyond the final value, as a fraction of the swing.
+
+    Returns 0.0 for monotone responses.
+    """
+    final = waveform.final_value() if final is None else final
+    initial = float(waveform.values[0])
+    swing = final - initial
+    if swing == 0:
+        return 0.0
+    if swing > 0:
+        peak = float(waveform.values.max())
+        return max(0.0, (peak - final) / swing)
+    trough = float(waveform.values.min())
+    return max(0.0, (final - trough) / -swing)
+
+
+def settling_time(
+    waveform: Waveform, tolerance: float = 0.02, final: float | None = None
+) -> float | None:
+    """First time after which the signal stays within ±tolerance of final.
+
+    Tolerance is relative to the initial-to-final swing (2% default).
+    """
+    final = waveform.final_value() if final is None else final
+    swing = abs(final - float(waveform.values[0]))
+    if swing == 0:
+        return float(waveform.times[0])
+    band = tolerance * swing
+    outside = np.abs(waveform.values - final) > band
+    if not outside.any():
+        return float(waveform.times[0])
+    last_outside = np.nonzero(outside)[0][-1]
+    if last_outside + 1 >= len(waveform):
+        return None  # never settles inside the window
+    return float(waveform.times[last_outside + 1])
+
+
+def duty_cycle(waveform: Waveform, level: float | None = None) -> float | None:
+    """Fraction of one period spent above *level* (default: midpoint)."""
+    if level is None:
+        level = float((waveform.values.max() + waveform.values.min()) / 2.0)
+    rises = waveform.crossings(level, "rise")
+    falls = waveform.crossings(level, "fall")
+    if rises.size < 2 or falls.size < 1:
+        return None
+    t0, t1 = rises[0], rises[1]
+    inside_falls = falls[(falls > t0) & (falls < t1)]
+    if inside_falls.size == 0:
+        return None
+    return float((inside_falls[0] - t0) / (t1 - t0))
+
+
+def tone_magnitude(waveform: Waveform, freq: float, samples: int = 4096) -> float:
+    """Single-bin DFT magnitude at *freq* (uniform resample, mean removed)."""
+    grid = np.linspace(waveform.times[0], waveform.times[-1], samples)
+    values = waveform.at(grid)
+    values = values - values.mean()
+    phase = np.exp(-2j * np.pi * freq * grid)
+    return float(2.0 * abs(np.mean(values * phase)))
+
+
+def thd(waveform: Waveform, fundamental: float, harmonics: int = 5) -> float | None:
+    """Total harmonic distortion: sqrt(sum |H_k|^2) / |H_1| for k = 2..n.
+
+    The waveform should span an integer number of fundamental periods for
+    best accuracy; None when the fundamental is absent.
+    """
+    if harmonics < 2:
+        raise SimulationError("thd needs at least 2 harmonics")
+    h1 = tone_magnitude(waveform, fundamental)
+    if h1 <= 0:
+        return None
+    power = sum(
+        tone_magnitude(waveform, k * fundamental) ** 2
+        for k in range(2, harmonics + 1)
+    )
+    return float(np.sqrt(power) / h1)

@@ -1,0 +1,199 @@
+"""Waveform containers and comparison metrics.
+
+Transient engines emit a :class:`WaveformSet`: the accepted time axis plus
+one trace per unknown. Because adaptive simulators put points wherever
+their step control liked, comparing two runs (the paper's accuracy claim)
+requires resampling onto a common grid — :func:`compare` interpolates both
+sets linearly and reports max/RMS deviation per signal.
+
+Also here: the scalar measurements examples and tests use (zero crossings,
+period/frequency estimation, peak-to-peak, settling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class Waveform:
+    """One signal sampled on a strictly increasing time axis."""
+
+    def __init__(self, times: np.ndarray, values: np.ndarray, name: str = ""):
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or times.shape != values.shape:
+            raise SimulationError("waveform times/values must be matching 1-D arrays")
+        if times.size >= 2 and np.any(np.diff(times) <= 0):
+            raise SimulationError(f"waveform {name!r} time axis must strictly increase")
+        self.times = times
+        self.values = values
+        self.name = name
+
+    def __len__(self) -> int:
+        return self.times.size
+
+    def __repr__(self) -> str:
+        span = f"[{self.times[0]:.3e}, {self.times[-1]:.3e}]s" if len(self) else "[]"
+        return f"Waveform({self.name!r}, {len(self)} pts, {span})"
+
+    def at(self, t) -> np.ndarray | float:
+        """Linear interpolation at time(s) *t* (clamped at the ends)."""
+        result = np.interp(t, self.times, self.values)
+        return float(result) if np.isscalar(t) else result
+
+    def resample(self, times: np.ndarray) -> "Waveform":
+        return Waveform(np.asarray(times, dtype=float), self.at(times), self.name)
+
+    def slice(self, t0: float, t1: float) -> "Waveform":
+        """Portion with t0 <= t <= t1."""
+        mask = (self.times >= t0) & (self.times <= t1)
+        return Waveform(self.times[mask], self.values[mask], self.name)
+
+    # -- measurements ---------------------------------------------------------
+
+    def peak_to_peak(self) -> float:
+        return float(self.values.max() - self.values.min())
+
+    def crossings(self, level: float, direction: str = "both") -> np.ndarray:
+        """Interpolated times where the signal crosses *level*.
+
+        *direction* is "rise", "fall" or "both".
+        """
+        v = self.values - level
+        sign_change = v[:-1] * v[1:] < 0
+        idx = np.nonzero(sign_change)[0]
+        if direction == "rise":
+            idx = idx[v[idx] < 0]
+        elif direction == "fall":
+            idx = idx[v[idx] > 0]
+        elif direction != "both":
+            raise SimulationError(f"unknown crossing direction {direction!r}")
+        t0, t1 = self.times[idx], self.times[idx + 1]
+        v0, v1 = v[idx], v[idx + 1]
+        return t0 - v0 * (t1 - t0) / (v1 - v0)
+
+    def period(self, level: float | None = None) -> float | None:
+        """Median spacing of rising crossings through *level* (default: mean).
+
+        None when fewer than two rising crossings exist.
+        """
+        if level is None:
+            level = float(self.values.mean())
+        rises = self.crossings(level, "rise")
+        if rises.size < 2:
+            return None
+        return float(np.median(np.diff(rises)))
+
+    def frequency(self, level: float | None = None) -> float | None:
+        p = self.period(level)
+        return None if p is None or p <= 0 else 1.0 / p
+
+    def final_value(self) -> float:
+        if not len(self):
+            raise SimulationError("empty waveform has no final value")
+        return float(self.values[-1])
+
+
+class WaveformSet:
+    """All traces of one transient run, indexable by signal name."""
+
+    def __init__(self, times: np.ndarray, data: dict[str, np.ndarray]):
+        self.times = np.asarray(times, dtype=float)
+        self._data = {k: np.asarray(v, dtype=float) for k, v in data.items()}
+        for name, v in self._data.items():
+            if v.shape != self.times.shape:
+                raise SimulationError(f"trace {name!r} length mismatch with time axis")
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._data)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __getitem__(self, name: str) -> Waveform:
+        if name not in self._data:
+            available = ", ".join(sorted(self._data)[:8])
+            raise SimulationError(
+                f"no trace named {name!r}; available include: {available}"
+            )
+        return Waveform(self.times, self._data[name], name)
+
+    def voltage(self, node: str) -> Waveform:
+        return self[f"v({node})"]
+
+    def current(self, component: str) -> Waveform:
+        return self[f"i({component})"]
+
+    def __len__(self) -> int:
+        return self.times.size
+
+    def __repr__(self) -> str:
+        return f"WaveformSet({len(self._data)} traces, {len(self)} points)"
+
+
+@dataclass(frozen=True)
+class Deviation:
+    """Accuracy comparison of one signal between two runs."""
+
+    name: str
+    max_abs: float
+    rms: float
+    reference_scale: float
+
+    @property
+    def max_relative(self) -> float:
+        """Max deviation normalised by the reference signal's span."""
+        if self.reference_scale <= 0:
+            return 0.0 if self.max_abs == 0 else float("inf")
+        return self.max_abs / self.reference_scale
+
+
+def compare(
+    reference: WaveformSet,
+    candidate: WaveformSet,
+    names: list[str] | None = None,
+    grid_points: int = 2000,
+) -> list[Deviation]:
+    """Max/RMS deviation per signal on a common uniform grid.
+
+    The grid spans the overlap of both runs; signals missing from either
+    set are skipped. The reference scale is the reference signal's
+    peak-to-peak span (so `max_relative` reads as "fraction of swing").
+    """
+    names = names if names is not None else [n for n in reference.names if n in candidate]
+    t0 = max(reference.times[0], candidate.times[0])
+    t1 = min(reference.times[-1], candidate.times[-1])
+    if t1 <= t0:
+        raise SimulationError("waveform sets do not overlap in time")
+    grid = np.linspace(t0, t1, grid_points)
+    out = []
+    for name in names:
+        if name not in candidate:
+            continue
+        ref = reference[name].at(grid)
+        cand = candidate[name].at(grid)
+        diff = np.abs(ref - cand)
+        # Scale: signal swing, but never below its magnitude — a constant
+        # 3 V rail has zero swing yet nanovolt noise on it is not "100%".
+        scale = max(float(ref.max() - ref.min()), float(np.abs(ref).max()))
+        out.append(
+            Deviation(
+                name=name,
+                max_abs=float(diff.max()),
+                rms=float(np.sqrt(np.mean(diff**2))),
+                reference_scale=scale,
+            )
+        )
+    return out
+
+
+def worst_deviation(deviations: list[Deviation]) -> Deviation | None:
+    """The deviation with the largest relative error, or None when empty."""
+    if not deviations:
+        return None
+    return max(deviations, key=lambda d: d.max_relative)

@@ -1,0 +1,79 @@
+"""Shared fixtures: small canonical circuits used across the test suite."""
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import DiodeModel, MosfetModel
+from repro.circuit.sources import Dc, Pulse, Sin
+
+
+@pytest.fixture
+def rc_circuit():
+    """1 kOhm / 1 nF low-pass driven by a 0->1 V step at 1 us (tau = 1 us)."""
+    circuit = Circuit("rc-fixture")
+    circuit.add_vsource(
+        "V1", "in", "0", Pulse(0.0, 1.0, delay=1e-6, rise=1e-12, width=1.0)
+    )
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-9)
+    return circuit
+
+
+@pytest.fixture
+def divider_circuit():
+    """Resistive divider: 10 V across 1k + 3k, v(mid) = 7.5 V."""
+    circuit = Circuit("divider-fixture")
+    circuit.add_vsource("V1", "top", "0", Dc(10.0))
+    circuit.add_resistor("R1", "top", "mid", 1e3)
+    circuit.add_resistor("R2", "mid", "0", 3e3)
+    return circuit
+
+
+@pytest.fixture
+def diode_circuit():
+    """Forward-biased diode with series resistor (5 V, 1 kOhm)."""
+    circuit = Circuit("diode-fixture")
+    circuit.add_vsource("V1", "in", "0", Dc(5.0))
+    circuit.add_resistor("R1", "in", "a", 1e3)
+    circuit.add_diode("D1", "a", "0", DiodeModel(is_=1e-14, n=1.0))
+    return circuit
+
+
+@pytest.fixture
+def inverter_circuit():
+    """CMOS inverter with a pulsed input and a capacitive load."""
+    nmos = MosfetModel("n", "nmos", vto=0.7, kp=200e-6, lambda_=0.05)
+    pmos = MosfetModel("p", "pmos", vto=0.7, kp=100e-6, lambda_=0.05)
+    circuit = Circuit("inverter-fixture")
+    circuit.add_vsource("VDD", "vdd", "0", Dc(3.0))
+    circuit.add_vsource(
+        "VIN", "in", "0",
+        Pulse(0.0, 3.0, delay=1e-9, rise=0.1e-9, fall=0.1e-9, width=4e-9, period=10e-9),
+    )
+    circuit.add_mosfet("MP", "out", "in", "vdd", "vdd", pmos, w=2e-6, l=1e-6)
+    circuit.add_mosfet("MN", "out", "in", "0", "0", nmos, w=1e-6, l=1e-6)
+    circuit.add_capacitor("CL", "out", "0", 20e-15)
+    return circuit
+
+
+@pytest.fixture
+def rlc_circuit():
+    """Series RLC: underdamped ringing (R=10, L=1u, C=1n; f0 ~ 5 MHz)."""
+    circuit = Circuit("rlc-fixture")
+    circuit.add_vsource(
+        "V1", "in", "0", Pulse(0.0, 1.0, delay=10e-9, rise=1e-12, width=1.0)
+    )
+    circuit.add_resistor("R1", "in", "n1", 10.0)
+    circuit.add_inductor("L1", "n1", "out", 1e-6)
+    circuit.add_capacitor("C1", "out", "0", 1e-9)
+    return circuit
+
+
+@pytest.fixture
+def sine_rc_circuit():
+    """Sine-driven RC (for AC/transient cross-checks): fc = 1/(2 pi RC) ~ 159 kHz."""
+    circuit = Circuit("sine-rc-fixture")
+    circuit.add_vsource("V1", "in", "0", Sin(0.0, 1.0, 50e3))
+    circuit.add_resistor("R1", "in", "out", 1e3)
+    circuit.add_capacitor("C1", "out", "0", 1e-9)
+    return circuit

@@ -1,0 +1,136 @@
+"""DC sweep and small-signal AC analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ac import ac_analysis
+from repro.analysis.dc import dc_sweep
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import MosfetModel
+from repro.circuit.sources import Dc
+from repro.errors import SimulationError
+from repro.mna.compiler import compile_circuit
+
+
+class TestDcSweep:
+    def test_divider_transfer_is_linear(self, divider_circuit):
+        result = dc_sweep(divider_circuit, "V1", np.linspace(0, 10, 11))
+        mid = result.curves.voltage("mid")
+        np.testing.assert_allclose(mid.values, 0.75 * result.values, atol=1e-6)
+
+    def test_diode_exponential_turn_on(self, diode_circuit):
+        result = dc_sweep(diode_circuit, "V1", np.linspace(0.0, 5.0, 21))
+        va = result.curves.voltage("a").values
+        # junction voltage saturates logarithmically
+        assert va[-1] - va[10] < 0.2
+        assert np.all(np.diff(va) >= -1e-9)
+
+    def test_inverter_vtc(self):
+        nmos = MosfetModel("n", "nmos", vto=0.7, kp=200e-6)
+        pmos = MosfetModel("p", "pmos", vto=0.7, kp=200e-6)
+        c = Circuit("vtc")
+        c.add_vsource("VDD", "vdd", "0", Dc(3.0))
+        c.add_vsource("VIN", "in", "0", Dc(0.0))
+        c.add_mosfet("MP", "out", "in", "vdd", "vdd", pmos, w=1e-6, l=1e-6)
+        c.add_mosfet("MN", "out", "in", "0", "0", nmos, w=1e-6, l=1e-6)
+        result = dc_sweep(c, "VIN", np.linspace(0, 3, 31))
+        out = result.curves.voltage("out").values
+        assert out[0] == pytest.approx(3.0, abs=0.05)   # input low -> high
+        assert out[-1] == pytest.approx(0.0, abs=0.05)  # input high -> low
+        # symmetric sizing and thresholds: switch near vdd/2
+        mid_crossings = result.curves.voltage("out").crossings(1.5)
+        assert mid_crossings[0] == pytest.approx(1.5, abs=0.15)
+
+    def test_current_source_sweepable(self):
+        c = Circuit("t")
+        c.add_isource("I1", "a", "0", Dc(0.0))
+        c.add_resistor("R1", "a", "0", 1e3)
+        result = dc_sweep(c, "I1", np.linspace(1e-3, 5e-3, 5))
+        va = result.curves.voltage("a").values
+        np.testing.assert_allclose(va, -1e3 * result.values, rtol=1e-6)
+
+    def test_original_waveform_restored(self, divider_circuit):
+        compiled = compile_circuit(divider_circuit)
+        dc_sweep(compiled, "V1", [1.0, 2.0, 3.0])
+        wf = compiled.vsource_bank.waveforms[0]
+        assert wf.value(0.0) == pytest.approx(10.0)
+
+    def test_unknown_source_rejected(self, divider_circuit):
+        with pytest.raises(SimulationError, match="independent source"):
+            dc_sweep(divider_circuit, "R1", [0.0, 1.0])
+
+    def test_non_monotonic_values_rejected(self, divider_circuit):
+        with pytest.raises(SimulationError, match="strictly increasing"):
+            dc_sweep(divider_circuit, "V1", [1.0, 0.5])
+
+    def test_empty_values_rejected(self, divider_circuit):
+        with pytest.raises(SimulationError):
+            dc_sweep(divider_circuit, "V1", [])
+
+
+class TestAc:
+    def rc(self):
+        c = Circuit("rc")
+        c.add_vsource("V1", "in", "0", Dc(0.0))
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 1e-9)
+        return c
+
+    def test_rc_lowpass_pole(self):
+        result = ac_analysis(self.rc(), "V1", np.logspace(3, 8, 60))
+        fc = result.corner_frequency("v(out)")
+        assert fc == pytest.approx(1.0 / (2 * np.pi * 1e3 * 1e-9), rel=0.05)
+
+    def test_rc_magnitude_formula(self):
+        freqs = np.array([1e4, 1.59155e5, 1e7])
+        result = ac_analysis(self.rc(), "V1", freqs)
+        mag = result.magnitude("v(out)")
+        expected = 1.0 / np.sqrt(1.0 + (freqs / 1.59155e5) ** 2)
+        np.testing.assert_allclose(mag, expected, rtol=1e-3)
+
+    def test_rc_phase(self):
+        result = ac_analysis(self.rc(), "V1", [1.59155e5])
+        assert result.phase_deg("v(out)")[0] == pytest.approx(-45.0, abs=0.5)
+
+    def test_divider_flat_response(self, divider_circuit):
+        result = ac_analysis(divider_circuit, "V1", np.logspace(3, 9, 10))
+        np.testing.assert_allclose(result.magnitude("v(mid)"), 0.75, rtol=1e-9)
+
+    def test_rlc_resonance_peak(self, rlc_circuit):
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        freqs = np.logspace(np.log10(f0) - 1, np.log10(f0) + 1, 101)
+        result = ac_analysis(rlc_circuit, "V1", freqs)
+        mag = result.magnitude("v(out)")
+        peak_freq = freqs[np.argmax(mag)]
+        assert peak_freq == pytest.approx(f0, rel=0.05)
+        # Q = (1/R) sqrt(L/C) ~ 3.16: clear peaking above unity
+        assert mag.max() > 2.0
+
+    def test_linearised_around_op(self, diode_circuit):
+        # small-signal conductance of the diode shows up as attenuation
+        result = ac_analysis(diode_circuit, "V1", [1e3])
+        mag = result.magnitude("v(a)")[0]
+        assert 0.0 < mag < 0.1  # diode small-signal resistance ~6 ohm vs 1k
+
+    def test_current_source_excitation(self):
+        c = Circuit("t")
+        c.add_isource("I1", "a", "0", Dc(1e-3))
+        c.add_resistor("R1", "a", "0", 1e3)
+        result = ac_analysis(c, "I1", [1e6])
+        # 1 A into 1 kOhm: -1000 V (sign: injection extracts from plus)
+        assert abs(result.transfer["v(a)"][0]) == pytest.approx(1000.0, rel=1e-9)
+
+    def test_bad_frequencies_rejected(self, divider_circuit):
+        with pytest.raises(SimulationError):
+            ac_analysis(divider_circuit, "V1", [])
+        with pytest.raises(SimulationError):
+            ac_analysis(divider_circuit, "V1", [0.0])
+
+    def test_unknown_trace_message(self, divider_circuit):
+        result = ac_analysis(divider_circuit, "V1", [1e3])
+        with pytest.raises(SimulationError, match="available"):
+            result.magnitude("v(nothere)")
+
+    def test_corner_frequency_none_when_flat(self, divider_circuit):
+        result = ac_analysis(divider_circuit, "V1", np.logspace(3, 6, 10))
+        assert result.corner_frequency("v(mid)") is None

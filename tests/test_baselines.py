@@ -1,0 +1,164 @@
+"""Baselines: waveform relaxation and the fine-grained Amdahl model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.finegrained import (
+    MATRIX_SPEEDUP_CAP,
+    fine_grained_curve,
+    fine_grained_estimate,
+    work_split,
+)
+from repro.baselines.relaxation import (
+    WaveformRelaxation,
+    connectivity_graph,
+    partition_nodes,
+)
+from repro.circuits.digital import inverter_chain, ring_oscillator
+from repro.circuits.interconnect import rc_ladder
+from repro.engine.transient import run_transient
+from repro.errors import SimulationError
+from repro.mna.compiler import compile_circuit
+from repro.mna.system import MnaSystem
+from repro.waveform.waveform import compare, worst_deviation
+
+
+class TestPartitioning:
+    def test_connectivity_graph_excludes_ground(self, rc_circuit):
+        graph = connectivity_graph(rc_circuit)
+        assert "0" not in graph.nodes
+        assert graph.has_edge("in", "out")
+
+    def test_partition_covers_all_nodes(self):
+        c = rc_ladder(sections=8)
+        parts = partition_nodes(c, 4)
+        covered = set().union(*parts)
+        assert covered == set(c.nodes())
+        assert len(parts) == 4
+
+    def test_partition_balanced_on_ladder(self):
+        c = rc_ladder(sections=10)
+        parts = partition_nodes(c, 2)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes[0] >= 4  # 11 nodes split roughly evenly
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(SimulationError):
+            partition_nodes(rc_ladder(4), 3)
+
+
+class TestWaveformRelaxation:
+    def test_unidirectional_chain_converges(self):
+        circuit = inverter_chain(stages=4, period=10e-9)
+        wr = WaveformRelaxation(
+            circuit,
+            tstop=12e-9,
+            partition=[{"vdd", "n0", "n1", "n2"}, {"n3", "n4"}],
+        )
+        result = wr.run(max_sweeps=12, wr_vtol=5e-2)
+        assert result.converged
+        assert result.sweeps <= 8
+
+    def test_chain_result_close_to_direct(self):
+        circuit = inverter_chain(stages=4, period=10e-9)
+        wr = WaveformRelaxation(
+            circuit,
+            tstop=12e-9,
+            partition=[{"vdd", "n0", "n1", "n2"}, {"n3", "n4"}],
+        )
+        result = wr.run(max_sweeps=12, wr_vtol=5e-2)
+        direct = run_transient(circuit, 12e-9)
+        # WR timing error accumulates through the chain; assert levels and
+        # edge count rather than pointwise agreement.
+        for name in ("v(n2)", "v(n4)"):
+            e_wr = result.waveforms[name].crossings(1.5)
+            e_direct = direct.waveforms[name].crossings(1.5)
+            assert e_wr.size == e_direct.size
+
+    def test_feedback_loop_fails_to_converge(self):
+        """The abstract's contrast: relaxation jeopardises convergence on
+        tightly coupled circuits; WavePipe (direct method) does not."""
+        circuit = ring_oscillator(stages=5)
+        wr = WaveformRelaxation(circuit, tstop=10e-9, blocks=2)
+        result = wr.run(max_sweeps=8, wr_vtol=1e-2)
+        assert not result.converged
+        # deltas do not contract (oscillator phase never locks)
+        assert result.sweep_deltas[-1] > 0.5
+
+    def test_parallel_work_less_than_serial(self):
+        circuit = rc_ladder(sections=6)
+        wr = WaveformRelaxation(circuit, tstop=2e-9, blocks=2)
+        result = wr.run(max_sweeps=3, wr_vtol=1e-9)
+        assert result.parallel_work < result.serial_work
+        assert result.parallel_work > 0
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            WaveformRelaxation(rc_ladder(4), 1e-9, mode="chaotic")
+
+    def test_partition_must_cover_nodes(self):
+        c = rc_ladder(sections=4)
+        with pytest.raises(SimulationError, match="misses"):
+            WaveformRelaxation(c, 1e-9, partition=[{"n1", "n2"}])
+
+    def test_node_in_two_blocks_rejected(self):
+        c = rc_ladder(sections=2)
+        with pytest.raises(SimulationError, match="two blocks"):
+            WaveformRelaxation(
+                c, 1e-9, partition=[{"n0", "n1", "n2"}, {"n2"}]
+            )
+
+    def test_seidel_mode_converges_no_slower(self):
+        circuit = inverter_chain(stages=2, period=10e-9)
+        partition = [{"vdd", "n0", "n1"}, {"n2"}]
+        jacobi = WaveformRelaxation(
+            circuit, 12e-9, partition=partition, mode="jacobi"
+        ).run(max_sweeps=10, wr_vtol=5e-2)
+        seidel = WaveformRelaxation(
+            circuit, 12e-9, partition=partition, mode="seidel"
+        ).run(max_sweeps=10, wr_vtol=5e-2)
+        assert seidel.sweeps <= jacobi.sweeps
+
+
+class TestFineGrained:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        compiled = compile_circuit(inverter_chain(stages=4))
+        seq = run_transient(compiled, 20e-9)
+        return MnaSystem(compiled), seq
+
+    def test_work_split_positive(self, measured):
+        system, _ = measured
+        dev, mat = work_split(system)
+        assert dev > 0 and mat > 0
+
+    def test_single_thread_is_baseline(self, measured):
+        system, seq = measured
+        est = fine_grained_estimate(system, seq, 1)
+        assert est.speedup == pytest.approx(1.0, rel=0.01)
+
+    def test_speedup_monotone_then_saturating(self, measured):
+        system, seq = measured
+        curve = fine_grained_curve(system, seq, [1, 2, 4, 8, 16, 32])
+        speedups = [e.speedup for e in curve]
+        assert speedups[1] > speedups[0]
+        # saturation: 16 -> 32 threads gains < 10%
+        assert speedups[5] / speedups[4] < 1.10
+
+    def test_matrix_cap_limits_asymptote(self, measured):
+        system, seq = measured
+        est = fine_grained_estimate(system, seq, 1000)
+        dev, mat = work_split(system)
+        bound = (dev + mat) / (mat / MATRIX_SPEEDUP_CAP)
+        assert est.speedup < bound
+
+    def test_efficiency_decreases(self, measured):
+        system, seq = measured
+        e2 = fine_grained_estimate(system, seq, 2)
+        e8 = fine_grained_estimate(system, seq, 8)
+        assert e8.efficiency < e2.efficiency
+
+    def test_invalid_threads_rejected(self, measured):
+        system, seq = measured
+        with pytest.raises(ValueError):
+            fine_grained_estimate(system, seq, 0)

@@ -1,0 +1,82 @@
+"""Bench harness plumbing: table/series rendering and the registry.
+
+The heavy experiments run under ``benchmarks/``; here we cover the fast
+machinery they rely on, plus Table R1 (cheap) end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment, table_r1
+from repro.bench.report import CLAIMS
+from repro.bench.tables import render_series, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(
+            ["name", "value"], [["a", 1.0], ["longer", 123.456]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # every row padded to the same width
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[0.123456789]])
+        assert "0.123" in text
+
+    def test_non_float_cells_pass_through(self):
+        text = render_table(["a", "b"], [[12, "hello"]])
+        assert "12" in text and "hello" in text
+
+    def test_no_title(self):
+        text = render_table(["h"], [["v"]])
+        assert text.splitlines()[0].startswith("h")
+
+
+class TestRenderSeries:
+    def test_basic_plot_structure(self):
+        x = np.linspace(0, 1, 20)
+        text = render_series(x, {"sin": np.sin(6 * x)}, title="plot", width=40, height=8)
+        lines = text.splitlines()
+        assert lines[0] == "plot"
+        assert lines[1].startswith("y:")
+        assert sum(1 for line in lines if line.startswith("|")) == 8
+        assert any("o=sin" in line for line in lines)
+
+    def test_multiple_series_distinct_markers(self):
+        x = np.linspace(0, 1, 10)
+        text = render_series(x, {"a": x, "b": 1 - x})
+        assert "o=a" in text and "x=b" in text
+
+    def test_constant_series_does_not_crash(self):
+        x = np.linspace(0, 1, 5)
+        text = render_series(x, {"flat": np.ones(5)})
+        assert "flat" in text
+
+    def test_logx(self):
+        x = np.logspace(0, 3, 10)
+        text = render_series(x, {"a": x}, logx=True)
+        assert "(log10)" in text
+
+
+class TestRegistry:
+    def test_all_experiments_have_claims(self):
+        assert set(EXPERIMENTS) == set(CLAIMS)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("table_r99")
+
+    def test_table_r1_runs(self):
+        result = run_experiment("table_r1")
+        assert result.exp_id == "table_r1"
+        assert "ring5" in result.text
+        assert result.data["mixer"]["kind"] == "analog"
+
+    def test_table_r1_subset(self):
+        result = table_r1(names=["ring5", "mixer"])
+        assert set(result.data) == {"ring5", "mixer"}

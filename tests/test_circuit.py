@@ -1,0 +1,193 @@
+"""Circuit builder, topology validation and subcircuit flattening."""
+
+import pytest
+
+from repro.circuit.circuit import Circuit, Subcircuit, canonical_node, is_ground
+from repro.circuit.components import Resistor
+from repro.circuit.sources import Dc, Pulse
+from repro.errors import CircuitError
+
+
+class TestGroundHandling:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "Gnd"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+        assert canonical_node(name) == "0"
+
+    def test_non_ground_passthrough(self):
+        assert canonical_node("out") == "out"
+        assert not is_ground("out")
+
+
+class TestBuilder:
+    def test_add_helpers_parse_values(self):
+        c = Circuit("t")
+        r = c.add_resistor("R1", "a", "0", "2.2k")
+        assert r.resistance == pytest.approx(2200.0)
+        cap = c.add_capacitor("C1", "a", "0", "10p")
+        assert cap.capacitance == pytest.approx(1e-11)
+
+    def test_duplicate_names_rejected(self):
+        c = Circuit("t")
+        c.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(CircuitError):
+            c.add_resistor("R1", "b", "0", 2.0)
+
+    def test_container_protocol(self):
+        c = Circuit("t")
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert len(c) == 1
+        assert "R1" in c
+        assert isinstance(c["R1"], Resistor)
+        with pytest.raises(CircuitError):
+            c["R99"]
+
+    def test_nodes_in_first_appearance_order(self):
+        c = Circuit("t")
+        c.add_resistor("R1", "b", "a", 1.0)
+        c.add_resistor("R2", "a", "0", 1.0)
+        assert c.nodes() == ("b", "a")
+
+    def test_stats(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1.0)
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        stats = c.stats()
+        assert stats["Resistor"] == 1
+        assert stats["nodes"] == 2
+        assert stats["components"] == 3
+
+    def test_vsource_accepts_bare_number(self):
+        c = Circuit("t")
+        v = c.add_vsource("V1", "a", "0", 5.0)
+        assert isinstance(v.waveform, Dc)
+
+
+class TestValidation:
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError, match="no components"):
+            Circuit("t").validate()
+
+    def test_missing_ground_rejected(self):
+        c = Circuit("t")
+        c.add_resistor("R1", "a", "b", 1.0)
+        with pytest.raises(CircuitError, match="ground"):
+            c.validate()
+
+    def test_floating_node_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1.0)
+        # node c only reachable through a capacitor: no DC path
+        c.add_capacitor("C1", "b", "x", 1e-9)
+        with pytest.raises(CircuitError, match="no DC path"):
+            c.validate()
+
+    def test_current_source_chain_rejected(self):
+        c = Circuit("t")
+        c.add_isource("I1", "a", "0", Dc(1e-3))
+        with pytest.raises(CircuitError, match="no DC path"):
+            c.validate()
+
+    def test_vsource_loop_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_vsource("V2", "a", "0", Dc(2.0))
+        with pytest.raises(CircuitError, match="loop"):
+            c.validate()
+
+    def test_vsource_cycle_through_nodes_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_vsource("V2", "b", "a", Dc(1.0))
+        c.add_vsource("V3", "b", "0", Dc(2.0))
+        with pytest.raises(CircuitError, match="loop"):
+            c.validate()
+
+    def test_unknown_control_source_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1.0)
+        c.add_resistor("R2", "b", "0", 1.0)
+        c.add_cccs("F1", "b", "0", "VX", 2.0)
+        with pytest.raises(CircuitError, match="VX"):
+            c.validate()
+
+    def test_valid_circuit_passes(self, rc_circuit):
+        rc_circuit.validate()
+
+
+class TestSubcircuit:
+    def make_divider(self):
+        sub = Subcircuit("div", ["top", "out"])
+        sub.add_resistor("R1", "top", "out", 1e3)
+        sub.add_resistor("R2", "out", "0", 1e3)
+        return sub
+
+    def test_flattening_prefixes_names(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "in", "0", Dc(2.0))
+        c.add_subcircuit("X1", self.make_divider(), {"top": "in", "out": "o"})
+        assert "X1.R1" in c
+        assert "X1.R2" in c
+        assert c["X1.R1"].nodes == ("in", "o")
+
+    def test_internal_nodes_prefixed(self):
+        sub = Subcircuit("two", ["a"])
+        sub.add_resistor("R1", "a", "mid", 1.0)
+        sub.add_resistor("R2", "mid", "0", 1.0)
+        c = Circuit("t")
+        c.add_vsource("V1", "x", "0", Dc(1.0))
+        c.add_subcircuit("X1", sub, {"a": "x"})
+        assert c["X1.R1"].nodes == ("x", "X1.mid")
+        assert c["X1.R2"].nodes == ("X1.mid", "0")
+
+    def test_ground_not_prefixed(self):
+        sub = Subcircuit("g", ["a"])
+        sub.add_resistor("R1", "a", "gnd", 1.0)
+        c = Circuit("t")
+        c.add_vsource("V1", "x", "0", Dc(1.0))
+        c.add_subcircuit("X1", sub, {"a": "x"})
+        assert c["X1.R1"].nodes == ("x", "0")
+
+    def test_missing_connection_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(CircuitError, match="missing"):
+            c.add_subcircuit("X1", self.make_divider(), {"top": "in"})
+
+    def test_extra_connection_rejected(self):
+        c = Circuit("t")
+        with pytest.raises(CircuitError, match="unknown port"):
+            c.add_subcircuit(
+                "X1", self.make_divider(), {"top": "a", "out": "b", "zzz": "c"}
+            )
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(CircuitError, match="duplicate"):
+            Subcircuit("bad", ["a", "a"])
+
+    def test_no_ports_rejected(self):
+        with pytest.raises(CircuitError, match="at least one port"):
+            Subcircuit("bad", [])
+
+    def test_controlled_source_control_remapped(self):
+        sub = Subcircuit("amp", ["inp", "outp"])
+        sub.add_vsource("VS", "inp", "sense", Dc(0.0))
+        sub.add_resistor("RO", "sense", "0", 1.0)
+        sub.add_cccs("F1", "outp", "0", "VS", 10.0)
+        c = Circuit("t")
+        c.add_vsource("V1", "x", "0", Dc(1.0))
+        c.add_resistor("RL", "y", "0", 1.0)
+        c.add_subcircuit("X1", sub, {"inp": "x", "outp": "y"})
+        assert c["X1.F1"].ctrl_source == "X1.VS"
+        c.validate()
+
+    def test_two_instances_coexist(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "in", "0", Dc(2.0))
+        div = self.make_divider()
+        c.add_subcircuit("X1", div, {"top": "in", "out": "m1"})
+        c.add_subcircuit("X2", div, {"top": "m1", "out": "m2"})
+        c.validate()
+        assert len(c) == 5

@@ -1,0 +1,182 @@
+"""Benchmark circuit generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.analog import gilbert_mixer, lc_oscillator, rectifier
+from repro.circuits.digital import inverter_chain, nand_chain, ring_oscillator
+from repro.circuits.interconnect import rc_grid, rc_ladder, rlc_line
+from repro.circuits.registry import BENCHMARKS, benchmark_names, get_benchmark
+from repro.engine.transient import run_transient
+from repro.mna.compiler import compile_circuit
+from repro.solver.dcop import solve_operating_point
+from repro.mna.system import MnaSystem
+
+
+class TestGeneratorsValidate:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ring_oscillator(3),
+            lambda: ring_oscillator(9),
+            lambda: inverter_chain(1),
+            lambda: inverter_chain(12),
+            lambda: nand_chain(2),
+            lambda: rc_ladder(1),
+            lambda: rc_ladder(30),
+            lambda: rc_grid(2, 2),
+            lambda: rc_grid(7, 3),
+            lambda: rlc_line(2),
+            gilbert_mixer,
+            lc_oscillator,
+            rectifier,
+        ],
+    )
+    def test_generated_circuits_compile(self, factory):
+        compiled = compile_circuit(factory())
+        assert compiled.n > 0
+
+    def test_ring_requires_odd_stages(self):
+        with pytest.raises(ValueError):
+            ring_oscillator(4)
+        with pytest.raises(ValueError):
+            ring_oscillator(1)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            inverter_chain(0)
+        with pytest.raises(ValueError):
+            rc_ladder(0)
+        with pytest.raises(ValueError):
+            rc_grid(1, 5)
+        with pytest.raises(ValueError):
+            rlc_line(0)
+
+    def test_sizes_scale_with_parameters(self):
+        small = compile_circuit(rc_grid(3, 3))
+        large = compile_circuit(rc_grid(6, 6))
+        assert large.n > 3 * small.n / 2
+
+
+class TestOperatingPoints:
+    @pytest.mark.parametrize(
+        "factory", [gilbert_mixer, lc_oscillator, rectifier, lambda: nand_chain(3)]
+    )
+    def test_dc_converges(self, factory):
+        system = MnaSystem(compile_circuit(factory()))
+        op = solve_operating_point(system)
+        assert np.all(np.isfinite(op.x))
+
+    def test_mixer_bias_sane(self):
+        compiled = compile_circuit(gilbert_mixer())
+        system = MnaSystem(compiled)
+        op = solve_operating_point(system)
+        outp = op.x[compiled.node_voltage_index("outp")]
+        outm = op.x[compiled.node_voltage_index("outm")]
+        # balanced: both outputs at the same level, below VCC by IR/2-ish
+        assert outp == pytest.approx(outm, abs=0.05)
+        assert 2.0 < outp < 5.0
+
+    def test_lc_oscillator_tail_current(self):
+        compiled = compile_circuit(lc_oscillator(tail_i=2e-3))
+        system = MnaSystem(compiled)
+        op = solve_operating_point(system)
+        # inductors are DC shorts: both outputs at vdd
+        outp = op.x[compiled.node_voltage_index("outp")]
+        assert outp == pytest.approx(1.8, abs=0.1)
+
+
+class TestDynamics:
+    def test_ring_oscillates(self):
+        res = run_transient(compile_circuit(ring_oscillator(3)), 15e-9)
+        w = res.waveforms.voltage("n0")
+        assert w.peak_to_peak() > 2.0
+        assert w.slice(5e-9, 15e-9).frequency() is not None
+
+    def test_ring_period_scales_with_stages(self):
+        f3 = (
+            run_transient(compile_circuit(ring_oscillator(3)), 15e-9)
+            .waveforms.voltage("n0")
+            .slice(6e-9, 15e-9)
+            .frequency()
+        )
+        f5 = (
+            run_transient(compile_circuit(ring_oscillator(5)), 25e-9)
+            .waveforms.voltage("n0")
+            .slice(10e-9, 25e-9)
+            .frequency()
+        )
+        assert f3 > f5  # more stages -> longer period
+
+    def test_inverter_chain_propagates(self):
+        res = run_transient(compile_circuit(inverter_chain(stages=4)), 20e-9)
+        v4 = res.waveforms.voltage("n4")
+        assert v4.peak_to_peak() > 2.5  # full-swing output
+
+    def test_chain_parity(self):
+        res = run_transient(compile_circuit(inverter_chain(stages=4)), 20e-9)
+        vin = res.waveforms.voltage("n0")
+        v4 = res.waveforms.voltage("n4")
+        # even number of inversions: output follows input (delayed)
+        assert v4.at(8e-9) == pytest.approx(vin.at(8e-9), abs=0.3)
+
+    def test_grid_droop_under_load(self):
+        res = run_transient(compile_circuit(rc_grid(5, 5)), 10e-9)
+        far = res.waveforms.voltage("p_4_4")
+        assert far.values.min() < 1.8 - 0.05  # visible IR droop
+        assert far.values.max() <= 1.8 + 0.05
+
+    def test_rectifier_output_positive_and_smoothed(self):
+        res = run_transient(compile_circuit(rectifier()), 60e-6)
+        out = res.waveforms.voltage("dcp")
+        late = out.slice(30e-6, 60e-6)
+        assert late.values.min() > 2.0  # charged well above zero
+        assert late.peak_to_peak() < 1.5  # ripple bounded by the RC filter
+
+    def test_lc_oscillator_frequency(self):
+        res = run_transient(compile_circuit(lc_oscillator()), 8e-9)
+        w = res.waveforms.voltage("outp").slice(3e-9, 8e-9)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(5e-9 * 1e-12))
+        freq = w.frequency()
+        assert freq is not None
+        assert freq == pytest.approx(f0, rel=0.15)
+
+    def test_rlc_line_delay(self):
+        res = run_transient(compile_circuit(rlc_line(sections=8)), 15e-9)
+        near = res.waveforms.voltage("n1").crossings(0.5, "rise")
+        far = res.waveforms.voltage("n8").crossings(0.5, "rise")
+        assert near.size and far.size
+        assert far[0] > near[0]  # propagation delay down the line
+
+
+class TestRegistry:
+    def test_all_benchmarks_build_and_compile(self):
+        for name in BENCHMARKS:
+            bench = get_benchmark(name)
+            compiled = compile_circuit(bench.build(), bench.options)
+            assert compiled.n > 0
+            assert bench.tstop > 0
+            assert bench.signals
+
+    def test_signals_exist_in_circuit(self):
+        for name in BENCHMARKS:
+            bench = get_benchmark(name)
+            compiled = compile_circuit(bench.build(), bench.options)
+            for signal in bench.signals:
+                assert signal in [f"v({n})" for n in compiled.node_index] + [
+                    f"i({b})" for b in compiled.branch_index
+                ], f"{name}: {signal} not in circuit"
+
+    def test_kind_filter(self):
+        digital = benchmark_names("digital")
+        assert "ring5" in digital
+        assert "mixer" not in digital
+        assert set(benchmark_names()) == set(BENCHMARKS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="available"):
+            get_benchmark("nonexistent")
+
+    def test_all_kinds_present(self):
+        kinds = {b.kind for b in BENCHMARKS.values()}
+        assert kinds == {"digital", "analog", "interconnect"}

@@ -1,0 +1,159 @@
+"""Command-line interface and waveform CSV round trip."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import SimulationError
+from repro.waveform.export import read_csv, to_csv_text, write_csv
+from repro.waveform.waveform import WaveformSet
+
+DECK = """RC lowpass
+V1 in 0 PULSE(0 1 1u 1n 1n 1m)
+R1 in out 1k
+C1 out 0 1n
+.tran 10n 5u
+.end
+"""
+
+OP_DECK = """divider
+V1 top 0 10
+R1 top mid 1k
+R2 mid 0 3k
+.op
+.end
+"""
+
+DC_DECK = """divider sweep
+V1 top 0 0
+R1 top mid 1k
+R2 mid 0 3k
+.dc V1 0 4 1
+.end
+"""
+
+
+@pytest.fixture
+def deck_file(tmp_path):
+    path = tmp_path / "deck.cir"
+    path.write_text(DECK)
+    return str(path)
+
+
+class TestCli:
+    def test_transient_run(self, deck_file, capsys):
+        assert main([deck_file, "--samples", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "RC lowpass" in out
+        assert "v(out)" in out
+        assert "transient:" in out
+
+    def test_op_analysis(self, tmp_path, capsys):
+        path = tmp_path / "op.cir"
+        path.write_text(OP_DECK)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Operating point" in out
+        assert "7.5V" in out
+
+    def test_default_op_when_no_analysis(self, tmp_path, capsys):
+        path = tmp_path / "noa.cir"
+        path.write_text("bare\nV1 a 0 1\nR1 a 0 1k\n.end\n")
+        assert main([str(path)]) == 0
+        assert "Operating point" in capsys.readouterr().out
+
+    def test_dc_sweep(self, tmp_path, capsys):
+        path = tmp_path / "dc.cir"
+        path.write_text(DC_DECK)
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "DC sweep of V1" in out
+
+    def test_wavepipe_mode(self, deck_file, capsys):
+        assert main([deck_file, "--wavepipe", "combined", "--threads", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "wavepipe combined x3" in out
+        assert "speedup" in out
+
+    def test_csv_export(self, deck_file, tmp_path, capsys):
+        target = tmp_path / "waves.csv"
+        assert main([deck_file, "--csv", str(target)]) == 0
+        ws = read_csv(str(target))
+        assert "v(out)" in ws
+        assert ws.voltage("out").final_value() == pytest.approx(1.0 - np.exp(-4.0), abs=0.01)
+
+    def test_signal_selection(self, deck_file, capsys):
+        assert main([deck_file, "--signals", "v(out)"]) == 0
+        out = capsys.readouterr().out
+        assert "v(out)" in out
+
+    def test_missing_deck_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["/nonexistent/deck.cir"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_deck_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.cir"
+        path.write_text("title\nZ1 a 0 1k\n")
+        assert main([str(path)]) == 1
+        assert "unknown element" in capsys.readouterr().err
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["--experiment", "table_zz"]) == 2
+
+    def test_experiment_runs(self, capsys):
+        assert main(["--experiment", "table_r1"]) == 0
+        assert "Table R1" in capsys.readouterr().out
+
+
+class TestCsvRoundTrip:
+    def make_set(self):
+        t = np.linspace(0, 1e-6, 57)
+        return WaveformSet(
+            t, {"v(a)": np.sin(1e7 * t), "i(V1)": np.cos(1e7 * t) * 1e-3}
+        )
+
+    def test_round_trip_lossless(self):
+        original = self.make_set()
+        text = to_csv_text(original)
+        restored = read_csv(io.StringIO(text))
+        np.testing.assert_array_equal(restored.times, original.times)
+        for name in original.names:
+            np.testing.assert_array_equal(
+                restored[name].values, original[name].values
+            )
+
+    def test_signal_subset(self):
+        text = to_csv_text(self.make_set(), signals=["v(a)"])
+        restored = read_csv(io.StringIO(text))
+        assert restored.names == ["v(a)"]
+
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(SimulationError):
+            to_csv_text(self.make_set(), signals=["v(zz)"])
+
+    def test_file_path_target(self, tmp_path):
+        path = tmp_path / "w.csv"
+        write_csv(self.make_set(), str(path))
+        restored = read_csv(str(path))
+        assert set(restored.names) == {"v(a)", "i(V1)"}
+
+    def test_empty_csv_rejected(self):
+        with pytest.raises(SimulationError, match="empty"):
+            read_csv(io.StringIO(""))
+
+    def test_missing_time_column_rejected(self):
+        with pytest.raises(SimulationError, match="time"):
+            read_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(SimulationError, match="no data"):
+            read_csv(io.StringIO("time,v(a)\n"))
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SimulationError):
+            read_csv(io.StringIO("time,v(a)\n0.0,1.0,2.0\n"))

@@ -1,0 +1,140 @@
+"""Circuit compiler: unknown numbering, banks, breakpoints, ICs."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Dc, Pulse
+from repro.errors import CircuitError
+from repro.mna.compiler import compile_circuit
+
+
+class TestNumbering:
+    def test_nodes_before_branches(self, rlc_circuit):
+        compiled = compile_circuit(rlc_circuit)
+        assert compiled.n_nodes == 3  # in, n1, out
+        assert compiled.n_branches == 2  # V1, L1
+        assert compiled.n == 5
+
+    def test_unknown_names(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        assert "v(in)" in compiled.unknown_names
+        assert "v(out)" in compiled.unknown_names
+        assert "i(V1)" in compiled.unknown_names
+
+    def test_voltage_mask(self, rlc_circuit):
+        compiled = compile_circuit(rlc_circuit)
+        assert compiled.voltage_mask.sum() == compiled.n_nodes
+        assert compiled.voltage_mask[: compiled.n_nodes].all()
+        assert not compiled.voltage_mask[compiled.n_nodes :].any()
+
+    def test_ground_maps_to_trash(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        assert compiled.nidx("0") == compiled.n
+        assert compiled.nidx("gnd") == compiled.n
+
+    def test_strict_node_lookup_rejects_ground(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        with pytest.raises(CircuitError):
+            compiled.node_voltage_index("0")
+
+    def test_unknown_node_rejected(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        with pytest.raises(CircuitError):
+            compiled.nidx("nonexistent")
+
+    def test_branch_lookup(self, rlc_circuit):
+        compiled = compile_circuit(rlc_circuit)
+        assert compiled.branch_current_index("L1") >= compiled.n_nodes
+        with pytest.raises(CircuitError):
+            compiled.branch_current_index("R1")
+
+    def test_invalid_circuit_rejected_at_compile(self):
+        c = Circuit("bad")
+        c.add_resistor("R1", "a", "b", 1.0)
+        with pytest.raises(CircuitError):
+            compile_circuit(c)
+
+
+class TestBanks:
+    def test_only_needed_banks_created(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        names = {type(b).__name__ for b in compiled.banks}
+        assert names == {"ResistorBank", "CapacitorBank", "VoltageSourceBank"}
+
+    def test_bank_counts(self, inverter_circuit):
+        compiled = compile_circuit(inverter_circuit)
+        by_name = {type(b).__name__: b for b in compiled.banks}
+        assert by_name["MosfetBank"].count == 2
+        assert by_name["VoltageSourceBank"].count == 2
+
+    def test_stats(self, inverter_circuit):
+        compiled = compile_circuit(inverter_circuit)
+        stats = compiled.stats()
+        assert stats["mosfets"] == 2
+        assert stats["unknowns"] == compiled.n
+
+    def test_work_units_positive(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        assert compiled.work_units_per_eval > 0
+
+
+class TestBreakpoints:
+    def test_pulse_breakpoints_collected(self):
+        c = Circuit("t")
+        c.add_vsource(
+            "V1", "a", "0", Pulse(0, 1, delay=1e-9, rise=1e-10, width=2e-9, period=5e-9)
+        )
+        c.add_resistor("R1", "a", "0", 1.0)
+        bps = compile_circuit(c).collect_breakpoints(10e-9)
+        assert bps[-1] == 10e-9  # tstop always terminates
+        assert any(abs(b - 1e-9) < 1e-18 for b in bps)
+        assert any(abs(b - 6e-9) < 1e-18 for b in bps)
+
+    def test_dc_source_only_tstop(self, divider_circuit):
+        bps = compile_circuit(divider_circuit).collect_breakpoints(1e-6)
+        np.testing.assert_allclose(bps, [1e-6])
+
+    def test_breakpoints_sorted_unique(self):
+        c = Circuit("t")
+        wf = Pulse(0, 1, delay=1e-9, rise=1e-10, width=2e-9)
+        c.add_vsource("V1", "a", "0", wf)
+        c.add_vsource("V2", "b", "0", wf)
+        c.add_resistor("R1", "a", "0", 1.0)
+        c.add_resistor("R2", "b", "0", 1.0)
+        bps = compile_circuit(c).collect_breakpoints(10e-9)
+        assert np.all(np.diff(bps) > 0)
+
+
+class TestInitialConditions:
+    def test_grounded_cap_ic(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "b", "0", 1e-9, ic=0.5)
+        compiled = compile_circuit(c)
+        assert compiled.initial_conditions == {"v:b": 0.5}
+
+    def test_reversed_grounded_cap_ic(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "0", "b", 1e-9, ic=0.5)
+        compiled = compile_circuit(c)
+        assert compiled.initial_conditions == {"v:b": -0.5}
+
+    def test_floating_cap_ic_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        c.add_capacitor("C1", "a", "b", 1e-9, ic=0.5)
+        with pytest.raises(CircuitError, match="floating capacitor"):
+            compile_circuit(c)
+
+    def test_inductor_ic(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_inductor("L1", "a", "0", 1e-6, ic=1e-3)
+        compiled = compile_circuit(c)
+        assert compiled.initial_conditions == {"i:L1": 1e-3}

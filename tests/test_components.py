@@ -1,0 +1,115 @@
+"""Component record and model-card validation."""
+
+import pytest
+
+from repro.circuit.components import (
+    Bjt,
+    BjtModel,
+    Capacitor,
+    Diode,
+    DiodeModel,
+    Inductor,
+    Mosfet,
+    MosfetModel,
+    Resistor,
+    Vcvs,
+)
+from repro.errors import CircuitError
+
+
+class TestPassives:
+    def test_resistor_nodes(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        assert r.nodes == ("a", "b")
+
+    @pytest.mark.parametrize("value", [0.0, -5.0])
+    def test_resistor_positive(self, value):
+        with pytest.raises(CircuitError):
+            Resistor("R1", "a", "b", value)
+
+    def test_capacitor_with_ic(self):
+        c = Capacitor("C1", "a", "0", 1e-9, ic=2.5)
+        assert c.ic == 2.5
+
+    def test_capacitor_positive(self):
+        with pytest.raises(CircuitError):
+            Capacitor("C1", "a", "b", -1e-9)
+
+    def test_inductor_positive(self):
+        with pytest.raises(CircuitError):
+            Inductor("L1", "a", "b", 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CircuitError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_records_are_frozen(self):
+        r = Resistor("R1", "a", "b", 100.0)
+        with pytest.raises(Exception):
+            r.resistance = 50.0  # type: ignore[misc]
+
+
+class TestControlledSources:
+    def test_vcvs_nodes_include_controls(self):
+        e = Vcvs("E1", "p", "m", "cp", "cm", 10.0)
+        assert e.nodes == ("p", "m", "cp", "cm")
+
+
+class TestDiodeModel:
+    def test_defaults(self):
+        m = DiodeModel()
+        assert m.is_ == 1e-14
+        assert m.n == 1.0
+
+    @pytest.mark.parametrize("kw", [{"is_": 0.0}, {"n": -1.0}, {"vj": 0.0}])
+    def test_positive_params(self, kw):
+        with pytest.raises(CircuitError):
+            DiodeModel(**kw)
+
+    @pytest.mark.parametrize("kw", [{"rs": -1.0}, {"cj0": -1e-12}, {"tt": -1e-9}])
+    def test_nonnegative_params(self, kw):
+        with pytest.raises(CircuitError):
+            DiodeModel(**kw)
+
+    def test_diode_area_positive(self):
+        with pytest.raises(CircuitError):
+            Diode("D1", "a", "b", DiodeModel(), area=0.0)
+
+
+class TestMosfetModel:
+    def test_polarity_validation(self):
+        with pytest.raises(CircuitError):
+            MosfetModel(polarity="cmos")
+
+    def test_kp_positive(self):
+        with pytest.raises(CircuitError):
+            MosfetModel(kp=0.0)
+
+    def test_mosfet_geometry_positive(self):
+        with pytest.raises(CircuitError):
+            Mosfet("M1", "d", "g", "s", "b", MosfetModel(), w=0.0)
+        with pytest.raises(CircuitError):
+            Mosfet("M1", "d", "g", "s", "b", MosfetModel(), l=-1e-6)
+
+    def test_mosfet_nodes_order(self):
+        m = Mosfet("M1", "d", "g", "s", "b", MosfetModel())
+        assert m.nodes == ("d", "g", "s", "b")
+
+
+class TestBjtModel:
+    def test_polarity_validation(self):
+        with pytest.raises(CircuitError):
+            BjtModel(polarity="fet")
+
+    def test_betas_positive(self):
+        with pytest.raises(CircuitError):
+            BjtModel(bf=0.0)
+        with pytest.raises(CircuitError):
+            BjtModel(br=-1.0)
+
+    def test_bjt_nodes_order(self):
+        q = Bjt("Q1", "c", "b", "e", BjtModel())
+        assert q.nodes == ("c", "b", "e")
+
+    def test_infinite_vaf_allowed(self):
+        assert BjtModel(vaf=float("inf")).vaf == float("inf")

@@ -1,0 +1,117 @@
+"""DC operating point with homotopy fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import DiodeModel, MosfetModel
+from repro.circuit.sources import Dc, Pulse
+from repro.errors import ConvergenceError
+from repro.mna.compiler import compile_circuit
+from repro.mna.system import MnaSystem
+from repro.solver.dcop import solve_operating_point
+from repro.utils.options import SimOptions
+
+
+def op(circuit, options=None, x0=None):
+    system = MnaSystem(compile_circuit(circuit, options))
+    return system, solve_operating_point(system, options, x0=x0)
+
+
+class TestBasics:
+    def test_divider(self, divider_circuit):
+        system, result = op(divider_circuit)
+        mid = system.compiled.node_voltage_index("mid")
+        assert result.x[mid] == pytest.approx(7.5, rel=1e-6)
+        assert result.strategy == "newton"
+
+    def test_capacitors_open_at_dc(self, rc_circuit):
+        system, result = op(rc_circuit)
+        out = system.compiled.node_voltage_index("out")
+        # source is still 0 at t=0 (delayed pulse); out follows in exactly
+        assert result.x[out] == pytest.approx(0.0, abs=1e-9)
+
+    def test_inductors_short_at_dc(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_inductor("L1", "a", "b", 1e-6)
+        c.add_resistor("R1", "b", "0", 100.0)
+        system, result = op(c)
+        b = system.compiled.node_voltage_index("b")
+        j = system.compiled.branch_current_index("L1")
+        assert result.x[b] == pytest.approx(1.0, rel=1e-6)
+        assert result.x[j] == pytest.approx(0.01, rel=1e-6)
+
+    def test_op_charge_vector_returned(self, rc_circuit):
+        system, result = op(rc_circuit)
+        assert result.q.shape == (system.n,)
+
+    def test_pulse_sources_use_t0_value(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Pulse(2.0, 5.0, delay=1e-9))
+        c.add_resistor("R1", "a", "0", 1e3)
+        system, result = op(c)
+        a = system.compiled.node_voltage_index("a")
+        assert result.x[a] == pytest.approx(2.0)
+
+    def test_warm_start_used(self, divider_circuit):
+        system = MnaSystem(compile_circuit(divider_circuit))
+        warm = np.array([10.0, 7.5, -2.5e-3])
+        result = solve_operating_point(system, x0=warm)
+        assert result.iterations <= 2
+
+
+class TestNonlinear:
+    def test_diode_bias(self, diode_circuit):
+        system, result = op(diode_circuit)
+        a = system.compiled.node_voltage_index("a")
+        # i = (5 - vd)/1k must equal the diode current; vd ~ 0.65 V
+        assert 0.55 < result.x[a] < 0.75
+
+    def test_cmos_inverter_static_points(self, inverter_circuit):
+        system, result = op(inverter_circuit)
+        out = system.compiled.node_voltage_index("out")
+        # input pulse is 0 at t=0 -> output high
+        assert result.x[out] == pytest.approx(3.0, abs=0.05)
+
+    def test_bridge_rectifier_op(self):
+        from repro.circuits.analog import rectifier
+
+        system, result = op(rectifier())
+        assert np.all(np.isfinite(result.x))
+
+    def test_mos_cross_coupled_needs_homotopy_or_converges(self):
+        # Bistable latch: hard for plain Newton from zeros; any strategy
+        # is acceptable as long as a valid solution is produced.
+        nmos = MosfetModel("n", "nmos", vto=0.7, kp=200e-6)
+        pmos = MosfetModel("p", "pmos", vto=0.7, kp=100e-6)
+        c = Circuit("latch")
+        c.add_vsource("VDD", "vdd", "0", Dc(3.0))
+        for a, b, tag in (("q", "qb", "1"), ("qb", "q", "2")):
+            c.add_mosfet(f"MP{tag}", b, a, "vdd", "vdd", pmos, w=2e-6, l=1e-6)
+            c.add_mosfet(f"MN{tag}", b, a, "0", "0", nmos, w=1e-6, l=1e-6)
+        system, result = op(c)
+        out = system.make_buffers()
+        system.eval(result.x, 0.0, out)
+        residual = system.resistive_residual(out, result.x)
+        assert np.abs(residual).max() < 1e-6
+
+
+class TestFailure:
+    def test_unconvergeable_reports_error(self):
+        # Two exponentials fighting: a diode reverse-driven by enormous
+        # current with a tiny iteration budget on every strategy.
+        c = Circuit("t")
+        c.add_vsource("V1", "in", "0", Dc(100.0))
+        c.add_resistor("R1", "in", "a", 1e-3)
+        c.add_diode("D1", "a", "0", DiodeModel())
+        options = SimOptions(max_newton_iters=2, gmin_steps=2, source_steps=2)
+        system = MnaSystem(compile_circuit(c, options))
+        with pytest.raises(ConvergenceError):
+            solve_operating_point(system, options)
+
+    def test_gshunt_restored_after_gmin_stepping(self, diode_circuit):
+        system = MnaSystem(compile_circuit(diode_circuit))
+        original = system.gshunt
+        solve_operating_point(system)
+        assert system.gshunt == original

@@ -1,0 +1,369 @@
+"""Device bank correctness: stamps verified against finite differences.
+
+For every device type we build a tiny circuit, evaluate the analytic
+Jacobians (G = dI/dx, C = dQ/dx) from the banks, and compare against
+central finite differences of the residual/charge vectors. This is the
+strongest possible stamp test: any sign or chain-rule error fails it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import BjtModel, DiodeModel, MosfetModel
+from repro.circuit.sources import Dc, Sin
+from repro.devices.base import safe_exp
+from repro.devices.diode import depletion_charge, pnjlim
+from repro.mna.compiler import compile_circuit
+from repro.mna.system import MnaSystem
+
+
+def fd_check(circuit, x, t=0.0, rtol=1e-5, atol=1e-7):
+    """Compare analytic G and C Jacobians against central differences."""
+    system = MnaSystem(compile_circuit(circuit))
+    n = system.n
+    x = np.asarray(x, dtype=float)
+    assert x.size == n
+
+    out = system.make_buffers()
+
+    def parts(xv):
+        system.eval(xv, t, out)
+        return out.f[:n].copy(), out.q[:n].copy()
+
+    system.eval(x, t, out)
+    g_analytic = system.pattern.assemble(
+        out.g_vals, np.zeros_like(out.c_vals), 0.0
+    ).toarray()
+    c_analytic = system.pattern.assemble(
+        np.zeros_like(out.g_vals), out.c_vals, 1.0
+    ).toarray()
+
+    g_fd = np.zeros((n, n))
+    c_fd = np.zeros((n, n))
+    eps = 1e-7
+    for j in range(n):
+        dx = np.zeros(n)
+        dx[j] = eps
+        f_plus, q_plus = parts(x + dx)
+        f_minus, q_minus = parts(x - dx)
+        g_fd[:, j] = (f_plus - f_minus) / (2 * eps)
+        c_fd[:, j] = (q_plus - q_minus) / (2 * eps)
+
+    scale = max(np.abs(g_fd).max(), 1.0)
+    np.testing.assert_allclose(g_analytic, g_fd, rtol=rtol, atol=atol * scale)
+    cscale = max(np.abs(c_fd).max(), 1e-15)
+    np.testing.assert_allclose(c_analytic, c_fd, rtol=rtol, atol=atol * cscale)
+    return system
+
+
+class TestLinearBanks:
+    def test_resistor_jacobian(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 2e3)
+        fd_check(c, np.array([1.0, 0.6, -1e-3]))
+
+    def test_capacitor_jacobian(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        c.add_capacitor("C2", "a", "b", 2e-9)
+        fd_check(c, np.array([1.0, 0.3, 0.0]))
+
+    def test_inductor_jacobian_and_charge(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_inductor("L1", "a", "b", 1e-6)
+        c.add_resistor("R1", "b", "0", 10.0)
+        system = fd_check(c, np.array([1.0, 0.5, 0.05, 0.05]))
+        # the inductor flux enters q as -L*i on its branch row
+        out = system.make_buffers()
+        x = np.array([1.0, 0.5, 0.05, 0.02])
+        system.eval(x, 0.0, out)
+        l_branch = system.compiled.branch_current_index("L1")
+        assert out.q[l_branch] == pytest.approx(-1e-6 * x[l_branch])
+
+
+class TestSourceBanks:
+    def test_vsource_branch_rows(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(2.5))
+        c.add_resistor("R1", "a", "0", 1e3)
+        system = fd_check(c, np.array([2.0, 1e-3]))
+        out = system.make_buffers()
+        x = np.array([2.0, 1e-3])
+        system.eval(x, 0.0, out)
+        j = system.compiled.branch_current_index("V1")
+        # branch residual f + s = v(a) - V
+        assert out.f[j] + out.s[j] == pytest.approx(2.0 - 2.5)
+
+    def test_vsource_time_dependence(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Sin(0.0, 1.0, 1e6))
+        c.add_resistor("R1", "a", "0", 1.0)
+        system = MnaSystem(compile_circuit(c))
+        out = system.make_buffers()
+        j = system.compiled.branch_current_index("V1")
+        system.eval(np.zeros(2), 0.25e-6, out)
+        assert out.s[j] == pytest.approx(-1.0)
+
+    def test_isource_injection_sign(self):
+        # SPICE convention: positive I flows plus -> minus through the
+        # source, so it *extracts* from the plus node's KCL.
+        c = Circuit("t")
+        c.add_isource("I1", "a", "0", Dc(1e-3))
+        c.add_resistor("R1", "a", "0", 1e3)
+        system = MnaSystem(compile_circuit(c))
+        out = system.make_buffers()
+        system.eval(np.zeros(1), 0.0, out)
+        assert out.s[0] == pytest.approx(1e-3)
+
+    def test_vcvs_jacobian(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "cp", "0", Dc(1.0))
+        c.add_resistor("RC", "cp", "0", 1e3)
+        c.add_vcvs("E1", "p", "0", "cp", "0", 10.0)
+        c.add_resistor("RL", "p", "0", 1e3)
+        fd_check(c, np.array([0.5, 5.0, 1e-3, -5e-3]))
+
+    def test_vccs_jacobian(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "cp", "0", Dc(1.0))
+        c.add_resistor("RC", "cp", "0", 1e3)
+        c.add_vccs("G1", "p", "0", "cp", "0", 1e-3)
+        c.add_resistor("RL", "p", "0", 1e3)
+        fd_check(c, np.array([0.5, -0.5, 1e-3]))
+
+    def test_cccs_jacobian(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1e3)
+        c.add_cccs("F1", "p", "0", "V1", 5.0)
+        c.add_resistor("RL", "p", "0", 1e3)
+        fd_check(c, np.array([1.0, 0.2, 1e-3]))
+
+    def test_ccvs_jacobian(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1e3)
+        c.add_ccvs("H1", "p", "0", "V1", 100.0)
+        c.add_resistor("RL", "p", "0", 1e3)
+        fd_check(c, np.array([1.0, 0.1, 1e-3, 2e-3]))
+
+
+class TestDiodeBank:
+    def make(self, **model_kw):
+        c = Circuit("t")
+        c.add_vsource("V1", "in", "0", Dc(1.0))
+        c.add_resistor("R1", "in", "a", 1e3)
+        c.add_diode("D1", "a", "0", DiodeModel(**model_kw))
+        return c
+
+    @pytest.mark.parametrize("va", [0.3, 0.55, 0.65, -0.4, -2.0])
+    def test_jacobian_across_bias(self, va):
+        fd_check(self.make(), np.array([1.0, va, -1e-3]), rtol=1e-4)
+
+    def test_jacobian_with_charge(self):
+        c = self.make(cj0=1e-12, tt=1e-9, vj=0.8, m=0.4)
+        fd_check(c, np.array([1.0, 0.45, -1e-3]), rtol=1e-4)
+
+    def test_current_follows_shockley(self):
+        system = MnaSystem(compile_circuit(self.make()))
+        out = system.make_buffers()
+        vd = 0.6
+        system.eval(np.array([1.0, vd, 0.0]), 0.0, out)
+        # KCL at the anode = resistor current + diode current; isolate the diode.
+        resistor_part = (vd - 1.0) / 1e3
+        diode_current = out.f[1] - resistor_part
+        from repro.devices.base import VT
+
+        expected = 1e-14 * (np.exp(vd / VT) - 1.0)
+        assert diode_current == pytest.approx(expected, rel=1e-3)
+
+    def test_series_resistance_expands_internal_node(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "in", "0", Dc(1.0))
+        c.add_diode("D1", "in", "0", DiodeModel(rs=10.0))
+        compiled = compile_circuit(c)
+        assert "D1#rs" in compiled.node_index
+        assert any("D1#rser" == comp.name for comp in compiled._components)
+
+
+class TestDepletionCharge:
+    def test_zero_bias(self):
+        q, cap = depletion_charge(np.array([0.0]), np.array([1e-12]), np.array([0.8]), np.array([0.5]))
+        assert q[0] == pytest.approx(0.0, abs=1e-18)
+        assert cap[0] == pytest.approx(1e-12)
+
+    def test_continuity_at_knee(self):
+        cj0, vj, m = np.array([1e-12]), np.array([0.8]), np.array([0.5])
+        knee = 0.5 * 0.8
+        eps = 1e-9
+        q_lo, c_lo = depletion_charge(np.array([knee - eps]), cj0, vj, m)
+        q_hi, c_hi = depletion_charge(np.array([knee + eps]), cj0, vj, m)
+        assert q_lo[0] == pytest.approx(q_hi[0], rel=1e-6)
+        assert c_lo[0] == pytest.approx(c_hi[0], rel=1e-6)
+
+    def test_capacitance_is_charge_derivative(self):
+        cj0, vj, m = np.array([2e-12]), np.array([0.7]), np.array([0.33])
+        for v in (-1.0, 0.1, 0.3, 0.5, 0.9):
+            eps = 1e-7
+            q_p, _ = depletion_charge(np.array([v + eps]), cj0, vj, m)
+            q_m, _ = depletion_charge(np.array([v - eps]), cj0, vj, m)
+            _, cap = depletion_charge(np.array([v]), cj0, vj, m)
+            assert (q_p[0] - q_m[0]) / (2 * eps) == pytest.approx(cap[0], rel=1e-5)
+
+
+class TestPnjlim:
+    def test_small_steps_untouched(self):
+        vnew, changed = pnjlim(
+            np.array([0.61]), np.array([0.60]), np.array([0.026]), np.array([0.7])
+        )
+        assert not changed.any()
+        assert vnew[0] == 0.61
+
+    def test_large_forward_step_limited(self):
+        vnew, changed = pnjlim(
+            np.array([5.0]), np.array([0.7]), np.array([0.026]), np.array([0.65])
+        )
+        assert changed[0]
+        assert vnew[0] < 5.0
+        assert vnew[0] > 0.7  # still moves forward, logarithmically
+
+
+class TestSafeExp:
+    def test_matches_exp_in_range(self):
+        u = np.array([-5.0, 0.0, 10.0, 50.0])
+        val, der = safe_exp(u)
+        np.testing.assert_allclose(val, np.exp(u))
+        np.testing.assert_allclose(der, np.exp(u))
+
+    def test_linear_continuation_is_finite_and_continuous(self):
+        val_lo, _ = safe_exp(np.array([100.0]))
+        val_hi, _ = safe_exp(np.array([100.0 + 1e-9]))
+        assert np.isfinite(safe_exp(np.array([1e6]))[0]).all()
+        assert val_hi[0] == pytest.approx(val_lo[0], rel=1e-6)
+
+
+class TestMosfetBank:
+    def make(self, polarity="nmos", gamma=0.0):
+        c = Circuit("t")
+        c.add_vsource("VD", "d", "0", Dc(1.0))
+        c.add_vsource("VG", "g", "0", Dc(1.0))
+        c.add_vsource("VS", "s", "0", Dc(0.0))
+        c.add_vsource("VB", "b", "0", Dc(0.0))
+        model = MosfetModel("m", polarity, vto=0.7, kp=100e-6, lambda_=0.05, gamma=gamma)
+        c.add_mosfet("M1", "d", "g", "s", "b", model, w=2e-6, l=1e-6)
+        return c
+
+    def bias(self, vd, vg, vs=0.0, vb=0.0):
+        return np.array([vd, vg, vs, vb, 0.0, 0.0, 0.0, 0.0])
+
+    @pytest.mark.parametrize(
+        "vd,vg",
+        [
+            (2.0, 2.0),   # saturation
+            (0.2, 2.0),   # linear
+            (2.0, 0.3),   # cutoff
+            (-1.0, 2.0),  # reversed drain/source
+            (1.0, 1.0),   # near linear/sat boundary... slightly off
+        ],
+    )
+    def test_nmos_jacobian(self, vd, vg):
+        fd_check(self.make(), self.bias(vd, vg), rtol=1e-4, atol=1e-6)
+
+    @pytest.mark.parametrize("vd,vg", [(-2.0, -2.0), (-0.2, -2.0), (2.0, 0.0)])
+    def test_pmos_jacobian(self, vd, vg):
+        fd_check(self.make("pmos"), self.bias(vd, vg), rtol=1e-4, atol=1e-6)
+
+    def test_body_effect_jacobian(self):
+        fd_check(self.make(gamma=0.5), self.bias(2.0, 2.0, 0.0, -0.5), rtol=1e-4)
+
+    def test_square_law_saturation_current(self):
+        system = MnaSystem(compile_circuit(self.make()))
+        out = system.make_buffers()
+        system.eval(np.pad(self.bias(2.0, 1.7), (0, 0)), 0.0, out)
+        beta = 100e-6 * 2.0
+        vov = 1.7 - 0.7
+        expected = 0.5 * beta * vov**2 * (1 + 0.05 * 2.0)
+        assert out.f[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_drain_source_symmetry(self):
+        """Swapping drain and source voltages flips the current."""
+        system = MnaSystem(compile_circuit(self.make()))
+        out = system.make_buffers()
+        system.eval(self.bias(1.0, 2.0, 0.0), 0.0, out)
+        i_forward = out.f[0]
+        system.eval(self.bias(0.0, 2.0, 1.0), 0.0, out)
+        i_reverse = out.f[0]
+        assert i_forward == pytest.approx(-i_reverse, rel=1e-6)
+
+    def test_cutoff_leaves_only_gmin(self):
+        system = MnaSystem(compile_circuit(self.make()))
+        out = system.make_buffers()
+        system.eval(self.bias(2.0, 0.0), 0.0, out)
+        assert abs(out.f[0]) <= 1e-12 * 2.0 + 1e-18
+
+    def test_operating_regions_labels(self):
+        system = MnaSystem(compile_circuit(self.make()))
+        bank = next(b for b in system.compiled.banks if type(b).__name__ == "MosfetBank")
+        full = np.zeros(system.n + 1)
+        full[:4] = [2.0, 2.0, 0.0, 0.0]
+        assert bank.operating_regions(full) == ["saturation"]
+        full[:4] = [0.1, 2.0, 0.0, 0.0]
+        assert bank.operating_regions(full) == ["linear"]
+        full[:4] = [2.0, 0.2, 0.0, 0.0]
+        assert bank.operating_regions(full) == ["off"]
+
+
+class TestBjtBank:
+    def make(self, polarity="npn", **kw):
+        c = Circuit("t")
+        c.add_vsource("VC", "c", "0", Dc(1.0))
+        c.add_vsource("VB", "b", "0", Dc(1.0))
+        c.add_vsource("VE", "e", "0", Dc(0.0))
+        model = BjtModel("q", polarity, **kw)
+        c.add_bjt("Q1", "c", "b", "e", model)
+        return c
+
+    def bias(self, vc, vb, ve=0.0):
+        return np.array([vc, vb, ve, 0.0, 0.0, 0.0])
+
+    @pytest.mark.parametrize(
+        "vc,vb",
+        [
+            (2.0, 0.65),   # forward active
+            (0.2, 0.65),   # saturation
+            (2.0, -0.5),   # cutoff
+            (-0.5, 0.3),   # reverse-ish
+        ],
+    )
+    def test_npn_jacobian(self, vc, vb):
+        fd_check(self.make(), self.bias(vc, vb), rtol=1e-4, atol=1e-6)
+
+    def test_pnp_jacobian(self):
+        fd_check(self.make("pnp"), self.bias(-2.0, -0.65), rtol=1e-4, atol=1e-6)
+
+    def test_jacobian_with_charge_storage(self):
+        c = self.make(cje=1e-12, cjc=0.5e-12, tf=10e-12)
+        fd_check(c, self.bias(2.0, 0.6), rtol=1e-4, atol=1e-6)
+
+    def test_early_effect_jacobian(self):
+        fd_check(self.make(vaf=50.0), self.bias(3.0, 0.65), rtol=1e-4)
+
+    def test_beta_relation_forward_active(self):
+        system = MnaSystem(compile_circuit(self.make(bf=100.0)))
+        out = system.make_buffers()
+        system.eval(self.bias(2.0, 0.65), 0.0, out)
+        ic, ib = out.f[0], out.f[1]
+        assert ic / ib == pytest.approx(100.0, rel=1e-2)
+
+    def test_kcl_current_conservation(self):
+        system = MnaSystem(compile_circuit(self.make()))
+        out = system.make_buffers()
+        system.eval(self.bias(2.0, 0.7), 0.0, out)
+        # collector + base + emitter terminal currents must sum to zero
+        assert out.f[0] + out.f[1] + out.f[2] == pytest.approx(0.0, abs=1e-15)

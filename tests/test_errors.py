@@ -1,0 +1,68 @@
+"""Exception hierarchy: one base type, informative messages."""
+
+import pytest
+
+from repro.errors import (
+    AssemblyError,
+    CircuitError,
+    ConvergenceError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+    SingularMatrixError,
+    TimestepError,
+    UnitError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc_type",
+        [
+            CircuitError,
+            NetlistError,
+            UnitError,
+            AssemblyError,
+            SingularMatrixError,
+            ConvergenceError,
+            TimestepError,
+            SimulationError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_unit_error_is_circuit_error(self):
+        # value parsing failures surface as circuit-description problems
+        assert issubclass(UnitError, CircuitError)
+
+    def test_one_except_catches_all(self):
+        with pytest.raises(ReproError):
+            raise TimestepError("boom")
+
+
+class TestMessages:
+    def test_netlist_error_carries_line(self):
+        err = NetlistError("bad card", line=17)
+        assert err.line == 17
+        assert "line 17" in str(err)
+
+    def test_netlist_error_without_line(self):
+        err = NetlistError("bad card")
+        assert err.line is None
+        assert str(err) == "bad card"
+
+    def test_singular_matrix_names_suspect(self):
+        err = SingularMatrixError("factorisation failed", unknown="v(n7)")
+        assert err.unknown == "v(n7)"
+        assert "v(n7)" in str(err)
+
+    def test_convergence_error_details(self):
+        err = ConvergenceError("newton failed", iterations=42, residual_norm=1e3)
+        assert err.iterations == 42
+        assert "42" in str(err)
+        assert "1.000e+03" in str(err)
+
+    def test_convergence_error_minimal(self):
+        err = ConvergenceError("newton failed")
+        assert str(err) == "newton failed"

@@ -1,0 +1,56 @@
+"""Smoke tests for the runnable examples (the fast ones).
+
+The longer studies (ring sweep, power grid, mixer, scheduler anatomy) run
+multi-minute campaigns and are exercised by the bench suite's equivalent
+experiments instead; here we keep the user-facing quickstart paths green.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    argv = sys.argv
+    try:
+        sys.argv = [str(path)]
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "max deviation from analytic step response" in out
+        assert "backward x2" in out
+        assert "combined x4" in out
+
+    def test_netlist_tour(self, capsys):
+        out = run_example("netlist_tour.py", capsys)
+        assert "DC transfer" in out
+        assert "wavepipe combined x3" in out
+        assert "AC: RC front-end corner" in out
+
+    def test_all_examples_present_and_documented(self):
+        expected = {
+            "quickstart.py",
+            "ring_oscillator_study.py",
+            "power_grid_wavepipe.py",
+            "mixer_wavepipe.py",
+            "netlist_tour.py",
+            "scheduler_anatomy.py",
+        }
+        found = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= found
+        for name in expected:
+            source = (EXAMPLES / name).read_text()
+            assert source.lstrip().startswith('"""'), f"{name} lacks a docstring"
+            assert "__main__" in source, f"{name} is not runnable"

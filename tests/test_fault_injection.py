@@ -1,0 +1,147 @@
+"""Failure-path coverage: the engine must fail loudly and usefully.
+
+Production simulators spend much of their code on *diagnosing* bad input:
+singular matrices must name the suspect unknown, unsolvable time steps
+must say so instead of spinning, and concurrent pipelines must propagate
+failures rather than deadlock or silently drop points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Dc, Pulse, Sin
+from repro.core.wavepipe import run_wavepipe
+from repro.engine.transient import run_transient
+from repro.errors import (
+    CircuitError,
+    ConvergenceError,
+    SimulationError,
+    TimestepError,
+)
+from repro.mna.compiler import compile_circuit
+from repro.mna.system import MnaSystem
+from repro.solver.dcop import solve_operating_point
+from repro.utils.options import SimOptions
+
+
+class TestStructuralFaults:
+    def test_floating_island_reported(self):
+        c = Circuit("island")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1e3)
+        c.add_resistor("R2", "x", "y", 1e3)  # disconnected pair
+        with pytest.raises(CircuitError, match="no DC path"):
+            compile_circuit(c)
+
+    def test_inductor_vsource_loop_reported(self):
+        # At DC an inductor shorts: V1 || L1 is a voltage-source loop in
+        # disguise, but structurally it IS solvable (branch currents soak
+        # it up) — verify the engine handles it without dying.
+        c = Circuit("l-loop")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_inductor("L1", "a", "0", 1e-6)
+        compiled = compile_circuit(c)
+        op = solve_operating_point(MnaSystem(compiled))
+        assert np.all(np.isfinite(op.x))
+
+    def test_two_vsources_on_same_nodes_rejected(self):
+        c = Circuit("v-loop")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_vsource("V2", "a", "0", Dc(2.0))
+        with pytest.raises(CircuitError, match="loop"):
+            compile_circuit(c)
+
+
+class TestNumericalFaults:
+    def test_impossible_tolerance_raises_timestep_error(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Sin(0.0, 1.0, 1e6))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        options = SimOptions(
+            lte_reltol=1e-16, lte_abstol=1e-19, trtol=1.0, min_step_fraction=1e-6
+        )
+        with pytest.raises(TimestepError, match="underflow"):
+            run_transient(c, 1e-5, options=options)
+
+    def test_dc_failure_raises_convergence_error(self):
+        c = Circuit("hard")
+        c.add_vsource("V1", "in", "0", Dc(100.0))
+        c.add_resistor("R1", "in", "a", 1e-3)
+        c.add_diode("D1", "a", "0")
+        options = SimOptions(max_newton_iters=2, gmin_steps=2, source_steps=2)
+        with pytest.raises(ConvergenceError) as info:
+            run_transient(c, 1e-9, options=options)
+        assert info.value.iterations is not None
+
+    def test_wavepipe_propagates_timestep_error(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Sin(0.0, 1.0, 1e6))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        options = SimOptions(
+            lte_reltol=1e-16, lte_abstol=1e-19, trtol=1.0, min_step_fraction=1e-6
+        )
+        for scheme in ("backward", "forward", "combined"):
+            with pytest.raises(TimestepError):
+                run_wavepipe(c, 1e-5, scheme=scheme, threads=3, options=options)
+
+    def test_thread_executor_propagates_errors_too(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Sin(0.0, 1.0, 1e6))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        options = SimOptions(
+            lte_reltol=1e-16, lte_abstol=1e-19, trtol=1.0, min_step_fraction=1e-6
+        )
+        with pytest.raises(TimestepError):
+            run_wavepipe(
+                c, 1e-5, scheme="backward", threads=3,
+                options=options, executor="thread",
+            )
+
+
+class TestRobustRecovery:
+    def test_stiff_diode_switching_completes(self):
+        """Severe stiffness: microsecond RC against nanosecond diode
+        switching; the controller must shrink through the corners and
+        recover, not die."""
+        c = Circuit("stiff")
+        c.add_vsource(
+            "V1", "in", "0",
+            Pulse(-5.0, 5.0, delay=1e-7, rise=1e-10, fall=1e-10, width=2e-7, period=5e-7),
+        )
+        c.add_resistor("R1", "in", "a", 10.0)
+        c.add_diode("D1", "a", "out")
+        c.add_capacitor("C1", "out", "0", 1e-6)
+        c.add_resistor("RL", "out", "0", 1e5)
+        result = run_transient(c, 2e-6)
+        assert result.final_time == pytest.approx(2e-6, rel=1e-9)
+        out = result.waveforms.voltage("out")
+        assert out.values.max() < 5.1  # clamped by physics
+
+    def test_huge_supply_converges_with_damping(self):
+        c = Circuit("hv")
+        c.add_vsource("V1", "in", "0", Dc(1000.0))
+        c.add_resistor("R1", "in", "a", 1e5)
+        c.add_diode("D1", "a", "0")
+        compiled = compile_circuit(c)
+        op = solve_operating_point(MnaSystem(compiled))
+        a = op.x[compiled.node_voltage_index("a")]
+        assert 0.6 < a < 1.1  # ~10 mA through the junction
+
+    def test_zero_interval_rejected(self, rc_circuit):
+        with pytest.raises((TimestepError, SimulationError)):
+            run_transient(rc_circuit, 0.0)
+
+    def test_wavepipe_stats_consistent_after_heavy_rejection(self):
+        """A rejection-storm workload must keep the books balanced."""
+        from repro.circuits.digital import ring_oscillator
+
+        pipe = run_wavepipe(ring_oscillator(3), 10e-9, scheme="combined", threads=4)
+        stats = pipe.stats
+        assert stats.virtual_total <= stats.serial_total + 1e-9
+        assert stats.wasted_solves >= 0
+        assert stats.accepted_points == len(pipe.times) - 1
+        assert np.all(np.diff(pipe.times) > 0)

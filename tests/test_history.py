@@ -1,0 +1,202 @@
+"""Timepoint history: divided differences, prediction, eras."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.integration.history import (
+    Timepoint,
+    TimepointHistory,
+    divided_difference,
+    neville_extrapolate,
+)
+
+
+def tp(t, value):
+    x = np.atleast_1d(np.asarray(value, dtype=float))
+    return Timepoint(t, x, x.copy(), np.zeros_like(x))
+
+
+class TestDividedDifference:
+    def test_first_difference_is_slope(self):
+        dd = divided_difference([(1.0, np.array([3.0])), (0.0, np.array([1.0]))])
+        assert dd[0] == pytest.approx(2.0)
+
+    def test_matches_derivative_over_factorial(self):
+        # For x(t) = t^3, the 3rd divided difference equals x'''/3! = 1.
+        pts = [(t, np.array([t**3])) for t in (0.3, 0.1, 0.0, -0.2)]
+        dd = divided_difference(pts)
+        assert dd[0] == pytest.approx(1.0, rel=1e-9)
+
+    def test_order_invariance(self):
+        pts = [(t, np.array([np.sin(t)])) for t in (0.0, 0.1, 0.25)]
+        dd1 = divided_difference(pts)
+        dd2 = divided_difference(list(reversed(pts)))
+        assert dd1[0] == pytest.approx(dd2[0], rel=1e-12)
+
+    def test_vector_valued(self):
+        pts = [(t, np.array([t, 2 * t])) for t in (0.0, 1.0)]
+        dd = divided_difference(pts)
+        np.testing.assert_allclose(dd, [1.0, 2.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(SimulationError):
+            divided_difference([(0.0, np.array([1.0]))])
+
+    def test_coincident_times_rejected(self):
+        with pytest.raises(SimulationError):
+            divided_difference([(0.0, np.array([1.0])), (0.0, np.array([2.0]))])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=3,
+            max_size=3,
+            unique=True,
+        ).filter(lambda ts: min(abs(x - y) for i, x in enumerate(ts) for y in ts[i + 1 :]) > 1e-2),
+        st.floats(min_value=-3, max_value=3, allow_nan=False),
+        st.floats(min_value=-3, max_value=3, allow_nan=False),
+        st.floats(min_value=-3, max_value=3, allow_nan=False),
+    )
+    def test_quadratic_exactness(self, times, a, b, c):
+        # 2nd divided difference of a*t^2+b*t+c is exactly a (times are
+        # kept well separated: nearly coincident points cancel in floats).
+        pts = [(t, np.array([a * t * t + b * t + c])) for t in times]
+        dd = divided_difference(pts)
+        assert dd[0] == pytest.approx(a, rel=1e-6, abs=1e-6)
+
+
+class TestNeville:
+    def test_linear_exact(self):
+        pts = [(0.0, np.array([1.0])), (1.0, np.array([3.0]))]
+        assert neville_extrapolate(pts, 2.0)[0] == pytest.approx(5.0)
+
+    def test_interpolates_through_points(self):
+        pts = [(t, np.array([t**2 - t])) for t in (0.0, 0.5, 1.5)]
+        for t, v in pts:
+            assert neville_extrapolate(pts, t)[0] == pytest.approx(v[0], abs=1e-12)
+
+    def test_quadratic_exact_extrapolation(self):
+        pts = [(t, np.array([2 * t**2 + 1])) for t in (0.0, 0.3, 0.7)]
+        assert neville_extrapolate(pts, 2.0)[0] == pytest.approx(9.0, rel=1e-10)
+
+    def test_single_point_constant(self):
+        assert neville_extrapolate([(1.0, np.array([4.0]))], 9.0)[0] == 4.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            neville_extrapolate([], 0.0)
+
+
+class TestHistoryContainer:
+    def test_append_and_access(self):
+        h = TimepointHistory()
+        h.append(tp(0.0, 1.0))
+        h.append(tp(1.0, 2.0))
+        assert len(h) == 2
+        assert h.last.t == 1.0
+        assert h.last_step == 1.0
+        assert h.times == [0.0, 1.0]
+
+    def test_non_monotonic_rejected(self):
+        h = TimepointHistory()
+        h.append(tp(1.0, 0.0))
+        with pytest.raises(SimulationError):
+            h.append(tp(0.5, 0.0))
+        with pytest.raises(SimulationError):
+            h.append(tp(1.0, 0.0))
+
+    def test_bounded_length(self):
+        h = TimepointHistory(maxlen=3)
+        for i in range(6):
+            h.append(tp(float(i), i))
+        assert len(h) == 3
+        assert h.times == [3.0, 4.0, 5.0]
+
+    def test_empty_last_rejected(self):
+        with pytest.raises(SimulationError):
+            TimepointHistory().last
+
+    def test_last_step_none_with_one_point(self):
+        h = TimepointHistory()
+        h.append(tp(0.0, 0.0))
+        assert h.last_step is None
+
+    def test_clone_is_independent(self):
+        h = TimepointHistory()
+        h.append(tp(0.0, 0.0))
+        snapshot = h.clone()
+        h.append(tp(1.0, 1.0))
+        assert len(snapshot) == 1
+        assert len(h) == 2
+
+    def test_newest_order(self):
+        h = TimepointHistory()
+        for i in range(4):
+            h.append(tp(float(i), i))
+        newest = h.newest(2)
+        assert [p.t for p in newest] == [3.0, 2.0]
+
+
+class TestEras:
+    def filled(self):
+        h = TimepointHistory()
+        for i in range(5):
+            h.append(tp(float(i), i * i))
+        return h
+
+    def test_mark_era_keeps_corner_point(self):
+        h = self.filled()
+        h.mark_era()
+        assert h.era_length == 1
+        h.append(tp(5.0, 25.0))
+        assert h.era_length == 2
+
+    def test_newest_respects_era(self):
+        h = self.filled()
+        h.mark_era()
+        h.append(tp(5.0, 25.0))
+        assert len(h.newest(4)) == 2
+        assert len(h.newest(4, same_era=False)) == 4
+
+    def test_era_survives_clone(self):
+        h = self.filled()
+        h.mark_era()
+        assert h.clone().era_length == 1
+
+    def test_era_index_tracks_eviction(self):
+        h = TimepointHistory(maxlen=3)
+        for i in range(3):
+            h.append(tp(float(i), i))
+        h.mark_era()
+        h.append(tp(3.0, 3.0))
+        h.append(tp(4.0, 4.0))  # evicts point 0 then 1
+        assert h.era_length == 3  # corner (t=2) + two new points
+
+    def test_predict_limited_to_era(self):
+        h = self.filled()  # x = t^2: quadratic predictor would be exact
+        h.mark_era()
+        # only 1 era point -> constant prediction
+        assert h.predict(10.0, order=2)[0] == pytest.approx(16.0)
+
+    def test_predict_quadratic_when_era_allows(self):
+        h = self.filled()
+        assert h.predict(6.0, order=2)[0] == pytest.approx(36.0, rel=1e-9)
+
+
+class TestSolutionDividedDifference:
+    def test_none_when_insufficient(self):
+        h = TimepointHistory()
+        h.append(tp(0.0, 0.0))
+        assert h.solution_divided_difference(2) is None
+
+    def test_with_candidate(self):
+        h = TimepointHistory()
+        h.append(tp(0.0, 0.0))
+        h.append(tp(1.0, 1.0))
+        dd = h.solution_divided_difference(2, candidate=(2.0, np.array([4.0])))
+        # x = t^2 over (2, 1, 0): dd2 = 1
+        assert dd[0] == pytest.approx(1.0)

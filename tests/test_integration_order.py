@@ -1,0 +1,76 @@
+"""Order-of-accuracy verification for the integration methods.
+
+The classic numerical test: force (nearly) constant steps via ``max_step``
+with tolerances loose enough that LTE never binds, halve the step, and
+check the global error against the analytic solution contracts at the
+method's theoretical rate — O(h) globally for backward Euler, O(h^2) for
+trapezoidal and Gear-2. This pins down the integration formulas
+themselves, independent of step control.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Dc
+from repro.engine.transient import run_transient
+from repro.utils.options import SimOptions
+
+
+def rc_decay_circuit():
+    """Source-free discharge: v(t) = exp(-t/tau), tau = 1 us, via UIC."""
+    c = Circuit("decay")
+    c.add_vsource("V1", "in", "0", Dc(0.0))
+    c.add_resistor("R1", "in", "out", 1e3)
+    c.add_capacitor("C1", "out", "0", 1e-9, ic=1.0)
+    return c
+
+
+def global_error(method: str, h: float) -> float:
+    options = SimOptions(
+        method=method,
+        max_step=h,
+        # keep LTE from interfering: the step is pinned by max_step
+        lte_reltol=10.0,
+        lte_abstol=10.0,
+        first_step_fraction=1.0,
+    )
+    tstop = 3e-6
+    result = run_transient(rc_decay_circuit(), tstop, tstep=h, options=options, uic=True)
+    out = result.waveforms.voltage("out")
+    t = np.linspace(0.5e-6, tstop, 40)
+    return float(np.abs(out.at(t) - np.exp(-t / 1e-6)).max())
+
+
+class TestConvergenceOrder:
+    @pytest.mark.parametrize(
+        "method,expected_order", [("be", 1), ("trap", 2), ("gear2", 2)]
+    )
+    def test_error_contracts_at_theoretical_rate(self, method, expected_order):
+        h_coarse, h_fine = 50e-9, 25e-9
+        err_coarse = global_error(method, h_coarse)
+        err_fine = global_error(method, h_fine)
+        observed = np.log2(err_coarse / err_fine)
+        assert observed == pytest.approx(expected_order, abs=0.4), (
+            f"{method}: error {err_coarse:.3e} -> {err_fine:.3e}, "
+            f"observed order {observed:.2f}"
+        )
+
+    def test_second_order_beats_first_order(self):
+        h = 50e-9
+        assert global_error("trap", h) < 0.2 * global_error("be", h)
+
+    def test_be_error_sign_is_systematic(self):
+        """BE integrates a pure decay with a one-sided error: its per-step
+        gain 1/(1+h/tau) exceeds exp(-h/tau), so the computed waveform
+        stays at or above the exact decay."""
+        options = SimOptions(
+            method="be", max_step=100e-9, lte_reltol=10.0, lte_abstol=10.0,
+            first_step_fraction=1.0,
+        )
+        result = run_transient(
+            rc_decay_circuit(), 3e-6, tstep=100e-9, options=options, uic=True
+        )
+        out = result.waveforms.voltage("out")
+        t = np.linspace(0.5e-6, 2.5e-6, 20)
+        assert np.all(out.at(t) >= np.exp(-t / 1e-6) - 1e-12)

@@ -1,0 +1,62 @@
+"""Linear solver wrapper: dense/sparse paths and singularity diagnostics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import SingularMatrixError
+from repro.linalg.solve import DENSE_CUTOFF, LinearSolver, condition_estimate
+
+
+def random_spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return sp.csc_matrix(a @ a.T + n * np.eye(n))
+
+
+class TestSolve:
+    @pytest.mark.parametrize("n", [2, 5, DENSE_CUTOFF - 1])
+    def test_dense_path(self, n):
+        mat = random_spd(n)
+        x_true = np.arange(1, n + 1, dtype=float)
+        solver = LinearSolver()
+        x = solver.solve(mat, mat @ x_true)
+        np.testing.assert_allclose(x, x_true, rtol=1e-9)
+
+    def test_sparse_path(self):
+        n = DENSE_CUTOFF + 20
+        mat = random_spd(n, seed=3)
+        x_true = np.linspace(-1, 1, n)
+        solver = LinearSolver()
+        x = solver.solve(mat, mat @ x_true)
+        np.testing.assert_allclose(x, x_true, rtol=1e-8)
+
+    def test_counters(self):
+        solver = LinearSolver()
+        mat = random_spd(3)
+        solver.solve(mat, np.ones(3))
+        solver.solve(mat, np.ones(3))
+        assert solver.factor_count == 2
+        assert solver.solve_count == 2
+
+
+class TestSingularity:
+    def test_dense_singular_raises_with_suspect(self):
+        mat = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        solver = LinearSolver(unknown_names=["v(a)", "v(b)"])
+        with pytest.raises(SingularMatrixError) as info:
+            solver.solve(mat, np.ones(2))
+        assert "v(b)" in str(info.value)
+
+    def test_sparse_singular_raises(self):
+        n = DENSE_CUTOFF + 5
+        dense = np.eye(n)
+        dense[n - 1, n - 1] = 0.0
+        solver = LinearSolver(unknown_names=[f"v(n{i})" for i in range(n)])
+        with pytest.raises(SingularMatrixError):
+            solver.solve(sp.csc_matrix(dense), np.ones(n))
+
+    def test_condition_estimate(self):
+        assert condition_estimate(sp.csc_matrix(np.eye(3))) == pytest.approx(1.0)
+        singular = sp.csc_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        assert condition_estimate(singular) > 1e12

@@ -1,0 +1,116 @@
+"""LTE estimation and the step-size verdict."""
+
+import numpy as np
+import pytest
+
+from repro.integration.history import Timepoint, TimepointHistory
+from repro.integration.lte import lte_verdict, predicted_max_step
+from repro.utils.options import SimOptions
+
+
+def history_from_fn(fn, times):
+    h = TimepointHistory()
+    for t in times:
+        x = np.array([fn(t)])
+        h.append(Timepoint(float(t), x, x.copy(), np.zeros(1)))
+    return h
+
+
+MASK = np.array([True])
+OPTS = SimOptions()
+
+
+class TestVerdict:
+    def test_smooth_solution_accepted(self):
+        # Linear trajectory: third derivative zero -> trap LTE ~ 0.
+        h = history_from_fn(lambda t: 2.0 * t, [0.0, 0.1, 0.2, 0.3])
+        verdict = lte_verdict(
+            "trap", 2, h, 0.4, np.array([0.8]), MASK, OPTS
+        )
+        assert verdict.accepted
+        assert verdict.error_ratio <= 1e-6
+        assert verdict.h_optimal > 0.1  # plenty of headroom
+
+    def test_violent_candidate_rejected(self):
+        h = history_from_fn(lambda t: 0.0, [0.0, 0.1, 0.2, 0.3])
+        verdict = lte_verdict(
+            "trap", 2, h, 0.4, np.array([100.0]), MASK, OPTS
+        )
+        assert not verdict.accepted
+        assert verdict.error_ratio > 1.0
+        assert verdict.h_optimal < 0.1
+
+    def test_insufficient_history_accepts_unestimated(self):
+        h = history_from_fn(lambda t: t, [0.0])
+        verdict = lte_verdict("be", 1, h, 0.1, np.array([0.1]), MASK, OPTS)
+        assert verdict.accepted
+        assert not verdict.estimated
+
+    def test_h_solve_override_scales_error(self):
+        h = history_from_fn(lambda t: t**3, [0.0, 0.1, 0.2, 0.3])
+        x_new = np.array([(0.4) ** 3])
+        small = lte_verdict("trap", 2, h, 0.4, x_new, MASK, OPTS, h_solve=0.1)
+        large = lte_verdict("trap", 2, h, 0.4, x_new, MASK, OPTS, h_solve=0.4)
+        assert large.error_ratio > small.error_ratio
+
+    def test_only_voltage_unknowns_checked(self):
+        # A wild branch-current trajectory must not reject the step when
+        # the mask marks it as a current.
+        h = TimepointHistory()
+        for i, t in enumerate([0.0, 0.1, 0.2, 0.3]):
+            x = np.array([t, (-50.0) ** i])
+            h.append(Timepoint(t, x, x.copy(), np.zeros(2)))
+        mask = np.array([True, False])
+        verdict = lte_verdict(
+            "trap", 2, h, 0.4, np.array([0.4, 1e6]), mask, OPTS
+        )
+        assert verdict.accepted
+
+    def test_tolerances_scale_acceptance(self):
+        h = history_from_fn(lambda t: np.sin(10 * t), [0.0, 0.05, 0.1, 0.15])
+        x_new = np.array([np.sin(10 * 0.35)])
+        loose = lte_verdict(
+            "trap", 2, h, 0.35, x_new, MASK, OPTS.replace(lte_reltol=10.0, lte_abstol=10.0)
+        )
+        tight = lte_verdict(
+            "trap", 2, h, 0.35, x_new, MASK,
+            OPTS.replace(lte_reltol=1e-9, lte_abstol=1e-12, trtol=1.0),
+        )
+        assert loose.accepted
+        assert not tight.accepted
+
+    def test_be_uses_second_difference(self):
+        # Quadratic: x'' nonzero, x''' zero. BE must see error, trap none.
+        h = history_from_fn(lambda t: t**2, [0.0, 0.2, 0.4, 0.6])
+        x_new = np.array([0.64])
+        be = lte_verdict("be", 1, h, 0.8, x_new, MASK, OPTS.replace(trtol=1.0, lte_reltol=1e-6, lte_abstol=1e-9))
+        trap = lte_verdict("trap", 2, h, 0.8, x_new, MASK, OPTS.replace(trtol=1.0, lte_reltol=1e-6, lte_abstol=1e-9))
+        assert be.error_ratio > trap.error_ratio
+
+
+class TestPredictedMaxStep:
+    def test_none_with_short_history(self):
+        h = history_from_fn(lambda t: t, [0.0, 0.1])
+        assert predicted_max_step("trap", 2, h, MASK, OPTS) is None
+
+    def test_smooth_gives_large_step(self):
+        h = history_from_fn(lambda t: t, [0.0, 0.1, 0.2, 0.3])
+        h_opt = predicted_max_step("trap", 2, h, MASK, OPTS)
+        assert h_opt is not None
+        assert h_opt > 1.0  # linear: effectively unconstrained
+
+    def test_curved_gives_bounded_step(self):
+        h = history_from_fn(lambda t: np.sin(20 * t), [0.0, 0.02, 0.04, 0.06])
+        h_opt = predicted_max_step("trap", 2, h, MASK, OPTS)
+        assert h_opt is not None
+        assert h_opt < 1.0
+
+    def test_inverts_lte_formula(self):
+        # Construct x = t^3 so dd3 = 1 exactly; check the predicted step
+        # satisfies C * h^3 * dd == trtol * tol at equality.
+        h = history_from_fn(lambda t: t**3, [0.0, 0.5, 1.0, 1.5])
+        opts = OPTS.replace(trtol=1.0, lte_reltol=1e-9, lte_abstol=1e-3)
+        h_opt = predicted_max_step("trap", 2, h, MASK, opts)
+        # 0.5 * h^3 * 1 = 1e-3 (abs tol dominates, |x| small-ish) -> h ~ 0.9*(2e-3)^(1/3)
+        expected = 0.9 * (2e-3 + 2e-9 * (1.5**3) / 0.5) ** (1 / 3)
+        assert h_opt == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,175 @@
+"""Waveform measurements against analytically known signals."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Pulse, Sin
+from repro.engine.transient import run_transient
+from repro.errors import SimulationError
+from repro.utils.options import SimOptions
+from repro.waveform.measure import (
+    duty_cycle,
+    fall_time,
+    overshoot,
+    propagation_delay,
+    rise_time,
+    settling_time,
+    thd,
+    tone_magnitude,
+)
+from repro.waveform.waveform import Waveform
+
+
+def exponential_step(tau=1e-6, tstop=8e-6, n=4000, delay=0.0):
+    t = np.linspace(0, tstop, n)
+    v = np.where(t > delay, 1.0 - np.exp(-(t - delay) / tau), 0.0)
+    return Waveform(t, v, "step")
+
+
+class TestRiseFall:
+    def test_exponential_rise_time(self):
+        # 10-90% rise of a first-order step = tau * ln(9)
+        w = exponential_step(tau=1e-6)
+        assert rise_time(w) == pytest.approx(1e-6 * np.log(9.0), rel=0.01)
+
+    def test_fall_time_mirror(self):
+        t = np.linspace(0, 8e-6, 4000)
+        v = np.exp(-t / 1e-6)
+        w = Waveform(t, v, "decay")
+        assert fall_time(w) == pytest.approx(1e-6 * np.log(9.0), rel=0.01)
+
+    def test_custom_fractions(self):
+        w = exponential_step(tau=1e-6)
+        t_2080 = rise_time(w, fractions=(0.2, 0.8))
+        expected = 1e-6 * (np.log(1 / 0.2) - np.log(1 / 0.8))
+        assert t_2080 == pytest.approx(expected, rel=0.02)
+
+    def test_flat_signal_returns_none(self):
+        w = Waveform(np.linspace(0, 1, 10), np.ones(10))
+        assert rise_time(w) is None
+        assert fall_time(w) is None
+
+
+class TestDelayAndDuty:
+    def square(self, period=1e-6, duty=0.3, n=8000, shift=0.0):
+        t = np.linspace(0, 5 * period, n)
+        v = ((((t - shift) / period) % 1.0) < duty).astype(float)
+        return Waveform(t, v, "sq")
+
+    def test_propagation_delay(self):
+        a = self.square()
+        b = self.square(shift=0.1e-6)
+        delay = propagation_delay(a, b, 0.5, 0.5, "rise", "rise")
+        assert delay == pytest.approx(0.1e-6, rel=0.02)
+
+    def test_delay_occurrence_selection(self):
+        a = self.square()
+        b = self.square(shift=0.1e-6)
+        d2 = propagation_delay(a, b, 0.5, 0.5, "rise", "rise", occurrence=2)
+        assert d2 == pytest.approx(0.1e-6, rel=0.02)
+
+    def test_delay_none_when_target_silent(self):
+        a = self.square()
+        flat = Waveform(a.times, np.zeros_like(a.values))
+        assert propagation_delay(a, flat, 0.5, 0.5) is None
+
+    def test_occurrence_validation(self):
+        a = self.square()
+        with pytest.raises(SimulationError):
+            propagation_delay(a, a, 0.5, 0.5, occurrence=0)
+
+    def test_duty_cycle(self):
+        w = self.square(duty=0.3)
+        assert duty_cycle(w) == pytest.approx(0.3, abs=0.01)
+
+    def test_duty_cycle_none_for_dc(self):
+        w = Waveform(np.linspace(0, 1, 10), np.ones(10))
+        assert duty_cycle(w) is None
+
+
+class TestOvershootSettling:
+    def damped_step(self, zeta=0.2, wn=2 * np.pi * 1e6, tstop=10e-6, n=20000):
+        t = np.linspace(0, tstop, n)
+        wd = wn * np.sqrt(1 - zeta**2)
+        v = 1 - np.exp(-zeta * wn * t) * (
+            np.cos(wd * t) + zeta / np.sqrt(1 - zeta**2) * np.sin(wd * t)
+        )
+        return Waveform(t, v, "2nd-order")
+
+    def test_second_order_overshoot(self):
+        zeta = 0.2
+        w = self.damped_step(zeta=zeta)
+        expected = np.exp(-np.pi * zeta / np.sqrt(1 - zeta**2))
+        assert overshoot(w, final=1.0) == pytest.approx(expected, rel=0.02)
+
+    def test_monotone_has_zero_overshoot(self):
+        assert overshoot(exponential_step(), final=1.0) == 0.0
+
+    def test_settling_time_first_order(self):
+        # 2% settling of exp step = tau * ln(50)
+        w = exponential_step(tau=1e-6, tstop=12e-6, n=40000)
+        assert settling_time(w, 0.02, final=1.0) == pytest.approx(
+            1e-6 * np.log(50.0), rel=0.02
+        )
+
+    def test_settling_none_when_still_moving(self):
+        w = exponential_step(tau=1e-5, tstop=1e-6)  # barely started
+        assert settling_time(w, 0.02, final=1.0) is None
+
+
+class TestSpectral:
+    def test_tone_magnitude(self):
+        t = np.linspace(0, 10e-6, 8000)
+        w = Waveform(t, 0.5 + 2.0 * np.sin(2 * np.pi * 1e6 * t))
+        assert tone_magnitude(w, 1e6) == pytest.approx(2.0, rel=0.01)
+
+    def test_thd_of_clipped_sine(self):
+        t = np.linspace(0, 10e-6, 16000)
+        pure = np.sin(2 * np.pi * 1e6 * t)
+        clipped = np.clip(pure, -0.7, 0.7)
+        w_pure = Waveform(t, pure)
+        w_clip = Waveform(t, clipped)
+        assert thd(w_pure, 1e6) < 0.01
+        assert thd(w_clip, 1e6) > 0.05
+
+    def test_thd_validation(self):
+        w = Waveform(np.linspace(0, 1e-6, 100), np.zeros(100))
+        with pytest.raises(SimulationError):
+            thd(w, 1e6, harmonics=1)
+        assert thd(w, 1e6) is None  # no fundamental present
+
+
+class TestOnSimulatedCircuits:
+    def test_rc_rise_time_from_simulation(self, rc_circuit):
+        result = run_transient(rc_circuit, 8e-6, options=SimOptions(reltol=1e-4))
+        out = result.waveforms.voltage("out")
+        assert rise_time(out, low=0.0, high=1.0) == pytest.approx(
+            1e-6 * np.log(9.0), rel=0.03
+        )
+
+    def test_rlc_overshoot_from_simulation(self, rlc_circuit):
+        result = run_transient(rlc_circuit, 2e-6, options=SimOptions(reltol=1e-4))
+        out = result.waveforms.voltage("out")
+        # zeta = (R/2) sqrt(C/L) = 0.158 -> overshoot exp(-pi z /sqrt(1-z^2))
+        zeta = 0.5 * 10.0 * np.sqrt(1e-9 / 1e-6)
+        expected = np.exp(-np.pi * zeta / np.sqrt(1 - zeta**2))
+        assert overshoot(out, final=1.0) == pytest.approx(expected, rel=0.05)
+
+    def test_inverter_propagation_delay(self, inverter_circuit):
+        result = run_transient(inverter_circuit, 10e-9)
+        vin = result.waveforms.voltage("in")
+        vout = result.waveforms.voltage("out")
+        delay = propagation_delay(vin, vout, 1.5, 1.5, "rise", "fall")
+        assert delay is not None
+        assert 0 < delay < 1e-9  # sub-ns gate
+
+    def test_amplifier_thd_small_signal(self):
+        # a lightly driven RC filter barely distorts a sine
+        c = Circuit("lin")
+        c.add_vsource("V1", "in", "0", Sin(0.0, 0.1, 1e6))
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 10e-12)
+        result = run_transient(c, 5e-6, options=SimOptions(reltol=1e-4))
+        out = result.waveforms.voltage("out").slice(1e-6, 5e-6)
+        assert thd(out, 1e6) < 0.02

@@ -1,0 +1,105 @@
+"""Integration scheme coefficients (BE / trapezoidal / variable-step Gear-2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.integration.history import Timepoint, TimepointHistory
+from repro.integration.methods import METHOD_ORDER, scheme_coefficients
+
+
+def history_from(samples):
+    """samples: list of (t, q_value); x mirrors q, qdot left 0 unless set."""
+    h = TimepointHistory()
+    for entry in samples:
+        t, q = entry[:2]
+        qdot = entry[2] if len(entry) > 2 else 0.0
+        arr = np.array([float(q)])
+        h.append(Timepoint(float(t), arr.copy(), arr.copy(), np.array([float(qdot)])))
+    return h
+
+
+class TestBackwardEuler:
+    def test_coefficients(self):
+        h = history_from([(0.0, 2.0)])
+        scheme = scheme_coefficients("be", h, 0.5)
+        assert scheme.method_used == "be"
+        assert scheme.order == 1
+        assert scheme.alpha0 == pytest.approx(2.0)
+        assert scheme.beta[0] == pytest.approx(-4.0)
+
+    def test_exact_for_linear_charge(self):
+        # q(t) = 3t: BE derivative must be exactly 3.
+        h = history_from([(1.0, 3.0)])
+        scheme = scheme_coefficients("be", h, 2.0)
+        qdot = scheme.qdot(np.array([6.0]))
+        assert qdot[0] == pytest.approx(3.0)
+
+
+class TestTrapezoidal:
+    def test_coefficients_use_qdot_history(self):
+        h = history_from([(0.0, 1.0, 0.5)])
+        scheme = scheme_coefficients("trap", h, 1.0)
+        assert scheme.alpha0 == pytest.approx(2.0)
+        assert scheme.beta[0] == pytest.approx(-2.0 * 1.0 - 0.5)
+
+    def test_exact_for_quadratic_charge(self):
+        # q(t) = t^2, qdot = 2t. Trap: qdot_{n+1} = 2/h (q1 - q0) - qdot_0.
+        h = history_from([(1.0, 1.0, 2.0)])
+        scheme = scheme_coefficients("trap", h, 2.0)
+        qdot = scheme.qdot(np.array([4.0]))
+        assert qdot[0] == pytest.approx(4.0)
+
+
+class TestGear2:
+    def test_equal_step_coefficients(self):
+        h = history_from([(0.0, 0.0), (1.0, 0.0)])
+        scheme = scheme_coefficients("gear2", h, 2.0)
+        assert scheme.alpha0 == pytest.approx(1.5)  # 3/(2h), h=1
+
+    def test_exact_for_quadratic_charge_variable_steps(self):
+        # q(t) = t^2 with unequal steps: BDF2 differentiates quadratics exactly.
+        h = history_from([(0.0, 0.0), (0.4, 0.16)])
+        t_new = 1.1
+        scheme = scheme_coefficients("gear2", h, t_new)
+        qdot = scheme.qdot(np.array([t_new**2]))
+        assert qdot[0] == pytest.approx(2 * t_new, rel=1e-10)
+
+    def test_falls_back_to_be_with_short_history(self):
+        h = history_from([(0.0, 1.0)])
+        scheme = scheme_coefficients("gear2", h, 1.0)
+        assert scheme.method_used == "be"
+
+    def test_falls_back_to_be_across_era(self):
+        h = history_from([(0.0, 0.0), (1.0, 1.0)])
+        h.mark_era()
+        scheme = scheme_coefficients("gear2", h, 2.0)
+        assert scheme.method_used == "be"
+
+
+class TestCommon:
+    def test_force_be_overrides(self):
+        h = history_from([(0.0, 1.0, 0.5), (1.0, 2.0, 0.5)])
+        scheme = scheme_coefficients("trap", h, 2.0, force_be=True)
+        assert scheme.method_used == "be"
+        assert scheme.order == 1
+
+    def test_non_positive_step_rejected(self):
+        h = history_from([(1.0, 0.0)])
+        with pytest.raises(SimulationError):
+            scheme_coefficients("be", h, 1.0)
+        with pytest.raises(SimulationError):
+            scheme_coefficients("be", h, 0.5)
+
+    def test_unknown_method_rejected(self):
+        h = history_from([(0.0, 0.0)])
+        with pytest.raises(SimulationError):
+            scheme_coefficients("rk45", h, 1.0)
+
+    def test_method_orders(self):
+        assert METHOD_ORDER == {"be": 1, "trap": 2, "gear2": 2}
+
+    def test_h_recorded(self):
+        h = history_from([(2.0, 0.0)])
+        scheme = scheme_coefficients("be", h, 2.75)
+        assert scheme.h == pytest.approx(0.75)

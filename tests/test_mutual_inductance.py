@@ -1,0 +1,144 @@
+"""Coupled inductors (SPICE K element): transformer physics."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import MutualInductance
+from repro.circuit.sources import Sin
+from repro.engine.transient import run_transient
+from repro.analysis.ac import ac_analysis
+from repro.errors import CircuitError, NetlistError
+from repro.netlist.parser import parse_netlist
+from repro.netlist.writer import roundtrip, write_netlist
+from repro.utils.options import SimOptions
+
+
+def transformer(k=0.999, l1=1e-3, l2=4e-3, rload=1e3):
+    """Sine-driven transformer: turns ratio n = sqrt(L2/L1) = 2."""
+    c = Circuit("transformer")
+    c.add_vsource("V1", "in", "0", Sin(0.0, 1.0, 10e3))
+    c.add_resistor("RS", "in", "p", 10.0)
+    c.add_inductor("L1", "p", "0", l1)
+    c.add_inductor("L2", "s", "0", l2)
+    c.add_mutual("K1", "L1", "L2", k)
+    c.add_resistor("RL", "s", "0", rload)
+    return c
+
+
+class TestValidation:
+    def test_coupling_range(self):
+        with pytest.raises(CircuitError, match="0 < |k|".replace("|", r"\|")):
+            MutualInductance("K1", "L1", "L2", 1.0)
+        with pytest.raises(CircuitError):
+            MutualInductance("K1", "L1", "L2", 0.0)
+        with pytest.raises(CircuitError):
+            MutualInductance("K1", "L1", "L2", -1.5)
+
+    def test_self_coupling_rejected(self):
+        with pytest.raises(CircuitError, match="itself"):
+            MutualInductance("K1", "L1", "L1", 0.9)
+
+    def test_unknown_inductor_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_inductor("L1", "a", "0", 1e-6)
+        c.add_mutual("K1", "L1", "L9", 0.9)
+        with pytest.raises(CircuitError, match="L9"):
+            c.validate()
+
+
+class TestTransformerPhysics:
+    def test_voltage_ratio_follows_turns_ratio(self):
+        # tight coupling, light load: Vs/Vp ~ sqrt(L2/L1) = 2
+        result = run_transient(
+            transformer(), 0.5e-3, options=SimOptions(reltol=1e-4)
+        )
+        vp = result.waveforms.voltage("p").slice(0.2e-3, 0.5e-3)
+        vs = result.waveforms.voltage("s").slice(0.2e-3, 0.5e-3)
+        ratio = vs.peak_to_peak() / vp.peak_to_peak()
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_polarity_follows_coupling_sign(self):
+        pos = run_transient(transformer(k=0.99), 0.3e-3)
+        neg = run_transient(transformer(k=-0.99), 0.3e-3)
+        t_check = 0.225e-3  # quarter period into a cycle
+        vs_pos = pos.waveforms.voltage("s").at(t_check)
+        vs_neg = neg.waveforms.voltage("s").at(t_check)
+        assert np.sign(vs_pos) == -np.sign(vs_neg)
+        assert vs_pos == pytest.approx(-vs_neg, rel=0.02)
+
+    def test_weak_coupling_transfers_less(self):
+        tight = run_transient(transformer(k=0.99), 0.3e-3)
+        loose = run_transient(transformer(k=0.3), 0.3e-3)
+        vs_tight = tight.waveforms.voltage("s").slice(0.1e-3, 0.3e-3).peak_to_peak()
+        vs_loose = loose.waveforms.voltage("s").slice(0.1e-3, 0.3e-3).peak_to_peak()
+        assert vs_loose < 0.5 * vs_tight
+
+    def test_ac_transfer_matches_transient(self):
+        circuit = transformer()
+        ac = ac_analysis(circuit, "V1", [10e3])
+        gain_ac = ac.magnitude("v(s)")[0]
+        result = run_transient(circuit, 0.5e-3, options=SimOptions(reltol=1e-4))
+        vs = result.waveforms.voltage("s").slice(0.2e-3, 0.5e-3)
+        assert vs.peak_to_peak() / 2 == pytest.approx(gain_ac, rel=0.03)
+
+    def test_energy_passivity(self):
+        """|k| < 1 keeps the inductance matrix positive definite: the
+        magnetically stored energy 0.5 j^T L j never goes negative."""
+        circuit = transformer(k=0.9)
+        result = run_transient(circuit, 0.3e-3)
+        j1 = result.waveforms.current("L1").values
+        j2 = result.waveforms.current("L2").values
+        l1, l2 = 1e-3, 4e-3
+        m = 0.9 * np.sqrt(l1 * l2)
+        energy = 0.5 * (l1 * j1**2 + 2 * m * j1 * j2 + l2 * j2**2)
+        assert energy.min() >= -1e-15
+
+
+class TestDeckSupport:
+    DECK = """transformer deck
+V1 in 0 SIN(0 1 10k)
+RS in p 10
+L1 p 0 1m
+L2 s 0 4m
+K1 L1 L2 0.99
+RL s 0 1k
+.end
+"""
+
+    def test_parse_k_element(self):
+        netlist = parse_netlist(self.DECK)
+        k = netlist.circuit["K1"]
+        assert isinstance(k, MutualInductance)
+        assert k.coupling == pytest.approx(0.99)
+
+    def test_k_arity_error(self):
+        with pytest.raises(NetlistError, match="expected"):
+            parse_netlist("t\nK1 L1 L2\n.end\n")
+
+    def test_k_bad_coupling_reported_with_line(self):
+        with pytest.raises(NetlistError, match="line"):
+            parse_netlist("t\nL1 a 0 1m\nL2 b 0 1m\nK1 L1 L2 1.5\n.end\n")
+
+    def test_writer_roundtrip(self):
+        circuit = transformer()
+        restored = roundtrip(circuit)
+        assert restored["K1"].coupling == pytest.approx(0.999)
+        text = write_netlist(circuit)
+        assert "K1 L1 L2" in text
+
+    def test_subcircuit_remap(self):
+        from repro.circuit.circuit import Subcircuit
+
+        sub = Subcircuit("xfmr", ["p", "s"])
+        sub.add_inductor("LP", "p", "0", 1e-3)
+        sub.add_inductor("LS", "s", "0", 1e-3)
+        sub.add_mutual("K1", "LP", "LS", 0.95)
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Sin(0, 1, 1e4))
+        c.add_resistor("R1", "a", "ap", 10.0)
+        c.add_subcircuit("X1", sub, {"p": "ap", "s": "as"})
+        c.add_resistor("RL", "as", "0", 1e3)
+        assert c["X1.K1"].inductor1 == "X1.LP"
+        c.validate()

@@ -1,0 +1,109 @@
+"""Netlist expression evaluator."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.expressions import evaluate
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1+2", 3.0),
+            ("2*3+4", 10.0),
+            ("2+3*4", 14.0),
+            ("(2+3)*4", 20.0),
+            ("10/4", 2.5),
+            ("2**10", 1024.0),
+            ("-3+1", -2.0),
+            ("--3", 3.0),
+            ("+5", 5.0),
+            ("2**3**2", 512.0),  # right-associative
+            ("1 - 2 - 3", -4.0),  # left-associative
+        ],
+    )
+    def test_operators(self, text, expected):
+        assert evaluate(text) == pytest.approx(expected)
+
+    def test_engineering_suffixes_inside_expressions(self):
+        assert evaluate("2*1k") == pytest.approx(2000.0)
+        assert evaluate("1u + 500n") == pytest.approx(1.5e-6)
+
+    def test_division_by_zero(self):
+        with pytest.raises(NetlistError, match="division by zero"):
+            evaluate("1/0")
+
+    @pytest.mark.parametrize("bad", ["", "1+", "(1", "1 2", "*3", "1//2", "@"])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(NetlistError):
+            evaluate(bad)
+
+
+class TestParamsAndFunctions:
+    def test_parameters(self):
+        assert evaluate("2*r + c", {"r": 10.0, "c": 5.0}) == pytest.approx(25.0)
+
+    def test_parameters_case_insensitive(self):
+        assert evaluate("VDD/2", {"vdd": 3.0}) == pytest.approx(1.5)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(NetlistError, match="unknown parameter"):
+            evaluate("x+1")
+
+    def test_constants(self):
+        assert evaluate("2*pi") == pytest.approx(2 * math.pi)
+        assert evaluate("e") == pytest.approx(math.e)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("sqrt(16)", 4.0),
+            ("abs(-3)", 3.0),
+            ("min(3, 1, 2)", 1.0),
+            ("max(3, 1, 2)", 3.0),
+            ("exp(0)", 1.0),
+            ("log(e)", 1.0),
+            ("log10(1000)", 3.0),
+            ("sin(0)", 0.0),
+            ("cos(0)", 1.0),
+            ("pow(2, 8)", 256.0),
+        ],
+    )
+    def test_functions(self, text, expected):
+        assert evaluate(text) == pytest.approx(expected)
+
+    def test_unknown_function(self):
+        with pytest.raises(NetlistError, match="unknown function"):
+            evaluate("frob(1)")
+
+    def test_domain_error_reported(self):
+        with pytest.raises(NetlistError, match="sqrt"):
+            evaluate("sqrt(-1)")
+
+    def test_nested_calls(self):
+        assert evaluate("max(sqrt(4), min(1, 5))") == pytest.approx(2.0)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+    def test_addition_matches_python(self, a, b):
+        assert evaluate(f"({a!r}) + ({b!r})") == pytest.approx(a + b, rel=1e-12, abs=1e-12)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e3, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1e3, allow_nan=False),
+    )
+    def test_product_commutes(self, a, b):
+        assert evaluate(f"{a!r} * {b!r}") == pytest.approx(evaluate(f"{b!r} * {a!r}"))
+
+    @given(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    def test_param_substitution(self, x):
+        assert evaluate("3*x + 1", {"x": x}) == pytest.approx(3 * x + 1, rel=1e-12, abs=1e-9)

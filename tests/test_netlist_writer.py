@@ -1,0 +1,149 @@
+"""Netlist writer: Circuit -> deck -> Circuit round trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import BjtModel, DiodeModel, MosfetModel
+from repro.circuit.sources import Dc, Exp, Pulse, Pwl, SampledWaveform, Sin
+from repro.circuits.analog import gilbert_mixer, rectifier
+from repro.circuits.digital import inverter_chain, ring_oscillator
+from repro.circuits.interconnect import rc_grid, rlc_line
+from repro.engine.transient import run_transient
+from repro.errors import NetlistError
+from repro.netlist.writer import _equivalent_component, roundtrip, write_netlist
+
+
+def assert_equivalent(original: Circuit, restored: Circuit) -> None:
+    assert len(restored) == len(original)
+    for comp in original.components:
+        other = restored[comp.name]
+        assert _equivalent_component(comp, other), f"{comp} != {other}"
+
+
+class TestRoundTrip:
+    def test_passives_and_sources(self):
+        c = Circuit("mixed sources")
+        c.add_vsource("V1", "a", "0", Pulse(0, 5, delay=1e-9, rise=2e-9, fall=3e-9, width=4e-9, period=20e-9))
+        c.add_vsource("V2", "b", "0", Sin(0.5, 1.0, 1e6, delay=1e-7, theta=1e3))
+        c.add_isource("I1", "a", "0", Exp(0, 1, 1e-9, 2e-9, 5e-9, 3e-9))
+        c.add_isource("I2", "b", "0", Pwl(((0.0, 0.0), (1e-9, 1e-3), (5e-9, 0.0))))
+        c.add_resistor("R1", "a", "b", 4700.0)
+        c.add_capacitor("C1", "b", "0", 1e-11, ic=0.5)
+        c.add_inductor("L1", "a", "0", 1e-8, ic=1e-3)
+        assert_equivalent(c, roundtrip(c))
+
+    def test_controlled_sources(self):
+        c = Circuit("controlled")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_resistor("R2", "b", "0", 1e3)
+        c.add_vcvs("E1", "p", "0", "a", "b", 10.0)
+        c.add_vccs("G1", "p", "0", "a", "b", 1e-3)
+        c.add_cccs("F1", "q", "0", "V1", 2.0)
+        c.add_ccvs("H1", "q2", "0", "V1", 50.0)
+        c.add_resistor("RP", "p", "0", 1e3)
+        c.add_resistor("RQ", "q", "0", 1e3)
+        c.add_resistor("RQ2", "q2", "0", 1e3)
+        assert_equivalent(c, roundtrip(c))
+
+    def test_semiconductor_models_deduplicated(self):
+        model = DiodeModel("dd", is_=1e-13, n=1.1, cj0=1e-12)
+        c = Circuit("diodes")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "x", 100.0)
+        c.add_diode("D1", "x", "0", model)
+        c.add_diode("D2", "a", "x", model, area=2.0)
+        text = write_netlist(c)
+        assert text.count(".model") == 1
+        assert_equivalent(c, roundtrip(c))
+
+    def test_distinct_models_kept_apart(self):
+        c = Circuit("two models")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "x", 100.0)
+        c.add_diode("D1", "x", "0", DiodeModel(is_=1e-13))
+        c.add_diode("D2", "x", "0", DiodeModel(is_=1e-12))
+        assert write_netlist(c).count(".model") == 2
+
+    def test_mosfet_and_bjt(self):
+        c = Circuit("actives")
+        c.add_vsource("VDD", "vdd", "0", Dc(3.0))
+        c.add_mosfet(
+            "M1", "vdd", "g", "0", "0",
+            MosfetModel("mn", "nmos", vto=0.6, kp=150e-6, lambda_=0.02),
+            w=3e-6, l=0.8e-6,
+        )
+        c.add_resistor("RG", "g", "0", 1e6)
+        c.add_resistor("RGV", "vdd", "g", 1e6)
+        c.add_bjt(
+            "Q1", "vdd", "g", "0",
+            BjtModel("qn", "npn", is_=1e-15, bf=80.0, vaf=60.0),
+        )
+        assert_equivalent(c, roundtrip(c))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: ring_oscillator(3),
+            lambda: inverter_chain(3),
+            lambda: rc_grid(3, 3),
+            lambda: rlc_line(3),
+            rectifier,
+            gilbert_mixer,
+        ],
+    )
+    def test_benchmark_circuits_roundtrip(self, factory):
+        original = factory()
+        assert_equivalent(original, roundtrip(original))
+
+    def test_roundtrip_simulates_identically(self):
+        original = inverter_chain(2)
+        restored = roundtrip(original)
+        a = run_transient(original, 12e-9)
+        b = run_transient(restored, 12e-9)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(
+            a.waveforms.voltage("n2").values, b.waveforms.voltage("n2").values
+        )
+
+
+class TestOutputs:
+    def test_tran_card_emitted(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1.0)
+        text = write_netlist(c, tran=(1e-9, 1e-6))
+        assert ".tran 1e-09 1e-06" in text
+        assert text.endswith(".end\n")
+
+    def test_write_to_file_object(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1.0)
+        buffer = io.StringIO()
+        text = write_netlist(c, buffer)
+        assert buffer.getvalue() == text
+
+    def test_write_to_path(self, tmp_path):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1.0)
+        path = tmp_path / "out.cir"
+        write_netlist(c, str(path))
+        assert path.read_text().startswith("t\n")
+
+    def test_unsupported_waveform_rejected(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", SampledWaveform([0.0, 1.0], [0.0, 1.0]))
+        c.add_resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError, match="no deck representation"):
+            write_netlist(c)
+
+    def test_title_preserved(self):
+        c = Circuit("My Fancy Title")
+        c.add_vsource("V1", "a", "0", Dc(1.0))
+        c.add_resistor("R1", "a", "0", 1.0)
+        assert roundtrip(c).title == "My Fancy Title"

@@ -1,0 +1,92 @@
+"""SimOptions validation and derived properties."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.utils.options import INTEGRATION_METHODS, SimOptions
+
+
+class TestDefaults:
+    def test_defaults_are_spice_like(self):
+        opts = SimOptions()
+        assert opts.reltol == 1e-3
+        assert opts.abstol == 1e-12
+        assert opts.vntol == 1e-6
+        assert opts.trtol == 7.0
+        assert opts.method == "trap"
+        assert opts.newton_guess == "previous"
+
+    def test_integration_methods_registry(self):
+        assert set(INTEGRATION_METHODS) == {"be", "trap", "gear2"}
+
+    @pytest.mark.parametrize("method,order", [("be", 1), ("trap", 2), ("gear2", 2)])
+    def test_integration_order(self, method, order):
+        assert SimOptions(method=method).integration_order == order
+
+    def test_lte_tolerances_default_to_main(self):
+        opts = SimOptions(reltol=5e-4, vntol=2e-6)
+        assert opts.effective_lte_reltol == 5e-4
+        assert opts.effective_lte_abstol == 2e-6
+
+    def test_lte_tolerances_overridable(self):
+        opts = SimOptions(lte_reltol=1e-2, lte_abstol=1e-5)
+        assert opts.effective_lte_reltol == 1e-2
+        assert opts.effective_lte_abstol == 1e-5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["reltol", "abstol", "vntol", "chgtol", "trtol"])
+    def test_positive_tolerances(self, field):
+        with pytest.raises(SimulationError):
+            SimOptions(**{field: 0.0})
+        with pytest.raises(SimulationError):
+            SimOptions(**{field: -1.0})
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SimulationError):
+            SimOptions(method="rk4")
+
+    def test_ratio_max_floor(self):
+        with pytest.raises(SimulationError):
+            SimOptions(step_ratio_max=0.5)
+
+    def test_step_shrink_range(self):
+        with pytest.raises(SimulationError):
+            SimOptions(step_shrink=0.0)
+        with pytest.raises(SimulationError):
+            SimOptions(step_shrink=1.0)
+
+    def test_predictor_order_range(self):
+        with pytest.raises(SimulationError):
+            SimOptions(predictor_order=3)
+
+    def test_guard_fraction_range(self):
+        with pytest.raises(SimulationError):
+            SimOptions(backward_guard_fraction=1.0)
+        with pytest.raises(SimulationError):
+            SimOptions(backward_guard_fraction=-0.1)
+
+    def test_newton_guess_values(self):
+        with pytest.raises(SimulationError):
+            SimOptions(newton_guess="magic")
+        assert SimOptions(newton_guess="predictor").newton_guess == "predictor"
+
+    def test_lte_cap_margin_positive(self):
+        with pytest.raises(SimulationError):
+            SimOptions(lte_cap_margin=0.0)
+
+
+class TestReplace:
+    def test_replace_returns_new_validated_object(self):
+        opts = SimOptions()
+        changed = opts.replace(reltol=1e-4)
+        assert changed.reltol == 1e-4
+        assert opts.reltol == 1e-3  # original untouched (frozen)
+
+    def test_replace_validates(self):
+        with pytest.raises(SimulationError):
+            SimOptions().replace(method="nope")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimOptions().reltol = 1.0  # type: ignore[misc]

@@ -1,0 +1,119 @@
+"""Virtual clock accounting and stage executors."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel.clock import VirtualClock
+from repro.parallel.executors import SerialExecutor, ThreadExecutor, make_executor
+
+
+class TestVirtualClock:
+    def test_stage_charges_max_plus_sync(self):
+        clock = VirtualClock(sync_overhead=1.0)
+        cost = clock.advance_stage([3.0, 7.0, 2.0])
+        assert cost == pytest.approx(8.0)
+        assert clock.virtual_work == pytest.approx(8.0)
+        assert clock.serial_work == pytest.approx(12.0)
+        assert clock.stages == 1
+        assert clock.peak_width == 3
+
+    def test_empty_stage_free(self):
+        clock = VirtualClock()
+        assert clock.advance_stage([]) == 0.0
+        assert clock.stages == 0
+
+    def test_serial_charge(self):
+        clock = VirtualClock()
+        clock.advance_serial(5.0)
+        assert clock.virtual_work == 5.0
+        assert clock.serial_work == 5.0
+
+    def test_overlapped_hidden_within_producer(self):
+        clock = VirtualClock()
+        exposed = clock.advance_overlapped(10.0, 6.0)
+        assert exposed == 0.0
+        assert clock.virtual_work == pytest.approx(10.0)
+        assert clock.serial_work == pytest.approx(16.0)
+
+    def test_overlapped_excess_exposed(self):
+        clock = VirtualClock()
+        exposed = clock.advance_overlapped(10.0, 13.0)
+        assert exposed == pytest.approx(3.0)
+        assert clock.virtual_work == pytest.approx(13.0)
+
+    def test_producer_stage_multiple_overlaps(self):
+        clock = VirtualClock()
+        exposed = clock.advance_producer_stage(10.0, [4.0, 12.0, 9.0])
+        # only the worst overshoot is exposed (others run on own threads)
+        assert exposed == pytest.approx(2.0)
+        assert clock.virtual_work == pytest.approx(12.0)
+        assert clock.serial_work == pytest.approx(35.0)
+        assert clock.peak_width == 4
+
+    def test_mean_width(self):
+        clock = VirtualClock()
+        clock.advance_stage([1.0])
+        clock.advance_stage([1.0, 1.0, 1.0])
+        assert clock.mean_width == pytest.approx(2.0)
+
+    def test_speedup_against(self):
+        clock = VirtualClock()
+        clock.advance_stage([4.0])
+        assert clock.speedup_against(8.0) == pytest.approx(2.0)
+
+    def test_speedup_degenerate(self):
+        assert VirtualClock().speedup_against(100.0) == 1.0
+
+
+class TestExecutors:
+    def tasks(self, results):
+        return [lambda r=r: r for r in results]
+
+    def test_serial_preserves_order(self):
+        ex = SerialExecutor()
+        assert ex.run_stage(self.tasks([1, 2, 3])) == [1, 2, 3]
+
+    def test_thread_preserves_order(self):
+        with ThreadExecutor(4) as ex:
+            # stagger completion: later tasks finish first
+            def slow(v, delay):
+                def run():
+                    time.sleep(delay)
+                    return v
+                return run
+
+            results = ex.run_stage([slow(1, 0.05), slow(2, 0.02), slow(3, 0.0)])
+        assert results == [1, 2, 3]
+
+    def test_thread_actually_concurrent(self):
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def task():
+            barrier.wait()  # deadlocks unless all 3 run simultaneously
+            return True
+
+        with ThreadExecutor(3) as ex:
+            assert ex.run_stage([task, task, task]) == [True, True, True]
+
+    def test_thread_propagates_exceptions(self):
+        def boom():
+            raise ValueError("task failed")
+
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(ValueError, match="task failed"):
+                ex.run_stage([boom])
+
+    def test_worker_floor(self):
+        with pytest.raises(SimulationError):
+            ThreadExecutor(0)
+
+    def test_factory(self):
+        assert isinstance(make_executor("serial", 4), SerialExecutor)
+        ex = make_executor("thread", 2)
+        assert isinstance(ex, ThreadExecutor)
+        ex.close()
+        with pytest.raises(SimulationError):
+            make_executor("fiber", 2)

@@ -1,0 +1,139 @@
+"""Jacobian pattern cache: assembly must match a naive COO construction."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.mna.pattern import PatternBuilder
+
+
+def naive_assemble(n, g_entries, c_entries, alpha0, diag_shift=0.0):
+    """Reference: plain COO with ground (index n) entries dropped."""
+    rows, cols, vals = [], [], []
+    for r, c, v in g_entries:
+        if r < n and c < n:
+            rows.append(r), cols.append(c), vals.append(v)
+    for r, c, v in c_entries:
+        if r < n and c < n:
+            rows.append(r), cols.append(c), vals.append(alpha0 * v)
+    for i in range(n):
+        rows.append(i), cols.append(i), vals.append(diag_shift)
+    return sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).toarray()
+
+
+class TestPatternBuilder:
+    def test_simple_conductance_stamp(self):
+        builder = PatternBuilder(2)
+        slots = builder.add_g_entries([0, 0, 1, 1], [0, 1, 0, 1])
+        pattern = builder.finalize()
+        g_vals = np.zeros(len(slots))
+        g_vals[slots.slice] = [2.0, -2.0, -2.0, 2.0]
+        mat = pattern.assemble(g_vals, np.zeros(0), 0.0).toarray()
+        np.testing.assert_allclose(mat, [[2.0, -2.0], [-2.0, 2.0]])
+
+    def test_duplicate_positions_sum(self):
+        builder = PatternBuilder(1)
+        s1 = builder.add_g_entries([0], [0])
+        s2 = builder.add_g_entries([0], [0])
+        pattern = builder.finalize()
+        g_vals = np.zeros(2)
+        g_vals[s1.slice] = 3.0
+        g_vals[s2.slice] = 4.0
+        mat = pattern.assemble(g_vals, np.zeros(0), 0.0).toarray()
+        assert mat[0, 0] == pytest.approx(7.0)
+
+    def test_ground_entries_discarded(self):
+        builder = PatternBuilder(2)
+        slots = builder.add_g_entries([0, 2, 2, 0], [0, 0, 2, 2])
+        pattern = builder.finalize()
+        g_vals = np.zeros(4)
+        g_vals[slots.slice] = [1.0, 5.0, 5.0, 5.0]
+        mat = pattern.assemble(g_vals, np.zeros(0), 0.0).toarray()
+        np.testing.assert_allclose(mat, [[1.0, 0.0], [0.0, 0.0]])
+
+    def test_alpha0_scales_c_stream(self):
+        builder = PatternBuilder(1)
+        gs = builder.add_g_entries([0], [0])
+        cs = builder.add_c_entries([0], [0])
+        pattern = builder.finalize()
+        g_vals = np.array([1.0])
+        c_vals = np.array([2.0])
+        mat = pattern.assemble(g_vals, c_vals, 10.0).toarray()
+        assert mat[0, 0] == pytest.approx(21.0)
+
+    def test_diag_shift(self):
+        builder = PatternBuilder(3)
+        builder.add_g_entries([0], [1])
+        pattern = builder.finalize()
+        mat = pattern.assemble(np.zeros(1), np.zeros(0), 0.0, diag_shift=1e-12).toarray()
+        np.testing.assert_allclose(np.diag(mat), 1e-12)
+
+    def test_out_of_range_rejected(self):
+        builder = PatternBuilder(2)
+        with pytest.raises(AssemblyError):
+            builder.add_g_entries([3], [0])
+        with pytest.raises(AssemblyError):
+            builder.add_g_entries([-1], [0])
+
+    def test_mismatched_shapes_rejected(self):
+        builder = PatternBuilder(2)
+        with pytest.raises(AssemblyError):
+            builder.add_g_entries([0, 1], [0])
+
+    def test_finalize_locks_builder(self):
+        builder = PatternBuilder(2)
+        builder.finalize()
+        with pytest.raises(AssemblyError):
+            builder.add_g_entries([0], [0])
+
+    def test_wrong_value_sizes_rejected(self):
+        builder = PatternBuilder(2)
+        builder.add_g_entries([0], [0])
+        pattern = builder.finalize()
+        with pytest.raises(AssemblyError):
+            pattern.assemble(np.zeros(5), np.zeros(0), 0.0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AssemblyError):
+            PatternBuilder(0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            max_size=20,
+        ),
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=6),
+                st.integers(min_value=0, max_value=6),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            max_size=20,
+        ),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_matches_naive_assembly(self, n, g_entries, c_entries, alpha0):
+        g_entries = [(min(r, n), min(c, n), v) for r, c, v in g_entries]
+        c_entries = [(min(r, n), min(c, n), v) for r, c, v in c_entries]
+        builder = PatternBuilder(n)
+        gs = builder.add_g_entries(
+            [e[0] for e in g_entries], [e[1] for e in g_entries]
+        )
+        cs = builder.add_c_entries(
+            [e[0] for e in c_entries], [e[1] for e in c_entries]
+        )
+        pattern = builder.finalize()
+        g_vals = np.array([e[2] for e in g_entries])
+        c_vals = np.array([e[2] for e in c_entries])
+        got = pattern.assemble(g_vals, c_vals, alpha0, diag_shift=1e-9).toarray()
+        want = naive_assemble(n, g_entries, c_entries, alpha0, diag_shift=1e-9)
+        np.testing.assert_allclose(got, want, atol=1e-12)

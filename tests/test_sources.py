@@ -1,0 +1,213 @@
+"""Source waveform shapes, breakpoints and vectorised evaluation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.sources import (
+    Dc,
+    Exp,
+    Pulse,
+    Pwl,
+    SampledWaveform,
+    Sin,
+    as_waveform,
+)
+from repro.errors import CircuitError
+
+
+class TestDc:
+    def test_constant(self):
+        wf = Dc(2.5)
+        assert wf.value(0.0) == 2.5
+        assert wf.value(1e9) == 2.5
+        assert wf.dc == 2.5
+
+    def test_vectorised(self):
+        wf = Dc(-1.0)
+        np.testing.assert_allclose(wf.values(np.linspace(0, 1, 5)), -1.0)
+
+    def test_no_breakpoints(self):
+        assert Dc(1.0).breakpoints(1.0) == []
+
+
+class TestPulse:
+    def make(self, **kw):
+        defaults = dict(v1=0.0, v2=1.0, delay=1e-9, rise=1e-9, fall=2e-9, width=5e-9, period=20e-9)
+        defaults.update(kw)
+        return Pulse(**defaults)
+
+    def test_before_delay(self):
+        assert self.make().value(0.5e-9) == 0.0
+
+    def test_mid_rise(self):
+        assert self.make().value(1.5e-9) == pytest.approx(0.5)
+
+    def test_plateau(self):
+        assert self.make().value(4e-9) == 1.0
+
+    def test_mid_fall(self):
+        # fall starts at delay+rise+width = 7ns, lasts 2ns
+        assert self.make().value(8e-9) == pytest.approx(0.5)
+
+    def test_after_fall_one_shot(self):
+        wf = self.make(period=None)
+        assert wf.value(15e-9) == 0.0
+        assert wf.value(1.0) == 0.0
+
+    def test_periodic_repeat(self):
+        wf = self.make()
+        assert wf.value(21.5e-9) == pytest.approx(wf.value(1.5e-9))
+        assert wf.value(44e-9) == pytest.approx(wf.value(4e-9))
+
+    def test_breakpoints_one_shot(self):
+        wf = self.make(period=None)
+        bps = wf.breakpoints(100e-9)
+        assert pytest.approx(bps) == [1e-9, 2e-9, 7e-9, 9e-9]
+
+    def test_breakpoints_periodic_clip(self):
+        wf = self.make()
+        bps = wf.breakpoints(25e-9)
+        assert any(abs(bp - 21e-9) < 1e-15 for bp in bps)
+        assert all(bp <= 25e-9 for bp in bps)
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            self.make(rise=-1.0)
+        with pytest.raises(CircuitError):
+            self.make(period=1e-9)  # shorter than rise+width+fall
+
+    @given(st.floats(min_value=0, max_value=100e-9))
+    def test_bounded_by_levels(self, t):
+        wf = self.make()
+        assert 0.0 <= wf.value(t) <= 1.0
+
+
+class TestSin:
+    def test_before_delay_holds_offset(self):
+        wf = Sin(offset=1.0, amplitude=2.0, freq=1e6, delay=1e-6)
+        assert wf.value(0.5e-6) == 1.0
+
+    def test_basic_shape(self):
+        wf = Sin(offset=0.0, amplitude=1.0, freq=1e6)
+        assert wf.value(0.25e-6) == pytest.approx(1.0)
+        assert wf.value(0.75e-6) == pytest.approx(-1.0)
+        assert wf.value(0.5e-6) == pytest.approx(0.0, abs=1e-12)
+
+    def test_damping(self):
+        wf = Sin(offset=0.0, amplitude=1.0, freq=1e6, theta=1e6)
+        undamped = Sin(offset=0.0, amplitude=1.0, freq=1e6)
+        t = 0.25e-6
+        assert wf.value(t) == pytest.approx(undamped.value(t) * math.exp(-1e6 * t))
+
+    def test_vectorised_matches_scalar(self):
+        wf = Sin(offset=0.5, amplitude=2.0, freq=3e6, delay=1e-7, theta=1e5)
+        times = np.linspace(0, 1e-6, 40)
+        np.testing.assert_allclose(
+            wf.values(times), [wf.value(float(t)) for t in times], rtol=1e-12
+        )
+
+    def test_breakpoint_only_at_turn_on(self):
+        assert Sin(0, 1, 1e6, delay=1e-7).breakpoints(1e-6) == [1e-7]
+        assert Sin(0, 1, 1e6).breakpoints(1e-6) == []
+
+    def test_frequency_validation(self):
+        with pytest.raises(CircuitError):
+            Sin(0.0, 1.0, 0.0)
+
+
+class TestPwl:
+    def test_holds_ends(self):
+        wf = Pwl(((1e-9, 0.0), (2e-9, 5.0)))
+        assert wf.value(0.0) == 0.0
+        assert wf.value(3e-9) == 5.0
+
+    def test_interpolates(self):
+        wf = Pwl(((0.0, 0.0), (1.0, 10.0)))
+        assert wf.value(0.25) == pytest.approx(2.5)
+
+    def test_multi_segment(self):
+        wf = Pwl(((0.0, 0.0), (1.0, 1.0), (2.0, -1.0), (4.0, -1.0)))
+        assert wf.value(1.5) == pytest.approx(0.0)
+        assert wf.value(3.0) == pytest.approx(-1.0)
+
+    def test_breakpoints_are_the_corners(self):
+        wf = Pwl(((0.0, 0.0), (1.0, 1.0), (2.0, 0.0)))
+        assert wf.breakpoints(1.5) == [0.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            Pwl(())
+        with pytest.raises(CircuitError):
+            Pwl(((1.0, 0.0), (1.0, 1.0)))
+        with pytest.raises(CircuitError):
+            Pwl(((2.0, 0.0), (1.0, 1.0)))
+
+    @given(st.floats(min_value=-1.0, max_value=5.0))
+    def test_within_value_hull(self, t):
+        wf = Pwl(((0.0, -2.0), (1.0, 3.0), (2.0, 0.5)))
+        assert -2.0 <= wf.value(t) <= 3.0
+
+
+class TestExp:
+    def test_initial_level(self):
+        wf = Exp(v1=0.0, v2=1.0, td1=1e-9, tau1=1e-9, td2=5e-9, tau2=1e-9)
+        assert wf.value(0.0) == 0.0
+
+    def test_rises_toward_v2(self):
+        wf = Exp(v1=0.0, v2=1.0, td1=0.0, tau1=1e-9, td2=100e-9, tau2=1e-9)
+        assert wf.value(1e-9) == pytest.approx(1 - math.exp(-1), rel=1e-6)
+        assert wf.value(50e-9) == pytest.approx(1.0, abs=1e-6)
+
+    def test_decays_after_td2(self):
+        wf = Exp(v1=0.0, v2=1.0, td1=0.0, tau1=1e-12, td2=10e-9, tau2=1e-9)
+        assert wf.value(9.9e-9) == pytest.approx(1.0, abs=1e-3)
+        assert wf.value(100e-9) == pytest.approx(0.0, abs=1e-3)
+
+    def test_breakpoints(self):
+        wf = Exp(0, 1, td1=1e-9, tau1=1e-9, td2=3e-9, tau2=1e-9)
+        assert wf.breakpoints(10e-9) == [1e-9, 3e-9]
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            Exp(0, 1, tau1=0.0)
+        with pytest.raises(CircuitError):
+            Exp(0, 1, td1=2e-9, td2=1e-9)
+
+
+class TestSampledWaveform:
+    def test_interpolates_and_clamps(self):
+        wf = SampledWaveform([0.0, 1.0, 2.0], [0.0, 2.0, 0.0])
+        assert wf.value(0.5) == pytest.approx(1.0)
+        assert wf.value(-1.0) == 0.0
+        assert wf.value(5.0) == 0.0
+
+    def test_no_breakpoints_by_design(self):
+        wf = SampledWaveform([0.0, 1.0], [0.0, 1.0])
+        assert wf.breakpoints(1.0) == []
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            SampledWaveform([], [])
+        with pytest.raises(CircuitError):
+            SampledWaveform([0.0, 0.0], [1.0, 2.0])
+        with pytest.raises(CircuitError):
+            SampledWaveform([0.0, 1.0], [1.0])
+
+
+class TestAsWaveform:
+    def test_numbers_become_dc(self):
+        wf = as_waveform(3.0)
+        assert isinstance(wf, Dc)
+        assert wf.level == 3.0
+
+    def test_waveforms_pass_through(self):
+        pulse = Pulse(0, 1)
+        assert as_waveform(pulse) is pulse
+
+    def test_rejects_garbage(self):
+        with pytest.raises(CircuitError):
+            as_waveform("PULSE(0 1)")

@@ -1,0 +1,126 @@
+"""Parameter sweep utility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import sweep
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Pulse
+from repro.errors import SimulationError, TimestepError
+from repro.waveform.measure import rise_time
+
+
+def rc_factory(resistance):
+    c = Circuit(f"rc-{resistance}")
+    c.add_vsource("V1", "in", "0", Pulse(0, 1, delay=1e-7, rise=1e-12, width=1.0))
+    c.add_resistor("R1", "in", "out", resistance)
+    c.add_capacitor("C1", "out", "0", 1e-9)
+    return c
+
+
+def out_rise_time(result):
+    return rise_time(result.waveforms.voltage("out"), low=0.0, high=1.0)
+
+
+def final_out(result):
+    return result.waveforms.voltage("out").final_value()
+
+
+class TestCircuitSweep:
+    def test_rise_time_scales_with_r(self):
+        result = sweep(
+            "R", [500.0, 1e3, 2e3],
+            metrics={"t_rise": out_rise_time, "v_final": final_out},
+            tstop=20e-6,
+            circuit_factory=rc_factory,
+        )
+        t = result.column("t_rise")
+        # tau doubles with R: 10-90% rise = tau ln 9
+        assert t[1] / t[0] == pytest.approx(2.0, rel=0.05)
+        assert t[2] / t[1] == pytest.approx(2.0, rel=0.05)
+        np.testing.assert_allclose(result.column("v_final"), 1.0, atol=1e-3)
+
+    def test_table_renders(self):
+        result = sweep(
+            "R", [1e3], metrics={"t_rise": out_rise_time}, tstop=10e-6,
+            circuit_factory=rc_factory,
+        )
+        text = result.table()
+        assert "R" in text and "t_rise" in text
+
+    def test_wavepipe_backend(self):
+        result = sweep(
+            "R", [1e3], metrics={"v_final": final_out}, tstop=10e-6,
+            circuit_factory=rc_factory, scheme="backward", threads=2,
+        )
+        assert result.column("v_final")[0] == pytest.approx(1.0, abs=1e-3)
+
+
+class TestOptionSweep:
+    def test_reltol_sweep_on_fixed_circuit(self):
+        circuit = rc_factory(1e3)
+        result = sweep(
+            "reltol", [1e-2, 1e-4],
+            metrics={"points": lambda r: r.stats.accepted_points},
+            tstop=10e-6,
+            circuit=circuit, option_field="reltol",
+        )
+        points = result.column("points")
+        assert points[1] > points[0]  # tighter tolerance, more points
+
+
+class TestValidation:
+    def test_need_exactly_one_target(self):
+        with pytest.raises(SimulationError, match="exactly one"):
+            sweep("x", [1], metrics={"m": final_out}, tstop=1e-6)
+        with pytest.raises(SimulationError, match="exactly one"):
+            sweep(
+                "x", [1], metrics={"m": final_out}, tstop=1e-6,
+                circuit_factory=rc_factory, circuit=rc_factory(1e3),
+            )
+
+    def test_fixed_circuit_needs_option_field(self):
+        with pytest.raises(SimulationError, match="option_field"):
+            sweep("x", [1], metrics={"m": final_out}, tstop=1e-6, circuit=rc_factory(1e3))
+
+    def test_needs_metrics(self):
+        with pytest.raises(SimulationError, match="metric"):
+            sweep("x", [1], metrics={}, tstop=1e-6, circuit_factory=rc_factory)
+
+    def test_unknown_metric_column(self):
+        result = sweep(
+            "R", [1e3], metrics={"m": final_out}, tstop=1e-6,
+            circuit_factory=rc_factory,
+        )
+        with pytest.raises(SimulationError, match="available"):
+            result.column("zz")
+
+
+class TestFailureHandling:
+    def bad_factory(self, value):
+        if value > 1:
+            raise ValueError("boom")
+        return rc_factory(1e3)
+
+    def test_failures_raise_by_default(self):
+        with pytest.raises(ValueError):
+            sweep(
+                "x", [0, 2], metrics={"m": final_out}, tstop=1e-6,
+                circuit_factory=self.bad_factory,
+            )
+
+    def test_skip_failures_records_them(self):
+        result = sweep(
+            "x", [0, 2], metrics={"m": final_out}, tstop=1e-6,
+            circuit_factory=self.bad_factory, skip_failures=True,
+        )
+        assert 2 in result.failures
+        assert np.isnan(result.column("m")[1])
+        assert np.isfinite(result.column("m")[0])
+
+    def test_none_metric_becomes_nan(self):
+        result = sweep(
+            "R", [1e3], metrics={"none": lambda r: None}, tstop=1e-6,
+            circuit_factory=rc_factory,
+        )
+        assert np.isnan(result.column("none")[0])

@@ -1,0 +1,184 @@
+"""Sequential transient engine: analytic benchmarks and step control."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Dc, Pulse, Sin
+from repro.engine.transient import run_transient
+from repro.errors import TimestepError
+from repro.mna.compiler import compile_circuit
+from repro.utils.options import SimOptions
+
+
+class TestRcAnalytic:
+    TAU = 1e-6  # fixture: 1k * 1n
+
+    def test_step_response(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=8e-6)
+        w = res.waveforms.voltage("out")
+        t = np.linspace(1.5e-6, 7.5e-6, 60)
+        analytic = 1.0 - np.exp(-(t - 1e-6) / self.TAU)
+        assert np.abs(w.at(t) - analytic).max() < 5e-3
+
+    @pytest.mark.parametrize("method", ["be", "trap", "gear2"])
+    def test_all_methods_agree(self, rc_circuit, method):
+        res = run_transient(rc_circuit, tstop=6e-6, options=SimOptions(method=method))
+        w = res.waveforms.voltage("out")
+        expected = 1.0 - np.exp(-(5e-6 - 1e-6) / self.TAU)
+        assert w.at(5e-6) == pytest.approx(expected, abs=0.02)
+
+    def test_trap_more_efficient_than_be(self, rc_circuit):
+        be = run_transient(rc_circuit, tstop=8e-6, options=SimOptions(method="be"))
+        trap = run_transient(rc_circuit, tstop=8e-6, options=SimOptions(method="trap"))
+        assert trap.stats.accepted_points < be.stats.accepted_points
+
+    def test_tightening_reltol_reduces_error(self, rc_circuit):
+        t = np.linspace(1.5e-6, 7.5e-6, 60)
+        analytic = 1.0 - np.exp(-(t - 1e-6) / self.TAU)
+        errors = {}
+        for reltol in (1e-2, 1e-4):
+            res = run_transient(
+                rc_circuit, tstop=8e-6, options=SimOptions(reltol=reltol)
+            )
+            errors[reltol] = np.abs(res.waveforms.voltage("out").at(t) - analytic).max()
+        assert errors[1e-4] < errors[1e-2]
+
+    def test_source_current_waveform(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=8e-6)
+        i_src = res.waveforms.current("V1")
+        # just after the step, the full 1 V is across R: i = -1 mA through
+        # the source branch (current flows out of the + terminal).
+        assert i_src.at(1.05e-6) == pytest.approx(-1e-3, rel=0.05)
+
+
+class TestRlAnalytic:
+    def test_rl_current_rise(self):
+        # Series RL: i(t) = V/R (1 - exp(-t R/L)), tau = 1 us
+        c = Circuit("rl")
+        c.add_vsource("V1", "in", "0", Pulse(0, 1, delay=0.2e-6, rise=1e-12, width=1.0))
+        c.add_resistor("R1", "in", "a", 10.0)
+        c.add_inductor("L1", "a", "0", 10e-6)
+        res = run_transient(c, tstop=6e-6)
+        i_l = res.waveforms.current("L1")
+        t = np.linspace(0.5e-6, 5.5e-6, 40)
+        analytic = 0.1 * (1.0 - np.exp(-(t - 0.2e-6) / 1e-6))
+        assert np.abs(i_l.at(t) - analytic).max() < 2e-3
+
+
+class TestRlcAnalytic:
+    def test_ringing_frequency(self, rlc_circuit):
+        # f = 1/(2 pi sqrt(LC)) ~ 5.03 MHz, lightly damped (R=10)
+        res = run_transient(rlc_circuit, tstop=2e-6, options=SimOptions(reltol=1e-5))
+        w = res.waveforms.voltage("out")
+        ringing = w.slice(15e-9, 1.5e-6)
+        freq = ringing.frequency(level=1.0)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-6 * 1e-9))
+        zeta = 10.0 / 2.0 * np.sqrt(1e-9 / 1e-6)
+        f_damped = f0 * np.sqrt(1.0 - zeta**2)
+        assert freq == pytest.approx(f_damped, rel=0.03)
+
+    def test_energy_decay_envelope(self, rlc_circuit):
+        # alpha = R/(2L) = 5e6 1/s: peaks decay as exp(-alpha t)
+        res = run_transient(rlc_circuit, tstop=1e-6, options=SimOptions(reltol=1e-4))
+        w = res.waveforms.voltage("out")
+        early = abs(w.at(0.11e-6) - 1.0)
+        late = abs(w.at(0.11e-6 + 0.4e-6) - 1.0)
+        # same oscillation phase 2 periods later (T~0.199us; 0.4us ~ 2T)
+        expected_ratio = np.exp(-5e6 * 0.4e-6)
+        assert late / early == pytest.approx(expected_ratio, rel=0.35)
+
+
+class TestSineDriven:
+    def test_low_frequency_passthrough(self, sine_rc_circuit):
+        # 50 kHz << fc=159 kHz: output ~ input with small attenuation
+        res = run_transient(sine_rc_circuit, tstop=60e-6)
+        out = res.waveforms.voltage("out")
+        steady = out.slice(30e-6, 60e-6)
+        expected_gain = 1 / np.sqrt(1 + (50e3 / 159.155e3) ** 2)
+        assert steady.peak_to_peak() / 2 == pytest.approx(expected_gain, rel=0.03)
+
+
+class TestBreakpoints:
+    def test_pulse_corners_are_sample_points(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=8e-6)
+        # the delayed step at 1 us must be hit exactly
+        assert np.any(np.abs(res.times - 1e-6) < 1e-15)
+
+    def test_waveform_not_smeared_across_edge(self):
+        c = Circuit("t")
+        c.add_vsource(
+            "V1", "a", "0", Pulse(0, 1, delay=1e-6, rise=1e-9, width=2e-6, period=4e-6)
+        )
+        c.add_resistor("R1", "a", "0", 1e3)
+        res = run_transient(c, tstop=10e-6)
+        w = res.waveforms.voltage("a")
+        assert w.at(0.99e-6) == pytest.approx(0.0, abs=1e-6)
+        assert w.at(1.1e-6) == pytest.approx(1.0, abs=1e-6)
+        assert w.at(3.5e-6) == pytest.approx(0.0, abs=1e-6)
+
+    def test_final_time_reached_exactly(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=8e-6)
+        assert res.final_time == pytest.approx(8e-6, rel=1e-9)
+
+
+class TestUic:
+    def test_cap_ic_skips_op(self):
+        c = Circuit("t")
+        c.add_vsource("V1", "in", "0", Dc(0.0))
+        c.add_resistor("R1", "in", "out", 1e3)
+        c.add_capacitor("C1", "out", "0", 1e-9, ic=1.0)
+        res = run_transient(c, tstop=5e-6, uic=True)
+        w = res.waveforms.voltage("out")
+        assert w.at(0.0) == pytest.approx(1.0)
+        # discharges through R with tau = 1 us
+        assert w.at(2e-6) == pytest.approx(np.exp(-2.0), rel=0.05)
+
+    def test_node_ics_override(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=2e-6, uic=True, node_ics={"out": 0.5})
+        assert res.waveforms.voltage("out").at(0.0) == pytest.approx(0.5)
+
+
+class TestDiagnostics:
+    def test_stats_populated(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=8e-6)
+        stats = res.stats
+        assert stats.accepted_points == len(res.times) - 1
+        assert stats.newton_iterations > 0
+        assert stats.total_work > 0
+        assert stats.wall_seconds > 0
+
+    def test_step_sizes_match_times(self, rc_circuit):
+        res = run_transient(rc_circuit, tstop=8e-6)
+        np.testing.assert_allclose(
+            np.diff(res.times), res.step_sizes, rtol=1e-9, atol=1e-20
+        )
+
+    def test_min_step_underflow_raises(self):
+        # An impossible tolerance forces the controller below min_step.
+        c = Circuit("t")
+        c.add_vsource("V1", "a", "0", Sin(0.0, 1.0, 1e6))
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_capacitor("C1", "b", "0", 1e-9)
+        options = SimOptions(
+            lte_reltol=1e-15, lte_abstol=1e-18, trtol=1.0, min_step_fraction=1e-7
+        )
+        with pytest.raises(TimestepError):
+            run_transient(c, tstop=1e-5, options=options)
+
+    def test_compiled_circuit_reusable(self, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        first = run_transient(compiled, tstop=4e-6)
+        second = run_transient(compiled, tstop=4e-6)
+        np.testing.assert_allclose(first.times, second.times)
+
+
+class TestChargeConservation:
+    def test_capacitor_charge_matches_integrated_current(self, rc_circuit):
+        """Integral of source current equals the charge delivered to C."""
+        res = run_transient(rc_circuit, tstop=8e-6, options=SimOptions(reltol=1e-4))
+        i_src = res.waveforms.current("V1")
+        # current through V1 flows into R then C; total charge = C * v_final
+        q_integrated = -np.trapezoid(i_src.values, i_src.times)
+        v_out_final = res.waveforms.voltage("out").final_value()
+        assert q_integrated == pytest.approx(1e-9 * v_out_final, rel=0.02)

@@ -1,0 +1,120 @@
+"""Unit parsing and SI formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import UnitError
+from repro.utils.units import format_si, parse_value
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1", 1.0),
+            ("-3.5", -3.5),
+            ("1e3", 1000.0),
+            ("1E-9", 1e-9),
+            (".5", 0.5),
+            ("+2.", 2.0),
+        ],
+    )
+    def test_plain_numbers(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1k", 1e3),
+            ("1K", 1e3),
+            ("2.2u", 2.2e-6),
+            ("3n", 3e-9),
+            ("4p", 4e-12),
+            ("5f", 5e-15),
+            ("6m", 6e-3),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("7g", 7e9),
+            ("8t", 8e12),
+            ("9a", 9e-18),
+            ("10mil", 10 * 25.4e-6),
+            ("2x", 2e6),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("10kOhm", 1e4),
+            ("5pF", 5e-12),
+            ("3nH", 3e-9),
+            ("2.5V", 2.5),
+            ("1megohm", 1e6),
+        ],
+    )
+    def test_unit_garnish_ignored(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected)
+
+    def test_numbers_pass_through(self):
+        assert parse_value(42) == 42.0
+        assert parse_value(4.7) == 4.7
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3", "k1", "{x}"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitError):
+            parse_value(bad)
+
+    def test_rejects_nan(self):
+        with pytest.raises(UnitError):
+            parse_value(float("nan"))
+
+    def test_meg_beats_m(self):
+        # "m" alone is milli; "meg" must win the longest-match race.
+        assert parse_value("1m") == pytest.approx(1e-3)
+        assert parse_value("1meg") == pytest.approx(1e6)
+
+    def test_mil_beats_m(self):
+        assert parse_value("1mil") == pytest.approx(25.4e-6)
+
+    @given(st.floats(min_value=-1e15, max_value=1e15, allow_nan=False))
+    def test_repr_roundtrip(self, value):
+        assert parse_value(repr(value)) == pytest.approx(value, rel=1e-12)
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+        st.sampled_from(["k", "u", "n", "p", "f", "meg", "g"]),
+    )
+    def test_suffix_scaling_property(self, base, suffix):
+        scale = {"k": 1e3, "u": 1e-6, "n": 1e-9, "p": 1e-12, "f": 1e-15, "meg": 1e6, "g": 1e9}
+        assert parse_value(f"{base}{suffix}") == pytest.approx(base * scale[suffix], rel=1e-12)
+
+
+class TestFormatSi:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (0.0, "V", "0V"),
+            (1000.0, "", "1k"),
+            (2.2e-6, "F", "2.2uF"),
+            (1e9, "Hz", "1GHz"),
+            (-1500.0, "V", "-1.5kV"),
+        ],
+    )
+    def test_formats(self, value, unit, expected):
+        assert format_si(value, unit) == expected
+
+    def test_tiny_values_fall_back_to_scientific(self):
+        text = format_si(1e-20, "A")
+        assert "e-" in text
+
+    @given(st.floats(min_value=1e-14, max_value=1e11, allow_nan=False))
+    def test_round_trip_with_parse(self, value):
+        # format_si output must be parseable back to ~the same value.
+        text = format_si(value, "")
+        parsed = parse_value(text)
+        assert math.isclose(parsed, value, rel_tol=1e-3)

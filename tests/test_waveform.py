@@ -1,0 +1,171 @@
+"""Waveform containers, measurements and run comparison."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.waveform.waveform import (
+    Deviation,
+    Waveform,
+    WaveformSet,
+    compare,
+    worst_deviation,
+)
+
+
+def sine_wave(freq=1e6, n=400, tstop=5e-6, amp=1.0, name="sig"):
+    t = np.linspace(0, tstop, n)
+    return Waveform(t, amp * np.sin(2 * np.pi * freq * t), name)
+
+
+class TestWaveform:
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            Waveform(np.array([0.0, 1.0]), np.array([0.0]))
+        with pytest.raises(SimulationError):
+            Waveform(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+        with pytest.raises(SimulationError):
+            Waveform(np.array([[0.0]]), np.array([[1.0]]))
+
+    def test_interpolation_and_clamping(self):
+        w = Waveform(np.array([0.0, 1.0, 2.0]), np.array([0.0, 10.0, 0.0]))
+        assert w.at(0.5) == pytest.approx(5.0)
+        assert w.at(-1.0) == 0.0
+        assert w.at(3.0) == 0.0
+        np.testing.assert_allclose(w.at(np.array([0.5, 1.5])), [5.0, 5.0])
+
+    def test_resample(self):
+        w = sine_wave()
+        grid = np.linspace(0, 4e-6, 37)
+        r = w.resample(grid)
+        assert len(r) == 37
+        np.testing.assert_allclose(r.values, w.at(grid))
+
+    def test_slice(self):
+        w = Waveform(np.arange(10.0), np.arange(10.0))
+        s = w.slice(2.0, 5.0)
+        assert s.times[0] == 2.0
+        assert s.times[-1] == 5.0
+
+    def test_peak_to_peak(self):
+        assert sine_wave(amp=2.0).peak_to_peak() == pytest.approx(4.0, rel=1e-3)
+
+    def test_final_value(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([3.0, 7.0]))
+        assert w.final_value() == 7.0
+        with pytest.raises(SimulationError):
+            Waveform(np.array([]), np.array([])).final_value()
+
+
+class TestCrossings:
+    def test_rising_and_falling(self):
+        # 2.2 us window: rising zeros at 1u and 2u, falling at 0.5u, 1.5u
+        # (endpoint zeros sitting exactly on samples are not robust crossings)
+        w = sine_wave(freq=1e6, tstop=2.2e-6, n=2200)
+        rises = w.crossings(0.0, "rise")
+        falls = w.crossings(0.0, "fall")
+        assert rises.size == 2
+        assert falls.size == 2
+        assert falls[0] == pytest.approx(0.5e-6, rel=1e-3)
+
+    def test_crossing_interpolates(self):
+        w = Waveform(np.array([0.0, 1.0]), np.array([-1.0, 3.0]))
+        assert w.crossings(0.0)[0] == pytest.approx(0.25)
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(SimulationError):
+            sine_wave().crossings(0.0, "sideways")
+
+    def test_period_and_frequency(self):
+        w = sine_wave(freq=2e6, tstop=5e-6, n=4000)
+        assert w.period() == pytest.approx(0.5e-6, rel=1e-3)
+        assert w.frequency() == pytest.approx(2e6, rel=1e-3)
+
+    def test_period_none_for_flat(self):
+        w = Waveform(np.linspace(0, 1, 10), np.ones(10))
+        assert w.period() is None
+        assert w.frequency() is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=5e5, max_value=5e6))
+    def test_frequency_recovery_property(self, freq):
+        w = sine_wave(freq=freq, tstop=8 / freq, n=6000)
+        assert w.frequency() == pytest.approx(freq, rel=5e-3)
+
+
+class TestWaveformSet:
+    def make(self):
+        t = np.linspace(0, 1, 11)
+        return WaveformSet(t, {"v(a)": t * 2, "i(V1)": -t})
+
+    def test_indexing(self):
+        ws = self.make()
+        assert ws.voltage("a").at(0.5) == pytest.approx(1.0)
+        assert ws.current("V1").at(0.5) == pytest.approx(-0.5)
+        assert "v(a)" in ws
+        assert set(ws.names) == {"v(a)", "i(V1)"}
+
+    def test_missing_trace_message_lists_options(self):
+        with pytest.raises(SimulationError, match="available"):
+            self.make()["v(zz)"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            WaveformSet(np.array([0.0, 1.0]), {"v(a)": np.array([1.0])})
+
+
+class TestCompare:
+    def two_sets(self, shift=0.0, noise=0.0):
+        t1 = np.linspace(0, 1e-6, 300)
+        t2 = np.linspace(0, 1e-6, 173)  # deliberately different sampling
+        sig = lambda t: np.sin(2 * np.pi * 3e6 * t)
+        a = WaveformSet(t1, {"v(x)": sig(t1), "v(const)": np.full_like(t1, 3.0)})
+        b = WaveformSet(
+            t2,
+            {
+                "v(x)": sig(t2 + shift) + noise,
+                "v(const)": np.full_like(t2, 3.0) + noise,
+            },
+        )
+        return a, b
+
+    def test_identical_runs_zero_deviation(self):
+        a, b = self.two_sets()
+        devs = compare(a, b)
+        assert worst_deviation(devs).max_abs < 5e-3  # resampling noise only
+
+    def test_shift_detected(self):
+        a, b = self.two_sets(shift=20e-9)
+        dev = next(d for d in compare(a, b) if d.name == "v(x)")
+        assert dev.max_abs > 0.1
+        assert dev.rms > 0.01
+
+    def test_constant_signal_scale_not_zero(self):
+        a, b = self.two_sets(noise=1e-9)
+        dev = next(d for d in compare(a, b) if d.name == "v(const)")
+        # nanovolts on a 3 V rail must read as a tiny relative deviation
+        assert dev.max_relative < 1e-8
+
+    def test_signal_selection(self):
+        a, b = self.two_sets()
+        devs = compare(a, b, names=["v(x)"])
+        assert [d.name for d in devs] == ["v(x)"]
+
+    def test_non_overlapping_rejected(self):
+        t1 = np.linspace(0, 1, 10)
+        t2 = np.linspace(2, 3, 10)
+        a = WaveformSet(t1, {"v(a)": t1})
+        b = WaveformSet(t2, {"v(a)": t2})
+        with pytest.raises(SimulationError, match="overlap"):
+            compare(a, b)
+
+    def test_worst_deviation_empty(self):
+        assert worst_deviation([]) is None
+
+    def test_max_relative_infinite_scale_guard(self):
+        dev = Deviation("x", max_abs=1.0, rms=0.5, reference_scale=0.0)
+        assert dev.max_relative == float("inf")
+        dev0 = Deviation("x", max_abs=0.0, rms=0.0, reference_scale=0.0)
+        assert dev0.max_relative == 0.0
