@@ -3,9 +3,37 @@
 Every bench runs its experiment exactly once (rounds=1): these are
 simulation-campaign benchmarks whose interesting output is the table
 itself, not a microsecond timing distribution.
+
+Each run executes under a process-global :class:`repro.instrument.Recorder`
+(counters/histograms only — event capture off so campaigns stay cheap),
+and the collected metrics are dumped to ``BENCH_METRICS_<exp_id>.json``
+next to this file: iteration and reject counts per figure, not just the
+rendered table.
 """
 
+import json
+from pathlib import Path
+
 import pytest
+
+from repro.instrument import Recorder, use_recorder
+
+_METRICS_DIR = Path(__file__).parent
+
+
+def _dump_metrics(result, recorder: Recorder) -> None:
+    exp_id = getattr(result, "exp_id", None)
+    if not exp_id:
+        return
+    snapshot = recorder.snapshot()
+    payload = {
+        "exp_id": exp_id,
+        "title": getattr(result, "title", ""),
+        "counters": snapshot["counters"],
+        "histograms": snapshot["histograms"],
+    }
+    path = _METRICS_DIR / f"BENCH_METRICS_{exp_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture
@@ -13,9 +41,14 @@ def run_once(benchmark):
     """Run an experiment function once under pytest-benchmark and print it."""
 
     def runner(func, *args, **kwargs):
-        result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        recorder = Recorder(capture_events=False)
+        with use_recorder(recorder):
+            result = benchmark.pedantic(
+                func, args=args, kwargs=kwargs, rounds=1, iterations=1
+            )
         print()
         print(result.text)
+        _dump_metrics(result, recorder)
         return result
 
     return runner

@@ -46,6 +46,15 @@ from repro.circuit.sources import Dc, Exp, Pulse, Pwl, SampledWaveform, Sin
 from repro.core.pipeline import PipelineResult, PipelineStats
 from repro.core.wavepipe import SpeedupReport, compare_with_sequential, run_wavepipe
 from repro.engine.transient import TransientResult, TransientStats, run_transient
+from repro.instrument import (
+    NullRecorder,
+    Recorder,
+    RunMetrics,
+    use_recorder,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
 from repro.errors import (
     CircuitError,
     ConvergenceError,
@@ -92,6 +101,7 @@ __all__ = [
     "MutualInductance",
     "Netlist",
     "NetlistError",
+    "NullRecorder",
     "parse_file",
     "parse_netlist",
     "parse_value",
@@ -99,8 +109,10 @@ __all__ = [
     "PipelineStats",
     "Pulse",
     "Pwl",
+    "Recorder",
     "ReproError",
     "Resistor",
+    "RunMetrics",
     "read_csv",
     "run_transient",
     "run_wavepipe",
@@ -118,10 +130,14 @@ __all__ = [
     "TransientStats",
     "to_csv_text",
     "UnitError",
+    "use_recorder",
     "Vccs",
     "Vcvs",
     "VoltageSource",
     "Waveform",
     "WaveformSet",
+    "write_chrome_trace",
     "write_csv",
+    "write_jsonl",
+    "write_trace",
 ]

@@ -55,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--csv", help="export transient waveforms to this CSV file")
     parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a transient trace (.json = Chrome trace_event for "
+        "Perfetto/chrome://tracing, .jsonl = line-delimited records)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the end-of-run metrics summary for transient analyses",
+    )
+    parser.add_argument(
         "--signals", nargs="*", help="trace names for printing/CSV (default: node voltages)"
     )
     parser.add_argument(
@@ -147,6 +158,11 @@ def _print_dc(compiled, command: DcCommand, args) -> None:
 
 
 def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
+    recorder = None
+    if args.trace or args.metrics:
+        from repro.instrument import Recorder
+
+        recorder = Recorder(capture_events=bool(args.trace))
     if args.wavepipe:
         report = compare_with_sequential(
             compiled,
@@ -156,18 +172,31 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
             tstep=command.tstep,
             options=netlist.options,
             executor=args.executor,
+            instrument=recorder,
         )
         result = report.pipelined
         print(f"* wavepipe {report.summary()}")
     else:
         result = run_transient(
-            compiled, command.tstop, tstep=command.tstep, options=netlist.options
+            compiled,
+            command.tstop,
+            tstep=command.tstep,
+            options=netlist.options,
+            instrument=recorder,
         )
         print(
             f"* transient: {result.stats.accepted_points} points, "
             f"{result.stats.rejected_points} rejected, "
             f"{result.stats.newton_iterations} Newton iterations"
         )
+
+    if args.metrics and result.metrics is not None:
+        print(result.metrics.summary())
+    if args.trace and recorder is not None:
+        from repro.instrument import write_trace
+
+        fmt = write_trace(recorder, args.trace)
+        print(f"* {fmt} trace written to {args.trace}")
 
     signals = args.signals or [n for n in result.waveforms.names if n.startswith("v")][:4]
     grid = np.linspace(0.0, result.final_time, args.samples)

@@ -239,6 +239,7 @@ class BackwardPipeline(PipelineEngine):
                 self.note_h_optimal(verdict.h_optimal)
             if not verdict.accepted:
                 self.stats.rejected_points += 1
+                self.record_reject(sol, verdict)
                 failed = True
                 failure_verdict = verdict
                 if not accepted:

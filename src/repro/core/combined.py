@@ -135,18 +135,23 @@ class CombinedPipeline(BackwardPipeline):
         if not corrected.converged:
             self.stats.newton_failures += 1
             self.note_spec_outcome(False)
+            self.record_speculate(corrected, False, corrected.result.iterations, False)
             self.waste([spec])
             return
         verdict = self.verdict_for(corrected)
         if not verdict.accepted:
             self.stats.rejected_points += 1
+            self.record_reject(corrected, verdict)
             self.note_spec_outcome(False)
+            self.record_speculate(corrected, False, corrected.result.iterations, False)
             self.waste([spec])
             gap = corrected.t - self.t
             self.controller.on_reject(gap, verdict)
             return
         self.note_spec_outcome(True)
-        if corrected.result.iterations <= HIT_ITERATIONS:
+        hit = corrected.result.iterations <= HIT_ITERATIONS
+        self.record_speculate(corrected, True, corrected.result.iterations, hit)
+        if hit:
             self.stats.speculative_hits += 1
         gap = corrected.t - self.t
         self.commit_point(corrected, gap)

@@ -118,6 +118,7 @@ class ForwardPipeline(PipelineEngine):
         verdict = self.verdict_for(producer)
         if not verdict.accepted:
             self.stats.rejected_points += 1
+            self.record_reject(producer, verdict)
             if self._try_guard(guard, guard_gap):
                 controller.h_rec = min(
                     controller.h_rec, max(verdict.h_optimal, controller.min_step)
@@ -147,18 +148,27 @@ class ForwardPipeline(PipelineEngine):
             if not corrected.converged:
                 self.stats.newton_failures += 1
                 self.note_spec_outcome(False)
+                self.record_speculate(
+                    corrected, False, corrected.result.iterations, False
+                )
                 self.waste([sol])
                 return
             c_verdict = self.verdict_for(corrected)
             if not c_verdict.accepted:
                 self.stats.rejected_points += 1
+                self.record_reject(corrected, c_verdict)
                 self.note_spec_outcome(False)
+                self.record_speculate(
+                    corrected, False, corrected.result.iterations, False
+                )
                 self.waste([sol])
                 gap = corrected.t - self.t
                 controller.on_reject(gap, c_verdict)
                 return
             self.note_spec_outcome(True)
-            if corrected.result.iterations <= HIT_ITERATIONS:
+            hit = corrected.result.iterations <= HIT_ITERATIONS
+            self.record_speculate(corrected, True, corrected.result.iterations, hit)
+            if hit:
                 self.stats.speculative_hits += 1
             gap = corrected.t - self.t
             self.commit_point(corrected, gap)

@@ -33,6 +33,9 @@ from repro.engine.transient import (
     solve_timepoint,
 )
 from repro.errors import SimulationError, TimestepError
+from repro.instrument.events import LTE_REJECT, RUN, SPECULATE, STAGE_RUN, STEP_ACCEPT
+from repro.instrument.metrics import RunMetrics
+from repro.instrument.recorder import resolve_recorder
 from repro.integration.controller import StepController
 from repro.integration.history import Timepoint, TimepointHistory
 from repro.integration.lte import lte_verdict
@@ -122,6 +125,10 @@ class PipelineEngine:
         self.executor = executor or SerialExecutor()
         self._uic = uic
         self._node_ics = node_ics
+        #: Instrumentation sink (NullRecorder unless configured); shared
+        #: with the executor so stage tasks land on per-lane trace rows.
+        self.recorder = resolve_recorder(self.options.instrument)
+        self.executor.recorder = self.recorder
 
         self.system = MnaSystem(compiled)
         self.stats = PipelineStats(
@@ -200,12 +207,19 @@ class PipelineEngine:
             self._chain_ewma = (
                 1 - REJECT_EWMA_ALPHA
             ) * self._chain_ewma + REJECT_EWMA_ALPHA * hit
+        if self.recorder.enabled and scheduled:
+            self.recorder.count("backward.chain_scheduled", scheduled)
+            self.recorder.count("backward.chain_accepted", accepted)
 
     def note_spec_outcome(self, success: bool) -> None:
         """Update the speculation success estimate."""
         self._spec_ewma = (
             1 - REJECT_EWMA_ALPHA
         ) * self._spec_ewma + REJECT_EWMA_ALPHA * (1.0 if success else 0.0)
+        if self.recorder.enabled:
+            self.recorder.count(
+                "speculate.successes" if success else "speculate.misses"
+            )
 
     @property
     def chain_budget_scale(self) -> float:
@@ -280,6 +294,33 @@ class PipelineEngine:
         self._rec_times.append(self.t)
         self._rec_x.append(solution.result.x)
         self._step_sizes.append(h_taken)
+        if self.recorder.enabled:
+            self.recorder.count("points.accepted")
+            self.recorder.observe("step.h_accepted", h_taken)
+            self.recorder.event(STEP_ACCEPT, t_sim=self.t, h=h_taken)
+
+    def record_reject(self, solution: PointSolution, verdict) -> None:
+        """Emit the LTE-rejection event/counter for a failed candidate."""
+        if self.recorder.enabled:
+            self.recorder.count("lte.rejects")
+            self.recorder.event(
+                LTE_REJECT,
+                t_sim=solution.t,
+                h=solution.scheme.h,
+                h_optimal=verdict.h_optimal,
+            )
+
+    def record_speculate(self, solution: PointSolution, success: bool,
+                         iterations: int, hit: bool) -> None:
+        """Emit the corrective-phase outcome of one speculative point."""
+        if self.recorder.enabled:
+            self.recorder.event(
+                SPECULATE,
+                t_sim=solution.t,
+                success=success,
+                corrective_iterations=iterations,
+                hit=hit,
+            )
 
     def charge_solution(self, solution: PointSolution) -> None:
         """Book per-solution Newton statistics (not clock time)."""
@@ -310,6 +351,8 @@ class PipelineEngine:
         self.stats.extra["guard_salvages"] = (
             self.stats.extra.get("guard_salvages", 0) + 1
         )
+        if self.recorder.enabled:
+            self.recorder.count("guard.salvages")
         return True
 
     def _predicted_next_step(self, h_current: float) -> float:
@@ -346,7 +389,10 @@ class PipelineEngine:
         if self._ran:
             raise SimulationError("PipelineEngine instances are single-use")
         self._ran = True
+        rec = self.recorder
+        tracing = rec.enabled
         started = time.perf_counter()
+        run_start = rec.clock() if tracing else 0.0
 
         x0, q0 = _initial_solution(
             self.system, self.options, self._uic, self._node_ics, self.stats
@@ -366,15 +412,63 @@ class PipelineEngine:
                     f"stage budget exhausted at t={self.t:.3e}s "
                     f"(accepted {self.stats.accepted_points})"
                 )
-            self.run_stage()
+            if tracing:
+                self._traced_stage(stages - 1)
+            else:
+                self.run_stage()
 
-        self.stats.wall_seconds = time.perf_counter() - started
+        self.stats.tran_seconds = (
+            time.perf_counter() - started - self.stats.dcop_seconds
+        )
+        if tracing:
+            rec.event(
+                RUN,
+                ts=run_start,
+                dur=rec.clock() - run_start,
+                kind=self.scheme_name,
+                threads=self.threads,
+                accepted=self.stats.accepted_points,
+            )
+        metrics = RunMetrics.from_stats(
+            self.stats,
+            scheme=self.scheme_name,
+            threads=self.threads,
+            recorder=rec if tracing else None,
+        )
         return PipelineResult(
             waveforms=_build_waveforms(self.system, self._rec_times, self._rec_x),
             stats=self.stats,
             times=np.array(self._rec_times),
             step_sizes=np.array(self._step_sizes),
             options=self.options,
+            metrics=metrics,
             scheme=self.scheme_name,
             threads=self.threads,
+        )
+
+    def _traced_stage(self, index: int) -> None:
+        """Run one stage under the recorder: the scheduler-lane event."""
+        rec = self.recorder
+        clock = self.stats.clock
+        t0 = rec.clock()
+        accepted_before = self.stats.accepted_points
+        virtual_before = clock.virtual_work
+        widths_before = len(clock._stage_widths)
+        self.run_stage()
+        width = (
+            clock._stage_widths[-1]
+            if len(clock._stage_widths) > widths_before
+            else 1
+        )
+        rec.count("pipeline.stages")
+        rec.observe("pipeline.stage_width", width)
+        rec.event(
+            STAGE_RUN,
+            ts=t0,
+            dur=rec.clock() - t0,
+            t_sim=self.t,
+            stage=index,
+            width=width,
+            accepted=self.stats.accepted_points - accepted_before,
+            virtual_cost=clock.virtual_work - virtual_before,
         )

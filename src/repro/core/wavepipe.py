@@ -17,6 +17,7 @@ from repro.core.forward import ForwardPipeline
 from repro.core.pipeline import PipelineResult
 from repro.engine.transient import TransientResult, run_transient
 from repro.errors import SimulationError
+from repro.instrument.metrics import metrics_delta
 from repro.mna.compiler import CompiledCircuit, compile_circuit
 from repro.parallel.executors import StageExecutor, make_executor
 from repro.utils.options import SimOptions
@@ -40,6 +41,7 @@ def run_wavepipe(
     executor: str | StageExecutor = "serial",
     uic: bool = False,
     node_ics: dict[str, float] | None = None,
+    instrument=None,
 ) -> PipelineResult:
     """Pipelined transient simulation of *circuit* to *tstop*.
 
@@ -48,11 +50,21 @@ def run_wavepipe(
         threads: simulated thread count (concurrent time points per stage).
         executor: "serial" (deterministic reference), "thread" (real
             thread pool), or a custom :class:`StageExecutor`.
+        instrument: optional :class:`~repro.instrument.Recorder`; the
+            run's trace events (stage lanes, Newton solves, speculation
+            outcomes) land there and the result's ``metrics`` gains its
+            counters.
     """
     if scheme not in SCHEMES:
         raise SimulationError(
             f"unknown WavePipe scheme {scheme!r}; expected one of {sorted(SCHEMES)}"
         )
+    if instrument is not None:
+        base = options
+        if base is None and isinstance(circuit, CompiledCircuit):
+            base = circuit.options
+        base = base or SimOptions()
+        options = base.replace(instrument=instrument)
     if isinstance(executor, str):
         executor = make_executor(executor, threads)
     engine = SCHEMES[scheme](
@@ -104,15 +116,24 @@ class SpeedupReport:
     def worst_deviation(self) -> Deviation | None:
         return worst_deviation(self.deviations)
 
+    def metrics_delta(self) -> dict:
+        """(sequential, pipelined) pairs of the headline run metrics."""
+        return metrics_delta(self.sequential.metrics, self.pipelined.metrics)
+
     def summary(self) -> str:
         dev = self.worst_deviation
         dev_text = f"{dev.max_relative:.2e} rel ({dev.name})" if dev else "n/a"
+        seq_m, pipe_m = self.sequential.metrics, self.pipelined.metrics
         return (
             f"{self.scheme} x{self.threads}: speedup {self.speedup:.2f} "
             f"(eff {self.efficiency:.2f}), worst deviation {dev_text}, "
             f"seq pts {self.sequential.stats.accepted_points}, "
             f"pipe pts {self.pipelined.stats.accepted_points} "
-            f"(+{self.pipelined.stats.wasted_solves} wasted)"
+            f"(+{self.pipelined.stats.wasted_solves} wasted), "
+            f"iters/pt {seq_m.iterations_per_point:.2f}->"
+            f"{pipe_m.iterations_per_point:.2f}, "
+            f"reject {seq_m.reject_rate:.1%}->{pipe_m.reject_rate:.1%}, "
+            f"stage util {pipe_m.stage_utilization:.0%}"
         )
 
 
@@ -125,14 +146,22 @@ def compare_with_sequential(
     options: SimOptions | None = None,
     executor: str | StageExecutor = "serial",
     signals: list[str] | None = None,
+    instrument=None,
 ) -> SpeedupReport:
-    """Run sequential and WavePipe on the same compiled circuit and compare."""
+    """Run sequential and WavePipe on the same compiled circuit and compare.
+
+    When *instrument* is a :class:`~repro.instrument.Recorder`, both runs
+    record into it and the report's :meth:`SpeedupReport.metrics_delta`
+    exposes the per-run metric pairs.
+    """
     compiled = (
         circuit
         if isinstance(circuit, CompiledCircuit)
         else compile_circuit(circuit, options)
     )
-    seq = run_transient(compiled, tstop, tstep=tstep, options=options)
+    seq = run_transient(
+        compiled, tstop, tstep=tstep, options=options, instrument=instrument
+    )
     pipe = run_wavepipe(
         compiled,
         tstop,
@@ -141,6 +170,7 @@ def compare_with_sequential(
         tstep=tstep,
         options=options,
         executor=executor,
+        instrument=instrument,
     )
     deviations = compare(seq.waveforms, pipe.waveforms, names=signals)
     return SpeedupReport(

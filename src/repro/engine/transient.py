@@ -17,6 +17,9 @@ import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.errors import TimestepError
+from repro.instrument.events import DCOP, LTE_REJECT, RUN, STEP_ACCEPT
+from repro.instrument.metrics import RunMetrics
+from repro.instrument.recorder import resolve_recorder
 from repro.integration.controller import StepController
 from repro.integration.history import Timepoint, TimepointHistory
 from repro.integration.lte import LteVerdict, lte_verdict
@@ -118,7 +121,14 @@ def accept_point(
 
 @dataclass
 class TransientStats:
-    """Cost accounting for one transient run (sequential or pipelined)."""
+    """Cost accounting for one transient run (sequential or pipelined).
+
+    Wall time is split at the phase boundary the cost model also splits
+    at: ``dcop_seconds`` covers the DC operating point (inherently
+    serial), ``tran_seconds`` the time-stepping loop (what pipelining
+    accelerates). The historical ``wall_seconds`` remains as the derived
+    sum.
+    """
 
     accepted_points: int = 0
     rejected_points: int = 0
@@ -126,8 +136,14 @@ class TransientStats:
     newton_iterations: int = 0
     work_units: float = 0.0
     dc_work_units: float = 0.0
-    wall_seconds: float = 0.0
+    dcop_seconds: float = 0.0
+    tran_seconds: float = 0.0
     extra: dict = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Total wall time: operating point plus transient loop."""
+        return self.dcop_seconds + self.tran_seconds
 
     @property
     def total_work(self) -> float:
@@ -144,6 +160,7 @@ class TransientResult:
     times: np.ndarray
     step_sizes: np.ndarray
     options: SimOptions
+    metrics: RunMetrics | None = None
 
     @property
     def final_time(self) -> float:
@@ -157,12 +174,29 @@ def _initial_solution(
     node_ics: dict[str, float] | None,
     stats: TransientStats,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Starting (x0, q0) from the operating point or initial conditions."""
+    """Starting (x0, q0) from the operating point or initial conditions.
+
+    Also books the phase's wall time into ``stats.dcop_seconds`` and
+    emits the ``dcop`` trace event when a recorder is attached.
+    """
     compiled = system.compiled
+    rec = resolve_recorder(options.instrument)
+    started = time.perf_counter()
     if not uic:
         op = solve_operating_point(system, options)
         stats.dc_work_units = op.work_units
         stats.newton_iterations += op.iterations
+        stats.dcop_seconds = time.perf_counter() - started
+        if rec.enabled:
+            rec.event(
+                DCOP,
+                ts=rec.clock() - stats.dcop_seconds,
+                dur=stats.dcop_seconds,
+                t_sim=0.0,
+                strategy=op.strategy,
+                iterations=op.iterations,
+                work_units=op.work_units,
+            )
         return op.x, op.q
     x0 = np.zeros(system.n)
     for key, value in compiled.initial_conditions.items():
@@ -175,7 +209,9 @@ def _initial_solution(
         x0[compiled.node_voltage_index(node)] = value
     out = system.make_buffers()
     system.eval(x0, 0.0, out)
-    return x0, system.charge(out)
+    q0 = system.charge(out)
+    stats.dcop_seconds = time.perf_counter() - started
+    return x0, q0
 
 
 def run_transient(
@@ -185,6 +221,7 @@ def run_transient(
     options: SimOptions | None = None,
     uic: bool = False,
     node_ics: dict[str, float] | None = None,
+    instrument=None,
 ) -> TransientResult:
     """Sequential transient simulation from 0 to *tstop*.
 
@@ -194,13 +231,21 @@ def run_transient(
             influences the first step, not output density.
         uic: skip the operating point and start from initial conditions.
         node_ics: extra initial node voltages for ``uic`` runs.
+        instrument: optional :class:`~repro.instrument.Recorder` (threaded
+            into ``options.instrument``); the run's events and counters
+            land there and the result's ``metrics`` gains its counters.
     """
     if isinstance(compiled, Circuit):
         compiled = compile_circuit(compiled, options)
     options = options or compiled.options
+    if instrument is not None:
+        options = options.replace(instrument=instrument)
+    rec = resolve_recorder(options.instrument)
+    tracing = rec.enabled
     system = MnaSystem(compiled)
     stats = TransientStats()
     started = time.perf_counter()
+    run_start = rec.clock() if tracing else 0.0
 
     x0, q0 = _initial_solution(system, options, uic, node_ics, stats)
     history = TimepointHistory()
@@ -242,6 +287,11 @@ def run_transient(
         if not verdict.accepted:
             stats.rejected_points += 1
             controller.on_reject(h, verdict)
+            if tracing:
+                rec.count("lte.rejects")
+                rec.event(
+                    LTE_REJECT, t_sim=solution.t, h=h, h_optimal=verdict.h_optimal
+                )
             continue
 
         history.append(solution.to_timepoint())
@@ -253,14 +303,30 @@ def run_transient(
         rec_times.append(t)
         rec_x.append(solution.result.x)
         step_sizes.append(h)
+        if tracing:
+            rec.count("points.accepted")
+            rec.observe("step.h_accepted", h)
+            rec.event(STEP_ACCEPT, t_sim=t, h=h)
 
-    stats.wall_seconds = time.perf_counter() - started
+    stats.tran_seconds = time.perf_counter() - started - stats.dcop_seconds
+    if tracing:
+        rec.event(
+            RUN,
+            ts=run_start,
+            dur=rec.clock() - run_start,
+            kind="sequential",
+            accepted=stats.accepted_points,
+        )
+    metrics = RunMetrics.from_stats(
+        stats, scheme="sequential", threads=1, recorder=rec if tracing else None
+    )
     return TransientResult(
         waveforms=_build_waveforms(system, rec_times, rec_x),
         stats=stats,
         times=np.array(rec_times),
         step_sizes=np.array(step_sizes),
         options=options,
+        metrics=metrics,
     )
 
 

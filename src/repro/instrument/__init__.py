@@ -1,0 +1,83 @@
+"""Structured tracing, counters, and pipeline-occupancy metrics.
+
+The observability substrate of the engine (see ``docs/observability.md``):
+
+* :class:`Recorder` / :class:`NullRecorder` — collecting vs inert
+  instrumentation sinks; the process-global default is inert so
+  instrumented code costs ~nothing when tracing is off.
+* event vocabulary (``newton_solve``, ``lte_reject``, ``step_accept``,
+  ``stage_run``, ``stage_task``, ``speculate``, ``dcop``, ``run``) in
+  :mod:`repro.instrument.events`.
+* exporters — JSONL event logs and Chrome ``trace_event`` files with one
+  lane per pipeline thread (:mod:`repro.instrument.exporters`).
+* :class:`RunMetrics` — the end-of-run summary every transient result
+  carries (:mod:`repro.instrument.metrics`).
+
+Typical use::
+
+    from repro import run_wavepipe
+    from repro.instrument import Recorder, write_chrome_trace
+
+    rec = Recorder()
+    result = run_wavepipe(circuit, 1e-6, scheme="combined", threads=3,
+                          instrument=rec)
+    print(result.metrics.summary())
+    write_chrome_trace(rec, "run.trace.json")   # open in Perfetto
+"""
+
+from repro.instrument.events import (
+    DCOP,
+    LTE_REJECT,
+    NEWTON_SOLVE,
+    RUN,
+    SPECULATE,
+    STAGE_RUN,
+    STAGE_TASK,
+    STEP_ACCEPT,
+    TraceEvent,
+)
+from repro.instrument.exporters import (
+    chrome_trace_dict,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_trace,
+)
+from repro.instrument.metrics import RunMetrics, metrics_delta
+from repro.instrument.recorder import (
+    NULL_RECORDER,
+    Histogram,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    resolve_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "TraceEvent",
+    "NEWTON_SOLVE",
+    "LTE_REJECT",
+    "STEP_ACCEPT",
+    "STAGE_RUN",
+    "STAGE_TASK",
+    "SPECULATE",
+    "DCOP",
+    "RUN",
+    "Recorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "Histogram",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "resolve_recorder",
+    "RunMetrics",
+    "metrics_delta",
+    "chrome_trace_dict",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "write_trace",
+]

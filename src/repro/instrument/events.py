@@ -1,0 +1,71 @@
+"""Trace event vocabulary and the event record itself.
+
+Every instrumented layer emits :class:`TraceEvent` objects through a
+:class:`~repro.instrument.recorder.Recorder`. The schema is deliberately
+small and flat so the exporters (JSONL, Chrome ``trace_event``) are
+direct translations:
+
+* ``name`` — one of the constants below (free-form names are allowed,
+  these are the ones the stock engine emits).
+* ``ts`` — wall-clock start in seconds, relative to the recorder's epoch
+  (``Recorder.clock()``).
+* ``dur`` — wall-clock duration in seconds, or None for instant events.
+* ``lane`` — logical pipeline lane: 0 is the scheduler/main loop, lane
+  ``k >= 1`` is the k-th task slot of a stage (one Chrome trace row per
+  lane, which is what makes stage occupancy and bubbles visible).
+* ``t_sim`` — simulated time the event concerns, or None.
+* ``attrs`` — free-form JSON-safe details (iteration counts, verdicts...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: One Newton solve finished (converged or not). Emitted by
+#: :func:`repro.solver.newton.newton_solve`.
+NEWTON_SOLVE = "newton_solve"
+
+#: A converged candidate point failed the truncation-error test.
+LTE_REJECT = "lte_reject"
+
+#: A point entered the accepted history.
+STEP_ACCEPT = "step_accept"
+
+#: One pipeline stage ran (scheduler's view: width, cost, progress).
+STAGE_RUN = "stage_run"
+
+#: One task of a pipeline stage ran on its lane (executor's view).
+STAGE_TASK = "stage_task"
+
+#: A speculative (forward-pipelined) point was resolved: corrective
+#: phase outcome, hit/miss classification.
+SPECULATE = "speculate"
+
+#: DC operating point solve.
+DCOP = "dcop"
+
+#: One whole transient run (sequential or pipelined).
+RUN = "run"
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record (see module docstring for the schema)."""
+
+    name: str
+    ts: float
+    dur: float | None = None
+    lane: int = 0
+    t_sim: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat JSON-safe dict (JSONL exporter's row format)."""
+        row = {"name": self.name, "ts": self.ts, "lane": self.lane}
+        if self.dur is not None:
+            row["dur"] = self.dur
+        if self.t_sim is not None:
+            row["t_sim"] = self.t_sim
+        if self.attrs:
+            row["attrs"] = self.attrs
+        return row

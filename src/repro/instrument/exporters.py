@@ -1,0 +1,157 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` files.
+
+Two serialisations of one :class:`~repro.instrument.recorder.Recorder`:
+
+* :func:`write_jsonl` — one JSON object per line, first a header record
+  (``{"record": "header", ...}``), then every event in emission order,
+  finally a footer with the counter/histogram snapshot. Greppable,
+  streamable, diff-able.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON object
+  format (loadable in ``chrome://tracing`` and Perfetto). Each logical
+  pipeline lane becomes one named thread row: lane 0 is the scheduler
+  (``stage_run``, ``step_accept``...), lane *k* the k-th task slot of a
+  stage — so stage occupancy and pipeline bubbles are directly visible
+  as gaps in the worker rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.instrument.events import TraceEvent
+
+#: Fixed pid used in Chrome traces (single-process engine).
+_PID = 1
+
+
+def _open_target(target, mode="w"):
+    if hasattr(target, "write"):
+        return target, False
+    return open(target, mode, encoding="utf-8"), True
+
+
+def write_jsonl(recorder, target) -> None:
+    """Write the recorder's events as JSON Lines to *target* (path or file)."""
+    handle, owned = _open_target(target)
+    try:
+        header = {"record": "header", "format": "repro-trace-v1"}
+        handle.write(json.dumps(header) + "\n")
+        for ev in recorder.events:
+            row = ev.to_dict()
+            row["record"] = "event"
+            handle.write(json.dumps(row) + "\n")
+        footer = {"record": "summary", **recorder.snapshot()}
+        handle.write(json.dumps(footer) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def read_jsonl(source) -> tuple[list[TraceEvent], dict]:
+    """Read a :func:`write_jsonl` file back into (events, summary)."""
+    handle, owned = _open_target(source, "r")
+    try:
+        events: list[TraceEvent] = []
+        summary: dict = {}
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.pop("record", "event")
+            if kind == "event":
+                events.append(
+                    TraceEvent(
+                        name=row["name"],
+                        ts=row["ts"],
+                        dur=row.get("dur"),
+                        lane=row.get("lane", 0),
+                        t_sim=row.get("t_sim"),
+                        attrs=row.get("attrs", {}),
+                    )
+                )
+            elif kind == "summary":
+                summary = row
+        return events, summary
+    finally:
+        if owned:
+            handle.close()
+
+
+def _lane_name(lane: int) -> str:
+    return "scheduler" if lane == 0 else f"worker-{lane}"
+
+
+def chrome_trace_dict(recorder) -> dict:
+    """The recorder's events as a Chrome ``trace_event`` object."""
+    trace_events: list[dict] = []
+    for lane in recorder.lanes or [0]:
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": lane,
+                "name": "thread_name",
+                "args": {"name": _lane_name(lane)},
+            }
+        )
+        trace_events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": lane,
+                "name": "thread_sort_index",
+                "args": {"sort_index": lane},
+            }
+        )
+    for ev in recorder.events:
+        args = dict(ev.attrs)
+        if ev.t_sim is not None:
+            args["t_sim"] = ev.t_sim
+        entry = {
+            "name": ev.name,
+            "pid": _PID,
+            "tid": ev.lane,
+            "ts": ev.ts * 1e6,  # trace_event timestamps are microseconds
+            "args": args,
+        }
+        if ev.dur is not None:
+            entry["ph"] = "X"
+            entry["dur"] = ev.dur * 1e6
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # instant event scoped to its thread row
+        trace_events.append(entry)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(recorder.counters),
+            "dropped_events": recorder.dropped_events,
+        },
+    }
+
+
+def write_chrome_trace(recorder, target) -> None:
+    """Write a Chrome/Perfetto-loadable trace JSON to *target* (path or file)."""
+    handle, owned = _open_target(target)
+    try:
+        json.dump(chrome_trace_dict(recorder), handle)
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_trace(recorder, path: str) -> str:
+    """Write *path* in the format its extension implies.
+
+    ``.jsonl`` / ``.ndjson`` selects the JSONL event log; anything else
+    (conventionally ``.json``) gets the Chrome ``trace_event`` format.
+    Returns the format written ("jsonl" or "chrome").
+    """
+    lower = str(path).lower()
+    if lower.endswith((".jsonl", ".ndjson")):
+        write_jsonl(recorder, path)
+        return "jsonl"
+    write_chrome_trace(recorder, path)
+    return "chrome"

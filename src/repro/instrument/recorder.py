@@ -1,0 +1,257 @@
+"""Zero-dependency run instrumentation: counters, histograms, events.
+
+The engine is instrumented at every layer (Newton solver, step control,
+transient loop, pipeline schemes, stage executors), but tracing must cost
+nothing when nobody is looking — WavePipe's speedup tables are timing
+studies. Two recorder types realise that bargain:
+
+* :class:`Recorder` — collects named counters, value histograms and
+  :class:`~repro.instrument.events.TraceEvent` records, thread-safe so
+  ``ThreadExecutor`` tasks can emit concurrently.
+* :class:`NullRecorder` — every method is a no-op and ``enabled`` is
+  False. Instrumented call sites guard their event construction with
+  ``if rec.enabled:`` so the disabled path costs one attribute read and
+  a branch per *solve* (not per iteration).
+
+A process-global default (initially a :class:`NullRecorder`) backs call
+sites that were not handed an explicit recorder through
+``SimOptions.instrument``; :func:`use_recorder` swaps it in a scoped way,
+which is how the bench harness attaches metrics collection to whole
+experiment campaigns without threading a recorder through every call.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.instrument.events import TraceEvent
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of one observed quantity (no sample retention)."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    #: log2 bucket -> count; bucket is floor(log2(max(value, eps))).
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        bucket = _log2_bucket(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+
+def _log2_bucket(value: float) -> int:
+    if value <= 0.0:
+        return -1075  # below the smallest subnormal: its own bucket
+    return math.frexp(value)[1] - 1
+
+
+class Recorder:
+    """Collecting recorder: counters + histograms + bounded event log."""
+
+    enabled = True
+
+    def __init__(self, capture_events: bool = True, max_events: int = 500_000):
+        self.capture_events = capture_events
+        self.max_events = max_events
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+
+    # -- time -----------------------------------------------------------------
+
+    def clock(self) -> float:
+        """Seconds since this recorder was created (event timebase)."""
+        return time.perf_counter() - self._epoch
+
+    # -- scalar channels --------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add *value* to the named counter."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the named histogram."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.add(value)
+
+    # -- events -----------------------------------------------------------------
+
+    def event(
+        self,
+        name: str,
+        ts: float | None = None,
+        dur: float | None = None,
+        lane: int = 0,
+        t_sim: float | None = None,
+        **attrs,
+    ) -> None:
+        """Append one trace event (dropped beyond ``max_events``)."""
+        if not self.capture_events:
+            return
+        if ts is None:
+            ts = self.clock()
+        record = TraceEvent(name, ts, dur, lane, t_sim, attrs)
+        with self._lock:
+            if len(self.events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self.events.append(record)
+
+    @contextlib.contextmanager
+    def span(self, name: str, lane: int = 0, t_sim: float | None = None, **attrs):
+        """Context manager emitting a complete (duration) event."""
+        t0 = self.clock()
+        try:
+            yield self
+        finally:
+            self.event(name, ts=t0, dur=self.clock() - t0, lane=lane,
+                       t_sim=t_sim, **attrs)
+
+    # -- snapshots --------------------------------------------------------------
+
+    def counter(self, name: str, default: float = 0) -> float:
+        return self.counters.get(name, default)
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of counters and histogram summaries."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+                "events": len(self.events),
+                "dropped_events": self.dropped_events,
+            }
+
+    @property
+    def lanes(self) -> list[int]:
+        """Sorted lane ids appearing in the event log."""
+        return sorted({ev.lane for ev in self.events})
+
+
+class _NullSpan:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Recorder whose every operation is a no-op (the default)."""
+
+    enabled = False
+    capture_events = False
+    counters: dict[str, float] = {}
+    histograms: dict[str, Histogram] = {}
+    events: list[TraceEvent] = []
+    dropped_events = 0
+
+    def clock(self) -> float:
+        return 0.0
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **kwargs) -> None:
+        pass
+
+    def span(self, name: str, **kwargs):
+        return _NULL_SPAN
+
+    def counter(self, name: str, default: float = 0) -> float:
+        return default
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "histograms": {}, "events": 0, "dropped_events": 0}
+
+    @property
+    def lanes(self) -> list[int]:
+        return []
+
+
+#: Shared inert instance; identity-comparable, safe because it is stateless.
+NULL_RECORDER = NullRecorder()
+
+_default_recorder = NULL_RECORDER
+_default_lock = threading.Lock()
+
+
+def get_recorder():
+    """The process-global default recorder (NullRecorder unless set)."""
+    return _default_recorder
+
+
+def set_recorder(recorder) -> object:
+    """Install *recorder* as the process default; returns the previous one.
+
+    Passing None restores the inert :data:`NULL_RECORDER`.
+    """
+    global _default_recorder
+    with _default_lock:
+        previous = _default_recorder
+        _default_recorder = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextlib.contextmanager
+def use_recorder(recorder):
+    """Scoped :func:`set_recorder`: restores the previous default on exit."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+def resolve_recorder(instrument):
+    """Recorder an engine should use given its ``SimOptions.instrument``.
+
+    None falls back to the process-global default; ``True`` is a
+    convenience for "allocate a fresh collecting recorder".
+    """
+    if instrument is None:
+        return get_recorder()
+    if instrument is True:
+        return Recorder()
+    return instrument

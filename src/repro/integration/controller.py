@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TimestepError
+from repro.instrument.recorder import resolve_recorder
 from repro.integration.lte import LteVerdict
 from repro.utils.options import SimOptions
 
@@ -39,6 +40,7 @@ class StepController:
         if h_initial <= 0:
             raise TimestepError("initial step must be positive")
         self.options = options
+        self._rec = resolve_recorder(options.instrument)
         self.tstop = tstop
         self.min_step = options.min_step_fraction * tstop
         self.max_step = options.max_step if options.max_step else tstop
@@ -111,6 +113,11 @@ class StepController:
             self.ratio_limited = True  # growing on faith: ratio is the binding bound
         self.ratio_streak = self.ratio_streak + 1 if self.ratio_limited else 0
         self.h_rec = float(np.clip(h_new, self.min_step, self.max_step))
+        if self._rec.enabled:
+            self._rec.count("controller.accepts")
+            if self.ratio_limited:
+                self._rec.count("controller.ratio_limited_accepts")
+            self._rec.observe("controller.h_taken", h_taken)
         if hit_breakpoint:
             self.restart()
 
@@ -120,6 +127,8 @@ class StepController:
         self.ratio_limited = False  # LTE is binding here, not the ratio bound
         self.ratio_streak = 0
         self.h_unclamped = verdict.h_optimal
+        if self._rec.enabled:
+            self._rec.count("controller.lte_rejects")
         h_new = max(
             h_taken * self.options.step_shrink,
             min(verdict.h_optimal, 0.9 * h_taken),
@@ -131,6 +140,8 @@ class StepController:
         self.newton_failures += 1
         self.ratio_limited = False
         self.ratio_streak = 0
+        if self._rec.enabled:
+            self._rec.count("controller.newton_failures")
         self._set_retry(h_taken * self.options.step_shrink, "Newton failure")
 
     def restart(self, h: float | None = None) -> None:
@@ -139,6 +150,8 @@ class StepController:
         self.ratio_limited = True  # the collapsed step must ramp back up
         self.ratio_streak = 1
         self.h_unclamped = float("inf")
+        if self._rec.enabled:
+            self._rec.count("controller.restarts")
         if h is None:
             h = max(self.h_rec * self.options.step_shrink, self.min_step)
         self.h_rec = float(np.clip(h, self.min_step, self.max_step))

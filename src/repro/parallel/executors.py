@@ -13,19 +13,32 @@ data dependencies. Two interchangeable runtimes execute them:
   concurrent and would scale on a GIL-free multi-core interpreter.
 
 Both return results in task order regardless of completion order.
+
+Observability: when a :class:`~repro.instrument.Recorder` is attached
+(``executor.recorder``, set by the pipeline engine), every task emits a
+``stage_task`` event on its lane — lane *k+1* is task slot *k* of a
+stage — which is what the Chrome-trace exporter turns into per-thread
+occupancy rows.
 """
 
 from __future__ import annotations
 
 import abc
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Sequence
 
 from repro.errors import SimulationError
+from repro.instrument.events import STAGE_TASK
 
 
 class StageExecutor(abc.ABC):
     """Runs one stage of independent tasks and returns ordered results."""
+
+    #: Optional Recorder; the owning pipeline engine attaches its own.
+    recorder = None
+
+    #: Monotonic stage counter (tags stage_task events).
+    _stage_index = 0
 
     @abc.abstractmethod
     def run_stage(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
@@ -40,12 +53,53 @@ class StageExecutor(abc.ABC):
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- instrumentation ---------------------------------------------------------
+
+    def _instrumented(self, tasks: Sequence[Callable[[], object]]):
+        """Wrap *tasks* so each emits a lane-tagged ``stage_task`` event.
+
+        Returns *tasks* untouched when no enabled recorder is attached —
+        the uninstrumented path adds zero per-task overhead.
+        """
+        rec = self.recorder
+        if rec is None or not rec.enabled:
+            return tasks
+        stage = self._stage_index
+        self._stage_index += 1
+
+        def wrap(task, lane):
+            def run():
+                t0 = rec.clock()
+                result = task()
+                attrs = {"stage": stage}
+                # Solutions carry their target time and Newton cost;
+                # stay duck-typed so arbitrary closures keep working.
+                t_sim = getattr(result, "t", None)
+                inner = getattr(result, "result", None)
+                work = getattr(inner, "work_units", None)
+                if work is not None:
+                    attrs["work_units"] = work
+                    attrs["iterations"] = getattr(inner, "iterations", None)
+                rec.event(
+                    STAGE_TASK,
+                    ts=t0,
+                    dur=rec.clock() - t0,
+                    lane=lane + 1,
+                    t_sim=t_sim if isinstance(t_sim, float) else None,
+                    **attrs,
+                )
+                return result
+
+            return run
+
+        return [wrap(task, lane) for lane, task in enumerate(tasks)]
+
 
 class SerialExecutor(StageExecutor):
     """Deterministic in-order execution on the calling thread."""
 
     def run_stage(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
-        return [task() for task in tasks]
+        return [task() for task in self._instrumented(tasks)]
 
 
 class ThreadExecutor(StageExecutor):
@@ -58,8 +112,18 @@ class ThreadExecutor(StageExecutor):
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
 
     def run_stage(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
-        futures = [self._pool.submit(task) for task in tasks]
-        return [f.result() for f in futures]
+        futures = [self._pool.submit(task) for task in self._instrumented(tasks)]
+        # Let every task finish before surfacing anything: no futures are
+        # abandoned mid-flight, and the *first task in stage order* wins
+        # (deterministic, matching what SerialExecutor would raise) with
+        # its original traceback rather than whichever future the
+        # concurrent.futures bookkeeping happened to surface first.
+        wait(futures)
+        for future in futures:
+            error = future.exception()
+            if error is not None:
+                raise error
+        return [future.result() for future in futures]
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

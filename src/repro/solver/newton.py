@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.devices.base import EvalOutputs
 from repro.errors import SingularMatrixError
+from repro.instrument.events import NEWTON_SOLVE
+from repro.instrument.recorder import get_recorder
 from repro.linalg.solve import LinearSolver
 from repro.mna.system import MnaSystem
 from repro.utils.options import SimOptions
@@ -85,6 +87,41 @@ def newton_solve(
             by WavePipe's speculative forward phase.
     """
     opts = options or system.options
+    rec = opts.instrument if opts.instrument is not None else get_recorder()
+    if not rec.enabled:
+        return _newton_iterate(system, t, alpha0, beta, x0, opts, out, solver, iter_cap)
+    t_start = rec.clock()
+    result = _newton_iterate(system, t, alpha0, beta, x0, opts, out, solver, iter_cap)
+    rec.count("newton.solves")
+    rec.count("newton.iterations", result.iterations)
+    if not result.converged:
+        rec.count("newton.failures")
+    rec.observe("newton.iterations_per_solve", result.iterations)
+    rec.event(
+        NEWTON_SOLVE,
+        ts=t_start,
+        dur=rec.clock() - t_start,
+        t_sim=t,
+        iterations=result.iterations,
+        converged=result.converged,
+        work_units=result.work_units,
+        failure=result.failure,
+    )
+    return result
+
+
+def _newton_iterate(
+    system: MnaSystem,
+    t: float,
+    alpha0: float,
+    beta,
+    x0: np.ndarray,
+    opts: SimOptions,
+    out: EvalOutputs | None,
+    solver: LinearSolver | None,
+    iter_cap: int | None,
+) -> NewtonResult:
+    """The damped-Newton loop itself (instrumentation-free hot path)."""
     out = out if out is not None else system.make_buffers()
     solver = solver or LinearSolver(system.unknown_names)
     max_iters = iter_cap if iter_cap is not None else opts.max_newton_iters

@@ -82,6 +82,11 @@ class SimOptions:
             step_ratio_max * h`` — i.e. real headroom beyond the ratio
             cap, which separates genuine post-event ramps from LTE
             blind spots on oscillatory waveforms.
+        instrument: optional :class:`~repro.instrument.Recorder` every
+            layer reports into (None falls back to the process-global
+            default, a NullRecorder unless someone installed one).
+            Excluded from equality comparison and repr — it is a sink,
+            not a numerical knob.
     """
 
     reltol: float = 1e-3
@@ -116,6 +121,10 @@ class SimOptions:
     lte_cap_margin: float = 1.0
     spec_min_iters: float = 2.5
     chain_headroom_min: float = 2.0
+
+    instrument: object | None = dataclasses.field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.method not in INTEGRATION_METHODS:

@@ -27,6 +27,8 @@ def rise_time(
     *low*/*high* default to the waveform's min/max; *fractions* are the
     measurement thresholds within that span.
     """
+    if not len(waveform):
+        return None
     low = float(waveform.values.min()) if low is None else low
     high = float(waveform.values.max()) if high is None else high
     span = high - low
@@ -50,6 +52,8 @@ def fall_time(
     fractions: tuple[float, float] = (0.1, 0.9),
 ) -> float | None:
     """90%-10% fall time of the first falling edge."""
+    if not len(waveform):
+        return None
     low = float(waveform.values.min()) if low is None else low
     high = float(waveform.values.max()) if high is None else high
     span = high - low
@@ -92,8 +96,11 @@ def propagation_delay(
 def overshoot(waveform: Waveform, final: float | None = None) -> float:
     """Peak excursion beyond the final value, as a fraction of the swing.
 
-    Returns 0.0 for monotone responses.
+    Returns 0.0 for monotone responses (and for empty waveforms, which
+    have no excursion at all).
     """
+    if not len(waveform):
+        return 0.0
     final = waveform.final_value() if final is None else final
     initial = float(waveform.values[0])
     swing = final - initial
@@ -113,6 +120,8 @@ def settling_time(
 
     Tolerance is relative to the initial-to-final swing (2% default).
     """
+    if not len(waveform):
+        return None
     final = waveform.final_value() if final is None else final
     swing = abs(final - float(waveform.values[0]))
     if swing == 0:
@@ -129,6 +138,8 @@ def settling_time(
 
 def duty_cycle(waveform: Waveform, level: float | None = None) -> float | None:
     """Fraction of one period spent above *level* (default: midpoint)."""
+    if not len(waveform):
+        return None
     if level is None:
         level = float((waveform.values.max() + waveform.values.min()) / 2.0)
     rises = waveform.crossings(level, "rise")
@@ -143,7 +154,12 @@ def duty_cycle(waveform: Waveform, level: float | None = None) -> float | None:
 
 
 def tone_magnitude(waveform: Waveform, freq: float, samples: int = 4096) -> float:
-    """Single-bin DFT magnitude at *freq* (uniform resample, mean removed)."""
+    """Single-bin DFT magnitude at *freq* (uniform resample, mean removed).
+
+    A waveform with fewer than two points carries no tone: returns 0.0.
+    """
+    if len(waveform) < 2:
+        return 0.0
     grid = np.linspace(waveform.times[0], waveform.times[-1], samples)
     values = waveform.at(grid)
     values = values - values.mean()

@@ -140,6 +140,53 @@ class TestSpectral:
         assert thd(w, 1e6) is None  # no fundamental present
 
 
+class TestDegenerateWaveforms:
+    """Empty, single-point, and out-of-span-window inputs never raise."""
+
+    def empty(self):
+        return Waveform(np.array([]), np.array([]), "empty")
+
+    def single(self):
+        return Waveform(np.array([1e-6]), np.array([0.7]), "single")
+
+    def test_empty_waveform_measurements(self):
+        w = self.empty()
+        assert rise_time(w) is None
+        assert fall_time(w) is None
+        assert settling_time(w) is None
+        assert duty_cycle(w) is None
+        assert overshoot(w) == 0.0
+        assert tone_magnitude(w, 1e6) == 0.0
+        assert thd(w, 1e6) is None
+
+    def test_single_point_waveform_measurements(self):
+        w = self.single()
+        assert rise_time(w) is None  # zero span
+        assert fall_time(w) is None
+        assert duty_cycle(w) is None  # no crossings
+        assert overshoot(w) == 0.0  # zero swing
+        assert settling_time(w) == pytest.approx(1e-6)  # settled trivially
+        assert tone_magnitude(w, 1e6) == 0.0
+        assert thd(w, 1e6) is None
+
+    def test_empty_trigger_or_target_delay(self):
+        w = self.empty()
+        step = exponential_step()
+        assert propagation_delay(w, step, 0.5, 0.5) is None
+        assert propagation_delay(step, w, 0.5, 0.5) is None
+
+    def test_window_outside_span(self):
+        # Slicing past the waveform's extent yields an empty waveform;
+        # every measurement must degrade gracefully, not raise.
+        step = exponential_step(tstop=8e-6)
+        window = step.slice(1e-3, 2e-3)
+        assert len(window) == 0
+        assert rise_time(window) is None
+        assert settling_time(window) is None
+        assert overshoot(window) == 0.0
+        assert thd(window, 1e6) is None
+
+
 class TestOnSimulatedCircuits:
     def test_rc_rise_time_from_simulation(self, rc_circuit):
         result = run_transient(rc_circuit, 8e-6, options=SimOptions(reltol=1e-4))

@@ -106,6 +106,53 @@ class TestExecutors:
             with pytest.raises(ValueError, match="task failed"):
                 ex.run_stage([boom])
 
+    def test_thread_exception_keeps_original_traceback(self):
+        def deep_failure():
+            raise KeyError("missing state")
+
+        def boom():
+            deep_failure()
+
+        with ThreadExecutor(2) as ex:
+            with pytest.raises(KeyError) as excinfo:
+                ex.run_stage([boom])
+        frames = [tb.name for tb in excinfo.traceback]
+        assert "deep_failure" in frames  # raising frame survives the hop
+
+    def test_thread_mid_stage_failure_runs_all_tasks(self):
+        ran = []
+
+        def ok(k):
+            def run():
+                ran.append(k)
+                return k
+            return run
+
+        def boom():
+            ran.append("boom")
+            raise RuntimeError("mid-stage")
+
+        with ThreadExecutor(3) as ex:
+            with pytest.raises(RuntimeError, match="mid-stage"):
+                ex.run_stage([ok(0), boom, ok(2)])
+        # The stage waits for every sibling before raising: no task is
+        # abandoned mid-flight with shared history buffers checked out.
+        assert sorted(ran, key=str) == [0, 2, "boom"]
+
+    def test_thread_two_failures_first_in_task_order_wins(self):
+        def fail_slow():
+            time.sleep(0.05)
+            raise ValueError("first in task order")
+
+        def fail_fast():
+            raise KeyError("finished first")
+
+        with ThreadExecutor(2) as ex:
+            # fail_fast raises long before fail_slow, but propagation is
+            # deterministic in task order (matching SerialExecutor).
+            with pytest.raises(ValueError, match="first in task order"):
+                ex.run_stage([fail_slow, fail_fast])
+
     def test_worker_floor(self):
         with pytest.raises(SimulationError):
             ThreadExecutor(0)
