@@ -14,7 +14,7 @@ Run with::
 
 import numpy as np
 
-from repro import compare_with_sequential, run_transient
+from repro import compare_with_sequential, simulate
 from repro.circuits.analog import gilbert_mixer
 from repro.mna.compiler import compile_circuit
 
@@ -38,7 +38,7 @@ def main() -> None:
     from repro.utils.options import SimOptions
 
     options = SimOptions(max_step=1e-9)
-    seq = run_transient(compiled, tstop, options=options)
+    seq = simulate(compiled, analysis="transient", tstop=tstop, options=options)
     diff = seq.waveforms.voltage("outp").values - seq.waveforms.voltage("outm").values
     times = seq.times
 

@@ -12,9 +12,7 @@ Run with::
 
 import numpy as np
 
-from repro import parse_netlist, run_transient, run_wavepipe
-from repro.analysis.ac import ac_analysis
-from repro.analysis.dc import dc_sweep
+from repro import parse_netlist, simulate
 from repro.bench.tables import render_table
 from repro.netlist.parser import DcCommand, TranCommand
 
@@ -55,7 +53,9 @@ def main() -> None:
     for command in netlist.analyses:
         if isinstance(command, DcCommand):
             values = np.arange(command.start, command.stop + command.step / 2, command.step)
-            sweep = dc_sweep(netlist.circuit, command.source, values)
+            sweep = simulate(
+                netlist.circuit, analysis="dc", source=command.source, values=values
+            )
             rows = [
                 [f"{v:.2f}", f"{sweep.curves.voltage('mid').values[k]:.3f}",
                  f"{sweep.curves.voltage('out').values[k]:.3f}"]
@@ -68,8 +68,8 @@ def main() -> None:
                 title="DC transfer (buffered: out snaps rail-to-rail)",
             ))
         elif isinstance(command, TranCommand):
-            result = run_transient(
-                netlist.circuit, command.tstop,
+            result = simulate(
+                netlist.circuit, analysis="transient", tstop=command.tstop,
                 tstep=command.tstep, options=netlist.options,
             )
             mid = result.waveforms.voltage("mid")
@@ -84,8 +84,9 @@ def main() -> None:
                 print(f"  buffered output follows at {t_out[0]*1e6:.2f} us "
                       f"(two gate delays later)")
 
-            pipe = run_wavepipe(
-                netlist.circuit, command.tstop, scheme="combined", threads=3,
+            pipe = simulate(
+                netlist.circuit, analysis="wavepipe", tstop=command.tstop,
+                scheme="combined", threads=3,
                 tstep=command.tstep, options=netlist.options,
             )
             shift = abs(pipe.waveforms.voltage("out").crossings(1.5, "rise")[0] - t_out[0])
@@ -93,7 +94,8 @@ def main() -> None:
                   f"output edge within {shift*1e9:.3f} ns of sequential")
 
     # AC analysis of the passive front end (not a deck card — API only)
-    ac = ac_analysis(netlist.circuit, "VIN", np.logspace(2, 6, 40))
+    ac = simulate(netlist.circuit, analysis="ac", source="VIN",
+                  freqs=np.logspace(2, 6, 40))
     fc = ac.corner_frequency("v(mid)")
     print(f"\nAC: RC front-end corner at {fc/1e3:.2f} kHz "
           f"(analytic {1/(2*np.pi*5e3*2e-9)/1e3:.2f} kHz)")

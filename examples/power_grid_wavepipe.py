@@ -15,7 +15,7 @@ Run with::
 
 import numpy as np
 
-from repro import run_transient, run_wavepipe
+from repro import simulate
 from repro.bench.tables import render_series, render_table
 from repro.circuits.interconnect import rc_grid
 from repro.mna.compiler import compile_circuit
@@ -26,8 +26,8 @@ def main() -> None:
     tstop = 40e-9
     print(f"power grid: {compiled.n} unknowns, simulating {tstop*1e9:.0f} ns\n")
 
-    seq = run_transient(compiled, tstop)
-    pipe = run_wavepipe(compiled, tstop, scheme="backward", threads=4)
+    seq = simulate(compiled, analysis="transient", tstop=tstop)
+    pipe = simulate(compiled, analysis="wavepipe", tstop=tstop, scheme="backward", threads=4)
 
     # --- the engineering answer: worst-case droop per corner ---------------
     rows = []

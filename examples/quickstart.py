@@ -3,9 +3,9 @@
 Covers the three entry points a new user needs:
 
 1. the programmatic :class:`repro.Circuit` builder,
-2. sequential transient analysis (:func:`repro.run_transient`),
-3. WavePipe parallel transient (:func:`repro.run_wavepipe`) and the
-   speedup/accuracy report against the sequential baseline.
+2. the unified :func:`repro.simulate` facade (here: sequential transient),
+3. WavePipe parallel transient (``simulate(..., analysis="wavepipe")``)
+   and the speedup/accuracy report against the sequential baseline.
 
 Run with::
 
@@ -14,7 +14,7 @@ Run with::
 
 import numpy as np
 
-from repro import Circuit, Pulse, compare_with_sequential, run_transient
+from repro import Circuit, Pulse, compare_with_sequential, simulate
 
 
 def build_lowpass() -> Circuit:
@@ -32,7 +32,7 @@ def main() -> None:
     circuit = build_lowpass()
 
     # --- sequential transient -------------------------------------------------
-    result = run_transient(circuit, tstop=8e-6)
+    result = simulate(circuit, analysis="transient", tstop=8e-6)
     out = result.waveforms.voltage("out")
     print(f"sequential: {result.stats.accepted_points} accepted points, "
           f"{result.stats.rejected_points} rejected, "

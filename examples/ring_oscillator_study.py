@@ -10,7 +10,7 @@ Run with::
     python examples/ring_oscillator_study.py
 """
 
-from repro import compare_with_sequential, run_transient
+from repro import compare_with_sequential, simulate
 from repro.bench.tables import render_table
 from repro.circuits.digital import ring_oscillator
 from repro.mna.compiler import compile_circuit
@@ -18,7 +18,7 @@ from repro.mna.compiler import compile_circuit
 
 def study_ring(stages: int, tstop: float) -> list:
     compiled = compile_circuit(ring_oscillator(stages=stages))
-    seq = run_transient(compiled, tstop)
+    seq = simulate(compiled, analysis="transient", tstop=tstop)
     signal = seq.waveforms.voltage("n0")
     settled = signal.slice(tstop / 3, tstop)
     f_seq = settled.frequency()

@@ -10,7 +10,7 @@ Run with::
     python examples/scheduler_anatomy.py
 """
 
-from repro import SimOptions, compare_with_sequential, run_transient
+from repro import SimOptions, compare_with_sequential, simulate
 from repro.bench.tables import render_table
 from repro.circuits.digital import inverter_chain
 from repro.core.backward import BackwardPipeline
@@ -22,7 +22,7 @@ def main() -> None:
     tstop = 50e-9
 
     # --- the sequential baseline's pain points -----------------------------
-    seq = run_transient(compiled, tstop)
+    seq = simulate(compiled, analysis="transient", tstop=tstop)
     solves = seq.stats.accepted_points + seq.stats.rejected_points
     print("sequential baseline:")
     print(f"  {seq.stats.accepted_points} accepted points")

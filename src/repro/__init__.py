@@ -8,21 +8,38 @@ DAC 2008.
 
 Quickstart::
 
-    from repro import Circuit, Pulse, run_transient, run_wavepipe
+    from repro import Circuit, Pulse, simulate
 
     c = Circuit("rc")
     c.add_vsource("V1", "in", "0", Pulse(0, 1, delay=1e-9, rise=1e-12, width=1e-3))
     c.add_resistor("R1", "in", "out", "1k")
     c.add_capacitor("C1", "out", "0", "1n")
 
-    seq = run_transient(c, tstop=10e-6)             # sequential baseline
-    par = run_wavepipe(c, tstop=10e-6, scheme="combined", threads=4)
+    seq = simulate(c, analysis="transient", tstop=10e-6)  # sequential baseline
+    par = simulate(c, analysis="wavepipe", tstop=10e-6,
+                   scheme="combined", threads=4)
     print(par.stats.self_speedup(), par.waveforms.voltage("out"))
+
+The historical per-analysis entry points (``run_transient``,
+``run_wavepipe``, ``dc_sweep``, ``ac_analysis``, ``sweep``) remain
+importable but are deprecated shims over the same engines.
 """
 
-from repro.analysis.ac import AcResult, ac_analysis
-from repro.analysis.dc import DcSweepResult, dc_sweep
-from repro.analysis.sweep import SweepResult, sweep
+from repro.analysis.ac import AcResult
+from repro.analysis.dc import DcSweepResult
+from repro.analysis.sweep import SweepResult
+from repro.api import (
+    ANALYSES,
+    AnalysisRequest,
+    AnalysisResult,
+    ac_analysis,
+    dc_sweep,
+    run_request,
+    run_transient,
+    run_wavepipe,
+    simulate,
+    sweep,
+)
 from repro.circuit.circuit import Circuit, Subcircuit
 from repro.circuit.components import (
     Bjt,
@@ -44,8 +61,8 @@ from repro.circuit.components import (
 )
 from repro.circuit.sources import Dc, Exp, Pulse, Pwl, SampledWaveform, Sin
 from repro.core.pipeline import PipelineResult, PipelineStats
-from repro.core.wavepipe import SpeedupReport, compare_with_sequential, run_wavepipe
-from repro.engine.transient import TransientResult, TransientStats, run_transient
+from repro.core.wavepipe import SpeedupReport, compare_with_sequential
+from repro.engine.transient import TransientResult, TransientStats
 from repro.instrument import (
     NullRecorder,
     Recorder,
@@ -74,7 +91,10 @@ from repro.waveform.waveform import Deviation, Waveform, WaveformSet, compare
 __version__ = "1.0.0"
 
 __all__ = [
+    "ANALYSES",
     "AcResult",
+    "AnalysisRequest",
+    "AnalysisResult",
     "ac_analysis",
     "Bjt",
     "BjtModel",
@@ -114,8 +134,10 @@ __all__ = [
     "Resistor",
     "RunMetrics",
     "read_csv",
+    "run_request",
     "run_transient",
     "run_wavepipe",
+    "simulate",
     "SampledWaveform",
     "SimOptions",
     "SimulationError",

@@ -1,0 +1,295 @@
+"""Unified analysis entry point: :func:`simulate` and the request protocol.
+
+Every analysis the package offers — sequential transient, WavePipe
+pipelined transient, DC transfer sweep, small-signal AC, and parameter
+sweep — historically had its own entry point with its own argument
+spelling. :func:`simulate` fronts all five behind one signature with
+harmonised keywords (``tstop``/``tstep``/``options``/``threads``/
+``scheme``), normalising the call into an :class:`AnalysisRequest` and
+wrapping the engine's native result in an :class:`AnalysisResult` that
+exposes the shared surface (``waveforms``/``stats``/``metrics``) while
+delegating everything analysis-specific to the raw result.
+
+The historical entry points (``run_transient``, ``run_wavepipe``,
+``dc_sweep``, ``ac_analysis``, ``sweep``) remain importable from
+:mod:`repro` as thin deprecated shims over the same engines; new code
+should call :func:`simulate`.
+
+Example::
+
+    from repro import simulate
+
+    res = simulate(circuit, analysis="transient", tstop=1e-6)
+    par = simulate(circuit, analysis="wavepipe", tstop=1e-6,
+                   scheme="combined", threads=4)
+    dc = simulate(circuit, analysis="dc", source="V1",
+                  values=np.linspace(0, 5, 51))
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from dataclasses import dataclass, field
+
+from repro.analysis.ac import ac_analysis as _ac_analysis
+from repro.analysis.dc import dc_sweep as _dc_sweep
+from repro.analysis.sweep import sweep as _sweep
+from repro.core.wavepipe import run_wavepipe as _run_wavepipe
+from repro.engine.transient import run_transient as _run_transient
+from repro.errors import SimulationError
+from repro.utils.options import SimOptions
+
+#: Analyses understood by :func:`simulate`.
+ANALYSES = ("transient", "wavepipe", "dc", "ac", "sweep")
+
+#: Extra keywords each analysis accepts beyond the shared ones.
+_ANALYSIS_EXTRAS = {
+    "transient": {"uic", "node_ics", "instrument"},
+    "wavepipe": {"uic", "node_ics", "instrument", "executor"},
+    "dc": {"source", "values"},
+    "ac": {"source", "freqs"},
+    "sweep": {
+        "parameter",
+        "values",
+        "metrics",
+        "circuit_factory",
+        "option_field",
+        "skip_failures",
+    },
+}
+
+
+@dataclass
+class AnalysisRequest:
+    """A fully-specified analysis: what to run, on what, and how.
+
+    The shared keywords live as first-class fields; analysis-specific
+    ones (``source``, ``values``, ``freqs``, ``parameter``, ``metrics``,
+    ``uic``...) ride in ``extras``. Validation happens at construction,
+    so a malformed request fails before any engine starts.
+    """
+
+    analysis: str
+    circuit: object | None = None
+    tstop: float | None = None
+    tstep: float | None = None
+    options: SimOptions | None = None
+    threads: int = 2
+    scheme: str | None = None
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.analysis not in ANALYSES:
+            raise SimulationError(
+                f"unknown analysis {self.analysis!r}; expected one of {ANALYSES}"
+            )
+        allowed = _ANALYSIS_EXTRAS[self.analysis]
+        unknown = set(self.extras) - allowed
+        if unknown:
+            raise SimulationError(
+                f"unexpected keyword(s) for {self.analysis!r} analysis: "
+                f"{sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        if self.threads < 1:
+            raise SimulationError("threads must be >= 1")
+        if self.analysis in ("transient", "wavepipe", "sweep"):
+            if self.tstop is None or self.tstop <= 0:
+                raise SimulationError(
+                    f"{self.analysis!r} analysis requires tstop > 0"
+                )
+        if self.analysis == "sweep":
+            if self.circuit is None and self.extras.get("circuit_factory") is None:
+                raise SimulationError(
+                    "'sweep' analysis requires a circuit or a circuit_factory"
+                )
+            for name in ("parameter", "values", "metrics"):
+                if self.extras.get(name) is None:
+                    raise SimulationError(f"'sweep' analysis requires {name}=")
+        else:
+            if self.circuit is None:
+                raise SimulationError(
+                    f"{self.analysis!r} analysis requires a circuit"
+                )
+        if self.analysis == "dc":
+            for name in ("source", "values"):
+                if self.extras.get(name) is None:
+                    raise SimulationError(f"'dc' analysis requires {name}=")
+        if self.analysis == "ac":
+            for name in ("source", "freqs"):
+                if self.extras.get(name) is None:
+                    raise SimulationError(f"'ac' analysis requires {name}=")
+
+
+@dataclass
+class AnalysisResult:
+    """Uniform wrapper over an analysis' native result.
+
+    The shared surface — ``waveforms``, ``stats``, ``metrics`` — is
+    available for every analysis that has it (None otherwise); anything
+    else (``step_sizes``, ``transfer``, ``failures``...) is delegated to
+    the wrapped ``raw`` result, so existing result-handling code keeps
+    working against the wrapper unchanged.
+    """
+
+    analysis: str
+    request: AnalysisRequest
+    raw: object
+
+    @property
+    def waveforms(self):
+        """Waveform-like view of the result (DC sweeps expose their
+        ``curves``, swept against source level instead of time)."""
+        wf = getattr(self.raw, "waveforms", None)
+        if wf is not None:
+            return wf
+        return getattr(self.raw, "curves", None)
+
+    @property
+    def stats(self):
+        return getattr(self.raw, "stats", None)
+
+    @property
+    def metrics(self):
+        return getattr(self.raw, "metrics", None)
+
+    def __getattr__(self, name: str):
+        # Only reached when normal lookup fails: delegate to the raw result.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.raw, name)
+
+
+def simulate(
+    circuit=None,
+    analysis: str = "transient",
+    *,
+    tstop: float | None = None,
+    tstep: float | None = None,
+    options: SimOptions | None = None,
+    threads: int = 2,
+    scheme: str | None = None,
+    **extras,
+) -> AnalysisResult:
+    """Run any analysis through one harmonised signature.
+
+    Args:
+        circuit: a :class:`~repro.circuit.circuit.Circuit` or an
+            already-compiled circuit (optional for ``sweep`` when a
+            ``circuit_factory`` is given).
+        analysis: one of ``transient``, ``wavepipe``, ``dc``, ``ac``,
+            ``sweep``.
+        tstop / tstep: simulation window and suggested step for the
+            time-domain analyses.
+        options: :class:`~repro.utils.options.SimOptions`; defaults to
+            the circuit's compiled options.
+        threads: worker count for ``wavepipe`` (and pipelined ``sweep``).
+        scheme: WavePipe scheme (``backward``/``forward``/``combined``);
+            defaults to ``combined`` for ``wavepipe``, and selects
+            pipelined runs inside ``sweep`` when set.
+        **extras: analysis-specific keywords — ``source``/``values``
+            (dc), ``source``/``freqs`` (ac), ``parameter``/``values``/
+            ``metrics`` (sweep), ``uic``/``node_ics``/``instrument``
+            (transient, wavepipe).
+
+    Returns:
+        An :class:`AnalysisResult` wrapping the engine's native result.
+    """
+    request = AnalysisRequest(
+        analysis=analysis,
+        circuit=circuit,
+        tstop=tstop,
+        tstep=tstep,
+        options=options,
+        threads=threads,
+        scheme=scheme,
+        extras=extras,
+    )
+    return run_request(request)
+
+
+def run_request(request: AnalysisRequest) -> AnalysisResult:
+    """Dispatch an already-validated :class:`AnalysisRequest`."""
+    extras = request.extras
+    if request.analysis == "transient":
+        raw = _run_transient(
+            request.circuit,
+            request.tstop,
+            tstep=request.tstep,
+            options=request.options,
+            **extras,
+        )
+    elif request.analysis == "wavepipe":
+        raw = _run_wavepipe(
+            request.circuit,
+            request.tstop,
+            scheme=request.scheme or "combined",
+            threads=request.threads,
+            tstep=request.tstep,
+            options=request.options,
+            **extras,
+        )
+    elif request.analysis == "dc":
+        raw = _dc_sweep(
+            request.circuit,
+            extras["source"],
+            extras["values"],
+            options=request.options,
+        )
+    elif request.analysis == "ac":
+        raw = _ac_analysis(
+            request.circuit,
+            extras["source"],
+            extras["freqs"],
+            options=request.options,
+        )
+    else:  # sweep — validated by AnalysisRequest
+        raw = _sweep(
+            extras["parameter"],
+            extras["values"],
+            extras["metrics"],
+            request.tstop,
+            circuit_factory=extras.get("circuit_factory"),
+            circuit=request.circuit,
+            options=request.options,
+            option_field=extras.get("option_field"),
+            scheme=request.scheme,
+            threads=request.threads,
+            skip_failures=extras.get("skip_failures", False),
+        )
+    return AnalysisResult(analysis=request.analysis, request=request, raw=raw)
+
+
+def _deprecated_alias(name: str, func, hint: str):
+    """Wrap an engine entry point in a DeprecationWarning-emitting shim."""
+
+    @functools.wraps(func)
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"repro.{name}() is deprecated; use {hint}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return func(*args, **kwargs)
+
+    return shim
+
+
+# Deprecated aliases re-exported from repro/__init__.py. They call the
+# engines directly (not simulate()) so return types stay exactly what
+# existing callers expect.
+run_transient = _deprecated_alias(
+    "run_transient", _run_transient, 'repro.simulate(circuit, analysis="transient", ...)'
+)
+run_wavepipe = _deprecated_alias(
+    "run_wavepipe", _run_wavepipe, 'repro.simulate(circuit, analysis="wavepipe", ...)'
+)
+dc_sweep = _deprecated_alias(
+    "dc_sweep", _dc_sweep, 'repro.simulate(circuit, analysis="dc", ...)'
+)
+ac_analysis = _deprecated_alias(
+    "ac_analysis", _ac_analysis, 'repro.simulate(circuit, analysis="ac", ...)'
+)
+sweep = _deprecated_alias(
+    "sweep", _sweep, 'repro.simulate(analysis="sweep", ...)'
+)

@@ -466,6 +466,89 @@ def table_r8(threads=3) -> ExperimentResult:
     return ExperimentResult("table_r8", title, render_table(headers, rows, title), data)
 
 
+def table_r9(names=None, repeats=2, exp_id="table_r9") -> ExperimentResult:
+    """Extension: solve-cost ablation of the factorisation-reuse fast path.
+
+    Runs each circuit sequentially with ``jacobian_reuse`` off (the
+    bit-exact full-Newton reference) and on (static stamps + in-place
+    assembly + Jacobian bypass), comparing transient wall time,
+    factorisation counts, reuse hit rate and waveform deviation. Wall
+    times are best-of-*repeats* to suppress scheduler noise.
+    """
+    names = names or list(BENCHMARKS)
+    headers = [
+        "circuit",
+        "off (ms)",
+        "on (ms)",
+        "reduction",
+        "factors off>on",
+        "hit rate",
+        "fallbacks",
+        "worst rel dev",
+    ]
+    rows = []
+    data = {}
+    for name in names:
+        bench = get_benchmark(name)
+        compiled = compile_circuit(bench.build(), bench.options)
+
+        def best_run(options):
+            best = None
+            for _ in range(max(repeats, 1)):
+                res = run_transient(
+                    compiled, bench.tstop, tstep=bench.tstep, options=options
+                )
+                if best is None or res.stats.tran_seconds < best.stats.tran_seconds:
+                    best = res
+            return best
+
+        off = best_run(bench.options.replace(jacobian_reuse=False))
+        on = best_run(bench.options.replace(jacobian_reuse=True))
+        t_off = off.stats.tran_seconds
+        t_on = on.stats.tran_seconds
+        reduction = 1.0 - t_on / t_off if t_off > 0 else 0.0
+        hit_rate = (
+            on.stats.lu_reuse_hits / on.stats.lu_solves if on.stats.lu_solves else 0.0
+        )
+        worst = worst_deviation(
+            compare(off.waveforms, on.waveforms, names=list(bench.signals))
+        )
+        worst_rel = worst.max_relative if worst else 0.0
+        rows.append(
+            [
+                name,
+                f"{t_off * 1e3:.1f}",
+                f"{t_on * 1e3:.1f}",
+                f"{reduction:.1%}",
+                f"{off.stats.lu_factors}>{on.stats.lu_factors}",
+                f"{hit_rate:.1%}",
+                on.stats.bypass_fallbacks,
+                f"{worst_rel:.2e}",
+            ]
+        )
+        data[name] = {
+            "off_tran_seconds": t_off,
+            "on_tran_seconds": t_on,
+            "reduction": reduction,
+            "factors_off": off.stats.lu_factors,
+            "factors_on": on.stats.lu_factors,
+            "refactors_on": on.stats.lu_refactors,
+            "reuse_hits": on.stats.lu_reuse_hits,
+            "reuse_hit_rate": hit_rate,
+            "bypass_fallbacks": on.stats.bypass_fallbacks,
+            "worst_rel_dev": worst_rel,
+        }
+    title = "Table R9 (extension): factorisation-reuse solve-cost ablation"
+    return ExperimentResult(exp_id, title, render_table(headers, rows, title), data)
+
+
+def table_r9_smoke() -> ExperimentResult:
+    """One-row-per-kind Table R9 subset for CI smoke runs."""
+    return table_r9(
+        names=["rcladder20", "rectifier"], repeats=1, exp_id="table_r9_smoke"
+    )
+
+
 #: Experiment id -> callable returning an ExperimentResult.
 EXPERIMENTS = {
     "table_r1": table_r1,
@@ -476,6 +559,8 @@ EXPERIMENTS = {
     "table_r6": table_r6,
     "table_r7": table_r7,
     "table_r8": table_r8,
+    "table_r9": table_r9,
+    "table_r9_smoke": table_r9_smoke,
     "fig_r1": fig_r1,
     "fig_r2": fig_r2,
     "fig_r3": fig_r3,

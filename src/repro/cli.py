@@ -20,10 +20,9 @@ import sys
 
 import numpy as np
 
-from repro.analysis.dc import dc_sweep
+from repro.api import simulate
 from repro.bench.tables import render_table
 from repro.core.wavepipe import compare_with_sequential
-from repro.engine.transient import run_transient
 from repro.errors import ReproError
 from repro.mna.compiler import compile_circuit
 from repro.mna.system import MnaSystem
@@ -142,7 +141,7 @@ def _print_op(compiled, netlist) -> None:
 def _print_dc(compiled, command: DcCommand, args) -> None:
     count = int(round((command.stop - command.start) / command.step)) + 1
     values = np.linspace(command.start, command.stop, max(count, 2))
-    result = dc_sweep(compiled, command.source, values)
+    result = simulate(compiled, analysis="dc", source=command.source, values=values)
     signals = args.signals or [n for n in result.curves.names if n.startswith("v")][:4]
     step = max(1, len(values) // args.samples)
     rows = [
@@ -177,9 +176,10 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
         result = report.pipelined
         print(f"* wavepipe {report.summary()}")
     else:
-        result = run_transient(
+        result = simulate(
             compiled,
-            command.tstop,
+            analysis="transient",
+            tstop=command.tstop,
             tstep=command.tstep,
             options=netlist.options,
             instrument=recorder,

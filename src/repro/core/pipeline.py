@@ -265,7 +265,7 @@ class PipelineEngine:
                 t_new,
                 options,
                 force_be,
-                buffers=system.make_buffers(),
+                buffers=system.make_buffers(fast_path=options.jacobian_reuse),
                 solver=LinearSolver(system.unknown_names),
                 x_guess=x_guess,
                 iter_cap=iter_cap,
@@ -326,6 +326,7 @@ class PipelineEngine:
         """Book per-solution Newton statistics (not clock time)."""
         self.stats.newton_iterations += solution.result.iterations
         self.stats.work_units += solution.result.work_units
+        self.stats.charge_lu(solution.result)
 
     def waste(self, solutions) -> None:
         """Mark discarded solutions (their cost is already on the clock)."""

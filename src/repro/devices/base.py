@@ -72,15 +72,40 @@ class EvalOutputs:
         self.s = np.zeros(n_unknowns + 1)
         self.g_vals = np.zeros(n_g_slots)
         self.c_vals = np.zeros(n_c_slots)
+        #: True when g_vals/c_vals are re-seeded from precomputed static
+        #: baselines on reset(); banks with constant stamps then skip
+        #: rewriting them every eval (the fast path).
+        self.static = False
+        self._g_base: np.ndarray | None = None
+        self._c_base: np.ndarray | None = None
+        #: Optional :class:`~repro.mna.pattern.AssemblyWorkspace` for
+        #: in-place Jacobian assembly; attached by
+        #: :meth:`~repro.mna.system.MnaSystem.make_buffers` on the fast
+        #: path, consumed by :meth:`~repro.mna.system.MnaSystem.jacobian`.
+        self.workspace = None
+
+    def enable_static_stamps(self, g_base: np.ndarray, c_base: np.ndarray) -> None:
+        """Seed resets from shared (read-only) constant-stamp baselines."""
+        self._g_base = g_base
+        self._c_base = c_base
+        self.static = True
 
     def reset(self) -> None:
         """Zero every accumulator (slot arrays are overwritten, not summed,
-        by each owning bank, but zeroing keeps unclaimed slots clean)."""
+        by each owning bank, but zeroing keeps unclaimed slots clean).
+
+        On the static fast path the slot arrays are re-seeded from the
+        constant-stamp baselines instead, so banks whose stamps never
+        change can skip their per-eval writes entirely."""
         self.f[:] = 0.0
         self.q[:] = 0.0
         self.s[:] = 0.0
-        self.g_vals[:] = 0.0
-        self.c_vals[:] = 0.0
+        if self.static:
+            np.copyto(self.g_vals, self._g_base)
+            np.copyto(self.c_vals, self._c_base)
+        else:
+            self.g_vals[:] = 0.0
+            self.c_vals[:] = 0.0
 
 
 class DeviceBank(abc.ABC):
@@ -104,6 +129,18 @@ class DeviceBank(abc.ABC):
 
     def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
         """Junction-limit the proposed iterate in place; default no-op."""
+        return False
+
+    def write_static_stamps(self, g_vals: np.ndarray, c_vals: np.ndarray) -> bool:
+        """Write this bank's constant Jacobian stamps into the baselines.
+
+        Banks whose stamps are operating-point independent (linear
+        passives, sources) write their slot values into the full-size
+        *g_vals*/*c_vals* baseline arrays once, at setup, and return
+        True; their :meth:`eval` may then skip the per-call writes when
+        ``out.static`` is set. Nonlinear banks keep the default (write
+        nothing, return False) and stamp every evaluation as before.
+        """
         return False
 
     @property

@@ -45,7 +45,12 @@ class ResistorBank(DeviceBank):
         v = x_full[self.a] - x_full[self.b]
         current = self.g * v
         scatter_pair(out.f, self.a, self.b, current)
-        out.g_vals[self._slots.slice] = two_terminal_values(self.g)
+        if not out.static:
+            out.g_vals[self._slots.slice] = two_terminal_values(self.g)
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        g_vals[self._slots.slice] = two_terminal_values(self.g)
+        return True
 
 
 class CapacitorBank(DeviceBank):
@@ -68,7 +73,12 @@ class CapacitorBank(DeviceBank):
         v = x_full[self.a] - x_full[self.b]
         charge = self.c * v
         scatter_pair(out.q, self.a, self.b, charge)
-        out.c_vals[self._slots.slice] = two_terminal_values(self.c)
+        if not out.static:
+            out.c_vals[self._slots.slice] = two_terminal_values(self.c)
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        c_vals[self._slots.slice] = two_terminal_values(self.c)
+        return True
 
 
 class MutualInductanceBank(DeviceBank):
@@ -96,7 +106,14 @@ class MutualInductanceBank(DeviceBank):
     def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
         np.add.at(out.q, self.j1, -self.m * x_full[self.j2])
         np.add.at(out.q, self.j2, -self.m * x_full[self.j1])
-        out.c_vals[self._c_slots.slice] = np.stack([-self.m, -self.m], axis=1).ravel()
+        if not out.static:
+            out.c_vals[self._c_slots.slice] = np.stack(
+                [-self.m, -self.m], axis=1
+            ).ravel()
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        c_vals[self._c_slots.slice] = np.stack([-self.m, -self.m], axis=1).ravel()
+        return True
 
 
 class InductorBank(DeviceBank):
@@ -125,8 +142,17 @@ class InductorBank(DeviceBank):
         scatter_pair(out.f, self.a, self.b, current)
         np.add.at(out.f, self.j, x_full[self.a] - x_full[self.b])
         np.add.at(out.q, self.j, -self.l * current)
+        if not out.static:
+            ones = np.ones(self.count)
+            out.g_vals[self._g_slots.slice] = np.stack(
+                [ones, -ones, ones, -ones], axis=1
+            ).ravel()
+            out.c_vals[self._c_slots.slice] = -self.l
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
         ones = np.ones(self.count)
-        out.g_vals[self._g_slots.slice] = np.stack(
+        g_vals[self._g_slots.slice] = np.stack(
             [ones, -ones, ones, -ones], axis=1
         ).ravel()
-        out.c_vals[self._c_slots.slice] = -self.l
+        c_vals[self._c_slots.slice] = -self.l
+        return True

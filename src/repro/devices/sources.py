@@ -47,10 +47,20 @@ class VoltageSourceBank(DeviceBank):
         scatter_pair(out.f, self.p, self.m, current)
         np.add.at(out.f, self.j, x_full[self.p] - x_full[self.m])
         np.add.at(out.s, self.j, -self.scale * self._levels(t))
+        if not out.static:
+            ones = np.ones(self.count)
+            out.g_vals[self._slots.slice] = np.stack(
+                [ones, -ones, ones, -ones], axis=1
+            ).ravel()
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        # Only the source *injection* depends on time/scale; the branch
+        # constraint rows are constant +-1 stamps.
         ones = np.ones(self.count)
-        out.g_vals[self._slots.slice] = np.stack(
+        g_vals[self._slots.slice] = np.stack(
             [ones, -ones, ones, -ones], axis=1
         ).ravel()
+        return True
 
     def branch_index(self, name: str) -> int:
         """MNA unknown index of the branch current of source *name*."""
@@ -76,6 +86,9 @@ class CurrentSourceBank(DeviceBank):
     def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
         levels = self.scale * np.array([w.value(t) for w in self.waveforms])
         scatter_pair(out.s, self.p, self.m, levels)
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        return True  # no Jacobian entries at all
 
 
 class VcvsBank(DeviceBank):
@@ -108,10 +121,18 @@ class VcvsBank(DeviceBank):
             - self.gain * (x_full[self.cp] - x_full[self.cm])
         )
         np.add.at(out.f, self.j, branch)
+        if not out.static:
+            ones = np.ones(self.count)
+            out.g_vals[self._slots.slice] = np.stack(
+                [ones, -ones, ones, -ones, -self.gain, self.gain], axis=1
+            ).ravel()
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
         ones = np.ones(self.count)
-        out.g_vals[self._slots.slice] = np.stack(
+        g_vals[self._slots.slice] = np.stack(
             [ones, -ones, ones, -ones, -self.gain, self.gain], axis=1
         ).ravel()
+        return True
 
 
 class VccsBank(DeviceBank):
@@ -137,9 +158,16 @@ class VccsBank(DeviceBank):
     def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
         current = self.gm * (x_full[self.cp] - x_full[self.cm])
         scatter_pair(out.f, self.p, self.m, current)
-        out.g_vals[self._slots.slice] = np.stack(
+        if not out.static:
+            out.g_vals[self._slots.slice] = np.stack(
+                [self.gm, -self.gm, -self.gm, self.gm], axis=1
+            ).ravel()
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        g_vals[self._slots.slice] = np.stack(
             [self.gm, -self.gm, -self.gm, self.gm], axis=1
         ).ravel()
+        return True
 
 
 class CccsBank(DeviceBank):
@@ -163,9 +191,14 @@ class CccsBank(DeviceBank):
     def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
         current = self.gain * x_full[self.jc]
         scatter_pair(out.f, self.p, self.m, current)
-        out.g_vals[self._slots.slice] = np.stack(
-            [self.gain, -self.gain], axis=1
-        ).ravel()
+        if not out.static:
+            out.g_vals[self._slots.slice] = np.stack(
+                [self.gain, -self.gain], axis=1
+            ).ravel()
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
+        g_vals[self._slots.slice] = np.stack([self.gain, -self.gain], axis=1).ravel()
+        return True
 
 
 class CcvsBank(DeviceBank):
@@ -193,7 +226,15 @@ class CcvsBank(DeviceBank):
         scatter_pair(out.f, self.p, self.m, current)
         branch = x_full[self.p] - x_full[self.m] - self.r * x_full[self.jc]
         np.add.at(out.f, self.j, branch)
+        if not out.static:
+            ones = np.ones(self.count)
+            out.g_vals[self._slots.slice] = np.stack(
+                [ones, -ones, ones, -ones, -self.r], axis=1
+            ).ravel()
+
+    def write_static_stamps(self, g_vals, c_vals) -> bool:
         ones = np.ones(self.count)
-        out.g_vals[self._slots.slice] = np.stack(
+        g_vals[self._slots.slice] = np.stack(
             [ones, -ones, ones, -ones, -self.r], axis=1
         ).ravel()
+        return True

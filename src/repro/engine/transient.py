@@ -75,7 +75,11 @@ def solve_timepoint(
     directly. Stateless with respect to *system*: safe for concurrent
     WavePipe tasks, each with its own *buffers* and *solver*.
     """
-    buffers = buffers if buffers is not None else system.make_buffers()
+    buffers = (
+        buffers
+        if buffers is not None
+        else system.make_buffers(fast_path=options.jacobian_reuse)
+    )
     scheme = scheme_coefficients(options.method, history, t_new, force_be=force_be)
     if x_guess is None:
         if options.newton_guess == "predictor":
@@ -138,7 +142,20 @@ class TransientStats:
     dc_work_units: float = 0.0
     dcop_seconds: float = 0.0
     tran_seconds: float = 0.0
+    lu_factors: int = 0
+    lu_refactors: int = 0
+    lu_solves: int = 0
+    lu_reuse_hits: int = 0
+    bypass_fallbacks: int = 0
     extra: dict = field(default_factory=dict)
+
+    def charge_lu(self, result: NewtonResult) -> None:
+        """Accumulate one Newton solve's linear-solver cost breakdown."""
+        self.lu_factors += result.lu_factors
+        self.lu_refactors += result.lu_refactors
+        self.lu_solves += result.lu_solves
+        self.lu_reuse_hits += result.lu_reuse_hits
+        self.bypass_fallbacks += result.bypass_fallbacks
 
     @property
     def wall_seconds(self) -> float:
@@ -186,6 +203,10 @@ def _initial_solution(
         op = solve_operating_point(system, options)
         stats.dc_work_units = op.work_units
         stats.newton_iterations += op.iterations
+        stats.lu_factors += op.lu_factors
+        stats.lu_refactors += op.lu_refactors
+        stats.lu_solves += op.lu_solves
+        stats.lu_reuse_hits += op.lu_reuse_hits
         stats.dcop_seconds = time.perf_counter() - started
         if rec.enabled:
             rec.event(
@@ -259,7 +280,7 @@ def run_transient(
     rec_times = [0.0]
     rec_x = [x0]
     step_sizes: list[float] = []
-    buffers = system.make_buffers()
+    buffers = system.make_buffers(fast_path=options.jacobian_reuse)
     solver = LinearSolver(system.unknown_names)
 
     t = 0.0
@@ -278,6 +299,7 @@ def run_transient(
         )
         stats.work_units += solution.result.work_units
         stats.newton_iterations += solution.result.iterations
+        stats.charge_lu(solution.result)
         if not solution.converged:
             stats.newton_failures += 1
             controller.on_newton_failure(h)

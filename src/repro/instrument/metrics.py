@@ -32,6 +32,13 @@ class RunMetrics:
     dcop_seconds: float = 0.0
     tran_seconds: float = 0.0
 
+    # Linear-solver cost breakdown (factorisation-reuse fast path).
+    lu_factors: int = 0
+    lu_refactors: int = 0
+    lu_solves: int = 0
+    lu_reuse_hits: int = 0
+    bypass_fallbacks: int = 0
+
     # Pipeline-only (zero / defaults on sequential runs).
     stages: int = 0
     mean_stage_width: float = 1.0
@@ -91,6 +98,14 @@ class RunMetrics:
         return self.speculative_hits / self.speculative_solves
 
     @property
+    def reuse_hit_rate(self) -> float:
+        """Back-solves served by reused factors, as a fraction of all
+        back-solves (0.0 with jacobian_reuse off)."""
+        if self.lu_solves <= 0:
+            return 0.0
+        return self.lu_reuse_hits / self.lu_solves
+
+    @property
     def is_pipelined(self) -> bool:
         return self.stages > 0
 
@@ -116,6 +131,11 @@ class RunMetrics:
             dc_work_units=stats.dc_work_units,
             dcop_seconds=stats.dcop_seconds,
             tran_seconds=stats.tran_seconds,
+            lu_factors=getattr(stats, "lu_factors", 0),
+            lu_refactors=getattr(stats, "lu_refactors", 0),
+            lu_solves=getattr(stats, "lu_solves", 0),
+            lu_reuse_hits=getattr(stats, "lu_reuse_hits", 0),
+            bypass_fallbacks=getattr(stats, "bypass_fallbacks", 0),
         )
         clock = getattr(stats, "clock", None)
         if clock is not None and clock.stages > 0:
@@ -152,6 +172,12 @@ class RunMetrics:
             "dcop_seconds": self.dcop_seconds,
             "tran_seconds": self.tran_seconds,
             "wall_seconds": self.wall_seconds,
+            "lu_factors": self.lu_factors,
+            "lu_refactors": self.lu_refactors,
+            "lu_solves": self.lu_solves,
+            "lu_reuse_hits": self.lu_reuse_hits,
+            "reuse_hit_rate": self.reuse_hit_rate,
+            "bypass_fallbacks": self.bypass_fallbacks,
         }
         if self.is_pipelined:
             out.update(
@@ -191,6 +217,13 @@ class RunMetrics:
             f"  wall: dcop {self.dcop_seconds:.4f}s + transient "
             f"{self.tran_seconds:.4f}s = {self.wall_seconds:.4f}s"
         )
+        if self.lu_solves:
+            lines.append(
+                f"  lu: {self.lu_factors} factor + {self.lu_refactors} refactor, "
+                f"{self.lu_solves} back-solves "
+                f"({self.reuse_hit_rate:.1%} on reused factors, "
+                f"{self.bypass_fallbacks} bypass fallbacks)"
+            )
         if self.is_pipelined:
             lines.append(
                 f"  pipeline: {self.stages} stages, mean width "
@@ -229,4 +262,6 @@ def metrics_delta(reference: RunMetrics, candidate: RunMetrics) -> dict:
         "newton_failures": (reference.newton_failures, candidate.newton_failures),
         "work_units": (reference.work_units, candidate.work_units),
         "wall_seconds": (reference.wall_seconds, candidate.wall_seconds),
+        "lu_factors": (reference.lu_factors, candidate.lu_factors),
+        "reuse_hit_rate": (reference.reuse_hit_rate, candidate.reuse_hit_rate),
     }

@@ -1,11 +1,35 @@
-"""Sparse linear solve with circuit-flavoured diagnostics.
+"""Sparse linear solve with circuit-flavoured diagnostics and factor reuse.
 
-Wraps SuperLU (scipy) for the general case and a dense LAPACK path for
-very small systems where sparse setup overhead dominates. Singular or
-near-singular factorisations raise
-:class:`~repro.errors.SingularMatrixError` carrying the name of the suspect
-unknown, which turns "RuntimeError: Factor is exactly singular" into
-"floating node v(n7)".
+Wraps LAPACK (dense path, below :data:`DENSE_CUTOFF` unknowns) and SuperLU
+(sparse path) behind one factor/back-solve API. Singular or near-singular
+factorisations raise :class:`~repro.errors.SingularMatrixError` carrying
+the name of the suspect unknown, which turns "RuntimeError: Factor is
+exactly singular" into "floating node v(n7)".
+
+The solver caches its most recent factorisation so callers can split the
+classic ``solve()`` into the three operations a Newton hot loop actually
+needs:
+
+* :meth:`LinearSolver.factor` — factorise a matrix and remember an opaque
+  *key* describing what was factored (e.g. ``(pattern, alpha0, gshunt)``).
+* :meth:`LinearSolver.resolve` — triangular back-solve against the current
+  factors.
+* :meth:`LinearSolver.solve_reused` — back-solve against *previously*
+  computed factors without refactoring: the modified-Newton "Jacobian
+  bypass". Counted separately (``reuse_hits``) so the cost model can price
+  a reused factorisation at its true (back-solve only) cost.
+
+On the sparse path the column permutation computed by the first
+factorisation of a pattern is cached and re-applied on subsequent
+factorisations (``permc_spec="NATURAL"`` on the pre-permuted matrix), so
+only the numeric phase is repeated; those show up as ``refactor_count``
+rather than ``factor_count``. Pattern identity is tracked by the CSC
+``indices`` array *object*, so a matrix assembled for a different
+:class:`~repro.mna.pattern.JacobianPattern` (a different ``MnaSystem``)
+never inherits a stale ordering.
+
+All cache state is per-instance: WavePipe tasks each own a solver, so
+reuse never crosses thread boundaries.
 """
 
 from __future__ import annotations
@@ -13,6 +37,7 @@ from __future__ import annotations
 import warnings
 
 import numpy as np
+import scipy.linalg as sla
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
@@ -28,69 +53,50 @@ RCOND_FLOOR = 1e-14
 class LinearSolver:
     """Factor-and-solve helper bound to one matrix size.
 
-    Instances are cheap and stateless between calls; WavePipe tasks each
-    use their own.
+    Instances are cheap; WavePipe tasks each use their own. The cached
+    factorisation (and the symbolic ordering on the sparse path) lives on
+    the instance, never in shared state.
     """
 
     def __init__(self, unknown_names: list[str] | None = None):
         self.unknown_names = unknown_names
-        #: Number of factorisations performed (cost-model input).
+        #: Full factorisations performed (symbolic + numeric).
         self.factor_count = 0
-        #: Number of triangular back-solves performed.
+        #: Numeric-only refactorisations reusing a cached symbolic ordering.
+        self.refactor_count = 0
+        #: Triangular back-solves performed.
         self.solve_count = 0
+        #: Back-solves served from previously computed factors (bypass).
+        self.reuse_hits = 0
+        #: Consecutive bypassed solves since the last factorisation;
+        #: policy state for ``SimOptions.refactor_every``.
+        self.bypass_streak = 0
+
+        self._key: object | None = None
+        self._mode: str | None = None  # "dense" | "sparse" | None
+        self._dense_lu = None
+        self._dense_ref: np.ndarray | None = None
+        self._sparse_lu = None
+        self._sparse_ref = None
+        #: Column permutation applied to the factored matrix (refactor
+        #: path) — None when the factors came from a fresh symbolic pass.
+        self._applied_perm: np.ndarray | None = None
+        #: Cached symbolic ordering and the identity of the pattern
+        #: (its CSC indices array) it was computed for.
+        self._perm_c: np.ndarray | None = None
+        self._sym_indices: np.ndarray | None = None
+
+    # -- diagnostics -------------------------------------------------------------
 
     def _name(self, index: int) -> str | None:
         if self.unknown_names is not None and 0 <= index < len(self.unknown_names):
             return self.unknown_names[index]
         return None
 
-    def solve(self, matrix: sp.csc_matrix, rhs: np.ndarray) -> np.ndarray:
-        """Solve ``matrix @ x = rhs``; raises SingularMatrixError on failure."""
-        self.factor_count += 1
-        self.solve_count += 1
-        n = matrix.shape[0]
-        if n <= DENSE_CUTOFF:
-            return self._solve_dense(matrix, rhs)
-        return self._solve_sparse(matrix, rhs)
-
-    def _solve_dense(self, matrix: sp.csc_matrix, rhs: np.ndarray) -> np.ndarray:
-        dense = matrix.toarray()
-        try:
-            result = np.linalg.solve(dense, rhs)
-        except np.linalg.LinAlgError:
-            raise SingularMatrixError(
-                "dense factorisation failed (singular matrix)",
-                unknown=self._suspect_dense(dense),
-            ) from None
-        if not np.all(np.isfinite(result)):
-            raise SingularMatrixError(
-                "dense solve produced non-finite values",
-                unknown=self._suspect_dense(dense),
-            )
-        return result
-
     def _suspect_dense(self, dense: np.ndarray) -> str | None:
         """Heuristic: the unknown whose row has the smallest max magnitude."""
         row_max = np.abs(dense).max(axis=1)
         return self._name(int(np.argmin(row_max)))
-
-    def _solve_sparse(self, matrix: sp.csc_matrix, rhs: np.ndarray) -> np.ndarray:
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", spla.MatrixRankWarning)
-            try:
-                lu = spla.splu(matrix)
-            except RuntimeError as exc:
-                raise SingularMatrixError(
-                    f"sparse factorisation failed: {exc}",
-                    unknown=self._suspect_sparse(matrix),
-                ) from None
-        result = lu.solve(rhs)
-        if not np.all(np.isfinite(result)):
-            raise SingularMatrixError(
-                "sparse solve produced non-finite values",
-                unknown=self._suspect_sparse(matrix),
-            )
-        return result
 
     def _suspect_sparse(self, matrix: sp.csc_matrix) -> str | None:
         csr = matrix.tocsr()
@@ -99,6 +105,159 @@ class LinearSolver:
             row = csr.data[csr.indptr[i] : csr.indptr[i + 1]]
             row_max[i] = np.abs(row).max() if row.size else 0.0
         return self._name(int(np.argmin(row_max)))
+
+    # -- cache management --------------------------------------------------------
+
+    def matches(self, key: object) -> bool:
+        """True when live factors exist and were computed under *key*."""
+        return (
+            key is not None
+            and self._mode is not None
+            and self._key is not None
+            and self._key == key
+        )
+
+    def invalidate(self) -> None:
+        """Drop the cached factors (the symbolic ordering survives)."""
+        self._key = None
+        self._mode = None
+        self._dense_lu = None
+        self._dense_ref = None
+        self._sparse_lu = None
+        self._sparse_ref = None
+        self._applied_perm = None
+        self.bypass_streak = 0
+
+    # -- factor / solve ----------------------------------------------------------
+
+    def factor(self, matrix: sp.csc_matrix, key: object | None = None) -> None:
+        """Factorise *matrix*, replacing any cached factors.
+
+        Args:
+            key: opaque description of what was factored; later
+                :meth:`matches` calls compare against it. ``None`` marks
+                the factors as unkeyed (never matched).
+        """
+        n = matrix.shape[0]
+        if n <= DENSE_CUTOFF:
+            self._factor_dense(matrix)
+        else:
+            self._factor_sparse(matrix)
+        self._key = key
+        self.bypass_streak = 0
+
+    def resolve(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-solve against the current factors."""
+        if self._mode is None:
+            raise SingularMatrixError("no factorisation available (factor() first)")
+        self.solve_count += 1
+        return self._backsolve(rhs)
+
+    def solve_reused(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-solve against *previously computed* factors (Jacobian bypass).
+
+        Identical to :meth:`resolve` numerically; booked as a reuse hit so
+        cost models can price the skipped factorisation.
+        """
+        if self._mode is None:
+            raise SingularMatrixError("no factorisation available (factor() first)")
+        self.solve_count += 1
+        self.reuse_hits += 1
+        return self._backsolve(rhs)
+
+    def solve(self, matrix: sp.csc_matrix, rhs: np.ndarray,
+              key: object | None = None) -> np.ndarray:
+        """Solve ``matrix @ x = rhs``; raises SingularMatrixError on failure.
+
+        Convenience wrapper: one factorisation plus one back-solve.
+        """
+        self.factor(matrix, key=key)
+        return self.resolve(rhs)
+
+    # -- dense path --------------------------------------------------------------
+
+    def _factor_dense(self, matrix) -> None:
+        self.factor_count += 1
+        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, float)
+        with warnings.catch_warnings():
+            # LAPACK getrf flags exact zero pivots with a LinAlgWarning;
+            # we turn that condition into a typed error below instead.
+            warnings.simplefilter("ignore")
+            lu, piv = sla.lu_factor(dense, check_finite=False)
+        u_diag = np.diagonal(lu)
+        if not np.all(np.isfinite(lu)) or np.any(u_diag == 0.0):
+            self._mode = None
+            raise SingularMatrixError(
+                "dense factorisation failed (singular matrix)",
+                unknown=self._suspect_dense(dense),
+            )
+        self._dense_lu = (lu, piv)
+        self._dense_ref = dense
+        self._sparse_lu = None
+        self._sparse_ref = None
+        self._applied_perm = None
+        self._mode = "dense"
+
+    # -- sparse path -------------------------------------------------------------
+
+    def _factor_sparse(self, matrix) -> None:
+        if not sp.issparse(matrix):
+            matrix = sp.csc_matrix(matrix)
+        reuse_symbolic = (
+            self._perm_c is not None and matrix.indices is self._sym_indices
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", spla.MatrixRankWarning)
+            try:
+                if reuse_symbolic:
+                    self.refactor_count += 1
+                    lu = spla.splu(
+                        matrix[:, self._perm_c].tocsc(), permc_spec="NATURAL"
+                    )
+                    applied_perm = self._perm_c
+                else:
+                    self.factor_count += 1
+                    lu = spla.splu(matrix)
+                    self._perm_c = np.asarray(lu.perm_c)
+                    self._sym_indices = matrix.indices
+                    applied_perm = None
+            except RuntimeError as exc:
+                self._mode = None
+                raise SingularMatrixError(
+                    f"sparse factorisation failed: {exc}",
+                    unknown=self._suspect_sparse(matrix),
+                ) from None
+        self._sparse_lu = lu
+        self._sparse_ref = matrix
+        self._applied_perm = applied_perm
+        self._dense_lu = None
+        self._dense_ref = None
+        self._mode = "sparse"
+
+    # -- shared back-solve -------------------------------------------------------
+
+    def _backsolve(self, rhs: np.ndarray) -> np.ndarray:
+        if self._mode == "dense":
+            result = sla.lu_solve(self._dense_lu, rhs, check_finite=False)
+            if not np.all(np.isfinite(result)):
+                raise SingularMatrixError(
+                    "dense solve produced non-finite values",
+                    unknown=self._suspect_dense(self._dense_ref),
+                )
+            return result
+        solution = self._sparse_lu.solve(rhs)
+        if self._applied_perm is not None:
+            # Factored A[:, perm]: un-permute the solution components.
+            result = np.empty_like(solution)
+            result[self._applied_perm] = solution
+        else:
+            result = solution
+        if not np.all(np.isfinite(result)):
+            raise SingularMatrixError(
+                "sparse solve produced non-finite values",
+                unknown=self._suspect_sparse(self._sparse_ref),
+            )
+        return result
 
 
 def condition_estimate(matrix: sp.csc_matrix) -> float:

@@ -206,3 +206,58 @@ class JacobianPattern:
             (data[: self.nnz], self.indices, self.indptr),
             shape=(self.size, self.size),
         )
+
+    def workspace(self) -> "AssemblyWorkspace":
+        """A reusable in-place assembly buffer bound to this pattern."""
+        return AssemblyWorkspace(self)
+
+
+class AssemblyWorkspace:
+    """Persistent assembly buffers for one pattern (the fast path).
+
+    :meth:`JacobianPattern.assemble` allocates a fresh data array and a
+    fresh ``csc_matrix`` per call — measurable overhead when Newton
+    assembles thousands of Jacobians over an unchanging pattern. A
+    workspace allocates both once and rewrites the matrix's data in place.
+
+    The returned matrix is therefore *aliased*: a later :meth:`assemble`
+    call overwrites it. That is safe for the Newton hot loop, which
+    factorises the matrix immediately (the factorisation copies what it
+    needs) and never holds two Jacobians at once. Callers that retain
+    matrices must use :meth:`JacobianPattern.assemble` instead.
+
+    One workspace per concurrent task (it ships inside the task's
+    :class:`~repro.devices.base.EvalOutputs` buffers), so WavePipe tasks
+    never share one.
+    """
+
+    __slots__ = ("pattern", "_data", "_matrix")
+
+    def __init__(self, pattern: JacobianPattern):
+        self.pattern = pattern
+        self._data = np.zeros(pattern.nnz + 1)
+        # The matrix shares the pattern's indices/indptr arrays; the
+        # identity of `indices` doubles as the symbolic-reuse cache key
+        # in LinearSolver.
+        self._matrix = sp.csc_matrix(
+            (self._data[: pattern.nnz], pattern.indices, pattern.indptr),
+            shape=(pattern.size, pattern.size),
+        )
+
+    def assemble(
+        self,
+        g_vals: np.ndarray,
+        c_vals: np.ndarray,
+        alpha0: float,
+        diag_shift: float = 0.0,
+    ) -> sp.csc_matrix:
+        """In-place equivalent of :meth:`JacobianPattern.assemble`."""
+        pattern = self.pattern
+        data = self._data
+        data.fill(0.0)
+        np.add.at(data, pattern.g_map, g_vals)
+        if alpha0 != 0.0 and c_vals.size:
+            np.add.at(data, pattern.c_map, alpha0 * c_vals)
+        if diag_shift:
+            np.add.at(data, pattern.diag_map, diag_shift)
+        return self._matrix

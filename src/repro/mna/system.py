@@ -43,6 +43,7 @@ class MnaSystem:
         self.gshunt = compiled.options.gmin
         self.voltage_mask = compiled.voltage_mask
         self.unknown_names = compiled.unknown_names
+        self._static_base: tuple[np.ndarray, np.ndarray] | None = None
 
     @property
     def has_nonlinear(self) -> bool:
@@ -56,9 +57,32 @@ class MnaSystem:
             for bank in self.compiled.banks
         )
 
-    def make_buffers(self) -> EvalOutputs:
-        """Fresh evaluation buffers (one set per concurrent task)."""
-        return EvalOutputs(self.n, self._n_g_slots, self._n_c_slots)
+    def make_buffers(self, fast_path: bool = False) -> EvalOutputs:
+        """Fresh evaluation buffers (one set per concurrent task).
+
+        With *fast_path* the buffers carry the factorisation-reuse
+        machinery: static-stamp baselines (linear banks write their
+        constant Jacobian entries once, then skip them per eval) and a
+        persistent :class:`~repro.mna.pattern.AssemblyWorkspace` for
+        in-place Jacobian assembly. Each call returns fresh buffers and
+        a fresh workspace, so concurrent tasks still share nothing
+        mutable — the baselines are shared but read-only.
+        """
+        out = EvalOutputs(self.n, self._n_g_slots, self._n_c_slots)
+        if fast_path:
+            out.enable_static_stamps(*self._static_baselines())
+            out.workspace = self.pattern.workspace()
+        return out
+
+    def _static_baselines(self) -> tuple[np.ndarray, np.ndarray]:
+        """Constant-stamp slot arrays, built once on first fast-path use."""
+        if self._static_base is None:
+            g = np.zeros(self._n_g_slots)
+            c = np.zeros(self._n_c_slots)
+            for bank in self.compiled.banks:
+                bank.write_static_stamps(g, c)
+            self._static_base = (g, c)
+        return self._static_base
 
     def pad(self, x: np.ndarray) -> np.ndarray:
         """Append the ground/trash slot (value 0) to a solution vector."""
@@ -83,7 +107,15 @@ class MnaSystem:
         return out.q[: self.n].copy()
 
     def jacobian(self, out: EvalOutputs, alpha0: float) -> sp.csc_matrix:
-        """``G + alpha0*C + gshunt*I`` from filled buffers."""
+        """``G + alpha0*C + gshunt*I`` from filled buffers.
+
+        Fast-path buffers assemble in place into their workspace matrix
+        (aliased across calls — Newton factorises it immediately);
+        plain buffers build a fresh matrix per call.
+        """
+        ws = out.workspace
+        if ws is not None:
+            return ws.assemble(out.g_vals, out.c_vals, alpha0, diag_shift=self.gshunt)
         return self.pattern.assemble(
             out.g_vals, out.c_vals, alpha0, diag_shift=self.gshunt
         )

@@ -36,6 +36,10 @@ class OperatingPoint:
     iterations: int
     work_units: float
     strategy: str
+    lu_factors: int = 0
+    lu_refactors: int = 0
+    lu_solves: int = 0
+    lu_reuse_hits: int = 0
 
 
 def _charge_at(system: MnaSystem, x: np.ndarray) -> np.ndarray:
@@ -61,31 +65,40 @@ def solve_operating_point(
     total_work = 0.0
     total_iters = 0
 
+    def finish(x: np.ndarray, strategy: str) -> OperatingPoint:
+        # The solver is local to this call, so its lifetime counters are
+        # exactly this operating point's linear-solve cost.
+        return OperatingPoint(
+            x,
+            _charge_at(system, x),
+            total_iters,
+            total_work,
+            strategy,
+            lu_factors=solver.factor_count,
+            lu_refactors=solver.refactor_count,
+            lu_solves=solver.solve_count,
+            lu_reuse_hits=solver.reuse_hits,
+        )
+
     result = newton_solve(system, 0.0, 0.0, 0.0, guess, opts, solver=solver)
     total_work += result.work_units
     total_iters += result.iterations
     if result.converged:
-        return OperatingPoint(
-            result.x, _charge_at(system, result.x), total_iters, total_work, "newton"
-        )
+        return finish(result.x, "newton")
 
     gmin_result = _gmin_stepping(system, opts, guess, solver)
     if gmin_result is not None:
         res, work, iters = gmin_result
         total_work += work
         total_iters += iters
-        return OperatingPoint(
-            res.x, _charge_at(system, res.x), total_iters, total_work, "gmin-stepping"
-        )
+        return finish(res.x, "gmin-stepping")
 
     src_result = _source_stepping(system, opts, guess, solver)
     if src_result is not None:
         res, work, iters = src_result
         total_work += work
         total_iters += iters
-        return OperatingPoint(
-            res.x, _charge_at(system, res.x), total_iters, total_work, "source-stepping"
-        )
+        return finish(res.x, "source-stepping")
 
     raise ConvergenceError(
         "DC operating point failed (newton, gmin stepping and source stepping)",

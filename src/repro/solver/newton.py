@@ -44,6 +44,12 @@ class NewtonResult:
             ``alpha0*q + beta`` (filled by the caller's integration layer
             when needed).
         failure: short reason string when not converged.
+        lu_factors / lu_refactors / lu_solves / lu_reuse_hits: linear
+            solver cost breakdown for this solve (fresh factorisations,
+            symbolic-reuse numeric refactorisations, back-solves, and
+            back-solves against reused factors).
+        bypass_fallbacks: times the Jacobian bypass was abandoned
+            mid-solve (residual stall or singular stale factors).
     """
 
     x: np.ndarray
@@ -54,16 +60,24 @@ class NewtonResult:
     q: np.ndarray | None = None
     qdot: np.ndarray | None = None
     failure: str = ""
+    lu_factors: int = 0
+    lu_refactors: int = 0
+    lu_solves: int = 0
+    lu_reuse_hits: int = 0
+    bypass_fallbacks: int = 0
 
 
-def iteration_work(system: MnaSystem) -> float:
+def iteration_work(system: MnaSystem, bypassed: bool = False) -> float:
     """Cost-model work units for one Newton iteration on *system*.
 
     Device evaluation dominates in a SPICE engine; factorisation scales
     with the pattern's nonzero count. The constants only matter up to an
     overall scale since speedups are cost ratios on the same system.
+    A *bypassed* iteration skips assembly and factorisation and pays only
+    the back-solve, modelled at a fifth of the factorisation weight.
     """
-    return system.work_units_per_eval + 0.05 * system.pattern.nnz
+    lu = 0.01 if bypassed else 0.05
+    return system.work_units_per_eval + lu * system.pattern.nnz
 
 
 def newton_solve(
@@ -96,6 +110,16 @@ def newton_solve(
     rec.count("newton.iterations", result.iterations)
     if not result.converged:
         rec.count("newton.failures")
+    if result.lu_factors:
+        rec.count("lu.factor", result.lu_factors)
+    if result.lu_refactors:
+        rec.count("lu.refactor", result.lu_refactors)
+    if result.lu_solves:
+        rec.count("lu.solve", result.lu_solves)
+    if result.lu_reuse_hits:
+        rec.count("lu.reuse_hit", result.lu_reuse_hits)
+    if result.bypass_fallbacks:
+        rec.count("newton.bypass_fallback", result.bypass_fallbacks)
     rec.observe("newton.iterations_per_solve", result.iterations)
     rec.event(
         NEWTON_SOLVE,
@@ -122,10 +146,39 @@ def _newton_iterate(
     iter_cap: int | None,
 ) -> NewtonResult:
     """The damped-Newton loop itself (instrumentation-free hot path)."""
-    out = out if out is not None else system.make_buffers()
+    out = out if out is not None else system.make_buffers(fast_path=opts.jacobian_reuse)
     solver = solver or LinearSolver(system.unknown_names)
     max_iters = iter_cap if iter_cap is not None else opts.max_newton_iters
     per_iter = iteration_work(system)
+    per_iter_bypassed = iteration_work(system, bypassed=True)
+
+    reuse = opts.jacobian_reuse
+    # Factors are only reusable against the same linearised operator:
+    # same pattern (by identity), same alpha0, same gshunt (gmin stepping
+    # mutates it). Reuse-off keeps key=None so matches() never fires.
+    key = (system.pattern, alpha0, system.gshunt) if reuse else None
+    f0 = solver.factor_count
+    rf0 = solver.refactor_count
+    s0 = solver.solve_count
+    rh0 = solver.reuse_hits
+    fallbacks = 0
+    work = 0.0
+    prev_norm = np.inf
+    # A stall means the stale factors are a bad model of the current
+    # operating point; later iterations of the same solve would stall
+    # again, so bypass stays off until the next solve.
+    allow_bypass = True
+
+    def finish(converged: bool, iterations: int, norm: float, failure: str = ""):
+        return NewtonResult(
+            x, converged, iterations, norm, work,
+            failure=failure,
+            lu_factors=solver.factor_count - f0,
+            lu_refactors=solver.refactor_count - rf0,
+            lu_solves=solver.solve_count - s0,
+            lu_reuse_hits=solver.reuse_hits - rh0,
+            bypass_fallbacks=fallbacks,
+        )
 
     abs_tol = system.convergence_tolerances(opts)
     x = np.asarray(x0, dtype=float).copy()
@@ -141,19 +194,40 @@ def _newton_iterate(
         # models plus limiting pull the iterate back); only non-finite
         # values are hopeless.
         if not np.isfinite(residual_norm):
-            return NewtonResult(
-                x, False, iteration, residual_norm, iteration * per_iter,
-                failure="residual diverged (non-finite)",
-            )
+            work += per_iter
+            return finish(False, iteration, residual_norm,
+                          failure="residual diverged (non-finite)")
 
-        jac = system.jacobian(out, alpha0)
+        # Jacobian bypass: back-solve against the previous factors while
+        # they match this operator and the residual keeps contracting.
+        bypass = reuse and allow_bypass and solver.matches(key)
+        if bypass and opts.refactor_every > 0 and solver.bypass_streak >= opts.refactor_every:
+            bypass = False
+        if bypass and residual_norm > opts.reuse_stall_ratio * prev_norm:
+            # Stale factors stopped paying for themselves: refactor now.
+            bypass = False
+            allow_bypass = False
+            fallbacks += 1
+        prev_norm = residual_norm
+
+        work += per_iter_bypassed if bypass else per_iter
         try:
-            delta = solver.solve(jac, -residual)
+            if bypass:
+                try:
+                    delta = solver.solve_reused(-residual)
+                    solver.bypass_streak += 1
+                except SingularMatrixError:
+                    fallbacks += 1
+                    work += per_iter - per_iter_bypassed
+                    bypass = False
+                    allow_bypass = False
+            if not bypass:
+                jac = system.jacobian(out, alpha0)
+                solver.factor(jac, key=key)
+                delta = solver.resolve(-residual)
         except SingularMatrixError as exc:
-            return NewtonResult(
-                x, False, iteration, residual_norm, iteration * per_iter,
-                failure=f"singular Jacobian: {exc}",
-            )
+            return finish(False, iteration, residual_norm,
+                          failure=f"singular Jacobian: {exc}")
 
         # Global damping: cap the largest voltage move per iteration.
         # Purely linear systems converge in one exact step — damping them
@@ -183,11 +257,7 @@ def _newton_iterate(
         small = np.all(np.abs(x_new - x) <= tol)
         x = x_new
         if small and not limited and iteration >= 1:
-            return NewtonResult(
-                x, True, iteration, residual_norm, iteration * per_iter
-            )
+            return finish(True, iteration, residual_norm)
 
     failure = "" if iter_cap is not None else "iteration limit reached"
-    return NewtonResult(
-        x, False, max_iters, residual_norm, max_iters * per_iter, failure=failure
-    )
+    return finish(False, max_iters, residual_norm, failure=failure)

@@ -82,6 +82,29 @@ class SimOptions:
             step_ratio_max * h`` — i.e. real headroom beyond the ratio
             cap, which separates genuine post-event ramps from LTE
             blind spots on oscillatory waveforms.
+        jacobian_reuse: enable the factorisation-reuse fast path —
+            static linear-device stamps copied from precomputed
+            baselines, in-place Jacobian assembly into a persistent CSC
+            workspace, and the modified-Newton "Jacobian bypass" that
+            back-solves against the previous LU factors instead of
+            refactoring every iteration. Off by default: the reuse-off
+            path is the bit-exact full-Newton reference.
+        reuse_stall_ratio: while bypassing, the residual must contract
+            by at least this factor per iteration
+            (``|F_k| <= reuse_stall_ratio * |F_{k-1}|``); a stall forces
+            a full refactorisation on the spot (counted as
+            ``newton.bypass_fallback``). 1.0 tolerates non-increasing
+            residuals; smaller values demand faster contraction and
+            refactor more eagerly.
+        refactor_every: force a refactorisation after this many
+            consecutive bypassed solves (0 disables the cap). A belt
+            alongside the stall guard's suspenders for circuits whose
+            residual contracts slowly but monotonically under stale
+            factors — slow enough to waste iterations, not slow enough
+            to trip the stall ratio. The default of 2 is uniformly
+            profitable across the registry circuits; purely linear
+            systems rarely reach the cap (every step-size change
+            refactors anyway).
         instrument: optional :class:`~repro.instrument.Recorder` every
             layer reports into (None falls back to the process-global
             default, a NullRecorder unless someone installed one).
@@ -122,6 +145,10 @@ class SimOptions:
     spec_min_iters: float = 2.5
     chain_headroom_min: float = 2.0
 
+    jacobian_reuse: bool = False
+    reuse_stall_ratio: float = 0.9
+    refactor_every: int = 2
+
     instrument: object | None = dataclasses.field(
         default=None, compare=False, repr=False
     )
@@ -147,6 +174,10 @@ class SimOptions:
             raise SimulationError("lte_cap_margin must be positive")
         if self.newton_guess not in ("previous", "predictor"):
             raise SimulationError("newton_guess must be 'previous' or 'predictor'")
+        if not 0 < self.reuse_stall_ratio <= 1:
+            raise SimulationError("reuse_stall_ratio must lie in (0, 1]")
+        if self.refactor_every < 0:
+            raise SimulationError("refactor_every must be >= 0")
 
     @property
     def effective_lte_reltol(self) -> float:
