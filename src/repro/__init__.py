@@ -40,6 +40,14 @@ from repro.api import (
     simulate,
     sweep,
 )
+from repro.verify import (
+    ChaosExecutor,
+    EquivalenceReport,
+    FuzzReport,
+    GeneratedCircuit,
+    run_verification,
+    verify_circuit,
+)
 from repro.circuit.circuit import Circuit, Subcircuit
 from repro.circuit.components import (
     Bjt,
@@ -101,6 +109,7 @@ __all__ = [
     "Capacitor",
     "Cccs",
     "Ccvs",
+    "ChaosExecutor",
     "Circuit",
     "CircuitError",
     "compare",
@@ -113,8 +122,11 @@ __all__ = [
     "Deviation",
     "Diode",
     "DiodeModel",
+    "EquivalenceReport",
     "Exp",
     "format_si",
+    "FuzzReport",
+    "GeneratedCircuit",
     "Inductor",
     "Mosfet",
     "MosfetModel",
@@ -136,6 +148,7 @@ __all__ = [
     "read_csv",
     "run_request",
     "run_transient",
+    "run_verification",
     "run_wavepipe",
     "simulate",
     "SampledWaveform",
@@ -153,6 +166,7 @@ __all__ = [
     "to_csv_text",
     "UnitError",
     "use_recorder",
+    "verify_circuit",
     "Vccs",
     "Vcvs",
     "VoltageSource",

@@ -40,6 +40,18 @@ from repro.engine.transient import run_transient as _run_transient
 from repro.errors import SimulationError
 from repro.utils.options import SimOptions
 
+# Verification companions to simulate(): the differential oracle proving
+# one circuit (or a fuzzing campaign of generated ones) equivalent across
+# every scheme/executor/reuse configuration. Re-exported here so the
+# "front door" module offers both halves of the API: run an analysis, or
+# prove the analyses agree.
+from repro.verify.oracle import (  # noqa: F401  (public re-exports)
+    EquivalenceReport,
+    FuzzReport,
+    run_verification,
+    verify_circuit,
+)
+
 #: Analyses understood by :func:`simulate`.
 ANALYSES = ("transient", "wavepipe", "dc", "ac", "sweep")
 

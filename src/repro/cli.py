@@ -5,12 +5,17 @@ prints results as tables; ``--wavepipe SCHEME`` switches the transient to
 waveform pipelining and reports the virtual-clock speedup against the
 sequential baseline. ``--csv FILE`` exports transient waveforms.
 
+``python -m repro verify`` runs the differential-oracle fuzzing campaign
+(:mod:`repro.verify`): random circuits through the full scheme x executor
+x reuse lattice, with chaos-scheduled variants.
+
 Examples::
 
     python -m repro lowpass.cir
     python -m repro ring.cir --wavepipe combined --threads 4
     python -m repro grid.cir --csv out.csv --signals "v(out)" "i(V1)"
     python -m repro --experiment table_r2          # bench harness access
+    python -m repro verify --trials 25 --seed 0    # equivalence fuzzing
 """
 
 from __future__ import annotations
@@ -77,7 +82,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_verify_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro verify",
+        description="Differential-oracle fuzzing: prove scheme x executor x "
+        "reuse equivalence on randomly generated circuits",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=10, help="number of random circuits (default 10)"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="campaign seed (default 0); same seed "
+        "reproduces the identical report byte-for-byte"
+    )
+    parser.add_argument(
+        "--threads", type=int, default=3, help="threads for pipelined configs"
+    )
+    parser.add_argument(
+        "--tol", type=float, default=None,
+        help="pass/fail bound on worst relative deviation (default: LTE rung, 2e-2)",
+    )
+    parser.add_argument(
+        "--families", nargs="*", default=None,
+        help="restrict generation to these circuit families",
+    )
+    parser.add_argument(
+        "--no-chaos", action="store_true",
+        help="skip the chaos-scheduled configurations",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the full FuzzReport as JSON"
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the verify.* / chaos.* counter snapshot",
+    )
+    parser.add_argument(
+        "--list-families", action="store_true",
+        help="list the generator families and exit",
+    )
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv[:1] == ["verify"]:
+        return _run_verify(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment:
@@ -93,6 +143,44 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _run_verify(argv: list[str]) -> int:
+    from repro.instrument import Recorder
+    from repro.verify import DEFAULT_TOLERANCE, FAMILIES, run_verification
+
+    args = build_verify_parser().parse_args(argv)
+    if args.list_families:
+        for name in sorted(FAMILIES):
+            print(name)
+        return 0
+    recorder = Recorder(capture_events=False) if args.metrics else None
+    try:
+        report = run_verification(
+            trials=args.trials,
+            seed=args.seed,
+            threads=args.threads,
+            tolerance=DEFAULT_TOLERANCE if args.tol is None else args.tol,
+            chaos=not args.no_chaos,
+            families=args.families,
+            instrument=recorder,
+            on_report=lambda trial: print(trial.summary(), flush=True),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: unknown family {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"* report written to {args.json}")
+    if recorder is not None:
+        for name in sorted(recorder.counters):
+            print(f"  {name} = {recorder.counters[name]:g}")
+    return 0 if report.passed else 1
 
 
 def _run_experiment(exp_id: str) -> int:

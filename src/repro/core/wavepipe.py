@@ -49,7 +49,9 @@ def run_wavepipe(
         scheme: "backward", "forward" or "combined".
         threads: simulated thread count (concurrent time points per stage).
         executor: "serial" (deterministic reference), "thread" (real
-            thread pool), or a custom :class:`StageExecutor`.
+            thread pool), or a custom :class:`StageExecutor` instance.
+            String-named executors are created and closed by this call;
+            a provided instance is left open for the caller to reuse.
         instrument: optional :class:`~repro.instrument.Recorder`; the
             run's trace events (stage lanes, Newton solves, speculation
             outcomes) land there and the result's ``metrics`` gains its
@@ -65,7 +67,11 @@ def run_wavepipe(
             base = circuit.options
         base = base or SimOptions()
         options = base.replace(instrument=instrument)
-    if isinstance(executor, str):
+    # Only close executors this call created: a caller-provided instance
+    # (e.g. a shared thread pool, or the oracle's ChaosExecutor) stays
+    # open so it can serve further runs.
+    owns_executor = isinstance(executor, str)
+    if owns_executor:
         executor = make_executor(executor, threads)
     engine = SCHEMES[scheme](
         circuit,
@@ -80,7 +86,8 @@ def run_wavepipe(
     try:
         return engine.run()
     finally:
-        executor.close()
+        if owns_executor:
+            executor.close()
 
 
 @dataclass

@@ -47,6 +47,13 @@ DCOP = "dcop"
 #: One whole transient run (sequential or pipelined).
 RUN = "run"
 
+#: ChaosExecutor scrambled one stage (attrs carry the permutation).
+CHAOS_STAGE = "chaos_stage"
+
+#: The differential oracle finished one fuzz trial (pass/fail, worst
+#: deviation). Emitted by :func:`repro.verify.oracle.verify_circuit`.
+VERIFY_TRIAL = "verify_trial"
+
 
 @dataclass
 class TraceEvent:

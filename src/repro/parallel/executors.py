@@ -110,8 +110,15 @@ class ThreadExecutor(StageExecutor):
             raise SimulationError("ThreadExecutor needs max_workers >= 1")
         self.max_workers = max_workers
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
+        self._closed = False
 
     def run_stage(self, tasks: Sequence[Callable[[], object]]) -> list[object]:
+        if self._closed:
+            # fail loudly instead of letting the dead pool raise an opaque
+            # RuntimeError (or hang) from submit()
+            raise SimulationError(
+                "ThreadExecutor is closed; create a new executor to run more stages"
+            )
         futures = [self._pool.submit(task) for task in self._instrumented(tasks)]
         # Let every task finish before surfacing anything: no futures are
         # abandoned mid-flight, and the *first task in stage order* wins
@@ -126,6 +133,10 @@ class ThreadExecutor(StageExecutor):
         return [future.result() for future in futures]
 
     def close(self) -> None:
+        """Shut the pool down; safe to call any number of times."""
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True)
 
 

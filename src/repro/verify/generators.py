@@ -1,0 +1,402 @@
+"""Property-based circuit generation for the verification subsystem.
+
+The seeded random-network builders that used to live inside
+``tests/test_random_networks.py`` now have one canonical home here, so
+both the test suite and the fuzzing oracle (:mod:`repro.verify.oracle`)
+draw from the same families. Every builder is a pure function of a
+``numpy.random.Generator``: the same seed always reproduces the same
+circuit, which is what makes fuzz failures replayable from a one-line
+report entry.
+
+Two layers:
+
+* Low-level builders (:func:`random_resistive_network`,
+  :func:`random_rc_network`) return the circuit *plus* independently
+  hand-built dense matrices (nodal ``G``/``C`` and rhs ``b``) so tests
+  can cross-check the engine against reference linear algebra.
+* Family builders (``FAMILIES``) wrap those — and add RLC ladders,
+  diode clippers/meshes, MOSFET inverter chains and a BJT follower —
+  into :class:`GeneratedCircuit` records carrying a suggested ``tstop``
+  sized from the network's own time constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import DiodeModel, MosfetModel
+from repro.circuit.sources import Dc, Exp, Pulse, Pwl, Sin
+
+__all__ = [
+    "FAMILIES",
+    "GeneratedCircuit",
+    "draw_circuit",
+    "random_rc_network",
+    "random_resistive_network",
+    "random_stimulus",
+]
+
+
+@dataclass
+class GeneratedCircuit:
+    """One fuzz trial's circuit plus the metadata the oracle needs.
+
+    Attributes:
+        family: generator family name (key into :data:`FAMILIES`).
+        circuit: the generated :class:`~repro.circuit.circuit.Circuit`.
+        tstop: suggested transient window, sized from the network's own
+            time constants so every run exercises real dynamics.
+        linear: True when the network contains no nonlinear devices.
+        seed: the seed that reproduces this circuit via
+            :func:`draw_circuit` (filled in by the caller).
+        reference: optional independently-built dense reference data
+            (``g``/``c``/``b`` matrices for the linear families).
+    """
+
+    family: str
+    circuit: Circuit
+    tstop: float
+    linear: bool = True
+    seed: int | None = None
+    reference: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return f"{self.family}[seed={self.seed}]"
+
+
+# -- low-level builders (also the test-suite reference networks) ---------------
+
+
+def random_resistive_network(rng, n_nodes):
+    """Random connected resistor mesh with current-source excitations.
+
+    Returns (circuit, conductance matrix G, rhs vector b) where the nodal
+    equations are G v = b, built independently of the engine's stamps.
+    """
+    circuit = Circuit("random-resistive")
+    g_matrix = np.zeros((n_nodes, n_nodes))
+    rhs = np.zeros(n_nodes)
+
+    def add_resistor(name, i, j, resistance):
+        circuit.add_resistor(name, f"n{i}" if i >= 0 else "0",
+                             f"n{j}" if j >= 0 else "0", resistance)
+        g = 1.0 / resistance
+        if i >= 0:
+            g_matrix[i, i] += g
+        if j >= 0:
+            g_matrix[j, j] += g
+        if i >= 0 and j >= 0:
+            g_matrix[i, j] -= g
+            g_matrix[j, i] -= g
+
+    # spanning chain to ground guarantees connectivity and solvability
+    add_resistor("Rg0", 0, -1, float(rng.uniform(10, 1e4)))
+    for i in range(1, n_nodes):
+        add_resistor(f"Rchain{i}", i, i - 1, float(rng.uniform(10, 1e4)))
+    # random extra edges
+    for k in range(n_nodes):
+        i = int(rng.integers(0, n_nodes))
+        j = int(rng.integers(-1, n_nodes))
+        if i == j:
+            continue
+        add_resistor(f"Rx{k}", i, j, float(rng.uniform(10, 1e4)))
+    # random current injections (SPICE convention: extracts from plus)
+    for k in range(max(1, n_nodes // 2)):
+        i = int(rng.integers(0, n_nodes))
+        amps = float(rng.uniform(-1e-2, 1e-2))
+        circuit.add_isource(f"I{k}", f"n{i}", "0", Dc(amps))
+        rhs[i] -= amps
+    return circuit, g_matrix, rhs
+
+
+def random_rc_network(rng, n_nodes):
+    """Random RC mesh: every node has a grounded cap, resistive coupling.
+
+    Returns (circuit, G, C, b) for C dv/dt = -G v + b with a step at t=0.
+    """
+    circuit, g_matrix, _ = random_resistive_network(rng, n_nodes)
+    # strip the current sources: replace with a step excitation
+    step_circuit = Circuit("random-rc")
+    for comp in circuit.components:
+        if not comp.name.startswith("I"):
+            step_circuit.add(comp)
+    c_matrix = np.zeros((n_nodes, n_nodes))
+    for i in range(n_nodes):
+        cap = float(rng.uniform(0.1e-9, 2e-9))
+        step_circuit.add_capacitor(f"C{i}", f"n{i}", "0", cap)
+        c_matrix[i, i] += cap
+    rhs = np.zeros(n_nodes)
+    i_inj = int(rng.integers(0, n_nodes))
+    amps = float(rng.uniform(1e-3, 5e-3))
+    step_circuit.add_isource(
+        "ISTEP", f"n{i_inj}", "0", Pulse(0.0, amps, delay=0.0, rise=1e-15, width=1.0)
+    )
+    rhs[i_inj] -= amps
+    return step_circuit, g_matrix, c_matrix, rhs
+
+
+def _rc_tau(g_matrix, c_matrix) -> float:
+    """Slowest time constant of C dv/dt = -G v (for sizing tstop)."""
+    a_matrix = -np.linalg.solve(c_matrix, g_matrix)
+    return 1.0 / float(np.abs(np.linalg.eigvals(a_matrix)).min())
+
+
+def random_stimulus(rng, low: float, high: float, t_window: float):
+    """One source waveform with activity inside ``[0, t_window]``.
+
+    Draws uniformly over the writable waveform types (Pulse / Sin / Exp /
+    Pwl) so fuzz trials exercise mixed stimuli, not just steps.
+    """
+    kind = int(rng.integers(0, 4))
+    if kind == 0:
+        return Pulse(
+            low,
+            high,
+            delay=float(rng.uniform(0.0, 0.2)) * t_window,
+            rise=0.05 * t_window,
+            fall=0.05 * t_window,
+            width=float(rng.uniform(0.3, 0.6)) * t_window,
+        )
+    if kind == 1:
+        cycles = float(rng.uniform(1.0, 3.0))
+        return Sin(
+            offset=0.5 * (low + high),
+            amplitude=0.5 * (high - low),
+            freq=cycles / t_window,
+        )
+    if kind == 2:
+        return Exp(
+            low,
+            high,
+            td1=0.0,
+            tau1=float(rng.uniform(0.1, 0.3)) * t_window,
+            td2=float(rng.uniform(0.4, 0.6)) * t_window,
+            tau2=float(rng.uniform(0.1, 0.3)) * t_window,
+        )
+    span = high - low
+    points = ((0.0, low),
+              (0.25 * t_window, low + float(rng.uniform(0.5, 1.0)) * span),
+              (0.55 * t_window, low + float(rng.uniform(0.0, 0.5)) * span),
+              (0.9 * t_window, high))
+    return Pwl(points)
+
+
+# -- family builders -----------------------------------------------------------
+
+
+def _gen_rc_mesh(rng) -> GeneratedCircuit:
+    n_nodes = int(rng.integers(3, 7))
+    circuit, g_matrix, c_matrix, rhs = random_rc_network(rng, n_nodes)
+    tstop = min(3.0 * _rc_tau(g_matrix, c_matrix), 1.0)
+    return GeneratedCircuit(
+        family="rc-mesh",
+        circuit=circuit,
+        tstop=tstop,
+        reference={"g": g_matrix, "c": c_matrix, "b": rhs},
+    )
+
+
+def _gen_rc_ladder(rng) -> GeneratedCircuit:
+    """R-C low-pass ladder driven by a mixed-stimulus voltage source."""
+    circuit = Circuit("rc-ladder")
+    sections = int(rng.integers(2, 6))
+    tau_total = 0.0
+    prev = "in"
+    for k in range(sections):
+        res = float(rng.uniform(100.0, 5e3))
+        cap = float(rng.uniform(0.1e-9, 1e-9))
+        node = f"n{k}"
+        circuit.add_resistor(f"R{k}", prev, node, res)
+        circuit.add_capacitor(f"C{k}", node, "0", cap)
+        tau_total += res * cap
+        prev = node
+    tstop = 6.0 * tau_total
+    amplitude = float(rng.uniform(0.5, 3.0))
+    circuit.add_vsource("VIN", "in", "0", random_stimulus(rng, 0.0, amplitude, tstop))
+    return GeneratedCircuit(family="rc-ladder", circuit=circuit, tstop=tstop)
+
+
+def _gen_rlc_ladder(rng) -> GeneratedCircuit:
+    """Near-critically-damped series-RL / shunt-C ladder (oscillatory poles)."""
+    circuit = Circuit("rlc-ladder")
+    sections = int(rng.integers(2, 4))
+    prev = "in"
+    slowest = 0.0
+    for k in range(sections):
+        ind = float(rng.uniform(0.1e-6, 1e-6))
+        cap = float(rng.uniform(0.1e-9, 1e-9))
+        # R near sqrt(L/C) keeps the section damped enough that ringing
+        # settles inside a short window (and the step controller stays sane)
+        res = float(np.sqrt(ind / cap) * rng.uniform(0.8, 2.0))
+        mid = f"m{k}"
+        node = f"n{k}"
+        circuit.add_resistor(f"R{k}", prev, mid, res)
+        circuit.add_inductor(f"L{k}", mid, node, ind)
+        circuit.add_capacitor(f"C{k}", node, "0", cap)
+        slowest = max(slowest, float(np.sqrt(ind * cap)))
+        prev = node
+    tstop = 25.0 * slowest * sections
+    circuit.add_vsource(
+        "VIN", "in", "0",
+        Pulse(0.0, float(rng.uniform(0.5, 2.0)), delay=0.05 * tstop,
+              rise=0.02 * tstop, width=tstop),
+    )
+    return GeneratedCircuit(family="rlc-ladder", circuit=circuit, tstop=tstop)
+
+
+def _gen_resistive_sin(rng) -> GeneratedCircuit:
+    """Random resistive mesh driven by a sinusoidal current source."""
+    n_nodes = int(rng.integers(3, 8))
+    circuit, g_matrix, rhs = random_resistive_network(rng, n_nodes)
+    freq = float(rng.uniform(1e5, 1e6))
+    tstop = 2.0 / freq
+    node = int(rng.integers(0, n_nodes))
+    circuit.add_isource(
+        "ISIN", f"n{node}", "0",
+        Sin(offset=0.0, amplitude=float(rng.uniform(1e-3, 5e-3)), freq=freq),
+    )
+    return GeneratedCircuit(
+        family="resistive-sin",
+        circuit=circuit,
+        tstop=tstop,
+        reference={"g": g_matrix, "b": rhs},
+    )
+
+
+def _gen_diode_clipper(rng) -> GeneratedCircuit:
+    """Series-R diode clipper with a capacitive load (classic nonlinearity)."""
+    circuit = Circuit("diode-clipper")
+    res = float(rng.uniform(500.0, 5e3))
+    cap = float(rng.uniform(0.05e-9, 0.5e-9))
+    tstop = 8.0 * res * cap
+    amplitude = float(rng.uniform(1.5, 4.0))
+    circuit.add_vsource(
+        "VIN", "in", "0", random_stimulus(rng, -amplitude, amplitude, tstop)
+    )
+    circuit.add_resistor("RS", "in", "out", res)
+    circuit.add_capacitor("CL", "out", "0", cap)
+    model = DiodeModel(is_=float(rng.uniform(1e-15, 1e-13)), n=1.0)
+    circuit.add_diode("DPOS", "out", "0", model)
+    if rng.integers(0, 2):
+        circuit.add_diode("DNEG", "0", "out", model)
+    return GeneratedCircuit(
+        family="diode-clipper", circuit=circuit, tstop=tstop, linear=False
+    )
+
+
+def _gen_diode_mesh(rng) -> GeneratedCircuit:
+    """Random RC mesh with diodes grafted across random node pairs."""
+    n_nodes = int(rng.integers(3, 6))
+    circuit, g_matrix, c_matrix, _ = random_rc_network(rng, n_nodes)
+    model = DiodeModel(is_=1e-14, n=float(rng.uniform(1.0, 2.0)))
+    for k in range(int(rng.integers(1, 3))):
+        anode = int(rng.integers(0, n_nodes))
+        cathode = int(rng.integers(-1, n_nodes))
+        if anode == cathode:
+            cathode = -1
+        circuit.add_diode(
+            f"D{k}", f"n{anode}", f"n{cathode}" if cathode >= 0 else "0", model
+        )
+    tstop = min(3.0 * _rc_tau(g_matrix, c_matrix), 1.0)
+    return GeneratedCircuit(
+        family="diode-mesh", circuit=circuit, tstop=tstop, linear=False
+    )
+
+
+def _gen_mosfet_chain(rng) -> GeneratedCircuit:
+    """Chain of resistor-load NMOS inverters with capacitive loads."""
+    circuit = Circuit("mosfet-chain")
+    stages = int(rng.integers(1, 4))
+    vdd = float(rng.uniform(2.5, 5.0))
+    circuit.add_vsource("VDD", "vdd", "0", Dc(vdd))
+    model = MosfetModel(
+        polarity="nmos",
+        vto=float(rng.uniform(0.5, 0.9)),
+        kp=float(rng.uniform(50e-6, 200e-6)),
+        lambda_=float(rng.uniform(0.0, 0.05)),
+    )
+    tau = 0.0
+    prev = "in"
+    for k in range(stages):
+        rload = float(rng.uniform(5e3, 20e3))
+        cload = float(rng.uniform(10e-15, 100e-15))
+        node = f"s{k}"
+        circuit.add_resistor(f"RL{k}", "vdd", node, rload)
+        circuit.add_mosfet(
+            f"M{k}", node, prev, "0", "0", model,
+            w=float(rng.uniform(2e-6, 10e-6)), l=1e-6,
+        )
+        circuit.add_capacitor(f"CL{k}", node, "0", cload)
+        tau = max(tau, rload * cload)
+        prev = node
+    tstop = 40.0 * tau
+    # Sinusoidal gate drive: sweeps every inverter through its switching
+    # region with a smooth gate-charging current. (A pulse drive makes
+    # i(VIN) a spike train riding the edges — a signal whose pointwise
+    # comparison measures grid alignment, not solver agreement.)
+    circuit.add_vsource(
+        "VIN", "in", "0",
+        Sin(offset=0.5 * vdd, amplitude=0.5 * vdd,
+            freq=float(rng.uniform(1.0, 2.0)) / tstop),
+    )
+    return GeneratedCircuit(
+        family="mosfet-chain", circuit=circuit, tstop=tstop, linear=False
+    )
+
+
+def _gen_bjt_follower(rng) -> GeneratedCircuit:
+    """Emitter follower: robust BJT topology with a sinusoidal drive."""
+    circuit = Circuit("bjt-follower")
+    vcc = float(rng.uniform(5.0, 10.0))
+    circuit.add_vsource("VCC", "vcc", "0", Dc(vcc))
+    r_emitter = float(rng.uniform(1e3, 10e3))
+    c_load = float(rng.uniform(0.1e-9, 1e-9))
+    tstop = 10.0 * r_emitter * c_load
+    bias = float(rng.uniform(0.4, 0.6)) * vcc
+    circuit.add_vsource(
+        "VIN", "b", "0",
+        Sin(offset=bias, amplitude=float(rng.uniform(0.1, 0.5)),
+            freq=float(rng.uniform(1.0, 2.0)) / tstop),
+    )
+    circuit.add_bjt("Q1", "vcc", "b", "e")
+    circuit.add_resistor("RE", "e", "0", r_emitter)
+    circuit.add_capacitor("CE", "e", "0", c_load)
+    return GeneratedCircuit(
+        family="bjt-follower", circuit=circuit, tstop=tstop, linear=False
+    )
+
+
+#: Family name -> builder(rng) -> GeneratedCircuit. Sorted iteration order
+#: is part of the determinism contract (draw_circuit indexes into it).
+FAMILIES = {
+    "bjt-follower": _gen_bjt_follower,
+    "diode-clipper": _gen_diode_clipper,
+    "diode-mesh": _gen_diode_mesh,
+    "mosfet-chain": _gen_mosfet_chain,
+    "rc-ladder": _gen_rc_ladder,
+    "rc-mesh": _gen_rc_mesh,
+    "resistive-sin": _gen_resistive_sin,
+    "rlc-ladder": _gen_rlc_ladder,
+}
+
+
+def draw_circuit(seed: int, families=None) -> GeneratedCircuit:
+    """Build the circuit that *seed* deterministically maps to.
+
+    Args:
+        seed: any integer; same seed (and same *families* selection)
+            always reproduces the same circuit.
+        families: optional iterable of family names to restrict the draw
+            (unknown names raise ``KeyError``).
+    """
+    names = sorted(families) if families is not None else sorted(FAMILIES)
+    builders = [FAMILIES[name] for name in names]  # KeyError on unknowns
+    rng = np.random.default_rng(seed)
+    index = int(rng.integers(0, len(builders)))
+    generated = builders[index](rng)
+    generated.seed = seed
+    return generated

@@ -167,6 +167,77 @@ class TestDeprecatedShims:
             simulate(_rc(), analysis="transient", tstop=2e-6)
 
 
+def _single_deprecation(func, *args, **kwargs):
+    """Call *func*, asserting it emits exactly one DeprecationWarning."""
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = func(*args, **kwargs)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"{func.__name__} emitted {len(deprecations)} DeprecationWarnings, expected 1"
+    )
+    return result
+
+
+def _assert_same_waveforms(a, b):
+    np.testing.assert_array_equal(a.times, b.times)
+    assert a.names == b.names
+    for name in a.names:
+        np.testing.assert_array_equal(a[name].values, b[name].values)
+
+
+class TestShimFacadeParity:
+    """Each legacy entry point warns exactly once and returns a result
+    identical to the simulate() facade (same engines, same numbers)."""
+
+    def test_run_transient(self):
+        shim = _single_deprecation(repro.run_transient, _rc(), 8e-6)
+        facade = simulate(_rc(), analysis="transient", tstop=8e-6)
+        _assert_same_waveforms(shim.waveforms, facade.waveforms)
+        assert shim.stats.accepted_points == facade.stats.accepted_points
+
+    def test_run_wavepipe(self):
+        shim = _single_deprecation(
+            repro.run_wavepipe, _rc(), 8e-6, scheme="combined", threads=3
+        )
+        facade = simulate(
+            _rc(), analysis="wavepipe", tstop=8e-6, scheme="combined", threads=3
+        )
+        _assert_same_waveforms(shim.waveforms, facade.waveforms)
+        assert shim.stats.accepted_points == facade.stats.accepted_points
+
+    def test_dc_sweep(self, divider_circuit):
+        values = np.linspace(0.0, 10.0, 11)
+        shim = _single_deprecation(repro.dc_sweep, divider_circuit, "V1", values)
+        facade = simulate(divider_circuit, analysis="dc", source="V1", values=values)
+        for name in shim.curves.names:
+            np.testing.assert_array_equal(
+                shim.curves[name].values, facade.curves[name].values
+            )
+
+    def test_ac_analysis(self):
+        freqs = np.logspace(3, 6, 7)
+        shim = _single_deprecation(repro.ac_analysis, _rc(), "V1", freqs)
+        facade = simulate(_rc(), analysis="ac", source="V1", freqs=freqs)
+        assert set(shim.transfer) == set(facade.transfer)
+        for name in shim.transfer:
+            np.testing.assert_array_equal(shim.transfer[name], facade.transfer[name])
+
+    def test_sweep(self):
+        metrics = {"v": lambda r: r.waveforms.voltage("out").final_value()}
+        shim = _single_deprecation(
+            repro.sweep, "R", [0.5e3, 2e3], metrics,
+            tstop=8e-6, circuit_factory=_rc,
+        )
+        facade = simulate(
+            analysis="sweep", parameter="R", values=[0.5e3, 2e3],
+            metrics=metrics, tstop=8e-6, circuit_factory=_rc,
+        )
+        np.testing.assert_array_equal(shim.column("v"), facade.column("v"))
+
+
 class TestAnalysisResultSurface:
     def test_getattr_delegates_and_fails_cleanly(self):
         res = simulate(_rc(), analysis="transient", tstop=2e-6)

@@ -1,0 +1,150 @@
+"""ChaosExecutor: adversarial scheduling that must not change results.
+
+Covers the executor contract (task-order results, deterministic seeded
+permutations, delay/fault injection, close delegation) and the property
+it exists to prove: a WavePipe run driven through chaos scheduling
+commits bit-identical waveforms to the deterministic serial reference.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.wavepipe import run_wavepipe
+from repro.errors import SimulationError
+from repro.instrument import Recorder
+from repro.mna.compiler import compile_circuit
+from repro.parallel.executors import SerialExecutor, ThreadExecutor
+from repro.verify.chaos import ChaosExecutor, ChaosFault
+
+
+def _tasks(values, log=None):
+    def make(v):
+        def run():
+            if log is not None:
+                log.append(v)
+            return v
+
+        return run
+
+    return [make(v) for v in values]
+
+
+class TestChaosExecutorContract:
+    def test_results_in_task_order(self):
+        ex = ChaosExecutor(seed=123)
+        for _ in range(5):  # several stages, permutation varies per stage
+            assert ex.run_stage(_tasks(list(range(8)))) == list(range(8))
+
+    def test_execution_order_actually_permuted(self):
+        log = []
+        ChaosExecutor(seed=1).run_stage(_tasks(list(range(16)), log))
+        assert sorted(log) == list(range(16))
+        assert log != list(range(16))  # seed 1 scrambles a 16-task stage
+
+    def test_same_seed_same_schedule(self):
+        log_a, log_b = [], []
+        ChaosExecutor(seed=7).run_stage(_tasks(list(range(10)), log_a))
+        ChaosExecutor(seed=7).run_stage(_tasks(list(range(10)), log_b))
+        assert log_a == log_b
+
+    def test_different_seed_different_schedule(self):
+        log_a, log_b = [], []
+        ChaosExecutor(seed=7).run_stage(_tasks(list(range(12)), log_a))
+        ChaosExecutor(seed=8).run_stage(_tasks(list(range(12)), log_b))
+        assert log_a != log_b
+
+    def test_empty_stage(self):
+        assert ChaosExecutor(seed=0).run_stage([]) == []
+
+    def test_delay_injection_preserves_results(self):
+        ex = ChaosExecutor(ThreadExecutor(4), seed=3, max_delay=0.01)
+        try:
+            assert ex.run_stage(_tasks([1, 2, 3, 4])) == [1, 2, 3, 4]
+        finally:
+            ex.close()
+
+    def test_fault_injection_raises_chaos_fault(self):
+        ex = ChaosExecutor(seed=0, fault_rate=1.0)
+        with pytest.raises(ChaosFault, match="chaos-injected"):
+            ex.run_stage(_tasks([1, 2]))
+
+    def test_fault_propagates_through_thread_pool(self):
+        ex = ChaosExecutor(ThreadExecutor(2), seed=0, fault_rate=1.0)
+        try:
+            with pytest.raises(ChaosFault):
+                ex.run_stage(_tasks([1, 2]))
+        finally:
+            ex.close()
+
+    def test_close_delegates_to_inner(self):
+        inner = ThreadExecutor(2)
+        ex = ChaosExecutor(inner, seed=0)
+        ex.close()
+        with pytest.raises(SimulationError, match="closed"):
+            inner.run_stage(_tasks([1]))
+
+    def test_default_inner_is_serial(self):
+        assert isinstance(ChaosExecutor().inner, SerialExecutor)
+
+    def test_thread_inner_still_concurrent(self):
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def task():
+            barrier.wait()
+            return True
+
+        ex = ChaosExecutor(ThreadExecutor(3), seed=5)
+        try:
+            assert ex.run_stage([task, task, task]) == [True, True, True]
+        finally:
+            ex.close()
+
+    def test_recorder_counters(self):
+        rec = Recorder(capture_events=True)
+        ex = ChaosExecutor(seed=0)
+        ex.recorder = rec
+        ex.run_stage(_tasks([1, 2, 3]))
+        assert rec.counter("chaos.stages") == 1
+        assert rec.counter("chaos.tasks") == 3
+        [event] = [e for e in rec.events if e.name == "chaos_stage"]
+        assert sorted(event.attrs["permutation"]) == [0, 1, 2]
+
+
+class TestChaosOrderIndependence:
+    """The point of the whole exercise: scrambled scheduling commits the
+    exact same pipeline results as the deterministic reference."""
+
+    @pytest.mark.parametrize("scheme", ["backward", "forward", "combined"])
+    def test_wavepipe_bit_identical_under_chaos(self, scheme, rc_circuit):
+        compiled = compile_circuit(rc_circuit)
+        reference = run_wavepipe(
+            compiled, 8e-6, scheme=scheme, threads=3, executor="serial"
+        )
+        chaotic = run_wavepipe(
+            compiled, 8e-6, scheme=scheme, threads=3,
+            executor=ChaosExecutor(seed=1234),
+        )
+        np.testing.assert_array_equal(reference.times, chaotic.times)
+        for name in reference.waveforms.names:
+            np.testing.assert_array_equal(
+                reference.waveforms[name].values,
+                chaotic.waveforms[name].values,
+                err_msg=f"{scheme}: {name} diverged under chaos scheduling",
+            )
+        assert (
+            reference.stats.accepted_points == chaotic.stats.accepted_points
+        )
+
+    def test_caller_provided_executor_survives_run(self, rc_circuit):
+        """run_wavepipe only closes executors it created itself, so one
+        chaos executor can serve a whole verification lattice."""
+        compiled = compile_circuit(rc_circuit)
+        ex = ChaosExecutor(ThreadExecutor(2), seed=9)
+        try:
+            run_wavepipe(compiled, 4e-6, scheme="combined", threads=2, executor=ex)
+            # a second run on the same executor must not hit a dead pool
+            run_wavepipe(compiled, 4e-6, scheme="combined", threads=2, executor=ex)
+        finally:
+            ex.close()

@@ -1,0 +1,70 @@
+"""Seeded round-trip property tests for the netlist layer.
+
+Property: for any generated circuit, ``parser(writer(circuit))``
+produces an equivalent :class:`~repro.circuit.circuit.Circuit` — same
+node set, same device parameters (modulo model-card renaming), same
+source expressions — and the round trip is a fixed point: writing the
+re-parsed circuit reproduces the identical deck text.
+"""
+
+import pytest
+
+from repro.netlist.parser import parse_netlist
+from repro.netlist.writer import _equivalent_component, roundtrip, write_netlist
+from repro.verify.generators import FAMILIES, draw_circuit
+
+#: Seeds chosen so every generator family appears at least once (see
+#: test_all_families_covered below, which keeps this honest).
+ROUNDTRIP_SEEDS = list(range(24))
+
+
+def _drawn(seed):
+    return draw_circuit(seed).circuit
+
+
+class TestNetlistRoundtrip:
+    @pytest.mark.parametrize("seed", ROUNDTRIP_SEEDS)
+    def test_roundtrip_preserves_node_set(self, seed):
+        original = _drawn(seed)
+        recovered = roundtrip(original)
+        assert set(recovered.nodes()) == set(original.nodes())
+
+    @pytest.mark.parametrize("seed", ROUNDTRIP_SEEDS)
+    def test_roundtrip_preserves_components(self, seed):
+        """Every component survives with its parameters and waveform
+        expression intact (model cards may be renamed by the writer)."""
+        original = _drawn(seed)
+        recovered = roundtrip(original)
+        originals = {comp.name.upper(): comp for comp in original.components}
+        recovereds = {comp.name.upper(): comp for comp in recovered.components}
+        assert set(recovereds) == set(originals)
+        for name, comp in originals.items():
+            assert _equivalent_component(comp, recovereds[name]), (
+                f"seed={seed}: component {name} changed across the round trip:"
+                f"\n  wrote: {comp}\n  read:  {recovereds[name]}"
+            )
+
+    @pytest.mark.parametrize("seed", ROUNDTRIP_SEEDS)
+    def test_roundtrip_is_fixed_point(self, seed):
+        """writer(parser(writer(c))) == writer(c): one trip reaches the
+        canonical deck, byte for byte."""
+        original = _drawn(seed)
+        deck = write_netlist(original)
+        again = write_netlist(parse_netlist(deck).circuit)
+        assert again == deck
+
+    def test_seeds_cover_every_family(self):
+        """The seed list above must exercise each generator family, or the
+        round-trip property silently loses coverage as families evolve."""
+        covered = {draw_circuit(seed).family for seed in ROUNDTRIP_SEEDS}
+        assert covered == set(FAMILIES), (
+            f"uncovered families: {sorted(set(FAMILIES) - covered)}; "
+            "extend ROUNDTRIP_SEEDS"
+        )
+
+    def test_tran_card_roundtrip(self):
+        generated = draw_circuit(0)
+        deck = write_netlist(generated.circuit, tran=(generated.tstop / 100, generated.tstop))
+        netlist = parse_netlist(deck)
+        [tran] = netlist.analyses
+        assert tran.tstop == pytest.approx(generated.tstop)

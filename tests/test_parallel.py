@@ -119,6 +119,31 @@ class TestExecutors:
         frames = [tb.name for tb in excinfo.traceback]
         assert "deep_failure" in frames  # raising frame survives the hop
 
+    def test_thread_close_is_idempotent(self):
+        ex = ThreadExecutor(2)
+        ex.close()
+        ex.close()  # must not raise
+        ex.close()
+
+    def test_thread_run_stage_after_close_raises(self):
+        """A closed pool fails fast with a clear SimulationError instead of
+        surfacing concurrent.futures internals (or hanging)."""
+        ex = ThreadExecutor(2)
+        assert ex.run_stage(self.tasks([1])) == [1]
+        ex.close()
+        with pytest.raises(SimulationError, match="closed"):
+            ex.run_stage(self.tasks([2]))
+
+    def test_thread_context_manager_closes(self):
+        with ThreadExecutor(2) as ex:
+            pass
+        with pytest.raises(SimulationError, match="closed"):
+            ex.run_stage(self.tasks([1]))
+
+    def test_make_executor_rejects_unknown_kind(self):
+        with pytest.raises(SimulationError, match="unknown executor"):
+            make_executor("fiber", 2)
+
     def test_thread_mid_stage_failure_runs_all_tasks(self):
         ran = []
 

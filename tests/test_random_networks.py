@@ -1,4 +1,4 @@
-"""Property-based cross-validation on random linear networks.
+"""Property-based cross-validation on random networks.
 
 The strongest correctness evidence the engine can get: random resistive /
 RC meshes are solved twice — once by the full simulator (MNA assembly,
@@ -6,6 +6,13 @@ Newton, LTE-controlled transient) and once by independently hand-built
 dense linear algebra (nodal matrix + numpy solve; matrix exponential for
 the transient). Agreement across random topologies rules out whole
 classes of assembly, indexing and integration bugs at once.
+
+The network builders live in :mod:`repro.verify.generators` (their one
+canonical home, shared with the fuzzing oracle); this module consumes
+them and adds the independent dense references. Nonlinear (diode /
+MOSFET) topologies have no closed-form reference, so those trials lean on
+the differential oracle instead: every configuration of the engine must
+agree with the sequential baseline.
 """
 
 import numpy as np
@@ -15,54 +22,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuit.circuit import Circuit
-from repro.circuit.sources import Dc, Pulse
+from repro.circuit.sources import Dc
 from repro.engine.transient import run_transient
 from repro.mna.compiler import compile_circuit
 from repro.mna.system import MnaSystem
 from repro.solver.dcop import solve_operating_point
 from repro.utils.options import SimOptions
-
-
-def random_resistive_network(rng, n_nodes):
-    """Random connected resistor mesh with current-source excitations.
-
-    Returns (circuit, conductance matrix G, rhs vector b) where the nodal
-    equations are G v = b, built independently of the engine's stamps.
-    """
-    circuit = Circuit("random-resistive")
-    g_matrix = np.zeros((n_nodes, n_nodes))
-    rhs = np.zeros(n_nodes)
-
-    def add_resistor(name, i, j, resistance):
-        circuit.add_resistor(name, f"n{i}" if i >= 0 else "0",
-                             f"n{j}" if j >= 0 else "0", resistance)
-        g = 1.0 / resistance
-        if i >= 0:
-            g_matrix[i, i] += g
-        if j >= 0:
-            g_matrix[j, j] += g
-        if i >= 0 and j >= 0:
-            g_matrix[i, j] -= g
-            g_matrix[j, i] -= g
-
-    # spanning chain to ground guarantees connectivity and solvability
-    add_resistor("Rg0", 0, -1, float(rng.uniform(10, 1e4)))
-    for i in range(1, n_nodes):
-        add_resistor(f"Rchain{i}", i, i - 1, float(rng.uniform(10, 1e4)))
-    # random extra edges
-    for k in range(n_nodes):
-        i = int(rng.integers(0, n_nodes))
-        j = int(rng.integers(-1, n_nodes))
-        if i == j:
-            continue
-        add_resistor(f"Rx{k}", i, j, float(rng.uniform(10, 1e4)))
-    # random current injections (SPICE convention: extracts from plus)
-    for k in range(max(1, n_nodes // 2)):
-        i = int(rng.integers(0, n_nodes))
-        amps = float(rng.uniform(-1e-2, 1e-2))
-        circuit.add_isource(f"I{k}", f"n{i}", "0", Dc(amps))
-        rhs[i] -= amps
-    return circuit, g_matrix, rhs
+from repro.verify.generators import (
+    draw_circuit,
+    random_rc_network,
+    random_resistive_network,
+)
+from repro.verify.oracle import verify_circuit
 
 
 class TestRandomResistiveNetworks:
@@ -108,32 +79,6 @@ class TestRandomResistiveNetworks:
         only_a = solve_with(1.0, 1e-12)
         only_b = solve_with(1e-12, 1.0)
         np.testing.assert_allclose(both, only_a + only_b, rtol=1e-6, atol=1e-9)
-
-
-def random_rc_network(rng, n_nodes):
-    """Random RC mesh: every node has a grounded cap, resistive coupling.
-
-    Returns (circuit, G, C, b) for C dv/dt = -G v + b with a step at t=0.
-    """
-    circuit, g_matrix, _ = random_resistive_network(rng, n_nodes)
-    # strip the current sources: replace with a step excitation
-    step_circuit = Circuit("random-rc")
-    for comp in circuit.components:
-        if not comp.name.startswith("I"):
-            step_circuit.add(comp)
-    c_matrix = np.zeros((n_nodes, n_nodes))
-    for i in range(n_nodes):
-        cap = float(rng.uniform(0.1e-9, 2e-9))
-        step_circuit.add_capacitor(f"C{i}", f"n{i}", "0", cap)
-        c_matrix[i, i] += cap
-    rhs = np.zeros(n_nodes)
-    i_inj = int(rng.integers(0, n_nodes))
-    amps = float(rng.uniform(1e-3, 5e-3))
-    step_circuit.add_isource(
-        "ISTEP", f"n{i_inj}", "0", Pulse(0.0, amps, delay=0.0, rise=1e-15, width=1.0)
-    )
-    rhs[i_inj] -= amps
-    return step_circuit, g_matrix, c_matrix, rhs
 
 
 class TestRandomRcTransients:
@@ -184,3 +129,31 @@ class TestRandomizedWavePipe:
         )
         assert report.worst_deviation.max_relative < 0.02
         assert report.speedup > 0.9
+
+
+class TestRandomNonlinearNetworks:
+    """Nonlinear topologies verified through the differential oracle:
+    no closed-form reference exists, but every scheme/executor/reuse
+    configuration must agree with the sequential baseline."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_diode_mesh_equivalence(self, seed):
+        generated = draw_circuit(seed, families=["diode-mesh"])
+        report = verify_circuit(generated, chaos=False, schemes=["combined"])
+        assert report.passed, report.summary()
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mosfet_chain_equivalence(self, seed):
+        generated = draw_circuit(seed, families=["mosfet-chain"])
+        report = verify_circuit(generated, chaos=False, schemes=["combined"])
+        assert report.passed, report.summary()
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_diode_clipper_clamps_output(self, seed):
+        """Physics property: a clipper's output never exceeds the diode
+        forward drop by more than a junction's worth of margin."""
+        generated = draw_circuit(seed, families=["diode-clipper"])
+        compiled = compile_circuit(generated.circuit)
+        result = run_transient(compiled, generated.tstop)
+        out = result.waveforms.voltage("out")
+        assert out.values.max() < 1.0  # clamped well below the source swing
