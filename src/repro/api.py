@@ -132,6 +132,62 @@ class AnalysisRequest:
                 if self.extras.get(name) is None:
                     raise SimulationError(f"'ac' analysis requires {name}=")
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump of the request, minus the circuit.
+
+        The circuit object itself is not JSON-representable (reattach it
+        through ``from_dict(..., circuit=...)``); everything else —
+        including :class:`SimOptions` and numpy-array extras — is
+        converted to plain JSON types. Non-serializable extras (e.g. a
+        ``circuit_factory`` callable or live metric functions) raise
+        :class:`SimulationError` rather than producing a lossy dump.
+        """
+        return {
+            "analysis": self.analysis,
+            "tstop": self.tstop,
+            "tstep": self.tstep,
+            "options": None if self.options is None else self.options.to_dict(),
+            "threads": self.threads,
+            "scheme": self.scheme,
+            "extras": {k: _json_safe(k, v) for k, v in self.extras.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, circuit=None) -> "AnalysisRequest":
+        """Rebuild a request from a :meth:`to_dict` dump.
+
+        Validation runs exactly as on direct construction, so a request
+        that requires a circuit still needs one passed here.
+        """
+        options = data.get("options")
+        return cls(
+            analysis=data["analysis"],
+            circuit=circuit,
+            tstop=data.get("tstop"),
+            tstep=data.get("tstep"),
+            options=None if options is None else SimOptions.from_dict(options),
+            threads=data.get("threads", 2),
+            scheme=data.get("scheme"),
+            extras=dict(data.get("extras") or {}),
+        )
+
+
+def _json_safe(key: str, value):
+    """Convert one extras value to plain JSON types (or fail loudly)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "tolist"):  # numpy array / scalar
+        return value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(key, item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(key, v) for k, v in value.items()}
+    raise SimulationError(
+        f"extras[{key!r}] of type {type(value).__name__} is not JSON-serializable"
+    )
+
 
 @dataclass
 class AnalysisResult:

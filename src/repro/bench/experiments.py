@@ -549,6 +549,85 @@ def table_r9_smoke() -> ExperimentResult:
     )
 
 
+def table_r10(
+    name="rectifier",
+    jobs=16,
+    seed=7,
+    workers=(1, 2, 4),
+    exp_id="table_r10",
+) -> ExperimentResult:
+    """Extension: batch-campaign throughput, serial vs process pool.
+
+    Runs one seeded Monte Carlo campaign (*jobs* jittered variants of a
+    nonlinear registry circuit) through every backend configuration —
+    the job-level parallelism axis orthogonal to WavePipe's intra-run
+    pipelining (processes sidestep the GIL entirely) — plus a final
+    cache-served re-run against a shared result cache. Each
+    configuration gets a fresh store so no timing row benefits from
+    another's cache.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.jobs import CircuitRef, JobSpec, monte_carlo, run_campaign
+
+    base = JobSpec(circuit=CircuitRef(kind="registry", name=name))
+    campaign = monte_carlo(base, n=jobs, seed=seed)
+    headers = ["backend", "jobs", "wall (s)", "jobs/s", "speedup", "outcome"]
+    rows = []
+    data = {}
+
+    def run_config(key, label, store, **kwargs):
+        t0 = time.perf_counter()
+        result = run_campaign(campaign, store=store, **kwargs)
+        wall = time.perf_counter() - t0
+        baseline = data.get("serial", {}).get("wall_seconds", wall)
+        speedup = baseline / wall if wall > 0 else 0.0
+        counts = ", ".join(
+            f"{count} {status}" for status, count in sorted(result.counts.items())
+        )
+        rows.append(
+            [label, len(result.outcomes), f"{wall:.2f}",
+             f"{len(result.outcomes) / wall:.2f}", f"{speedup:.2f}x", counts]
+        )
+        data[key] = {
+            "backend": label,
+            "jobs": len(result.outcomes),
+            "wall_seconds": wall,
+            "throughput": len(result.outcomes) / wall,
+            "speedup": speedup,
+            "passed": result.passed,
+            "cache_hits": result.cache_hits,
+            "counts": result.counts,
+        }
+        return result
+
+    tmp = tempfile.mkdtemp(prefix="table_r10_")
+    try:
+        run_config("serial", "serial", f"{tmp}/serial")
+        for n in workers:
+            run_config(
+                f"process{n}", f"process x{n}", f"{tmp}/process{n}",
+                backend="process", workers=n,
+            )
+        # Cache row: replay against the serial store — every job is a hit.
+        run_config("cached", "cached re-run", f"{tmp}/serial")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    title = (
+        f"Table R10 (extension): campaign throughput, {jobs}-job Monte Carlo "
+        f"on {name} (seed {seed})"
+    )
+    return ExperimentResult(exp_id, title, render_table(headers, rows, title), data)
+
+
+def table_r10_smoke() -> ExperimentResult:
+    """Tiny Table R10 subset for CI smoke runs."""
+    return table_r10(jobs=4, workers=(2,), exp_id="table_r10_smoke")
+
+
 #: Experiment id -> callable returning an ExperimentResult.
 EXPERIMENTS = {
     "table_r1": table_r1,
@@ -561,6 +640,8 @@ EXPERIMENTS = {
     "table_r8": table_r8,
     "table_r9": table_r9,
     "table_r9_smoke": table_r9_smoke,
+    "table_r10": table_r10,
+    "table_r10_smoke": table_r10_smoke,
     "fig_r1": fig_r1,
     "fig_r2": fig_r2,
     "fig_r3": fig_r3,

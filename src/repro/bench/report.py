@@ -29,6 +29,8 @@ CLAIMS = {
     "table_r6": "Scheduler design choices (rejection guard, ratio bound, LTE cap margin, Newton guess) each contribute; defaults are near the per-knob optimum.",
     "table_r9": "Extension (no paper counterpart): caching LU factorisations across Newton iterations and timepoints (plus static stamps and in-place assembly) cuts sequential transient wall time on every registry circuit — >=25% on the linear interconnect circuits with bit-identical waveforms, and positive even on stiff nonlinear circuits where the stall guard caps stale-factor damage; deviations stay within solver tolerance.",
     "table_r9_smoke": "CI smoke subset of Table R9 (one linear, one stiff nonlinear circuit); same expectations at reduced coverage.",
+    "table_r10": "Extension (no paper counterpart): job-level parallelism through the repro.jobs process pool scales Monte Carlo campaign throughput with worker count on multi-core hosts (processes sidestep the GIL — the axis orthogonal to WavePipe's intra-run pipelining), and the content-addressed result cache serves a campaign re-run without executing a single job.",
+    "table_r10_smoke": "CI smoke subset of Table R10 (4-job campaign, 2-worker pool); same correctness/caching expectations without the scaling claim.",
     "fig_r1": "Speedup grows from exactly 1.0 at one thread and saturates quickly — coarse-grained application-level parallelism, not linear scaling.",
     "fig_r2": "Pipelining covers the same simulated window in fewer stages than the sequential run has points (the speedup mechanism made visible).",
     "fig_r3": "Pipelined waveforms overlay the sequential ones; oscillation frequency matches within a fraction of a percent.",

@@ -9,6 +9,10 @@ sequential baseline. ``--csv FILE`` exports transient waveforms.
 (:mod:`repro.verify`): random circuits through the full scheme x executor
 x reuse lattice, with chaos-scheduled variants.
 
+``python -m repro batch`` runs a batch campaign (:mod:`repro.jobs`):
+Monte Carlo / corner / sweep job sets through the cache-aware scheduler,
+checkpointed into a campaign store for resume.
+
 Examples::
 
     python -m repro lowpass.cir
@@ -16,6 +20,8 @@ Examples::
     python -m repro grid.cir --csv out.csv --signals "v(out)" "i(V1)"
     python -m repro --experiment table_r2          # bench harness access
     python -m repro verify --trials 25 --seed 0    # equivalence fuzzing
+    python -m repro batch --circuit rectifier --montecarlo 16 --seed 7 \\
+        --store out/rect-mc --backend process --workers 4
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ from repro.mna.compiler import compile_circuit
 from repro.mna.system import MnaSystem
 from repro.netlist.parser import DcCommand, OpCommand, TranCommand, parse_file
 from repro.solver.dcop import solve_operating_point
-from repro.utils.units import format_si
+from repro.utils.units import format_si, parse_value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,10 +130,94 @@ def build_verify_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Batch simulation campaigns: Monte Carlo, PVT corners "
+        "and parameter sweeps through the cache-aware job scheduler",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--circuit", help="registry benchmark name")
+    source.add_argument("--deck", help="SPICE netlist file")
+    source.add_argument(
+        "--verify-seed", type=int, metavar="SEED",
+        help="draw the circuit from the verify generators with this seed",
+    )
+    parser.add_argument(
+        "--families", nargs="*", default=None,
+        help="family restriction for --verify-seed draws",
+    )
+    generator = parser.add_mutually_exclusive_group()
+    generator.add_argument(
+        "--montecarlo", type=int, metavar="N",
+        help="N Monte Carlo variants with seeded parameter jitter",
+    )
+    generator.add_argument(
+        "--corners", nargs="*", metavar="NAME",
+        help="PVT corner set (no names = all stock corners)",
+    )
+    generator.add_argument(
+        "--sweep", nargs="+", metavar=("COMP", "VALUE"),
+        help="sweep component COMP over the listed values (SI suffixes ok)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="Monte Carlo seed (default 0)"
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.05,
+        help="Monte Carlo lognormal sigma (default 0.05 ~ 5%%)",
+    )
+    parser.add_argument(
+        "--analysis", choices=["transient", "wavepipe"], default="transient"
+    )
+    parser.add_argument("--scheme", choices=["backward", "forward", "combined"])
+    parser.add_argument(
+        "--threads", type=int, default=1, help="threads per job (wavepipe)"
+    )
+    parser.add_argument("--tstop", type=parse_value, help="transient stop time")
+    parser.add_argument("--tstep", type=parse_value, help="suggested first step")
+    parser.add_argument(
+        "--store", metavar="DIR",
+        help="campaign store directory (manifest + result cache); enables "
+        "cache hits and checkpoint/resume",
+    )
+    parser.add_argument(
+        "--backend", choices=["serial", "process"], default="serial"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="process-pool size (default 2)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, help="per-job wall-clock limit in seconds"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for failed/timed-out/crashed jobs (default 1)",
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.0,
+        help="base retry delay in seconds (doubles per round)",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", help="write the campaign report as JSON"
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the campaign metrics rollup and jobs.* counters",
+    )
+    parser.add_argument(
+        "--list-circuits", action="store_true",
+        help="list the registry benchmark names and exit",
+    )
+    return parser
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv[:1] == ["verify"]:
         return _run_verify(argv[1:])
+    if argv[:1] == ["batch"]:
+        return _run_batch(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment:
@@ -180,6 +270,110 @@ def _run_verify(argv: list[str]) -> int:
     if recorder is not None:
         for name in sorted(recorder.counters):
             print(f"  {name} = {recorder.counters[name]:g}")
+    return 0 if report.passed else 1
+
+
+def _run_batch(argv: list[str]) -> int:
+    import json as json_module
+
+    from repro.instrument import Recorder
+    from repro.jobs import (
+        CircuitRef,
+        JobSpec,
+        monte_carlo,
+        param_sweep,
+        pvt_corners,
+        run_campaign,
+        single,
+    )
+
+    args = build_batch_parser().parse_args(argv)
+    if args.list_circuits:
+        from repro.circuits.registry import benchmark_names
+
+        for name in benchmark_names():
+            print(name)
+        return 0
+
+    try:
+        if args.circuit:
+            ref = CircuitRef(kind="registry", name=args.circuit)
+        elif args.deck:
+            with open(args.deck, encoding="utf-8") as handle:
+                ref = CircuitRef(kind="netlist", netlist=handle.read())
+        elif args.verify_seed is not None:
+            ref = CircuitRef(
+                kind="verify", seed=args.verify_seed, families=args.families
+            )
+        else:
+            build_batch_parser().print_usage()
+            print(
+                "error: provide --circuit, --deck or --verify-seed",
+                file=sys.stderr,
+            )
+            return 2
+
+        base = JobSpec(
+            circuit=ref,
+            analysis=args.analysis,
+            tstop=args.tstop,
+            tstep=args.tstep,
+            scheme=args.scheme,
+            threads=args.threads,
+        )
+        if args.montecarlo is not None:
+            campaign = monte_carlo(
+                base, n=args.montecarlo, seed=args.seed, jitter=args.jitter
+            )
+        elif args.corners is not None:
+            campaign = pvt_corners(base, corners=args.corners or None)
+        elif args.sweep is not None:
+            if len(args.sweep) < 2:
+                print(
+                    "error: --sweep needs a component name and at least one value",
+                    file=sys.stderr,
+                )
+                return 2
+            campaign = param_sweep(
+                base, args.sweep[0], [parse_value(v) for v in args.sweep[1:]]
+            )
+        else:
+            campaign = single(base)
+
+        recorder = Recorder(capture_events=False) if args.metrics else None
+        report = run_campaign(
+            campaign,
+            store=args.store,
+            backend=args.backend,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff=args.backoff,
+            instrument=recorder,
+            on_outcome=lambda outcome: print(
+                f"  [{outcome.status:>7}] {outcome.spec.label}"
+                + (f" ({outcome.error})" if outcome.error else ""),
+                flush=True,
+            ),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"* report written to {args.json}")
+    if args.metrics:
+        print(report.metrics.summary())
+        for name in sorted(report.metrics.counters):
+            if name.startswith("jobs."):
+                print(f"  {name} = {report.metrics.counters[name]:g}")
     return 0 if report.passed else 1
 
 

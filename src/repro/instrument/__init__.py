@@ -26,7 +26,9 @@ Typical use::
 """
 
 from repro.instrument.events import (
+    CAMPAIGN_RUN,
     DCOP,
+    JOB_RUN,
     LTE_REJECT,
     NEWTON_SOLVE,
     RUN,
@@ -65,6 +67,8 @@ __all__ = [
     "SPECULATE",
     "DCOP",
     "RUN",
+    "JOB_RUN",
+    "CAMPAIGN_RUN",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",

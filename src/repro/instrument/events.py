@@ -54,6 +54,14 @@ CHAOS_STAGE = "chaos_stage"
 #: deviation). Emitted by :func:`repro.verify.oracle.verify_circuit`.
 VERIFY_TRIAL = "verify_trial"
 
+#: One batch job reached an outcome (attrs: label, status, attempts,
+#: hash). Emitted by :class:`repro.jobs.scheduler.JobScheduler`.
+JOB_RUN = "job_run"
+
+#: One whole batch campaign finished (attrs: name, jobs, status counts).
+#: Emitted by :func:`repro.jobs.campaign.run_campaign`.
+CAMPAIGN_RUN = "campaign_run"
+
 
 @dataclass
 class TraceEvent:

@@ -1,0 +1,116 @@
+"""On-disk campaign store: manifest + result cache under one root.
+
+Layout::
+
+    <root>/
+      manifest.json       # campaign identity, job list, per-job status
+      results/<hash>.json # the content-addressed ResultCache
+
+The manifest is the campaign's checkpoint. It is rewritten atomically
+after every job completes, so killing a campaign at any instant leaves a
+consistent snapshot: finished jobs are ``done`` with their results safely
+in the cache, everything else is ``pending``/``failed``. Resuming simply
+re-runs the campaign — content addressing turns every already-finished
+job into a cache hit, and the final manifest (which carries no wall-clock
+or host data) comes out identical to an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.jobs.cache import ResultCache
+from repro.jobs.spec import JobSpec
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+#: Job states a manifest may record.
+JOB_STATUSES = ("pending", "done", "cached", "failed", "timeout", "crashed")
+
+
+class CampaignStore:
+    """One campaign's on-disk home: manifest plus result cache."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.cache = ResultCache(self.root / "results")
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def has_manifest(self) -> bool:
+        return self.manifest_path.is_file()
+
+    def write_manifest(
+        self,
+        name: str,
+        generator: dict,
+        jobs: list[JobSpec],
+        statuses: dict[str, str] | None = None,
+    ) -> Path:
+        """Atomically (re)write the manifest.
+
+        *statuses* maps spec hash -> status; jobs without an entry are
+        ``pending``. Note the manifest deliberately contains nothing
+        host- or time-dependent: byte-identical campaigns produce
+        byte-identical manifests.
+        """
+        statuses = statuses or {}
+        rows = []
+        for spec in jobs:
+            spec_hash = spec.content_hash()
+            status = statuses.get(spec_hash, "pending")
+            if status not in JOB_STATUSES:
+                raise SimulationError(f"unknown job status {status!r}")
+            rows.append(
+                {
+                    "label": spec.label,
+                    "hash": spec_hash,
+                    "status": status,
+                    "spec": spec.canonical_dict(),
+                }
+            )
+        payload = {
+            "version": MANIFEST_VERSION,
+            "name": name,
+            "generator": generator,
+            "jobs": rows,
+        }
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.manifest_path)
+        return self.manifest_path
+
+    def load_manifest(self) -> dict:
+        """Parse the manifest; raises :class:`SimulationError` when absent."""
+        if not self.has_manifest():
+            raise SimulationError(f"no manifest at {self.manifest_path}")
+        with open(self.manifest_path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != MANIFEST_VERSION:
+            raise SimulationError(
+                f"manifest version {data.get('version')!r} unsupported "
+                f"(expected {MANIFEST_VERSION})"
+            )
+        return data
+
+    def manifest_jobs(self) -> list[JobSpec]:
+        """Rebuild the job specs recorded in the manifest (labels restored)."""
+        jobs = []
+        for row in self.load_manifest()["jobs"]:
+            spec = JobSpec.from_dict(dict(row["spec"], label=row.get("label", "")))
+            jobs.append(spec)
+        return jobs
+
+    def statuses(self) -> dict[str, str]:
+        """Spec hash -> recorded status from the manifest."""
+        return {
+            row["hash"]: row["status"] for row in self.load_manifest()["jobs"]
+        }

@@ -1,0 +1,169 @@
+"""Job execution: build the circuit, run the analysis, package the result.
+
+:func:`execute_job` is the single execution path shared by every backend —
+the serial backend calls it inline, the process-pool backend calls it
+inside a child process via :func:`worker_main`. Workers exchange only
+JSON-safe dicts over their pipe, never live engine objects, so the parent
+survives any child behaviour: a clean result, a raised exception (sent
+back as a traceback string), or an outright process death (detected by
+the backend as a closed pipe / nonzero exit code).
+
+:class:`JobResult` is deliberately split into a *deterministic* payload
+(waveform samples on the accepted grid plus counting stats — what
+:meth:`JobResult.to_dict` emits and the result cache stores, byte-stable
+across reruns) and runtime-only fields (``elapsed``, ``cached``) that
+never reach disk.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.jobs.spec import JobSpec, apply_params
+from repro.utils.options import SimOptions
+
+#: Test/fault-injection hook: when set, called with the JobSpec at the
+#: start of every execution (including inside worker processes, which see
+#: it under the fork start method). Lets tests simulate worker crashes
+#: and hangs without patching engine internals.
+FAULT_HOOK = None
+
+#: Stats fields copied into the deterministic result payload. Wall-clock
+#: fields are deliberately absent: cached results must be byte-identical
+#: across reruns on any host.
+_STAT_FIELDS = (
+    "accepted_points",
+    "rejected_points",
+    "newton_failures",
+    "newton_iterations",
+    "work_units",
+)
+
+
+@dataclass
+class JobResult:
+    """Outcome payload of one completed job.
+
+    ``to_dict()``/``from_dict()`` carry only the deterministic part;
+    ``elapsed`` (wall seconds) and ``cached`` (served from the result
+    cache) are runtime annotations for scheduling and metrics rollups.
+    """
+
+    spec_hash: str
+    label: str
+    analysis: str
+    final_time: float
+    times: list[float]
+    signals: dict[str, list[float]]
+    stats: dict = field(default_factory=dict)
+    elapsed: float = 0.0
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_hash": self.spec_hash,
+            "label": self.label,
+            "analysis": self.analysis,
+            "final_time": self.final_time,
+            "times": self.times,
+            "signals": self.signals,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        return cls(
+            spec_hash=data["spec_hash"],
+            label=data.get("label", ""),
+            analysis=data.get("analysis", "transient"),
+            final_time=data["final_time"],
+            times=list(data["times"]),
+            signals={k: list(v) for k, v in data["signals"].items()},
+            stats=dict(data.get("stats") or {}),
+        )
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one job in the current process and return its result.
+
+    Raises whatever the engine raises (:class:`~repro.errors.ReproError`
+    subclasses for simulation failures); the schedulers translate those
+    into failed outcomes.
+    """
+    from repro.api import simulate
+
+    if FAULT_HOOK is not None:
+        FAULT_HOOK(spec)
+    t0 = time.perf_counter()
+    built = spec.circuit.build()
+    circuit = apply_params(built.circuit, spec.params)
+    tstop = spec.tstop if spec.tstop is not None else built.tstop
+    if tstop is None or tstop <= 0:
+        raise SimulationError(
+            f"job {spec.label or spec.circuit.describe!r} has no tstop (neither "
+            "the spec nor the circuit reference provides a transient window)"
+        )
+    tstep = spec.tstep if spec.tstep is not None else built.tstep
+    options = built.options or SimOptions()
+    if spec.options:
+        options = options.replace(**spec.options)
+    result = simulate(
+        circuit,
+        analysis=spec.analysis,
+        tstop=tstop,
+        tstep=tstep,
+        options=options,
+        threads=spec.threads,
+        scheme=spec.scheme,
+    )
+    waveforms = result.waveforms
+    names = list(spec.signals) if spec.signals is not None else None
+    if names is None and built.signals is not None:
+        names = list(built.signals)
+    if names is None:
+        names = [n for n in waveforms.names if n.startswith("v")]
+    missing = [n for n in names if n not in waveforms]
+    if missing:
+        raise SimulationError(
+            f"job {spec.label!r}: no trace(s) named {missing} in the result"
+        )
+    stats = result.stats
+    stat_dump = {
+        name: getattr(stats, name)
+        for name in _STAT_FIELDS
+        if getattr(stats, name, None) is not None
+    }
+    return JobResult(
+        spec_hash=spec.content_hash(),
+        label=spec.label,
+        analysis=spec.analysis,
+        final_time=float(result.final_time),
+        times=[float(t) for t in waveforms.times],
+        signals={n: [float(v) for v in waveforms[n].values] for n in names},
+        stats=stat_dump,
+        elapsed=time.perf_counter() - t0,
+    )
+
+
+def worker_main(conn, spec_dict: dict) -> None:
+    """Child-process entry: run one job, ship the outcome over *conn*.
+
+    Sends ``("ok", result_dict, elapsed)`` or ``("error", traceback_text,
+    elapsed)``. Anything else the parent observes (EOF, nonzero exit)
+    means the worker died mid-job — which fails that job only.
+    """
+    t0 = time.perf_counter()
+    try:
+        spec = JobSpec.from_dict(spec_dict)
+        result = execute_job(spec)
+        conn.send(("ok", result.to_dict(), result.elapsed))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc(), time.perf_counter() - t0))
+        except (BrokenPipeError, OSError):  # parent gone: nothing to report
+            pass
+    finally:
+        conn.close()

@@ -107,7 +107,9 @@ class ThreadExecutor(StageExecutor):
 
     def __init__(self, max_workers: int):
         if max_workers < 1:
-            raise SimulationError("ThreadExecutor needs max_workers >= 1")
+            raise SimulationError(
+                f"ThreadExecutor needs max_workers >= 1, got {max_workers}"
+            )
         self.max_workers = max_workers
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
         self._closed = False

@@ -179,6 +179,38 @@ class SimOptions:
         if self.refactor_every < 0:
             raise SimulationError("refactor_every must be >= 0")
 
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump of every numerical knob.
+
+        ``instrument`` is excluded: it is a live object sink, not a
+        reproducible setting. ``from_dict(to_dict())`` equals the
+        original options object (equality also ignores ``instrument``).
+        """
+        out = {}
+        for f in dataclasses.fields(self):
+            if f.name == "instrument":
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict, instrument=None) -> "SimOptions":
+        """Rebuild options from a :meth:`to_dict` dump (validated afresh).
+
+        Missing keys take their defaults; unknown keys raise
+        :class:`SimulationError` so stale job specs fail loudly instead
+        of silently dropping a knob.
+        """
+        known = {f.name for f in dataclasses.fields(cls)} - {"instrument"}
+        unknown = set(data) - known
+        if unknown:
+            raise SimulationError(
+                f"unknown SimOptions field(s) in dump: {sorted(unknown)}"
+            )
+        return cls(**data, instrument=instrument)
+
     @property
     def effective_lte_reltol(self) -> float:
         """LTE relative tolerance, defaulting to ``reltol``."""

@@ -168,10 +168,13 @@ class EquivalenceReport:
     reference: str
     reference_points: int
     configs: list[ConfigResult] = field(default_factory=list)
+    #: Set when the trial aborted before producing a verdict (solver
+    #: blow-up, singular matrix...). An errored trial is a failed trial.
+    error: str | None = None
 
     @property
     def passed(self) -> bool:
-        return all(result.passed for result in self.configs)
+        return self.error is None and all(result.passed for result in self.configs)
 
     @property
     def failures(self) -> list[ConfigResult]:
@@ -194,6 +197,7 @@ class EquivalenceReport:
             "reference": self.reference,
             "reference_points": self.reference_points,
             "passed": self.passed,
+            "error": self.error,
             "configs": [result.to_dict() for result in self.configs],
         }
 
@@ -201,6 +205,8 @@ class EquivalenceReport:
         return json.dumps(self.to_dict(), sort_keys=True, indent=2)
 
     def summary(self) -> str:
+        if self.error is not None:
+            return f"{self.circuit}: ERROR — {self.error}"
         worst = self.worst
         verdict = "PASS" if self.passed else f"FAIL({len(self.failures)} configs)"
         worst_text = (
@@ -442,14 +448,32 @@ def run_verification(
     for _ in range(trials):
         trial_seed = int(master.integers(0, 2**31))
         generated = draw_circuit(trial_seed, families=family_names)
-        trial = verify_circuit(
-            generated,
-            threads=threads,
-            tolerance=tolerance,
-            chaos=chaos,
-            schemes=schemes,
-            instrument=instrument,
-        )
+        try:
+            trial = verify_circuit(
+                generated,
+                threads=threads,
+                tolerance=tolerance,
+                chaos=chaos,
+                schemes=schemes,
+                instrument=instrument,
+            )
+        except Exception as exc:
+            # A blowing-up trial must not abort the campaign: record it
+            # as a failed trial so the remaining circuits still run and
+            # the campaign (and CLI exit code) reports the failure.
+            trial = EquivalenceReport(
+                circuit=generated.name,
+                family=generated.family,
+                seed=generated.seed,
+                tstop=float(generated.tstop),
+                threads=threads,
+                tolerance=tolerance,
+                reference=configuration_lattice(chaos=False)[0].label,
+                reference_points=0,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            if rec.enabled:
+                rec.count("verify.trial_errors")
         report.reports.append(trial)
         if on_report is not None:
             on_report(trial)

@@ -1,0 +1,148 @@
+"""JSON round-trips of SimOptions and AnalysisRequest.
+
+Batch job specs and campaign manifests embed these dumps, so the
+round-trip must be exact: ``from_dict(to_dict(x)) == x`` for any valid
+object, and unknown keys must fail loudly (a stale dump silently
+dropping a tolerance knob would corrupt cache addressing).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AnalysisRequest
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import Resistor, VoltageSource
+from repro.circuit.sources import Dc
+from repro.errors import SimulationError
+from repro.instrument import Recorder
+from repro.utils.options import INTEGRATION_METHODS, SimOptions
+
+positive = st.floats(
+    min_value=1e-15, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+#: Valid SimOptions constructor kwargs (respects every __post_init__ rule).
+options_kwargs = st.fixed_dictionaries(
+    {},
+    optional={
+        "reltol": positive,
+        "abstol": positive,
+        "vntol": positive,
+        "trtol": positive,
+        "method": st.sampled_from(INTEGRATION_METHODS),
+        "max_newton_iters": st.integers(min_value=1, max_value=500),
+        "step_ratio_max": st.floats(min_value=1.0, max_value=16.0),
+        "step_shrink": st.floats(min_value=0.01, max_value=0.99),
+        "predictor_order": st.sampled_from([1, 2]),
+        "backward_guard_fraction": st.floats(min_value=0.0, max_value=0.99),
+        "newton_guess": st.sampled_from(["previous", "predictor"]),
+        "jacobian_reuse": st.booleans(),
+        "reuse_stall_ratio": st.floats(min_value=0.01, max_value=1.0),
+        "refactor_every": st.integers(min_value=0, max_value=10),
+        "max_step": st.one_of(st.none(), positive),
+        "lte_reltol": st.one_of(st.none(), positive),
+    },
+)
+
+
+def tiny_circuit() -> Circuit:
+    circuit = Circuit(title="t")
+    circuit.add(VoltageSource("V1", "a", "0", waveform=Dc(1.0)))
+    circuit.add(Resistor("R1", "a", "0", resistance=1e3))
+    return circuit
+
+
+class TestSimOptionsRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(kwargs=options_kwargs)
+    def test_roundtrip_is_exact(self, kwargs):
+        options = SimOptions(**kwargs)
+        dumped = json.loads(json.dumps(options.to_dict()))
+        assert SimOptions.from_dict(dumped) == options
+
+    def test_dump_is_json_and_complete(self):
+        dump = SimOptions().to_dict()
+        json.dumps(dump)  # must not raise
+        assert "reltol" in dump and "jacobian_reuse" in dump
+        assert "instrument" not in dump
+
+    def test_instrument_excluded_and_reattachable(self):
+        rec = Recorder()
+        options = SimOptions(reltol=1e-4, instrument=rec)
+        dump = options.to_dict()
+        assert "instrument" not in dump
+        rebuilt = SimOptions.from_dict(dump, instrument=rec)
+        assert rebuilt == options
+        assert rebuilt.instrument is rec
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SimulationError, match="unknown SimOptions"):
+            SimOptions.from_dict({"reltol": 1e-3, "retlol": 1e-3})
+
+    def test_invalid_values_still_validated(self):
+        with pytest.raises(SimulationError, match="positive"):
+            SimOptions.from_dict({"reltol": -1.0})
+
+
+class TestAnalysisRequestRoundTrip:
+    def test_transient_roundtrip(self):
+        circuit = tiny_circuit()
+        request = AnalysisRequest(
+            analysis="transient",
+            circuit=circuit,
+            tstop=1e-3,
+            tstep=1e-6,
+            options=SimOptions(reltol=1e-4),
+        )
+        dumped = json.loads(json.dumps(request.to_dict()))
+        rebuilt = AnalysisRequest.from_dict(dumped, circuit=circuit)
+        assert rebuilt == request
+
+    def test_dc_extras_roundtrip_including_numpy(self):
+        circuit = tiny_circuit()
+        request = AnalysisRequest(
+            analysis="dc",
+            circuit=circuit,
+            extras={"source": "V1", "values": np.linspace(0.0, 1.0, 5)},
+        )
+        dumped = json.loads(json.dumps(request.to_dict()))
+        rebuilt = AnalysisRequest.from_dict(dumped, circuit=circuit)
+        assert rebuilt.extras["values"] == [0.0, 0.25, 0.5, 0.75, 1.0]
+
+    def test_wavepipe_fields_roundtrip(self):
+        circuit = tiny_circuit()
+        request = AnalysisRequest(
+            analysis="wavepipe",
+            circuit=circuit,
+            tstop=1e-3,
+            threads=4,
+            scheme="combined",
+        )
+        rebuilt = AnalysisRequest.from_dict(request.to_dict(), circuit=circuit)
+        assert rebuilt.threads == 4 and rebuilt.scheme == "combined"
+
+    def test_non_serializable_extras_fail_loudly(self):
+        request = AnalysisRequest(
+            analysis="sweep",
+            tstop=1e-3,
+            extras={
+                "circuit_factory": lambda v: tiny_circuit(),
+                "parameter": "R1",
+                "values": [1.0],
+                "metrics": {"m": lambda r: 0.0},
+            },
+        )
+        with pytest.raises(SimulationError, match="not JSON-serializable"):
+            request.to_dict()
+
+    def test_validation_reruns_on_rebuild(self):
+        circuit = tiny_circuit()
+        dump = AnalysisRequest(
+            analysis="transient", circuit=circuit, tstop=1e-3
+        ).to_dict()
+        with pytest.raises(SimulationError, match="requires a circuit"):
+            AnalysisRequest.from_dict(dump)  # circuit not reattached

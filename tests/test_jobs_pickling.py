@@ -1,0 +1,70 @@
+"""Serialization safety of the objects the batch service moves around.
+
+The process-pool backend deliberately ships JSON dicts, never pickles —
+but circuits and results must still survive pickling for any user who
+puts them on a ``multiprocessing`` queue or in a joblib-style cache, and
+the spawn start method pickles the worker arguments themselves. These
+tests pin that whole surface: registry circuits, verify-family draws,
+job specs, and job results.
+"""
+
+import pickle
+
+import pytest
+
+from repro.circuits.registry import BENCHMARKS, get_benchmark
+from repro.jobs import CircuitRef, JobSpec, execute_job
+from repro.netlist.writer import write_netlist
+from repro.verify.generators import FAMILIES, draw_circuit
+
+DECK = """rc lowpass
+V1 in 0 SIN(0 1 1k)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 1m
+.end
+"""
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_registry_circuit_pickle_roundtrip(name):
+    circuit = get_benchmark(name).build()
+    clone = pickle.loads(pickle.dumps(circuit))
+    assert [c.name for c in clone.components] == [c.name for c in circuit.components]
+    # The netlist text is a full structural fingerprint: values, nodes,
+    # models and source waveforms all land in it.
+    assert write_netlist(clone) == write_netlist(circuit)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_verify_family_circuit_pickle_roundtrip(family):
+    generated = draw_circuit(17, families=[family])
+    clone = pickle.loads(pickle.dumps(generated.circuit))
+    assert write_netlist(clone) == write_netlist(generated.circuit)
+
+
+def test_generated_circuit_record_pickles_whole():
+    generated = draw_circuit(23)
+    clone = pickle.loads(pickle.dumps(generated))
+    assert clone.name == generated.name
+    assert clone.seed == generated.seed
+    assert clone.tstop == generated.tstop
+    assert write_netlist(clone.circuit) == write_netlist(generated.circuit)
+
+
+def test_job_spec_pickles_with_stable_hash():
+    spec = JobSpec(
+        circuit=CircuitRef(kind="netlist", netlist=DECK),
+        label="p",
+        params={"R1": 2e3},
+        signals=("v(out)",),
+    )
+    clone = pickle.loads(pickle.dumps(spec))
+    assert clone == spec
+    assert clone.content_hash() == spec.content_hash()
+
+
+def test_job_result_pickles_with_identical_payload():
+    result = execute_job(JobSpec(circuit=CircuitRef(kind="netlist", netlist=DECK)))
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.to_dict() == result.to_dict()

@@ -1,0 +1,153 @@
+"""Job specs: circuit refs, param overrides, hashing, serialization."""
+
+import json
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import Capacitor, Resistor, VoltageSource
+from repro.circuit.sources import Dc
+from repro.errors import SimulationError
+from repro.jobs.spec import (
+    CIRCUIT_KINDS,
+    JOB_ANALYSES,
+    CircuitRef,
+    JobSpec,
+    apply_params,
+    jitterable_params,
+)
+
+DECK = """rc lowpass
+V1 in 0 SIN(0 1 1k)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 1m
+.end
+"""
+
+
+def rc_circuit() -> Circuit:
+    circuit = Circuit(title="rc")
+    circuit.add(VoltageSource("V1", "in", "0", waveform=Dc(1.0)))
+    circuit.add(Resistor("R1", "in", "out", resistance=1e3))
+    circuit.add(Capacitor("C1", "out", "0", capacitance=1e-6))
+    return circuit
+
+
+class TestCircuitRef:
+    def test_registry_ref_builds_with_defaults(self):
+        built = CircuitRef(kind="registry", name="rectifier").build()
+        assert built.tstop is not None and built.tstop > 0
+        assert built.signals
+
+    def test_netlist_ref_picks_up_tran_card(self):
+        built = CircuitRef(kind="netlist", netlist=DECK).build()
+        assert built.tstop == pytest.approx(1e-3)
+        assert built.tstep == pytest.approx(10e-6)
+        assert "R1" in built.circuit
+
+    def test_verify_ref_is_seed_deterministic(self):
+        a = CircuitRef(kind="verify", seed=11).build()
+        b = CircuitRef(kind="verify", seed=11).build()
+        assert [c.name for c in a.circuit.components] == [
+            c.name for c in b.circuit.components
+        ]
+        assert a.tstop == b.tstop
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="kind"):
+            CircuitRef(kind="magic")
+        assert set(CIRCUIT_KINDS) == {"registry", "netlist", "verify"}
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(kind="registry"), "name"),
+            (dict(kind="netlist"), "netlist"),
+            (dict(kind="verify"), "seed"),
+        ],
+    )
+    def test_missing_required_field_rejected(self, kwargs, match):
+        with pytest.raises(SimulationError, match=match):
+            CircuitRef(**kwargs)
+
+    def test_unknown_registry_name_is_simulation_error(self):
+        with pytest.raises(SimulationError, match="unknown benchmark"):
+            CircuitRef(kind="registry", name="nosuch").build()
+
+    def test_roundtrip_through_dict(self):
+        for ref in (
+            CircuitRef(kind="registry", name="ring5"),
+            CircuitRef(kind="netlist", netlist=DECK),
+            CircuitRef(kind="verify", seed=3, families=["rc_ladder"]),
+        ):
+            assert CircuitRef.from_dict(ref.to_dict()) == ref
+
+
+class TestParamOverrides:
+    def test_jitterable_params_names_values(self):
+        params = jitterable_params(rc_circuit())
+        assert params == {"R1": pytest.approx(1e3), "C1": pytest.approx(1e-6)}
+
+    def test_apply_params_replaces_values_copy(self):
+        circuit = rc_circuit()
+        out = apply_params(circuit, {"R1": 2e3})
+        assert out["R1"].resistance == pytest.approx(2e3)
+        assert circuit["R1"].resistance == pytest.approx(1e3)  # original intact
+
+    def test_apply_params_unknown_component_rejected(self):
+        with pytest.raises(SimulationError, match="unknown component"):
+            apply_params(rc_circuit(), {"R9": 1.0})
+
+    def test_apply_params_non_perturbable_rejected(self):
+        with pytest.raises(SimulationError, match="no\\b.*perturbable"):
+            apply_params(rc_circuit(), {"V1": 2.0})
+
+
+class TestJobSpec:
+    def spec(self, **kw):
+        return JobSpec(circuit=CircuitRef(kind="registry", name="rectifier"), **kw)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError, match="analysis"):
+            self.spec(analysis="dc")
+        with pytest.raises(SimulationError, match="threads"):
+            self.spec(threads=0)
+        with pytest.raises(SimulationError, match="tstop"):
+            self.spec(tstop=-1.0)
+        with pytest.raises(SimulationError, match="option"):
+            self.spec(options={"no_such_knob": 1})
+        assert set(JOB_ANALYSES) == {"transient", "wavepipe"}
+
+    def test_roundtrip_through_json(self):
+        spec = self.spec(
+            label="a",
+            tstop=1e-3,
+            options={"reltol": 1e-4},
+            params={"RSRC": 55.0},
+            signals=("v(out)",),
+        )
+        rebuilt = JobSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_hash_ignores_label(self):
+        assert (
+            self.spec(label="a").content_hash() == self.spec(label="b").content_hash()
+        )
+
+    def test_hash_sees_params_options_and_window(self):
+        base = self.spec()
+        assert base.content_hash() != self.spec(params={"RSRC": 55.0}).content_hash()
+        assert base.content_hash() != self.spec(options={"reltol": 1e-4}).content_hash()
+        assert base.content_hash() != self.spec(tstop=1e-3).content_hash()
+
+    def test_canonical_json_is_deterministic(self):
+        spec = self.spec(params={"b": 2.0, "a": 1.0})
+        assert spec.canonical_json() == self.spec(params={"a": 1.0, "b": 2.0}).canonical_json()
+        assert '"label"' not in spec.canonical_json()
+
+    def test_derive_revalidates(self):
+        spec = self.spec()
+        assert spec.derive(label="x").label == "x"
+        with pytest.raises(SimulationError, match="threads"):
+            spec.derive(threads=-1)

@@ -178,9 +178,15 @@ class TestExecutors:
             with pytest.raises(ValueError, match="first in task order"):
                 ex.run_stage([fail_slow, fail_fast])
 
-    def test_worker_floor(self):
-        with pytest.raises(SimulationError):
-            ThreadExecutor(0)
+    @pytest.mark.parametrize("workers", [0, -1, -8])
+    def test_worker_floor(self, workers):
+        with pytest.raises(SimulationError, match=f"max_workers >= 1, got {workers}"):
+            ThreadExecutor(workers)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_worker_floor_through_factory(self, workers):
+        with pytest.raises(SimulationError, match=f"got {workers}"):
+            make_executor("thread", workers)
 
     def test_factory(self):
         assert isinstance(make_executor("serial", 4), SerialExecutor)

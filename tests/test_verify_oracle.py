@@ -225,3 +225,69 @@ class TestVerifyCli:
         assert main(["verify", "--list-families"]) == 0
         listed = capsys.readouterr().out.split()
         assert listed == sorted(FAMILIES)
+
+
+class TestTrialErrorCapture:
+    """A trial that blows up mid-campaign must fail, not abort, the run."""
+
+    def _raise_on_second(self, monkeypatch):
+        import repro.verify.oracle as oracle_module
+
+        real = oracle_module.verify_circuit
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise SimulationError("Newton blew up")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(oracle_module, "verify_circuit", flaky)
+
+    def test_raising_trial_recorded_not_fatal(self, monkeypatch):
+        self._raise_on_second(monkeypatch)
+        rec = Recorder(capture_events=False)
+        report = run_verification(
+            trials=3, seed=3, families=["diode-clipper"], instrument=rec, **FAST
+        )
+        assert len(report.reports) == 3  # campaign ran to completion
+        assert not report.passed
+        errored = report.reports[1]
+        assert errored.error == "SimulationError: Newton blew up"
+        assert not errored.passed
+        assert "ERROR" in errored.summary()
+        assert report.failures == [errored]
+        assert rec.counter("verify.trial_errors") == 1
+
+    def test_error_lands_in_json(self, monkeypatch):
+        self._raise_on_second(monkeypatch)
+        report = run_verification(
+            trials=2, seed=3, families=["diode-clipper"], **FAST
+        )
+        payload = json.loads(report.to_json())
+        assert payload["passed"] is False
+        assert payload["reports"][1]["error"].startswith("SimulationError")
+        assert payload["reports"][0]["error"] is None
+
+    def test_cli_exits_nonzero_on_raising_trial(self, monkeypatch, capsys):
+        import repro.verify.oracle as oracle_module
+
+        def boom(*args, **kwargs):
+            raise SimulationError("synthetic engine failure")
+
+        monkeypatch.setattr(oracle_module, "verify_circuit", boom)
+        code = main(
+            ["verify", "--trials", "1", "--families", "rc-mesh", "--no-chaos"]
+        )
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_cli_exits_nonzero_on_classification_failure(self, capsys):
+        # An absurdly tight tolerance turns legal interpolation noise
+        # into a classification failure on every config.
+        code = main([
+            "verify", "--trials", "1", "--seed", "0", "--families", "rc-mesh",
+            "--no-chaos", "--tol", "1e-30",
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
