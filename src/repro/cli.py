@@ -11,7 +11,14 @@ x reuse lattice, with chaos-scheduled variants.
 
 ``python -m repro batch`` runs a batch campaign (:mod:`repro.jobs`):
 Monte Carlo / corner / sweep job sets through the cache-aware scheduler,
-checkpointed into a campaign store for resume.
+checkpointed into a campaign store for resume. ``--heartbeat FILE`` /
+``--progress`` stream live JSONL heartbeats and a TTY status line while
+it runs; ``--serve-metrics PORT`` exposes a Prometheus ``/metrics``
+endpoint.
+
+``python -m repro perf`` maintains the committed bench baseline
+(``benchmarks/BENCH_BASELINE.json``) and diffs fresh ``BENCH_METRICS``
+dumps against it, exiting nonzero on regression.
 
 Examples::
 
@@ -21,7 +28,9 @@ Examples::
     python -m repro --experiment table_r2          # bench harness access
     python -m repro verify --trials 25 --seed 0    # equivalence fuzzing
     python -m repro batch --circuit rectifier --montecarlo 16 --seed 7 \\
-        --store out/rect-mc --backend process --workers 4
+        --store out/rect-mc --backend process --workers 4 \\
+        --heartbeat beats.jsonl --progress
+    python -m repro perf diff --baseline benchmarks/BENCH_BASELINE.json
 """
 
 from __future__ import annotations
@@ -40,6 +49,27 @@ from repro.mna.system import MnaSystem
 from repro.netlist.parser import DcCommand, OpCommand, TranCommand, parse_file
 from repro.solver.dcop import solve_operating_point
 from repro.utils.units import format_si, parse_value
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Live-telemetry flags shared by the deck runner and ``batch``."""
+    parser.add_argument(
+        "--heartbeat", metavar="FILE",
+        help="write one JSONL heartbeat record per interval while running",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=5.0, metavar="SECONDS",
+        help="wall-clock seconds between heartbeats (default 5)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live status line on stderr (jobs done/failed/cached, pts/s, ETA)",
+    )
+    parser.add_argument(
+        "--serve-metrics", type=int, metavar="PORT",
+        help="serve Prometheus text exposition on http://127.0.0.1:PORT/metrics "
+        "for the duration of the run (0 = ephemeral port)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the end-of-run metrics summary for transient analyses",
     )
+    _add_telemetry_arguments(parser)
     parser.add_argument(
         "--signals", nargs="*", help="trace names for printing/CSV (default: node voltages)"
     )
@@ -205,9 +236,58 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the campaign metrics rollup and jobs.* counters",
     )
+    _add_telemetry_arguments(parser)
     parser.add_argument(
         "--list-circuits", action="store_true",
         help="list the registry benchmark names and exit",
+    )
+    return parser
+
+
+def build_perf_parser() -> argparse.ArgumentParser:
+    from repro.instrument.perf import DEFAULT_BASELINE, DEFAULT_TOLERANCE
+
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Perf trending over the bench harness's BENCH_METRICS "
+        "dumps: build a committed baseline, diff fresh runs against it",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    baseline = sub.add_parser(
+        "baseline", help="canonicalize BENCH_METRICS_*.json into a baseline file"
+    )
+    baseline.add_argument(
+        "--metrics-dir", default="benchmarks", metavar="DIR",
+        help="directory holding BENCH_METRICS_*.json (default: benchmarks)",
+    )
+    baseline.add_argument(
+        "--out", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline file to write (default: {DEFAULT_BASELINE})",
+    )
+    diff = sub.add_parser(
+        "diff", help="compare fresh metrics dumps against a baseline; "
+        "exit 1 on regression"
+    )
+    diff.add_argument(
+        "--metrics-dir", default="benchmarks", metavar="DIR",
+        help="directory holding the fresh BENCH_METRICS_*.json",
+    )
+    diff.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline to compare against (default: {DEFAULT_BASELINE})",
+    )
+    diff.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help=f"relative tolerance before a movement counts "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    diff.add_argument(
+        "--metric-tolerance", action="append", default=[], metavar="NAME=TOL",
+        help="per-metric tolerance override (flattened key like "
+        "counters.newton.iterations, or bare channel name); repeatable",
+    )
+    diff.add_argument(
+        "--json", metavar="FILE", help="write the machine-readable diff report"
     )
     return parser
 
@@ -218,6 +298,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_verify(argv[1:])
     if argv[:1] == ["batch"]:
         return _run_batch(argv[1:])
+    if argv[:1] == ["perf"]:
+        return _run_perf(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment:
@@ -273,10 +355,88 @@ def _run_verify(argv: list[str]) -> int:
     return 0 if report.passed else 1
 
 
-def _run_batch(argv: list[str]) -> int:
+def _run_perf(argv: list[str]) -> int:
     import json as json_module
 
-    from repro.instrument import Recorder
+    from repro.instrument.perf import (
+        build_baseline,
+        diff_against_baseline,
+        load_baseline,
+        write_baseline,
+    )
+
+    args = build_perf_parser().parse_args(argv)
+    if args.command == "baseline":
+        baseline = build_baseline(args.metrics_dir)
+        if not baseline["experiments"]:
+            print(
+                f"error: no BENCH_METRICS_*.json found in {args.metrics_dir}",
+                file=sys.stderr,
+            )
+            return 2
+        path = write_baseline(baseline, args.out)
+        print(
+            f"* baseline over {len(baseline['experiments'])} experiment(s) "
+            f"written to {path}"
+        )
+        return 0
+
+    overrides: dict[str, float] = {}
+    for item in args.metric_tolerance:
+        name, sep, value = item.partition("=")
+        if not sep or not name:
+            print(
+                f"error: --metric-tolerance expects NAME=TOL, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            print(
+                f"error: --metric-tolerance {name}: {value!r} is not a number",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"error: baseline {args.baseline} not found "
+            "(build one with `repro perf baseline`)",
+            file=sys.stderr,
+        )
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_against_baseline(
+        baseline,
+        args.metrics_dir,
+        tolerance=args.tolerance,
+        metric_tolerances=overrides,
+    )
+    print(diff.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(diff.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"* diff report written to {args.json}")
+    if not diff.compared:
+        # A diff that compared nothing is a misconfiguration, not a pass.
+        print(
+            f"error: no experiment in {args.metrics_dir} matches the baseline",
+            file=sys.stderr,
+        )
+        return 2
+    return 0 if diff.passed else 1
+
+
+def _run_batch(argv: list[str]) -> int:
+    import contextlib
+    import json as json_module
+
+    from repro.instrument import Heartbeat, MetricsServer, Recorder
     from repro.jobs import (
         CircuitRef,
         JobSpec,
@@ -340,22 +500,43 @@ def _run_batch(argv: list[str]) -> int:
         else:
             campaign = single(base)
 
-        recorder = Recorder(capture_events=False) if args.metrics else None
-        report = run_campaign(
-            campaign,
-            store=args.store,
-            backend=args.backend,
-            workers=args.workers,
-            timeout=args.timeout,
-            retries=args.retries,
-            backoff=args.backoff,
-            instrument=recorder,
-            on_outcome=lambda outcome: print(
-                f"  [{outcome.status:>7}] {outcome.spec.label}"
-                + (f" ({outcome.error})" if outcome.error else ""),
-                flush=True,
-            ),
+        telemetry_wanted = (
+            args.metrics
+            or args.heartbeat
+            or args.progress
+            or args.serve_metrics is not None
         )
+        recorder = Recorder(capture_events=False) if telemetry_wanted else None
+        heartbeat = None
+        if args.heartbeat or args.progress:
+            heartbeat = Heartbeat(
+                recorder,
+                interval=args.heartbeat_interval,
+                jsonl=args.heartbeat,
+                stream=sys.stderr if args.progress else None,
+            )
+        with contextlib.ExitStack() as scopes:
+            if args.serve_metrics is not None:
+                server = scopes.enter_context(
+                    MetricsServer(recorder, port=args.serve_metrics)
+                )
+                print(f"* /metrics on http://127.0.0.1:{server.port}/metrics")
+            report = run_campaign(
+                campaign,
+                store=args.store,
+                backend=args.backend,
+                workers=args.workers,
+                timeout=args.timeout,
+                retries=args.retries,
+                backoff=args.backoff,
+                instrument=recorder,
+                heartbeat=heartbeat,
+                on_outcome=lambda outcome: print(
+                    f"  [{outcome.status:>7}] {outcome.spec.label}"
+                    + (f" ({outcome.error})" if outcome.error else ""),
+                    flush=True,
+                ),
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -364,6 +545,8 @@ def _run_batch(argv: list[str]) -> int:
         return 2
 
     print(report.summary())
+    if args.heartbeat:
+        print(f"* heartbeats written to {args.heartbeat}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
@@ -439,38 +622,67 @@ def _print_dc(compiled, command: DcCommand, args) -> None:
 
 
 def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
+    import contextlib
+
+    telemetry_wanted = (
+        args.heartbeat or args.progress or args.serve_metrics is not None
+    )
     recorder = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or telemetry_wanted:
         from repro.instrument import Recorder
 
         recorder = Recorder(capture_events=bool(args.trace))
-    if args.wavepipe:
-        report = compare_with_sequential(
-            compiled,
-            command.tstop,
-            scheme=args.wavepipe,
-            threads=args.threads,
-            tstep=command.tstep,
-            options=netlist.options,
-            executor=args.executor,
-            instrument=recorder,
-        )
-        result = report.pipelined
+    with contextlib.ExitStack() as scopes:
+        if args.serve_metrics is not None:
+            from repro.instrument import MetricsServer
+
+            server = scopes.enter_context(
+                MetricsServer(recorder, port=args.serve_metrics)
+            )
+            print(f"* /metrics on http://127.0.0.1:{server.port}/metrics")
+        if args.heartbeat or args.progress:
+            from repro.instrument import heartbeat_for
+
+            scopes.enter_context(
+                heartbeat_for(
+                    recorder,
+                    interval=args.heartbeat_interval,
+                    jsonl=args.heartbeat,
+                    progress=args.progress,
+                )
+            )
+        if args.wavepipe:
+            report = compare_with_sequential(
+                compiled,
+                command.tstop,
+                scheme=args.wavepipe,
+                threads=args.threads,
+                tstep=command.tstep,
+                options=netlist.options,
+                executor=args.executor,
+                instrument=recorder,
+            )
+            result = report.pipelined
+        else:
+            report = None
+            result = simulate(
+                compiled,
+                analysis="transient",
+                tstop=command.tstop,
+                tstep=command.tstep,
+                options=netlist.options,
+                instrument=recorder,
+            )
+    if report is not None:
         print(f"* wavepipe {report.summary()}")
     else:
-        result = simulate(
-            compiled,
-            analysis="transient",
-            tstop=command.tstop,
-            tstep=command.tstep,
-            options=netlist.options,
-            instrument=recorder,
-        )
         print(
             f"* transient: {result.stats.accepted_points} points, "
             f"{result.stats.rejected_points} rejected, "
             f"{result.stats.newton_iterations} Newton iterations"
         )
+    if args.heartbeat:
+        print(f"* heartbeats written to {args.heartbeat}")
 
     if args.metrics and result.metrics is not None:
         print(result.metrics.summary())

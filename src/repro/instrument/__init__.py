@@ -12,6 +12,11 @@ The observability substrate of the engine (see ``docs/observability.md``):
   lane per pipeline thread (:mod:`repro.instrument.exporters`).
 * :class:`RunMetrics` — the end-of-run summary every transient result
   carries (:mod:`repro.instrument.metrics`).
+* live telemetry — :class:`Heartbeat` progress reporting
+  (:mod:`repro.instrument.telemetry`), Prometheus text exposition and a
+  stdlib ``/metrics`` endpoint (:mod:`repro.instrument.prometheus`).
+* perf trending — committed bench baselines and regression diffs
+  (:mod:`repro.instrument.perf`), driven by ``python -m repro perf``.
 
 Typical use::
 
@@ -41,12 +46,21 @@ from repro.instrument.events import (
 from repro.instrument.exporters import (
     chrome_trace_dict,
     read_jsonl,
+    recorder_from_jsonl,
     write_chrome_trace,
     write_jsonl,
     write_trace,
 )
 from repro.instrument.metrics import RunMetrics, metrics_delta
+from repro.instrument.perf import (
+    build_baseline,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.instrument.prometheus import MetricsServer, serve_metrics, to_prometheus
 from repro.instrument.recorder import (
+    EVENTS_DROPPED,
     NULL_RECORDER,
     Histogram,
     NullRecorder,
@@ -56,6 +70,7 @@ from repro.instrument.recorder import (
     set_recorder,
     use_recorder,
 )
+from repro.instrument.telemetry import Heartbeat, heartbeat_for
 
 __all__ = [
     "TraceEvent",
@@ -83,5 +98,16 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
     "read_jsonl",
+    "recorder_from_jsonl",
     "write_trace",
+    "EVENTS_DROPPED",
+    "Heartbeat",
+    "heartbeat_for",
+    "MetricsServer",
+    "serve_metrics",
+    "to_prometheus",
+    "build_baseline",
+    "diff_against_baseline",
+    "load_baseline",
+    "write_baseline",
 ]

@@ -78,6 +78,24 @@ def read_jsonl(source) -> tuple[list[TraceEvent], dict]:
             handle.close()
 
 
+def recorder_from_jsonl(source) -> "Recorder":
+    """Rebuild a :class:`Recorder` from a :func:`write_jsonl` file.
+
+    The summary footer restores counters, histogram summaries (including
+    log2 buckets) and the dropped-event count via ``Recorder.merge``;
+    the event rows repopulate the event log. The result feeds straight
+    into :func:`chrome_trace_dict`, so a JSONL log captured on one host
+    (or in a worker process) converts to a Perfetto trace on another.
+    """
+    from repro.instrument.recorder import Recorder
+
+    events, summary = read_jsonl(source)
+    recorder = Recorder()
+    recorder.merge(summary)
+    recorder.events.extend(events)
+    return recorder
+
+
 def _lane_name(lane: int) -> str:
     return "scheduler" if lane == 0 else f"worker-{lane}"
 

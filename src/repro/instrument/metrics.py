@@ -54,6 +54,10 @@ class RunMetrics:
     #: Counter snapshot from the attached recorder, when one was enabled.
     counters: dict = field(default_factory=dict)
 
+    #: Trace events the recorder could not retain (capacity overflow);
+    #: nonzero means the exported trace is incomplete.
+    events_dropped: int = 0
+
     # -- derived ratios ---------------------------------------------------------
 
     @property
@@ -152,6 +156,7 @@ class RunMetrics:
         metrics.guard_salvages = extra.get("guard_salvages", 0)
         if recorder is not None and recorder.enabled:
             metrics.counters = dict(recorder.counters)
+            metrics.events_dropped = int(getattr(recorder, "dropped_events", 0))
         return metrics
 
     # -- presentation -----------------------------------------------------------
@@ -196,6 +201,8 @@ class RunMetrics:
                     "guard_salvages": self.guard_salvages,
                 }
             )
+        if self.events_dropped:
+            out["events_dropped"] = self.events_dropped
         if self.counters:
             out["counters"] = dict(self.counters)
         return out
@@ -217,6 +224,11 @@ class RunMetrics:
             f"  wall: dcop {self.dcop_seconds:.4f}s + transient "
             f"{self.tran_seconds:.4f}s = {self.wall_seconds:.4f}s"
         )
+        if self.events_dropped:
+            lines.append(
+                f"  trace: {self.events_dropped} events dropped "
+                f"(raise Recorder max_events for a complete trace)"
+            )
         if self.lu_solves:
             lines.append(
                 f"  lu: {self.lu_factors} factor + {self.lu_refactors} refactor, "

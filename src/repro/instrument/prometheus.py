@@ -1,0 +1,155 @@
+"""Prometheus text-format exposition of recorder state.
+
+:func:`to_prometheus` renders a recorder (or a portable ``snapshot()``
+dict) in the Prometheus text exposition format (version 0.0.4):
+
+* every counter becomes ``repro_<name>_total`` (dots and other invalid
+  characters fold to ``_``), e.g. ``newton.iterations`` →
+  ``repro_newton_iterations_total``;
+* every histogram becomes a native Prometheus histogram: cumulative
+  ``_bucket{le="..."}`` lines derived from the recorder's log2 buckets
+  (upper bound ``2**(b+1)`` for bucket *b*), plus ``_sum`` and
+  ``_count``.
+
+:class:`MetricsServer` serves that rendering on a plain
+``http.server``-based ``/metrics`` endpoint — no third-party client
+library, scrape-ready — which the CLI exposes as ``--serve-metrics
+PORT`` for long campaigns.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+#: Metric-name prefix for everything the engine exports.
+NAMESPACE = "repro"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: text exposition content type, as scraped by Prometheus.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(name: str, namespace: str = NAMESPACE) -> str:
+    """Fold a recorder channel name into a valid Prometheus metric name."""
+    folded = _INVALID.sub("_", name)
+    if folded and folded[0].isdigit():
+        folded = "_" + folded
+    return f"{namespace}_{folded}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(source, namespace: str = NAMESPACE) -> str:
+    """Render *source* (Recorder or snapshot dict) as exposition text."""
+    snap = source if isinstance(source, dict) else source.snapshot()
+    lines: list[str] = []
+    for name in sorted(snap.get("counters") or {}):
+        metric = metric_name(name, namespace) + "_total"
+        lines.append(f"# HELP {metric} repro counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(snap['counters'][name])}")
+    for name in sorted(snap.get("histograms") or {}):
+        data = snap["histograms"][name]
+        metric = metric_name(name, namespace)
+        lines.append(f"# HELP {metric} repro histogram {name}")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        buckets = {int(b): int(n) for b, n in (data.get("buckets") or {}).items()}
+        for bucket in sorted(buckets):
+            cumulative += buckets[bucket]
+            le = 2.0 ** (bucket + 1)
+            lines.append(f'{metric}_bucket{{le="{le!r}"}} {cumulative}')
+        count = int(data.get("count", 0))
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(float(data.get('total', 0.0)))}")
+        lines.append(f"{metric}_count {count}")
+    dropped = snap.get("dropped_events", 0)
+    metric = f"{namespace}_instrument_dropped_events"
+    lines.append(f"# HELP {metric} trace events not retained by the recorder")
+    lines.append(f"# TYPE {metric} gauge")
+    lines.append(f"{metric} {int(dropped)}")
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Background ``/metrics`` endpoint over one recorder.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.port`` after :meth:`start`. Only ``GET /metrics`` (plus a
+    trivial ``/healthz``) is served; everything else is 404.
+    """
+
+    def __init__(self, recorder, port: int = 0, host: str = "127.0.0.1"):
+        self.recorder = recorder
+        self.host = host
+        self._requested_port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            return self
+        recorder = self.recorder
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (http.server API)
+                if self.path.split("?")[0] == "/metrics":
+                    body = to_prometheus(recorder).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                else:
+                    body = b"try /metrics\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr noise
+                pass
+
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), Handler)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, self._httpd = self._httpd, None
+        thread, self._thread = self._thread, None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join()
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def serve_metrics(recorder, port: int = 0, host: str = "127.0.0.1") -> MetricsServer:
+    """Start (and return) a :class:`MetricsServer` for *recorder*."""
+    return MetricsServer(recorder, port=port, host=host).start()

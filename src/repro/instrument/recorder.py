@@ -26,9 +26,14 @@ import contextlib
 import math
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.instrument.events import TraceEvent
+
+#: Counter booked whenever an event is not retained (capacity overflow in
+#: ``drop`` mode, eviction of the oldest record in ``tail`` mode).
+EVENTS_DROPPED = "instrument.events_dropped"
 
 
 @dataclass
@@ -64,7 +69,31 @@ class Histogram:
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
             "mean": self.mean,
+            "buckets": dict(self.buckets),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output (JSON string keys accepted)."""
+        hist = cls()
+        hist.merge_dict(data)
+        return hist
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold another histogram's :meth:`to_dict` summary into this one."""
+        count = int(data.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(data.get("total", 0.0))
+        low, high = data.get("min"), data.get("max")
+        if low is not None and float(low) < self.minimum:
+            self.minimum = float(low)
+        if high is not None and float(high) > self.maximum:
+            self.maximum = float(high)
+        for bucket, n in (data.get("buckets") or {}).items():
+            key = int(bucket)  # JSON round-trips dict keys as strings
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
 
 
 def _log2_bucket(value: float) -> int:
@@ -74,16 +103,33 @@ def _log2_bucket(value: float) -> int:
 
 
 class Recorder:
-    """Collecting recorder: counters + histograms + bounded event log."""
+    """Collecting recorder: counters + histograms + bounded event log.
+
+    ``evict`` picks the overflow policy once ``max_events`` is reached:
+    ``"drop"`` (the default) keeps the *first* events and discards new
+    ones — the cheap choice for whole-run traces; ``"tail"`` keeps the
+    *last* events in a ring buffer — what worker processes use so a
+    crash post-mortem sees how the run ended, not how it began. Either
+    way every unretained event is tallied in ``dropped_events`` and the
+    ``instrument.events_dropped`` counter.
+    """
 
     enabled = True
 
-    def __init__(self, capture_events: bool = True, max_events: int = 500_000):
+    def __init__(
+        self,
+        capture_events: bool = True,
+        max_events: int = 500_000,
+        evict: str = "drop",
+    ):
+        if evict not in ("drop", "tail"):
+            raise ValueError(f"evict must be 'drop' or 'tail', got {evict!r}")
         self.capture_events = capture_events
         self.max_events = max_events
+        self.evict = evict
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
-        self.events: list[TraceEvent] = []
+        self.events = deque(maxlen=max_events) if evict == "tail" else []
         self.dropped_events = 0
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
@@ -127,10 +173,16 @@ class Recorder:
             ts = self.clock()
         record = TraceEvent(name, ts, dur, lane, t_sim, attrs)
         with self._lock:
-            if len(self.events) >= self.max_events:
-                self.dropped_events += 1
+            self._append_record(record)
+
+    def _append_record(self, record: TraceEvent) -> None:
+        """Append under the caller-held lock, honouring the evict policy."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            self.counters[EVENTS_DROPPED] = self.counters.get(EVENTS_DROPPED, 0) + 1
+            if self.evict == "drop":
                 return
-            self.events.append(record)
+        self.events.append(record)
 
     @contextlib.contextmanager
     def span(self, name: str, lane: int = 0, t_sim: float | None = None, **attrs):
@@ -147,15 +199,59 @@ class Recorder:
     def counter(self, name: str, default: float = 0) -> float:
         return self.counters.get(name, default)
 
-    def snapshot(self) -> dict:
-        """JSON-safe snapshot of counters and histogram summaries."""
+    def snapshot(self, events_tail: int = 0) -> dict:
+        """JSON-safe snapshot of counters and histogram summaries.
+
+        With ``events_tail > 0`` the snapshot also carries the last that
+        many events (as :meth:`TraceEvent.to_dict` rows) under
+        ``"events_tail"`` — the portable form another process's recorder
+        can absorb via :meth:`merge`.
+        """
         with self._lock:
-            return {
+            snap = {
                 "counters": dict(self.counters),
                 "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
                 "events": len(self.events),
                 "dropped_events": self.dropped_events,
             }
+            if events_tail > 0:
+                tail = list(self.events)[-events_tail:]
+                snap["events_tail"] = [ev.to_dict() for ev in tail]
+        return snap
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold another recorder's :meth:`snapshot` into this one.
+
+        Counters add, histograms combine (count/total/min/max and log2
+        buckets), ``dropped_events`` accumulates, and any serialized
+        ``events_tail`` rows are appended to the event log (subject to
+        this recorder's own capacity and evict policy). This is how the
+        batch scheduler aggregates per-worker telemetry into the
+        campaign-level recorder.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            for name, value in (snapshot.get("counters") or {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, data in (snapshot.get("histograms") or {}).items():
+                hist = self.histograms.get(name)
+                if hist is None:
+                    hist = self.histograms[name] = Histogram()
+                hist.merge_dict(data)
+            self.dropped_events += int(snapshot.get("dropped_events", 0))
+            if self.capture_events:
+                for row in snapshot.get("events_tail") or ():
+                    self._append_record(
+                        TraceEvent(
+                            name=row["name"],
+                            ts=row["ts"],
+                            dur=row.get("dur"),
+                            lane=row.get("lane", 0),
+                            t_sim=row.get("t_sim"),
+                            attrs=row.get("attrs", {}),
+                        )
+                    )
 
     @property
     def lanes(self) -> list[int]:
@@ -202,8 +298,11 @@ class NullRecorder:
     def counter(self, name: str, default: float = 0) -> float:
         return default
 
-    def snapshot(self) -> dict:
+    def snapshot(self, events_tail: int = 0) -> dict:
         return {"counters": {}, "histograms": {}, "events": 0, "dropped_events": 0}
+
+    def merge(self, snapshot) -> None:
+        pass
 
     @property
     def lanes(self) -> list[int]:

@@ -1,0 +1,222 @@
+"""Live telemetry: wall-clock heartbeats for long-running work.
+
+A :class:`Heartbeat` watches a :class:`~repro.instrument.recorder.Recorder`
+from a background thread and, on a fixed wall-clock interval, emits one
+*heartbeat* per tick: the current counter snapshot, the per-interval
+deltas, derived progress (jobs done/failed/cached, accepted points per
+second, an ETA when the total job count is known). Heartbeats go to a
+JSONL sink, an optional TTY status line, or both — so a multi-hour
+Monte-Carlo campaign or wavepipe run is observable *while it runs*
+instead of only after it finishes.
+
+Heartbeat JSONL schema (one object per line)::
+
+    {"record": "heartbeat", "seq": 3, "elapsed": 6.0, "final": false,
+     "counters": {...},            # cumulative counter snapshot
+     "deltas": {...},              # counter movement since the last tick
+     "jobs": {"total": 16, "done": 5, "failed": 1, "cached": 2},
+     "points_per_second": 1234.5,  # accepted points over the interval
+     "eta_seconds": 12.8}          # null when total is unknown / no rate
+
+The reporter only ever *reads* the recorder (``snapshot()`` is
+thread-safe), so it composes with any producer: the in-process engine,
+the batch scheduler merging worker snapshots, or both at once.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+#: Counters summed into the "failed" heartbeat bucket.
+_FAILURE_COUNTERS = ("jobs.failed", "jobs.timeouts", "jobs.crashes")
+
+
+class Heartbeat:
+    """Periodic snapshot-delta reporter over one recorder.
+
+    Args:
+        recorder: the recorder to sample (its ``snapshot()`` is the only
+            method used, so any recorder type works).
+        interval: wall-clock seconds between samples.
+        total_jobs: expected job count, for progress/ETA lines; None
+            leaves the ETA null.
+        jsonl: path of the JSONL heartbeat log, or None to skip it.
+        stream: text stream for the live status line, or None for no
+            status line. The line is carriage-return rewritten on TTYs
+            and printed whole otherwise.
+
+    Use as a context manager (``with Heartbeat(...)``) or via
+    ``start()``/``stop()``. ``stop()`` always emits one final sample so
+    short runs still produce at least one heartbeat.
+    """
+
+    def __init__(
+        self,
+        recorder,
+        interval: float = 5.0,
+        total_jobs: int | None = None,
+        jsonl: str | None = None,
+        stream=None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {interval}")
+        self.recorder = recorder
+        self.interval = interval
+        self.total_jobs = total_jobs
+        self.jsonl_path = jsonl
+        self.stream = stream
+        self.records: list[dict] = []
+        self._handle = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._seq = 0
+        self._started_at: float | None = None
+        self._last_counters: dict[str, float] = {}
+        self._last_time: float | None = None
+        self._status_live = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> "Heartbeat":
+        if self._thread is not None:
+            return self
+        self._started_at = time.monotonic()
+        self._last_time = self._started_at
+        self._last_counters = dict(self.recorder.snapshot()["counters"])
+        if self.jsonl_path is not None:
+            self._handle = open(self.jsonl_path, "w", encoding="utf-8")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join()
+        self.sample(final=True)
+        if self._status_live and self.stream is not None:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._status_live = False
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
+
+    # -- sampling ---------------------------------------------------------------
+
+    def sample(self, final: bool = False) -> dict:
+        """Take one sample now; returns (and records) the heartbeat dict."""
+        now = time.monotonic()
+        counters = dict(self.recorder.snapshot()["counters"])
+        dt = max(now - (self._last_time or now), 1e-9)
+        deltas = {
+            name: value - self._last_counters.get(name, 0)
+            for name, value in counters.items()
+            if value != self._last_counters.get(name, 0)
+        }
+        record = {
+            "record": "heartbeat",
+            "seq": self._seq,
+            "elapsed": now - (self._started_at or now),
+            "final": final,
+            "counters": counters,
+            "deltas": deltas,
+            "jobs": self._job_progress(counters),
+            "points_per_second": deltas.get("points.accepted", 0) / dt,
+            "eta_seconds": None,
+        }
+        record["eta_seconds"] = self._eta(record)
+        self._seq += 1
+        self._last_counters = counters
+        self._last_time = now
+        self.records.append(record)
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        if self.stream is not None:
+            self._emit_status(record)
+        return record
+
+    def _job_progress(self, counters: dict) -> dict:
+        return {
+            "total": self.total_jobs,
+            "done": counters.get("jobs.completed", 0),
+            "cached": counters.get("jobs.cache_hits", 0),
+            "failed": sum(counters.get(name, 0) for name in _FAILURE_COUNTERS),
+        }
+
+    def _eta(self, record: dict) -> float | None:
+        """Remaining seconds from the cumulative completion rate."""
+        jobs = record["jobs"]
+        if self.total_jobs is None:
+            return None
+        settled = jobs["done"] + jobs["cached"] + jobs["failed"]
+        remaining = max(self.total_jobs - settled, 0)
+        if remaining == 0:
+            return 0.0
+        elapsed = record["elapsed"]
+        if settled <= 0 or elapsed <= 0:
+            return None
+        return remaining * elapsed / settled
+
+    def _emit_status(self, record: dict) -> None:
+        jobs = record["jobs"]
+        total = f"/{self.total_jobs}" if self.total_jobs is not None else ""
+        eta = record["eta_seconds"]
+        line = (
+            f"[heartbeat {record['elapsed']:7.1f}s] "
+            f"jobs {jobs['done']:g} done{total}, {jobs['failed']:g} failed, "
+            f"{jobs['cached']:g} cached | "
+            f"{record['points_per_second']:.0f} pts/s | "
+            f"ETA {'--' if eta is None else f'{eta:.0f}s'}"
+        )
+        if getattr(self.stream, "isatty", lambda: False)():
+            self.stream.write("\r\x1b[2K" + line)
+            self._status_live = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+def heartbeat_for(
+    recorder,
+    interval: float = 5.0,
+    total_jobs: int | None = None,
+    jsonl: str | None = None,
+    progress: bool = False,
+):
+    """CLI helper: a started-on-entry Heartbeat, or a no-op context.
+
+    Returns a context manager either way, so call sites can write
+    ``with heartbeat_for(rec, ...):`` without branching on whether any
+    telemetry sink was requested.
+    """
+    import contextlib
+
+    if jsonl is None and not progress:
+        return contextlib.nullcontext()
+    return Heartbeat(
+        recorder,
+        interval=interval,
+        total_jobs=total_jobs,
+        jsonl=jsonl,
+        stream=sys.stderr if progress else None,
+    )

@@ -56,7 +56,12 @@ from repro.jobs.spec import (
     jitterable_params,
 )
 from repro.jobs.store import JOB_STATUSES, MANIFEST_VERSION, CampaignStore
-from repro.jobs.workers import JobResult, execute_job
+from repro.jobs.workers import (
+    TELEMETRY_EVENT_TAIL,
+    JobResult,
+    deterministic_telemetry,
+    execute_job,
+)
 
 __all__ = [
     "JobSpec",
@@ -67,6 +72,8 @@ __all__ = [
     "apply_params",
     "JobResult",
     "execute_job",
+    "deterministic_telemetry",
+    "TELEMETRY_EVENT_TAIL",
     "ResultCache",
     "CampaignStore",
     "MANIFEST_VERSION",

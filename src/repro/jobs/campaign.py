@@ -22,6 +22,7 @@ uninterrupted run's).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -293,6 +294,11 @@ def rollup_metrics(outcomes: list[JobOutcome], workers: int = 1) -> RunMetrics:
         metrics.newton_failures += int(stats.get("newton_failures", 0))
         metrics.newton_iterations += int(stats.get("newton_iterations", 0))
         metrics.work_units += float(stats.get("work_units", 0.0))
+        metrics.lu_factors += int(stats.get("lu_factors", 0))
+        metrics.lu_refactors += int(stats.get("lu_refactors", 0))
+        metrics.lu_solves += int(stats.get("lu_solves", 0))
+        metrics.lu_reuse_hits += int(stats.get("lu_reuse_hits", 0))
+        metrics.bypass_fallbacks += int(stats.get("bypass_fallbacks", 0))
         if not result.cached:
             metrics.tran_seconds += outcome.elapsed or result.elapsed
     return metrics
@@ -308,6 +314,7 @@ def run_campaign(
     backoff: float = 0.0,
     instrument=None,
     on_outcome=None,
+    heartbeat=None,
 ) -> CampaignResult:
     """Run every job of *campaign*, checkpointing into *store*.
 
@@ -317,9 +324,13 @@ def run_campaign(
         backend / workers / timeout / retries / backoff: scheduler
             configuration (see :class:`~repro.jobs.scheduler.JobScheduler`).
         instrument: optional Recorder; gains ``jobs.*`` counters, per-job
-            ``job_run`` events and a campaign-level ``campaign_run`` event.
+            ``job_run`` events, worker telemetry rollups and a
+            campaign-level ``campaign_run`` event.
         on_outcome: optional callback fired per job outcome (after the
             manifest checkpoint).
+        heartbeat: optional :class:`~repro.instrument.telemetry.Heartbeat`
+            started for the duration of the scheduler run (its
+            ``total_jobs`` is set to the campaign size if unset).
     """
     if isinstance(store, (str, bytes)) or hasattr(store, "__fspath__"):
         store = CampaignStore(store)
@@ -356,8 +367,11 @@ def run_campaign(
         backoff=backoff,
         instrument=instrument,
     )
+    if heartbeat is not None and heartbeat.total_jobs is None:
+        heartbeat.total_jobs = len(campaign.jobs)
+    beat_scope = heartbeat if heartbeat is not None else contextlib.nullcontext()
     with rec.span(CAMPAIGN_RUN, campaign=campaign.name, jobs=len(campaign.jobs)):
-        with scheduler:
+        with beat_scope, scheduler:
             outcomes = scheduler.run(campaign.jobs, on_outcome=checkpoint)
     rec.count("jobs.campaigns")
     effective_workers = getattr(scheduler.backend, "workers", workers)

@@ -32,13 +32,22 @@ from multiprocessing import connection as mp_connection
 
 from repro.errors import SimulationError
 from repro.instrument.events import JOB_RUN
-from repro.instrument.recorder import resolve_recorder
+from repro.instrument.recorder import Recorder, resolve_recorder
 from repro.jobs.spec import JobSpec
-from repro.jobs.workers import JobResult, execute_job, worker_main
+from repro.jobs.workers import (
+    TELEMETRY_EVENT_TAIL,
+    JobResult,
+    execute_job,
+    worker_main,
+)
 
 #: Upper bound on one supervisor wait; keeps timeout enforcement and new
 #: job dispatch responsive even when no pipe becomes ready.
 _POLL_INTERVAL = 0.2
+
+#: After terminating a timed-out worker, how long to wait for the final
+#: message its SIGTERM handler sends (the partial telemetry snapshot).
+_TERMINATE_GRACE = 0.5
 
 #: Backend registry keys accepted by :func:`make_backend`.
 BACKENDS = ("serial", "process")
@@ -55,6 +64,11 @@ class JobOutcome:
     error: str | None = None
     attempts: int = 0
     elapsed: float = 0.0
+    #: Portable recorder snapshot of the job's own solver work, when the
+    #: scheduler ran under telemetry: live worker snapshots for executed
+    #: jobs (including failures/timeouts), the cached deterministic
+    #: rollup for cache hits, None otherwise.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -67,16 +81,27 @@ class SerialBackend:
     kind = "serial"
     workers = 1
 
-    def run(self, indexed_specs, timeout, emit) -> None:
+    def run(self, indexed_specs, timeout, emit, telemetry: bool = False) -> None:
         for index, spec in indexed_specs:
+            recorder = (
+                Recorder(max_events=TELEMETRY_EVENT_TAIL, evict="tail")
+                if telemetry
+                else None
+            )
+
+            def snapshot():
+                if recorder is None:
+                    return None
+                return recorder.snapshot(events_tail=TELEMETRY_EVENT_TAIL)
+
             t0 = time.perf_counter()
             try:
-                result = execute_job(spec)
+                result = execute_job(spec, instrument=recorder)
             except Exception as exc:
                 emit(index, "error", f"{type(exc).__name__}: {exc}",
-                     time.perf_counter() - t0)
+                     time.perf_counter() - t0, snapshot())
             else:
-                emit(index, "ok", result, result.elapsed)
+                emit(index, "ok", result, result.elapsed, snapshot())
 
     def close(self) -> None:
         pass
@@ -110,7 +135,7 @@ class ProcessPoolBackend:
         self.start_method = start_method
         self._ctx = multiprocessing.get_context(start_method)
 
-    def run(self, indexed_specs, timeout, emit) -> None:
+    def run(self, indexed_specs, timeout, emit, telemetry: bool = False) -> None:
         pending = deque(indexed_specs)
         running: dict = {}  # reader conn -> [index, process, started]
         try:
@@ -120,7 +145,7 @@ class ProcessPoolBackend:
                     reader, writer = self._ctx.Pipe(duplex=False)
                     process = self._ctx.Process(
                         target=worker_main,
-                        args=(writer, spec.to_dict()),
+                        args=(writer, spec.to_dict(), telemetry),
                         daemon=True,
                     )
                     process.start()
@@ -147,6 +172,17 @@ class ProcessPoolBackend:
                     for reader in expired:
                         index, process, started = running.pop(reader)
                         process.terminate()
+                        # The worker's SIGTERM handler ships one last
+                        # ("error", ..., snapshot) message; grab its
+                        # partial telemetry before closing the pipe.
+                        snapshot = None
+                        try:
+                            if reader.poll(_TERMINATE_GRACE):
+                                message = reader.recv()
+                                if len(message) >= 4:
+                                    snapshot = message[3]
+                        except (EOFError, OSError):
+                            pass
                         process.join()
                         reader.close()
                         emit(
@@ -154,6 +190,7 @@ class ProcessPoolBackend:
                             "timeout",
                             f"job exceeded {timeout:g}s wall-clock timeout",
                             now - started,
+                            snapshot,
                         )
         finally:
             # A raised callback or KeyboardInterrupt must not leak workers.
@@ -166,7 +203,7 @@ class ProcessPoolBackend:
     def _finish(reader, index, process, started, emit) -> None:
         """Collect one finished worker: clean result, error, or death."""
         try:
-            status, payload, elapsed = reader.recv()
+            status, payload, elapsed, snapshot = reader.recv()
         except (EOFError, OSError):
             process.join()
             emit(
@@ -182,9 +219,9 @@ class ProcessPoolBackend:
         if status == "ok":
             result = JobResult.from_dict(payload)
             result.elapsed = elapsed
-            emit(index, "ok", result, elapsed)
+            emit(index, "ok", result, elapsed, snapshot)
         else:
-            emit(index, "error", payload, elapsed)
+            emit(index, "error", payload, elapsed, snapshot)
 
     def close(self) -> None:
         pass
@@ -280,7 +317,21 @@ class JobScheduler:
             cached = self.cache.get(spec_hash) if self.cache is not None else None
             if cached is not None:
                 rec.count("jobs.cache_hits")
-                settle(index, JobOutcome(spec, spec_hash, "cached", result=cached))
+                # A cached result carries the deterministic telemetry of
+                # the run that produced it; merging it keeps campaign
+                # rollups identical between fresh and resumed runs.
+                if rec.enabled and cached.telemetry:
+                    rec.merge(cached.telemetry)
+                settle(
+                    index,
+                    JobOutcome(
+                        spec,
+                        spec_hash,
+                        "cached",
+                        result=cached,
+                        telemetry=cached.telemetry,
+                    ),
+                )
             else:
                 rec.count("jobs.cache_misses")
                 to_run.append(index)
@@ -295,9 +346,16 @@ class JobScheduler:
                     time.sleep(delay)
             failed_this_round: list[int] = []
 
-            def emit(index: int, status: str, payload, elapsed: float) -> None:
+            def emit(
+                index: int, status: str, payload, elapsed: float, snapshot=None
+            ) -> None:
                 spec = specs[index]
                 attempts[index] += 1
+                # Fold the worker's solver work into the campaign-level
+                # recorder whatever the outcome — failed and timed-out
+                # jobs burned real Newton iterations too.
+                if rec.enabled and snapshot:
+                    rec.merge(snapshot)
                 if status == "ok":
                     result: JobResult = payload
                     if self.cache is not None:
@@ -312,6 +370,7 @@ class JobScheduler:
                             result=result,
                             attempts=attempts[index],
                             elapsed=elapsed,
+                            telemetry=snapshot,
                         ),
                     )
                     return
@@ -327,11 +386,15 @@ class JobScheduler:
                         error=str(payload),
                         attempts=attempts[index],
                         elapsed=elapsed,
+                        telemetry=snapshot,
                     ),
                 )
 
             self.backend.run(
-                [(index, specs[index]) for index in to_run], self.timeout, emit
+                [(index, specs[index]) for index in to_run],
+                self.timeout,
+                emit,
+                telemetry=rec.enabled,
             )
             # Jobs the backend never reported (defensive): mark failed.
             for index in to_run:

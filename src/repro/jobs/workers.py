@@ -17,11 +17,14 @@ never reach disk.
 
 from __future__ import annotations
 
+import contextlib
+import signal
 import time
 import traceback
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.instrument import Recorder, use_recorder
 from repro.jobs.spec import JobSpec, apply_params
 from repro.utils.options import SimOptions
 
@@ -40,7 +43,16 @@ _STAT_FIELDS = (
     "newton_failures",
     "newton_iterations",
     "work_units",
+    "lu_factors",
+    "lu_refactors",
+    "lu_solves",
+    "lu_reuse_hits",
+    "bypass_fallbacks",
 )
+
+#: Ring-buffer depth of a telemetry worker's event log: post-mortems need
+#: the *last* events before a crash or timeout, not a whole-run trace.
+TELEMETRY_EVENT_TAIL = 64
 
 
 @dataclass
@@ -59,11 +71,16 @@ class JobResult:
     times: list[float]
     signals: dict[str, list[float]]
     stats: dict = field(default_factory=dict)
+    #: Deterministic recorder rollup of the job's own solver work
+    #: (counters + histogram summaries, no wall-clock data), present only
+    #: when the job ran under telemetry. Cached alongside the waveforms so
+    #: a resumed campaign aggregates the same totals as a fresh one.
+    telemetry: dict | None = None
     elapsed: float = 0.0
     cached: bool = False
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "spec_hash": self.spec_hash,
             "label": self.label,
             "analysis": self.analysis,
@@ -72,6 +89,9 @@ class JobResult:
             "signals": self.signals,
             "stats": self.stats,
         }
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "JobResult":
@@ -83,11 +103,45 @@ class JobResult:
             times=list(data["times"]),
             signals={k: list(v) for k, v in data["signals"].items()},
             stats=dict(data.get("stats") or {}),
+            telemetry=data.get("telemetry"),
         )
 
 
-def execute_job(spec: JobSpec) -> JobResult:
+def deterministic_telemetry(recorder) -> dict | None:
+    """The cacheable slice of a recorder's state, or None when inert.
+
+    Counters and histogram summaries are pure counts / simulated-time
+    quantities — byte-stable across reruns — so they may ride inside the
+    deterministic result payload. Event records carry wall-clock
+    timestamps and stay out; they travel separately (runtime-only) as the
+    worker's ``events_tail`` snapshot.
+    """
+    if recorder is None or not getattr(recorder, "enabled", False):
+        return None
+    snap = recorder.snapshot()
+    # Stringify histogram bucket keys so the payload equals its own JSON
+    # roundtrip — cached results must replay byte-identical telemetry.
+    histograms = {
+        name: {
+            **hist,
+            "buckets": {str(k): v for k, v in hist.get("buckets", {}).items()},
+        }
+        for name, hist in snap["histograms"].items()
+    }
+    return {
+        "counters": snap["counters"],
+        "histograms": histograms,
+        "dropped_events": snap.get("dropped_events", 0),
+    }
+
+
+def execute_job(spec: JobSpec, instrument=None) -> JobResult:
     """Run one job in the current process and return its result.
+
+    With *instrument* (a recorder) the engine runs under it via
+    :func:`use_recorder` — spec options travel as JSON and cannot carry a
+    live recorder — and the result gains its deterministic telemetry
+    rollup.
 
     Raises whatever the engine raises (:class:`~repro.errors.ReproError`
     subclasses for simulation failures); the schedulers translate those
@@ -110,15 +164,19 @@ def execute_job(spec: JobSpec) -> JobResult:
     options = built.options or SimOptions()
     if spec.options:
         options = options.replace(**spec.options)
-    result = simulate(
-        circuit,
-        analysis=spec.analysis,
-        tstop=tstop,
-        tstep=tstep,
-        options=options,
-        threads=spec.threads,
-        scheme=spec.scheme,
+    sim_scope = (
+        use_recorder(instrument) if instrument is not None else contextlib.nullcontext()
     )
+    with sim_scope:
+        result = simulate(
+            circuit,
+            analysis=spec.analysis,
+            tstop=tstop,
+            tstep=tstep,
+            options=options,
+            threads=spec.threads,
+            scheme=spec.scheme,
+        )
     waveforms = result.waveforms
     names = list(spec.signals) if spec.signals is not None else None
     if names is None and built.signals is not None:
@@ -144,25 +202,55 @@ def execute_job(spec: JobSpec) -> JobResult:
         times=[float(t) for t in waveforms.times],
         signals={n: [float(v) for v in waveforms[n].values] for n in names},
         stats=stat_dump,
+        telemetry=deterministic_telemetry(instrument),
         elapsed=time.perf_counter() - t0,
     )
 
 
-def worker_main(conn, spec_dict: dict) -> None:
+class _Terminated(BaseException):
+    """Raised by the worker's SIGTERM handler so the normal except path
+    runs and ships a final telemetry snapshot before the process dies."""
+
+
+def _on_sigterm(signum, frame):
+    raise _Terminated(f"worker received signal {signum}")
+
+
+def worker_main(conn, spec_dict: dict, telemetry: bool = False) -> None:
     """Child-process entry: run one job, ship the outcome over *conn*.
 
-    Sends ``("ok", result_dict, elapsed)`` or ``("error", traceback_text,
-    elapsed)``. Anything else the parent observes (EOF, nonzero exit)
-    means the worker died mid-job — which fails that job only.
+    Sends ``("ok", result_dict, elapsed, snapshot)`` or ``("error",
+    traceback_text, elapsed, snapshot)``; *snapshot* is the worker
+    recorder's portable snapshot (None with telemetry off). The snapshot
+    rides on *every* outcome — including failures and the SIGTERM a
+    parent-side timeout delivers — so the campaign rollup still sees the
+    partial solver work of jobs that never finished. Anything else the
+    parent observes (EOF, nonzero exit) means the worker died mid-job —
+    which fails that job only.
     """
+    recorder = (
+        Recorder(max_events=TELEMETRY_EVENT_TAIL, evict="tail") if telemetry else None
+    )
+
+    def snapshot():
+        if recorder is None:
+            return None
+        return recorder.snapshot(events_tail=TELEMETRY_EVENT_TAIL)
+
     t0 = time.perf_counter()
     try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
+    try:
         spec = JobSpec.from_dict(spec_dict)
-        result = execute_job(spec)
-        conn.send(("ok", result.to_dict(), result.elapsed))
+        result = execute_job(spec, instrument=recorder)
+        conn.send(("ok", result.to_dict(), result.elapsed, snapshot()))
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc(), time.perf_counter() - t0))
+            conn.send(
+                ("error", traceback.format_exc(), time.perf_counter() - t0, snapshot())
+            )
         except (BrokenPipeError, OSError):  # parent gone: nothing to report
             pass
     finally:

@@ -1,0 +1,116 @@
+"""Property test: the JSONL trace log is a lossless recorder serialization.
+
+``write_jsonl -> recorder_from_jsonl`` must preserve events (order,
+lanes, durations, attrs), counters, and histogram summaries including
+the log2 buckets — so the rebuilt recorder renders the *same* Chrome
+trace as the original. Runs derandomized (seeded) so CI is stable.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrument import (
+    Recorder,
+    chrome_trace_dict,
+    read_jsonl,
+    recorder_from_jsonl,
+    write_jsonl,
+)
+
+finite = st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False)
+positive = st.floats(
+    min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+event_dicts = st.fixed_dictionaries(
+    {
+        "name": st.sampled_from(
+            ["newton_solve", "step_accept", "lte_reject", "stage_run", "job_run"]
+        ),
+        "ts": finite,
+        "dur": st.one_of(st.none(), finite),
+        "lane": st.integers(min_value=0, max_value=3),
+        "t_sim": st.one_of(st.none(), finite),
+        "attrs": st.dictionaries(
+            st.sampled_from(["iters", "h", "label"]),
+            st.one_of(st.integers(-100, 100), finite),
+            max_size=2,
+        ),
+    }
+)
+
+counter_dicts = st.dictionaries(
+    st.sampled_from(["newton.iterations", "lu.solve", "points.accepted", "odd name!"]),
+    st.integers(min_value=0, max_value=10_000),
+    max_size=4,
+)
+
+sample_lists = st.dictionaries(
+    st.sampled_from(["newton.iterations_per_solve", "controller.h_taken"]),
+    st.lists(positive, min_size=1, max_size=20),
+    max_size=2,
+)
+
+
+def build_recorder(events, counters, samples) -> Recorder:
+    rec = Recorder()
+    for ev in events:
+        rec.event(
+            ev["name"],
+            ts=ev["ts"],
+            dur=ev["dur"],
+            lane=ev["lane"],
+            t_sim=ev["t_sim"],
+            **ev["attrs"],
+        )
+    for name, value in counters.items():
+        rec.count(name, value)
+    for name, values in samples.items():
+        for value in values:
+            rec.observe(name, value)
+    return rec
+
+
+@given(
+    events=st.lists(event_dicts, max_size=25),
+    counters=counter_dicts,
+    samples=sample_lists,
+)
+@settings(max_examples=40, derandomize=True, deadline=None)
+def test_jsonl_roundtrip_is_lossless(events, counters, samples):
+    rec = build_recorder(events, counters, samples)
+
+    buffer = io.StringIO()
+    write_jsonl(rec, buffer)
+    buffer.seek(0)
+    rebuilt = recorder_from_jsonl(buffer)
+
+    assert list(rebuilt.events) == list(rec.events)
+    assert rebuilt.lanes == rec.lanes
+    assert rebuilt.counters == rec.counters
+    assert set(rebuilt.histograms) == set(rec.histograms)
+    for name, hist in rec.histograms.items():
+        other = rebuilt.histograms[name]
+        assert other.count == hist.count
+        assert other.total == hist.total
+        assert other.minimum == hist.minimum
+        assert other.maximum == hist.maximum
+        assert other.buckets == hist.buckets
+    assert rebuilt.dropped_events == rec.dropped_events
+
+    assert chrome_trace_dict(rebuilt) == chrome_trace_dict(rec)
+
+
+@given(events=st.lists(event_dicts, max_size=10), counters=counter_dicts)
+@settings(max_examples=20, derandomize=True, deadline=None)
+def test_read_jsonl_summary_matches_snapshot(events, counters):
+    rec = build_recorder(events, counters, {})
+    buffer = io.StringIO()
+    write_jsonl(rec, buffer)
+    buffer.seek(0)
+    parsed_events, summary = read_jsonl(buffer)
+    assert len(parsed_events) == len(rec.events)
+    assert summary["counters"] == rec.counters
+    assert summary["events"] == len(rec.events)

@@ -1,0 +1,264 @@
+"""Perf trending: baseline canonicalization and regression diffs."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.instrument.perf import (
+    BENEFIT_CHANNELS,
+    build_baseline,
+    channel_of,
+    diff_against_baseline,
+    load_baseline,
+    write_baseline,
+)
+
+
+R9_HIST = {
+    "step.h_accepted": {
+        "count": 200,
+        "total": 2e-4,
+        "mean": 1e-6,
+        "min": 5e-7,
+        "max": 2e-6,
+        "buckets": {"-21": 120, "-20": 80},
+    }
+}
+
+
+def dump_metrics(directory, exp_id, counters, histograms=None, title=None):
+    payload = {
+        "exp_id": exp_id,
+        "title": title or exp_id,
+        "counters": dict(counters),
+        "histograms": histograms or {},
+    }
+    path = directory / f"BENCH_METRICS_{exp_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8")
+    return path
+
+
+@pytest.fixture
+def metrics_dir(tmp_path):
+    directory = tmp_path / "bench"
+    directory.mkdir()
+    dump_metrics(
+        directory,
+        "table_r9_smoke",
+        {"newton.iterations": 1000, "lu.reuse_hit": 400, "points.accepted": 200},
+        histograms=R9_HIST,
+    )
+    dump_metrics(directory, "table_r10_smoke", {"jobs.completed": 4})
+    return directory
+
+
+class TestBaseline:
+    def test_build_write_load_roundtrip(self, metrics_dir, tmp_path):
+        baseline = build_baseline(metrics_dir)
+        assert set(baseline["experiments"]) == {"table_r9_smoke", "table_r10_smoke"}
+        exp = baseline["experiments"]["table_r9_smoke"]
+        assert exp["counters"]["newton.iterations"] == 1000.0
+        assert exp["histograms"]["step.h_accepted"] == {"count": 200, "mean": 1e-6}
+        path = write_baseline(baseline, tmp_path / "BENCH_BASELINE.json")
+        assert load_baseline(path) == baseline
+
+    def test_baseline_bytes_are_deterministic(self, metrics_dir, tmp_path):
+        a = write_baseline(build_baseline(metrics_dir), tmp_path / "a.json")
+        b = write_baseline(build_baseline(metrics_dir), tmp_path / "b.json")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "experiments": {}}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+class TestDiff:
+    def test_identical_metrics_pass(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        diff = diff_against_baseline(baseline, metrics_dir)
+        assert diff.passed
+        assert diff.entries == []
+        assert sorted(diff.compared) == ["table_r10_smoke", "table_r9_smoke"]
+        assert "PASS" in diff.summary()
+
+    def test_cost_metric_increase_regresses(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        dump_metrics(
+            metrics_dir,
+            "table_r10_smoke",
+            {"jobs.completed": 4, "newton.iterations": 50},  # new work appears
+        )
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1600, "lu.reuse_hit": 400, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        diff = diff_against_baseline(baseline, metrics_dir)
+        assert not diff.passed
+        regressed = {(e.exp_id, e.metric) for e in diff.regressions}
+        assert ("table_r9_smoke", "counters.newton.iterations") in regressed
+        assert "FAIL" in diff.summary()
+
+    def test_benefit_metric_decrease_regresses(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1000, "lu.reuse_hit": 100, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        diff = diff_against_baseline(baseline, metrics_dir)
+        assert [e.metric for e in diff.regressions] == ["counters.lu.reuse_hit"]
+
+    def test_benefit_metric_increase_is_improvement(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1000, "lu.reuse_hit": 900, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        diff = diff_against_baseline(baseline, metrics_dir)
+        assert diff.passed
+        assert [e.metric for e in diff.improvements] == ["counters.lu.reuse_hit"]
+
+    def test_within_tolerance_movement_ignored(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1100, "lu.reuse_hit": 400, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        assert diff_against_baseline(baseline, metrics_dir, tolerance=0.25).passed
+        assert not diff_against_baseline(baseline, metrics_dir, tolerance=0.05).passed
+
+    def test_per_metric_tolerance_overrides(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1500, "lu.reuse_hit": 400, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        loose = diff_against_baseline(
+            baseline, metrics_dir, metric_tolerances={"newton.iterations": 0.6}
+        )
+        assert loose.passed
+        exact_key = diff_against_baseline(
+            baseline,
+            metrics_dir,
+            metric_tolerances={"counters.newton.iterations": 0.6},
+        )
+        assert exact_key.passed
+
+    def test_missing_fresh_experiment_skipped(self, metrics_dir):
+        baseline = build_baseline(metrics_dir)
+        (metrics_dir / "BENCH_METRICS_table_r10_smoke.json").unlink()
+        diff = diff_against_baseline(baseline, metrics_dir)
+        assert diff.compared == ["table_r9_smoke"]
+        assert diff.skipped == ["table_r10_smoke"]
+        assert diff.passed
+
+    def test_histogram_mean_shrink_regresses(self, metrics_dir):
+        # step.h_accepted is a benefit channel: smaller mean accepted step
+        # means more steps for the same window.
+        baseline = build_baseline(metrics_dir)
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1000, "lu.reuse_hit": 400, "points.accepted": 200},
+            histograms={"step.h_accepted": {"count": 200, "mean": 4e-7}},
+        )
+        diff = diff_against_baseline(baseline, metrics_dir)
+        assert "histograms.step.h_accepted.mean" in [e.metric for e in diff.regressions]
+
+    def test_channel_extraction(self):
+        assert channel_of("counters.newton.iterations") == "newton.iterations"
+        assert channel_of("histograms.step.h_accepted.mean") == "step.h_accepted"
+        assert "lu.reuse_hit" in BENEFIT_CHANNELS
+
+
+class TestPerfCli:
+    def test_baseline_then_diff_passes(self, metrics_dir, tmp_path, capsys):
+        out = tmp_path / "BENCH_BASELINE.json"
+        assert main(
+            ["perf", "baseline", "--metrics-dir", str(metrics_dir), "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        assert main(
+            ["perf", "diff", "--metrics-dir", str(metrics_dir), "--baseline", str(out)]
+        ) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_diff_fails_on_synthetic_regression(self, metrics_dir, tmp_path, capsys):
+        out = tmp_path / "BENCH_BASELINE.json"
+        main(["perf", "baseline", "--metrics-dir", str(metrics_dir), "--out", str(out)])
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 9000, "lu.reuse_hit": 400, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        report = tmp_path / "diff.json"
+        code = main(
+            [
+                "perf", "diff",
+                "--metrics-dir", str(metrics_dir),
+                "--baseline", str(out),
+                "--json", str(report),
+            ]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+        data = json.loads(report.read_text())
+        assert data["passed"] is False
+        assert any(
+            e["metric"] == "counters.newton.iterations" for e in data["regressions"]
+        )
+
+    def test_diff_tolerance_flags(self, metrics_dir, tmp_path):
+        out = tmp_path / "BENCH_BASELINE.json"
+        main(["perf", "baseline", "--metrics-dir", str(metrics_dir), "--out", str(out)])
+        dump_metrics(
+            metrics_dir,
+            "table_r9_smoke",
+            {"newton.iterations": 1500, "lu.reuse_hit": 400, "points.accepted": 200},
+            histograms=R9_HIST,
+        )
+        argv = ["perf", "diff", "--metrics-dir", str(metrics_dir), "--baseline", str(out)]
+        assert main(argv) == 1
+        assert main(argv + ["--tolerance", "0.6"]) == 0
+        assert main(argv + ["--metric-tolerance", "newton.iterations=0.6"]) == 0
+        assert main(argv + ["--metric-tolerance", "bogus"]) == 2
+
+    def test_diff_usage_errors(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["perf", "baseline", "--metrics-dir", str(empty)]) == 2
+        assert (
+            main(
+                [
+                    "perf", "diff",
+                    "--metrics-dir", str(empty),
+                    "--baseline", str(tmp_path / "missing.json"),
+                ]
+            )
+            == 2
+        )
+        capsys.readouterr()
+
+    def test_diff_with_no_overlap_is_an_error(self, metrics_dir, tmp_path, capsys):
+        out = tmp_path / "BENCH_BASELINE.json"
+        main(["perf", "baseline", "--metrics-dir", str(metrics_dir), "--out", str(out)])
+        other = tmp_path / "other"
+        other.mkdir()
+        dump_metrics(other, "unrelated_exp", {"x": 1})
+        assert main(
+            ["perf", "diff", "--metrics-dir", str(other), "--baseline", str(out)]
+        ) == 2
+        capsys.readouterr()
