@@ -225,9 +225,14 @@ class Recorder:
         Counters add, histograms combine (count/total/min/max and log2
         buckets), ``dropped_events`` accumulates, and any serialized
         ``events_tail`` rows are appended to the event log (subject to
-        this recorder's own capacity and evict policy). This is how the
-        batch scheduler aggregates per-worker telemetry into the
-        campaign-level recorder.
+        this recorder's own capacity and evict policy). Event timestamps
+        in the snapshot are relative to the *sending* recorder's epoch
+        (its own perf_counter zero), so they are rebased onto this
+        recorder's clock: the tail is shifted so its last event ends at
+        merge time — which for the batch scheduler is right after the
+        worker finished — with relative spacing inside the tail
+        preserved. This is how the batch scheduler aggregates per-worker
+        telemetry into the campaign-level recorder.
         """
         if not snapshot:
             return
@@ -241,11 +246,17 @@ class Recorder:
                 hist.merge_dict(data)
             self.dropped_events += int(snapshot.get("dropped_events", 0))
             if self.capture_events:
-                for row in snapshot.get("events_tail") or ():
+                rows = snapshot.get("events_tail") or ()
+                if rows:
+                    tail_end = max(
+                        row["ts"] + (row.get("dur") or 0.0) for row in rows
+                    )
+                    offset = self.clock() - tail_end
+                for row in rows:
                     self._append_record(
                         TraceEvent(
                             name=row["name"],
-                            ts=row["ts"],
+                            ts=row["ts"] + offset,
                             dur=row.get("dur"),
                             lane=row.get("lane", 0),
                             t_sim=row.get("t_sim"),

@@ -156,11 +156,18 @@ class Heartbeat:
         return record
 
     def _job_progress(self, counters: dict) -> dict:
+        # jobs.failed / jobs.timeouts / jobs.crashes count *attempts*,
+        # and jobs.retries counts one per job re-entering a retry round —
+        # so the difference is the jobs whose latest attempt failed.
+        # Counting raw attempts would let done + cached + failed exceed
+        # total_jobs mid-run (a retried-then-successful job lands in both
+        # buckets), clamping the ETA to 0 while work is still running.
+        failures = sum(counters.get(name, 0) for name in _FAILURE_COUNTERS)
         return {
             "total": self.total_jobs,
             "done": counters.get("jobs.completed", 0),
             "cached": counters.get("jobs.cache_hits", 0),
-            "failed": sum(counters.get(name, 0) for name in _FAILURE_COUNTERS),
+            "failed": max(failures - counters.get("jobs.retries", 0), 0),
         }
 
     def _eta(self, record: dict) -> float | None:

@@ -47,6 +47,9 @@ _POLL_INTERVAL = 0.2
 
 #: After terminating a timed-out worker, how long to wait for the final
 #: message its SIGTERM handler sends (the partial telemetry snapshot).
+#: Also bounds the post-terminate join: the handler only runs between
+#: Python bytecodes, so a worker stuck in a native call (LAPACK, a
+#: blocking pipe write) never sees SIGTERM and must be SIGKILLed.
 _TERMINATE_GRACE = 0.5
 
 #: Backend registry keys accepted by :func:`make_backend`.
@@ -105,6 +108,38 @@ class SerialBackend:
 
     def close(self) -> None:
         pass
+
+
+def _reap(process) -> None:
+    """Join a terminated worker, escalating to SIGKILL when needed.
+
+    The worker's SIGTERM handler only runs between Python bytecodes, so a
+    child stuck in a long native call (scipy/LAPACK factorization) or
+    blocked mid ``conn.send`` never exits on terminate(); an unbounded
+    join here would hang the supervisor on the very timeout it is
+    enforcing.
+    """
+    process.join(_TERMINATE_GRACE)
+    if process.is_alive():
+        process.kill()
+        process.join()
+
+
+def _race_won_result(message) -> JobResult | None:
+    """The finished result inside a grace-poll message, if any.
+
+    A job that completes just as its deadline expires has a full
+    ``("ok", ...)`` reply in the pipe when the timeout fires; settling it
+    as done keeps the work instead of re-running it on retry.
+    """
+    if message is None or len(message) < 4 or message[0] != "ok":
+        return None
+    try:
+        result = JobResult.from_dict(message[1])
+    except Exception:
+        return None
+    result.elapsed = message[2]
+    return result
 
 
 class ProcessPoolBackend:
@@ -173,18 +208,28 @@ class ProcessPoolBackend:
                         index, process, started = running.pop(reader)
                         process.terminate()
                         # The worker's SIGTERM handler ships one last
-                        # ("error", ..., snapshot) message; grab its
-                        # partial telemetry before closing the pipe.
-                        snapshot = None
+                        # ("error", ..., snapshot) message — unless the
+                        # job finished just as the deadline hit, in which
+                        # case a complete ("ok", ...) is already in the
+                        # pipe. Any malformed/truncated frame reads as no
+                        # message at all.
+                        message = None
                         try:
                             if reader.poll(_TERMINATE_GRACE):
                                 message = reader.recv()
-                                if len(message) >= 4:
-                                    snapshot = message[3]
-                        except (EOFError, OSError):
-                            pass
-                        process.join()
+                        except Exception:
+                            message = None
+                        _reap(process)
                         reader.close()
+                        result = _race_won_result(message)
+                        if result is not None:
+                            emit(index, "ok", result, result.elapsed, message[3])
+                            continue
+                        snapshot = (
+                            message[3]
+                            if message is not None and len(message) >= 4
+                            else None
+                        )
                         emit(
                             index,
                             "timeout",
@@ -196,16 +241,24 @@ class ProcessPoolBackend:
             # A raised callback or KeyboardInterrupt must not leak workers.
             for reader, (_, process, _) in running.items():
                 process.terminate()
-                process.join()
+                _reap(process)
                 reader.close()
 
     @staticmethod
     def _finish(reader, index, process, started, emit) -> None:
-        """Collect one finished worker: clean result, error, or death."""
+        """Collect one finished worker: clean result, error, or death.
+
+        Any failure to read a well-formed message — EOF, a torn pipe, a
+        partial frame left by a signal-interrupted send (unpickling /
+        struct errors), a wrong-shape tuple — counts as a crash of *this*
+        job only; it must never abort the whole scheduler run.
+        """
         try:
             status, payload, elapsed, snapshot = reader.recv()
-        except (EOFError, OSError):
-            process.join()
+        except Exception:
+            if process.is_alive():  # sent garbage but didn't exit
+                process.terminate()
+            _reap(process)
             emit(
                 index,
                 "crash",

@@ -242,16 +242,30 @@ def worker_main(conn, spec_dict: dict, telemetry: bool = False) -> None:
         signal.signal(signal.SIGTERM, _on_sigterm)
     except (ValueError, OSError):  # non-main thread / exotic platform
         pass
+    send_in_flight = False
     try:
         spec = JobSpec.from_dict(spec_dict)
         result = execute_job(spec, instrument=recorder)
-        conn.send(("ok", result.to_dict(), result.elapsed, snapshot()))
+        message = ("ok", result.to_dict(), result.elapsed, snapshot())
+        send_in_flight = True
+        conn.send(message)
+        send_in_flight = False
     except BaseException:
-        try:
-            conn.send(
-                ("error", traceback.format_exc(), time.perf_counter() - t0, snapshot())
-            )
-        except (BrokenPipeError, OSError):  # parent gone: nothing to report
-            pass
+        # If SIGTERM interrupted a send mid-frame, the pipe may already
+        # hold a partial message; writing a second one would corrupt the
+        # stream and crash the parent's recv. Stay silent in that case —
+        # the parent treats a truncated/absent reply as a worker death.
+        if not send_in_flight:
+            try:
+                conn.send(
+                    (
+                        "error",
+                        traceback.format_exc(),
+                        time.perf_counter() - t0,
+                        snapshot(),
+                    )
+                )
+            except (BrokenPipeError, OSError):  # parent gone: nothing to report
+                pass
     finally:
         conn.close()

@@ -8,6 +8,7 @@ The whole-process tests are skipped when fork is unavailable.
 
 import multiprocessing
 import os
+import pickle
 import time
 
 import pytest
@@ -20,6 +21,7 @@ from repro.jobs.scheduler import (
     JobScheduler,
     ProcessPoolBackend,
     SerialBackend,
+    _race_won_result,
     make_backend,
 )
 from repro.jobs.spec import CircuitRef, JobSpec
@@ -249,6 +251,26 @@ class TestProcessScheduling:
         assert time.perf_counter() - t0 < 30
 
     @needs_fork
+    def test_sigterm_immune_worker_is_killed(self, monkeypatch):
+        # A worker wedged in native code never runs the Python-level
+        # SIGTERM handler; the supervisor must escalate to SIGKILL
+        # instead of blocking forever in join().
+        import signal
+
+        def hook(spec):
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            time.sleep(60)
+
+        monkeypatch.setattr(workers_module, "FAULT_HOOK", hook)
+        t0 = time.perf_counter()
+        with JobScheduler(
+            backend="process", workers=1, timeout=1.0, retries=0
+        ) as scheduler:
+            (outcome,) = scheduler.run([rc_spec("wedged")])
+        assert outcome.status == "timeout"
+        assert time.perf_counter() - t0 < 30
+
+    @needs_fork
     def test_crash_then_retry_succeeds(self, tmp_path, monkeypatch):
         # Crash on the first attempt only, keyed off an on-disk flag so
         # the signal survives the process boundary.
@@ -264,3 +286,106 @@ class TestProcessScheduling:
             (outcome,) = scheduler.run([rc_spec()])
         assert outcome.status == "done"
         assert outcome.attempts == 2
+
+
+class _FakeReader:
+    """Pipe read end whose recv fails the way a torn frame does."""
+
+    def __init__(self, exc):
+        self.exc = exc
+
+    def recv(self):
+        raise self.exc
+
+    def close(self):
+        pass
+
+
+class _FakeProcess:
+    exitcode = 1
+
+    def is_alive(self):
+        return False
+
+    def terminate(self):
+        pass
+
+    def kill(self):
+        pass
+
+    def join(self, timeout=None):
+        pass
+
+
+class TestSupervisorRobustness:
+    """The supervisor must survive any garbage a dying worker leaves in
+    the pipe — a malformed reply fails that job, never the whole run."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            EOFError(),
+            OSError("pipe torn"),
+            # a SIGTERM-interrupted send leaves a partial frame: recv
+            # surfaces it as an unpickling / struct error
+            pickle.UnpicklingError("truncated frame"),
+            ValueError("not enough values to unpack"),
+        ],
+    )
+    def test_any_malformed_reply_is_a_crash(self, exc):
+        emitted = []
+        ProcessPoolBackend._finish(
+            _FakeReader(exc),
+            7,
+            _FakeProcess(),
+            time.monotonic(),
+            lambda *a: emitted.append(a),
+        )
+        assert len(emitted) == 1
+        index, status = emitted[0][0], emitted[0][1]
+        assert (index, status) == (7, "crash")
+
+    def test_race_won_result_recovers_finished_job(self):
+        result = execute_job(rc_spec())
+        message = ("ok", result.to_dict(), 1.5, {"counters": {}})
+        recovered = _race_won_result(message)
+        assert recovered is not None
+        assert recovered.spec_hash == result.spec_hash
+        assert recovered.elapsed == 1.5
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            None,
+            ("error", "traceback", 0.1, None),  # the normal SIGTERM reply
+            ("ok", {"malformed": True}, 0.1, None),  # bad payload shape
+            ("ok", {}, 0.1),  # too short
+        ],
+    )
+    def test_race_won_result_rejects_non_results(self, message):
+        assert _race_won_result(message) is None
+
+    def test_worker_does_not_send_twice_after_interrupted_send(self):
+        # SIGTERM landing mid conn.send must not trigger a second send
+        # onto a stream that already holds a partial frame.
+        import signal
+
+        class _InterruptedConn:
+            sends = 0
+            closed = False
+
+            def send(self, message):
+                self.sends += 1
+                raise KeyboardInterrupt  # stands in for _Terminated
+
+            def close(self):
+                self.closed = True
+
+        conn = _InterruptedConn()
+        previous = signal.getsignal(signal.SIGTERM)
+        try:
+            workers_module.worker_main(conn, rc_spec().to_dict(), False)
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+        assert conn.sends == 1
+        assert conn.closed

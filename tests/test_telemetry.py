@@ -123,6 +123,20 @@ class TestSnapshotMerge:
         assert parent.events[0].lane == 1
         assert parent.events[1].t_sim == 1e-6
 
+    def test_merged_events_rebase_onto_receiver_clock(self):
+        # Snapshot timestamps are relative to the worker's epoch; merge
+        # must shift them onto the parent's clock (tail ends at merge
+        # time) or worker events land at bogus trace positions.
+        parent = Recorder()
+        snap = self.worker().snapshot(events_tail=10)
+        time.sleep(0.01)
+        before = parent.clock()
+        parent.merge(snap)
+        after = parent.clock()
+        first, last = parent.events
+        assert last.ts - first.ts == pytest.approx(0.9 - 0.5)
+        assert before <= last.ts <= after
+
     def test_plain_snapshot_carries_no_events(self):
         snap = self.worker().snapshot()
         assert "events_tail" not in snap
@@ -196,6 +210,36 @@ class TestHeartbeat:
         out = stream.getvalue()
         assert "jobs 3 done/3" in out
         assert "ETA" in out
+
+    def test_retried_jobs_do_not_double_count(self):
+        # A job that failed once and then succeeded on retry contributes
+        # to jobs.failed, jobs.retries, and jobs.completed; it must show
+        # up only in "done", or settled exceeds total and the ETA clamps
+        # to 0 while work is still running.
+        rec = Recorder(capture_events=False)
+        rec.count("jobs.completed", 2)
+        rec.count("jobs.failed", 1)
+        rec.count("jobs.retries", 1)
+        beat = Heartbeat(rec, interval=60.0, total_jobs=4)
+        beat.start()
+        time.sleep(0.01)
+        record = beat.sample()
+        beat.stop()
+        assert record["jobs"]["done"] == 2
+        assert record["jobs"]["failed"] == 0
+        # 2 of 4 settled: the ETA must still be a live extrapolation
+        assert record["eta_seconds"] is not None and record["eta_seconds"] > 0
+
+    def test_exhausted_retries_still_count_as_failed(self):
+        # retries=1, both attempts failed: one failed job, not two.
+        rec = Recorder(capture_events=False)
+        rec.count("jobs.failed", 2)
+        rec.count("jobs.retries", 1)
+        beat = Heartbeat(rec, interval=60.0, total_jobs=1)
+        with beat:
+            record = beat.sample()
+        assert record["jobs"]["failed"] == 1
+        assert record["eta_seconds"] == 0.0
 
     def test_eta_unknown_without_total(self):
         rec = Recorder(capture_events=False)
