@@ -4,7 +4,7 @@ Shape claim: the combined scheme adapts per-regime and matches or beats
 the better single scheme on aggregate.
 """
 
-from repro.bench.experiments import table_r2, table_r4
+from repro.bench.experiments import table_r2, table_r4, table_r4_smoke
 
 
 def test_table_r4_combined(run_once):
@@ -12,3 +12,10 @@ def test_table_r4_combined(run_once):
     geo = result.data["geomean"]
     assert geo[3] >= 1.0
     assert geo[4] >= 1.0
+
+
+def test_table_r4_smoke(run_once):
+    # Feeds the perf gate's speculation-benefit channels
+    # (speculate.successes, pipeline.stages) via its metrics dump.
+    result = run_once(table_r4_smoke)
+    assert result.data["geomean"][3] >= 1.0

@@ -127,15 +127,27 @@ def table_r3(threads=(2, 3), names=None) -> ExperimentResult:
     )
 
 
-def table_r4(threads=(3, 4), names=None) -> ExperimentResult:
+def table_r4(threads=(3, 4), names=None, exp_id="table_r4") -> ExperimentResult:
     """Combined scheme speedups."""
     return _speedup_table(
-        "table_r4",
+        exp_id,
         "Table R4: combined backward+forward speedup vs sequential",
         "combined",
         list(threads),
         names or SPEEDUP_CIRCUITS,
     )
+
+
+def table_r4_smoke() -> ExperimentResult:
+    """Two-circuit combined-scheme subset for CI smoke runs.
+
+    This is the perf-gate's window onto the speculation-benefit channels
+    (``speculate.successes``, ``pipeline.stages``): a pipelined run that
+    stops speculating or stops forming stages moves those counters down,
+    which ``repro perf diff`` treats as the regression direction.
+    """
+    return table_r4(threads=(3,), names=["ring5", "rectifier"],
+                    exp_id="table_r4_smoke")
 
 
 def table_r5(names=None, scheme="combined", threads=4) -> ExperimentResult:
@@ -634,6 +646,7 @@ EXPERIMENTS = {
     "table_r2": table_r2,
     "table_r3": table_r3,
     "table_r4": table_r4,
+    "table_r4_smoke": table_r4_smoke,
     "table_r5": table_r5,
     "table_r6": table_r6,
     "table_r7": table_r7,

@@ -236,12 +236,100 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="print the campaign metrics rollup and jobs.* counters",
     )
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="write a campaign trace (.jsonl = line-delimited records "
+        "with the summary footer `repro explain` consumes, .json = "
+        "Chrome trace_event)",
+    )
     _add_telemetry_arguments(parser)
     parser.add_argument(
         "--list-circuits", action="store_true",
         help="list the registry benchmark names and exit",
     )
     return parser
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Diagnose a traced run: critical-path lane, rejection "
+        "cause taxonomy, speculation economics and the solver-phase cost "
+        "split — from a JSONL trace written with --trace run.jsonl",
+    )
+    parser.add_argument(
+        "trace", help="JSONL trace file (written by `--trace run.jsonl`)"
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="write the deterministic JSON report ('-' prints it instead "
+        "of the text rendering)",
+    )
+    parser.add_argument(
+        "--html", metavar="FILE",
+        help="write a self-contained HTML timeline + diagnosis page",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 unless the trace is healthy: spans present and "
+        "well-formed, a nonempty critical path, every rejection classified",
+    )
+    return parser
+
+
+def _run_explain(argv: list[str]) -> int:
+    from repro.diagnose import explain_trace, render_html, render_text
+    from repro.instrument.exporters import read_jsonl
+
+    args = build_explain_parser().parse_args(argv)
+    try:
+        events, summary = read_jsonl(args.trace)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(
+            f"error: {args.trace} is not a JSONL trace ({exc}); "
+            "`repro explain` reads the .jsonl format, not Chrome traces",
+            file=sys.stderr,
+        )
+        return 2
+    report = explain_trace(events, summary, source=args.trace)
+
+    if args.json == "-":
+        print(report.to_json(), end="")
+    else:
+        print(render_text(report), end="")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+            print(f"* json report written to {args.json}")
+    if args.html:
+        page = render_html(events, report, title=f"repro explain: {args.trace}")
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(page)
+        if args.json != "-":
+            print(f"* html timeline written to {args.html}")
+
+    if args.check:
+        failures = []
+        if report.spans.get("count", 0) == 0:
+            failures.append("no spans in the trace")
+        if report.spans.get("malformed", 0):
+            failures.append(f"{report.spans['malformed']} malformed span(s)")
+        cp = report.critical_path
+        populated = cp.get("lanes") or cp.get("slowest_jobs")
+        if not populated or cp.get("critical_lane") is None and not cp.get(
+            "critical_job"
+        ):
+            failures.append("empty critical path")
+        if report.rejections.get("classified_fraction", 1.0) < 1.0:
+            failures.append("unclassified rejections")
+        if failures:
+            for failure in failures:
+                print(f"check failed: {failure}", file=sys.stderr)
+            return 1
+    return 0
 
 
 def build_perf_parser() -> argparse.ArgumentParser:
@@ -300,6 +388,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_batch(argv[1:])
     if argv[:1] == ["perf"]:
         return _run_perf(argv[1:])
+    if argv[:1] == ["explain"]:
+        return _run_explain(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment:
@@ -505,8 +595,11 @@ def _run_batch(argv: list[str]) -> int:
             or args.heartbeat
             or args.progress
             or args.serve_metrics is not None
+            or args.trace
         )
-        recorder = Recorder(capture_events=False) if telemetry_wanted else None
+        recorder = (
+            Recorder(capture_events=bool(args.trace)) if telemetry_wanted else None
+        )
         heartbeat = None
         if args.heartbeat or args.progress:
             heartbeat = Heartbeat(
@@ -545,6 +638,11 @@ def _run_batch(argv: list[str]) -> int:
         return 2
 
     print(report.summary())
+    if args.trace and recorder is not None:
+        from repro.instrument import write_trace
+
+        fmt = write_trace(recorder, args.trace)
+        print(f"* {fmt} trace written to {args.trace}")
     if args.heartbeat:
         print(f"* heartbeats written to {args.heartbeat}")
     if args.json:

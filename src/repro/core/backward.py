@@ -36,6 +36,7 @@ the acceptance criteria.
 from __future__ import annotations
 
 from repro.core.pipeline import PipelineEngine
+from repro.instrument.events import OUTCOME_NEWTON_FAIL
 from repro.integration.controller import BREAKPOINT_SNAP
 from repro.integration.lte import predicted_max_step
 from repro.integration.methods import METHOD_ORDER
@@ -224,6 +225,9 @@ class BackwardPipeline(PipelineEngine):
             gap = gaps[k] if gaps is not None else sol.t - self.t
             if not sol.converged:
                 self.stats.newton_failures += 1
+                self.recorder.tag_span(
+                    getattr(sol, "span_id", None), outcome=OUTCOME_NEWTON_FAIL
+                )
                 failed = True
                 if not accepted:
                     salvaged = self._try_guard(guard, guard_gap)

@@ -63,6 +63,9 @@ class CombinedPipeline(BackwardPipeline):
         for sol in solutions:
             self.charge_solution(sol)
         self.stats.speculative_solves += len(speculative)
+        self.stats.speculative_work += sum(
+            s.result.work_units for s in speculative
+        )
 
         guard = backward_solutions[0] if has_guard else None
         regular = backward_solutions[1:] if has_guard else backward_solutions
@@ -80,7 +83,7 @@ class CombinedPipeline(BackwardPipeline):
             self.note_chain_outcome(len(regular) - 1, max(0, accepted - 1))
         self.note_stage_outcome(failed)
         if failed or not speculative:
-            self.waste(speculative)
+            self.waste(speculative, speculative=True)
             return
         self._corrective_commit(speculative[0])
 
@@ -135,22 +138,28 @@ class CombinedPipeline(BackwardPipeline):
         if not corrected.converged:
             self.stats.newton_failures += 1
             self.note_spec_outcome(False)
-            self.record_speculate(corrected, False, corrected.result.iterations, False)
-            self.waste([spec])
+            self.record_speculate(
+                corrected, False, corrected.result.iterations, False, spec=spec
+            )
+            self.waste([spec], speculative=True)
             return
         verdict = self.verdict_for(corrected)
         if not verdict.accepted:
             self.stats.rejected_points += 1
             self.record_reject(corrected, verdict)
             self.note_spec_outcome(False)
-            self.record_speculate(corrected, False, corrected.result.iterations, False)
-            self.waste([spec])
+            self.record_speculate(
+                corrected, False, corrected.result.iterations, False, spec=spec
+            )
+            self.waste([spec], speculative=True)
             gap = corrected.t - self.t
             self.controller.on_reject(gap, verdict)
             return
         self.note_spec_outcome(True)
         hit = corrected.result.iterations <= HIT_ITERATIONS
-        self.record_speculate(corrected, True, corrected.result.iterations, hit)
+        self.record_speculate(
+            corrected, True, corrected.result.iterations, hit, spec=spec
+        )
         if hit:
             self.stats.speculative_hits += 1
         gap = corrected.t - self.t

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.core.pipeline import PipelineEngine
 from repro.engine.transient import PointSolution, solve_timepoint
+from repro.instrument.events import OUTCOME_NEWTON_FAIL
 from repro.integration.controller import BREAKPOINT_SNAP
 from repro.linalg.solve import LinearSolver
 
@@ -106,14 +107,20 @@ class ForwardPipeline(PipelineEngine):
         for sol in solutions:
             self.charge_solution(sol)
         self.stats.speculative_solves += len(speculative)
+        self.stats.speculative_work += sum(
+            s.result.work_units for s in speculative
+        )
 
         # -- producer verification (identical to the sequential engine) ----
         if not producer.converged:
             self.stats.newton_failures += 1
+            self.recorder.tag_span(
+                getattr(producer, "span_id", None), outcome=OUTCOME_NEWTON_FAIL
+            )
             if not self._try_guard(guard, guard_gap):
                 controller.on_newton_failure(h)
             self.note_stage_outcome(True)
-            self.waste(speculative)
+            self.waste(speculative, speculative=True)
             return
         verdict = self.verdict_for(producer)
         if not verdict.accepted:
@@ -126,7 +133,7 @@ class ForwardPipeline(PipelineEngine):
             else:
                 controller.on_reject(h, verdict)
             self.note_stage_outcome(True)
-            self.waste(speculative)
+            self.waste(speculative, speculative=True)
             return
         self.note_stage_outcome(False)
         self.note_solve_cost(producer.result.iterations)
@@ -140,7 +147,7 @@ class ForwardPipeline(PipelineEngine):
             self.history.mark_era()
 
         # -- corrective cascade against exact history ------------------------
-        for sol in speculative:
+        for depth, sol in enumerate(speculative, start=1):
             corrected = self._corrective_solve(sol)
             self.stats.newton_iterations += corrected.result.iterations
             self.stats.work_units += corrected.result.work_units
@@ -149,9 +156,10 @@ class ForwardPipeline(PipelineEngine):
                 self.stats.newton_failures += 1
                 self.note_spec_outcome(False)
                 self.record_speculate(
-                    corrected, False, corrected.result.iterations, False
+                    corrected, False, corrected.result.iterations, False,
+                    spec=sol, depth=depth,
                 )
-                self.waste([sol])
+                self.waste([sol], speculative=True)
                 return
             c_verdict = self.verdict_for(corrected)
             if not c_verdict.accepted:
@@ -159,15 +167,19 @@ class ForwardPipeline(PipelineEngine):
                 self.record_reject(corrected, c_verdict)
                 self.note_spec_outcome(False)
                 self.record_speculate(
-                    corrected, False, corrected.result.iterations, False
+                    corrected, False, corrected.result.iterations, False,
+                    spec=sol, depth=depth,
                 )
-                self.waste([sol])
+                self.waste([sol], speculative=True)
                 gap = corrected.t - self.t
                 controller.on_reject(gap, c_verdict)
                 return
             self.note_spec_outcome(True)
             hit = corrected.result.iterations <= HIT_ITERATIONS
-            self.record_speculate(corrected, True, corrected.result.iterations, hit)
+            self.record_speculate(
+                corrected, True, corrected.result.iterations, hit,
+                spec=sol, depth=depth,
+            )
             if hit:
                 self.stats.speculative_hits += 1
             gap = corrected.t - self.t

@@ -33,7 +33,17 @@ from repro.engine.transient import (
     solve_timepoint,
 )
 from repro.errors import SimulationError, TimestepError
-from repro.instrument.events import LTE_REJECT, RUN, SPECULATE, STAGE_RUN, STEP_ACCEPT
+from repro.instrument.events import (
+    LTE_REJECT,
+    OUTCOME_ACCEPTED,
+    OUTCOME_LTE_REJECT,
+    OUTCOME_SPECULATIVE_HIT,
+    OUTCOME_SPECULATIVE_WASTE,
+    RUN,
+    SPECULATE,
+    STAGE_RUN,
+    STEP_ACCEPT,
+)
 from repro.instrument.metrics import RunMetrics
 from repro.instrument.recorder import resolve_recorder
 from repro.integration.controller import StepController
@@ -66,6 +76,11 @@ class PipelineStats(TransientStats):
     speculative_hits: int = 0
     wasted_solves: int = 0
     wasted_work: float = 0.0
+    #: Work units spent on speculative solves (forward prediction and the
+    #: combined scheme's front task) and the subset of it that was thrown
+    #: away — together they price what speculation actually bought.
+    speculative_work: float = 0.0
+    speculative_wasted_work: float = 0.0
 
     @property
     def virtual_total(self) -> float:
@@ -298,6 +313,9 @@ class PipelineEngine:
             self.recorder.count("points.accepted")
             self.recorder.observe("step.h_accepted", h_taken)
             self.recorder.event(STEP_ACCEPT, t_sim=self.t, h=h_taken)
+            self.recorder.tag_span(
+                getattr(solution, "span_id", None), outcome=OUTCOME_ACCEPTED
+            )
 
     def record_reject(self, solution: PointSolution, verdict) -> None:
         """Emit the LTE-rejection event/counter for a failed candidate."""
@@ -309,17 +327,40 @@ class PipelineEngine:
                 h=solution.scheme.h,
                 h_optimal=verdict.h_optimal,
             )
+            self.recorder.tag_span(
+                getattr(solution, "span_id", None), outcome=OUTCOME_LTE_REJECT
+            )
 
     def record_speculate(self, solution: PointSolution, success: bool,
-                         iterations: int, hit: bool) -> None:
-        """Emit the corrective-phase outcome of one speculative point."""
-        if self.recorder.enabled:
-            self.recorder.event(
-                SPECULATE,
-                t_sim=solution.t,
-                success=success,
-                corrective_iterations=iterations,
-                hit=hit,
+                         iterations: int, hit: bool, spec=None,
+                         depth: int = 1) -> None:
+        """Emit the corrective-phase outcome of one speculative point.
+
+        *spec* is the original speculative solution (the corrective
+        *solution* was solved inline and has no task span): its span gets
+        the hit/accepted tag and its pre-paid work lands on the
+        speculation-economics counters. *depth* is the point's position in
+        the speculative cascade (1 = nearest to the committed frontier) —
+        ``repro explain`` builds its depth-vs-hit-rate curve from it.
+        """
+        rec = self.recorder
+        if not rec.enabled:
+            return
+        rec.event(
+            SPECULATE,
+            t_sim=solution.t,
+            success=success,
+            corrective_iterations=iterations,
+            hit=hit,
+            depth=depth,
+        )
+        if spec is None:
+            return
+        if success:
+            rec.count("speculate.useful_work", spec.result.work_units)
+            rec.tag_span(
+                getattr(spec, "span_id", None),
+                outcome=OUTCOME_SPECULATIVE_HIT if hit else OUTCOME_ACCEPTED,
             )
 
     def charge_solution(self, solution: PointSolution) -> None:
@@ -328,11 +369,28 @@ class PipelineEngine:
         self.stats.work_units += solution.result.work_units
         self.stats.charge_lu(solution.result)
 
-    def waste(self, solutions) -> None:
-        """Mark discarded solutions (their cost is already on the clock)."""
+    def waste(self, solutions, speculative: bool = False) -> None:
+        """Mark discarded solutions (their cost is already on the clock).
+
+        *speculative* routes the cost onto the speculation-economics
+        ledger as well (forward/combined predictions that missed). Spans
+        are tagged ``speculative_waste`` without overwriting a specific
+        failure cause recorded by the verify phase.
+        """
+        rec = self.recorder
         for sol in solutions:
             self.stats.wasted_solves += 1
             self.stats.wasted_work += sol.result.work_units
+            if speculative:
+                self.stats.speculative_wasted_work += sol.result.work_units
+            if rec.enabled:
+                if speculative:
+                    rec.count("speculate.wasted_work", sol.result.work_units)
+                rec.tag_span(
+                    getattr(sol, "span_id", None),
+                    outcome=OUTCOME_SPECULATIVE_WASTE,
+                    overwrite=False,
+                )
 
     def _try_guard(self, guard, guard_gap: float = 0.0) -> bool:
         """Commit a guard (insurance) point if it converged and passes LTE.
@@ -393,7 +451,11 @@ class PipelineEngine:
         rec = self.recorder
         tracing = rec.enabled
         started = time.perf_counter()
-        run_start = rec.clock() if tracing else 0.0
+        run_sid = (
+            rec.begin_span(RUN, kind=self.scheme_name, threads=self.threads)
+            if tracing
+            else 0
+        )
 
         x0, q0 = _initial_solution(
             self.system, self.options, self._uic, self._node_ics, self.stats
@@ -422,12 +484,9 @@ class PipelineEngine:
             time.perf_counter() - started - self.stats.dcop_seconds
         )
         if tracing:
-            rec.event(
-                RUN,
-                ts=run_start,
-                dur=rec.clock() - run_start,
-                kind=self.scheme_name,
-                threads=self.threads,
+            rec.end_span(
+                run_sid,
+                cost=self.stats.virtual_total,
                 accepted=self.stats.accepted_points,
             )
         metrics = RunMetrics.from_stats(
@@ -448,28 +507,37 @@ class PipelineEngine:
         )
 
     def _traced_stage(self, index: int) -> None:
-        """Run one stage under the recorder: the scheduler-lane event."""
+        """Run one stage under the recorder as a ``stage_run`` span.
+
+        The span is the parent of this stage's task spans: pool threads
+        cannot see the scheduler thread's span stack, so the executor
+        carries the id explicitly for the duration of the stage. It is
+        closed in the ``finally`` so a stage that raises (step underflow,
+        chaos faults) still leaves a balanced tree for diagnosis.
+        """
         rec = self.recorder
         clock = self.stats.clock
-        t0 = rec.clock()
         accepted_before = self.stats.accepted_points
         virtual_before = clock.virtual_work
         widths_before = len(clock._stage_widths)
-        self.run_stage()
-        width = (
-            clock._stage_widths[-1]
-            if len(clock._stage_widths) > widths_before
-            else 1
-        )
-        rec.count("pipeline.stages")
-        rec.observe("pipeline.stage_width", width)
-        rec.event(
-            STAGE_RUN,
-            ts=t0,
-            dur=rec.clock() - t0,
-            t_sim=self.t,
-            stage=index,
-            width=width,
-            accepted=self.stats.accepted_points - accepted_before,
-            virtual_cost=clock.virtual_work - virtual_before,
-        )
+        sid = rec.begin_span(STAGE_RUN, stage=index)
+        self.executor.parent_span = sid
+        try:
+            self.run_stage()
+        finally:
+            self.executor.parent_span = None
+            width = (
+                clock._stage_widths[-1]
+                if len(clock._stage_widths) > widths_before
+                else 1
+            )
+            rec.count("pipeline.stages")
+            rec.observe("pipeline.stage_width", width)
+            rec.end_span(
+                sid,
+                cost=clock.virtual_work - virtual_before,
+                t_sim=self.t,
+                width=width,
+                accepted=self.stats.accepted_points - accepted_before,
+                virtual_cost=clock.virtual_work - virtual_before,
+            )

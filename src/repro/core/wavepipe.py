@@ -131,7 +131,7 @@ class SpeedupReport:
         dev = self.worst_deviation
         dev_text = f"{dev.max_relative:.2e} rel ({dev.name})" if dev else "n/a"
         seq_m, pipe_m = self.sequential.metrics, self.pipelined.metrics
-        return (
+        text = (
             f"{self.scheme} x{self.threads}: speedup {self.speedup:.2f} "
             f"(eff {self.efficiency:.2f}), worst deviation {dev_text}, "
             f"seq pts {self.sequential.stats.accepted_points}, "
@@ -142,6 +142,12 @@ class SpeedupReport:
             f"reject {seq_m.reject_rate:.1%}->{pipe_m.reject_rate:.1%}, "
             f"stage util {pipe_m.stage_utilization:.0%}"
         )
+        if pipe_m.speculative_work > 0:
+            text += (
+                f", spec {pipe_m.speculative_hits}/{pipe_m.speculative_solves} hits"
+                f" ({pipe_m.speculation_efficiency:.0%} efficient)"
+            )
+        return text
 
 
 def compare_with_sequential(

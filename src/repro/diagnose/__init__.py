@@ -1,0 +1,28 @@
+"""Automated run diagnosis: turn a trace into an explanation.
+
+``repro.diagnose`` consumes the span-tree traces emitted by
+:mod:`repro.instrument` and answers the questions a WavePipe run raises:
+which lane bounded the pipeline, why steps were rejected, whether
+speculation paid for itself, and where the solver's virtual-clock budget
+went. :func:`explain_trace` builds the deterministic report;
+:func:`render_text` / :func:`render_html` present it; the CLI front door
+is ``python -m repro explain``.
+"""
+
+from repro.diagnose.explain import (
+    ExplainReport,
+    explain_jsonl,
+    explain_recorder,
+    explain_trace,
+    render_text,
+)
+from repro.diagnose.html import render_html
+
+__all__ = [
+    "ExplainReport",
+    "explain_jsonl",
+    "explain_recorder",
+    "explain_trace",
+    "render_html",
+    "render_text",
+]

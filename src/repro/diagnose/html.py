@@ -1,0 +1,128 @@
+"""Self-contained HTML timeline for one traced run.
+
+:func:`render_html` turns a trace (events + :class:`ExplainReport`) into
+a single HTML document with zero external assets: one horizontal band
+per lane, spans drawn as positioned blocks colour-coded by outcome,
+hover titles carrying the span details, and the text report inlined
+below the timeline. The layout uses the spans' wall-clock window only
+for *drawing* — every number printed comes from the deterministic
+report.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from repro.instrument.events import (
+    OUTCOME_ACCEPTED,
+    OUTCOME_LTE_REJECT,
+    OUTCOME_NEWTON_FAIL,
+    OUTCOME_SPECULATIVE_HIT,
+    OUTCOME_SPECULATIVE_WASTE,
+)
+from repro.instrument.spans import build_span_tree
+
+#: Outcome -> block colour. Untagged spans render neutral grey.
+_COLOURS = {
+    OUTCOME_ACCEPTED: "#4caf50",
+    OUTCOME_SPECULATIVE_HIT: "#2e7d32",
+    OUTCOME_LTE_REJECT: "#ff9800",
+    OUTCOME_NEWTON_FAIL: "#f44336",
+    OUTCOME_SPECULATIVE_WASTE: "#b71c1c",
+    "converged": "#81c784",
+}
+_DEFAULT_COLOUR = "#90a4ae"
+
+#: Hard cap on drawn spans; beyond it the densest (shortest) spans are
+#: dropped first so the page stays loadable for huge traces.
+MAX_DRAWN_SPANS = 4000
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5em;
+       background: #fafafa; color: #212121; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.4em; }
+.timeline { position: relative; border: 1px solid #ddd; background: #fff; }
+.laneband { position: relative; height: 26px; border-bottom: 1px solid #eee; }
+.laneband .lanelabel { position: absolute; left: 4px; top: 4px;
+  font-size: 11px; color: #757575; z-index: 2; pointer-events: none; }
+.span { position: absolute; top: 4px; height: 18px; border-radius: 2px;
+  opacity: 0.9; min-width: 1px; }
+.legend span { display: inline-block; margin-right: 1em; font-size: 12px; }
+.legend i { display: inline-block; width: 10px; height: 10px;
+  margin-right: 4px; border-radius: 2px; }
+pre.report { background: #263238; color: #eceff1; padding: 1em;
+  overflow-x: auto; font-size: 13px; line-height: 1.45; }
+"""
+
+
+def _span_title(node) -> str:
+    bits = [f"{node.path}"]
+    if node.outcome:
+        bits.append(f"outcome={node.outcome}")
+    if node.cost:
+        bits.append(f"cost={node.cost:g} wu")
+    if node.t_sim is not None:
+        bits.append(f"t_sim={node.t_sim:g}")
+    bits.append(f"lane={node.lane}")
+    return " | ".join(bits)
+
+
+def render_html(events, report, title: str = "repro explain") -> str:
+    """One self-contained HTML page: lane timeline + text report."""
+    from repro.diagnose.explain import render_text
+
+    tree = build_span_tree(events)
+    nodes = [n for n in tree.walk()]
+    if len(nodes) > MAX_DRAWN_SPANS:
+        nodes = sorted(nodes, key=lambda n: -n.dur)[:MAX_DRAWN_SPANS]
+    t0 = min((n.ts for n in nodes), default=0.0)
+    t1 = max((n.end for n in nodes), default=1.0)
+    window = max(t1 - t0, 1e-12)
+
+    lanes: dict[int, list] = {}
+    for node in nodes:
+        lanes.setdefault(node.lane, []).append(node)
+
+    bands: list[str] = []
+    for lane in sorted(lanes):
+        label = "scheduler" if lane == 0 else f"worker-{lane}"
+        blocks = [f'<div class="laneband"><span class="lanelabel">{label}</span>']
+        for node in sorted(lanes[lane], key=lambda n: (n.ts, -n.dur)):
+            left = 100.0 * (node.ts - t0) / window
+            width = max(100.0 * node.dur / window, 0.05)
+            colour = _COLOURS.get(node.outcome or "", _DEFAULT_COLOUR)
+            blocks.append(
+                f'<div class="span" style="left:{left:.3f}%;width:{width:.3f}%;'
+                f'background:{colour}" title="{_html.escape(_span_title(node))}">'
+                "</div>"
+            )
+        blocks.append("</div>")
+        bands.append("".join(blocks))
+
+    legend = "".join(
+        f'<span><i style="background:{colour}"></i>{_html.escape(name)}</span>'
+        for name, colour in list(_COLOURS.items()) + [("untagged", _DEFAULT_COLOUR)]
+    )
+    dropped = max(0, len(list(tree.walk())) - len(nodes))
+    note = (
+        f"<p><em>{dropped} short span(s) omitted from the drawing "
+        "(report totals include them).</em></p>"
+        if dropped
+        else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{_html.escape(title)}</title>
+<style>{_STYLE}</style></head>
+<body>
+<h1>{_html.escape(title)}</h1>
+<p>{len(tree.nodes)} spans across {len(lanes)} lane(s);
+{tree.malformed} malformed.</p>
+<div class="legend">{legend}</div>
+<h2>Timeline</h2>
+<div class="timeline">{"".join(bands)}</div>
+{note}
+<h2>Diagnosis</h2>
+<pre class="report">{_html.escape(render_text(report))}</pre>
+</body></html>
+"""

@@ -17,7 +17,16 @@ import numpy as np
 
 from repro.circuit.circuit import Circuit
 from repro.errors import TimestepError
-from repro.instrument.events import DCOP, LTE_REJECT, RUN, STEP_ACCEPT
+from repro.instrument.events import (
+    DCOP,
+    LTE_REJECT,
+    OUTCOME_ACCEPTED,
+    OUTCOME_LTE_REJECT,
+    OUTCOME_NEWTON_FAIL,
+    RUN,
+    STEP_ACCEPT,
+    TIMESTEP,
+)
 from repro.instrument.metrics import RunMetrics
 from repro.instrument.recorder import resolve_recorder
 from repro.integration.controller import StepController
@@ -209,11 +218,12 @@ def _initial_solution(
         stats.lu_reuse_hits += op.lu_reuse_hits
         stats.dcop_seconds = time.perf_counter() - started
         if rec.enabled:
-            rec.event(
+            rec.emit_span(
                 DCOP,
                 ts=rec.clock() - stats.dcop_seconds,
                 dur=stats.dcop_seconds,
                 t_sim=0.0,
+                cost=op.work_units,
                 strategy=op.strategy,
                 iterations=op.iterations,
                 work_units=op.work_units,
@@ -266,7 +276,7 @@ def run_transient(
     system = MnaSystem(compiled)
     stats = TransientStats()
     started = time.perf_counter()
-    run_start = rec.clock() if tracing else 0.0
+    run_sid = rec.begin_span(RUN, kind="sequential") if tracing else 0
 
     x0, q0 = _initial_solution(system, options, uic, node_ics, stats)
     history = TimepointHistory()
@@ -294,6 +304,7 @@ def run_transient(
                 f"({stats.accepted_points} accepted, {stats.rejected_points} rejected)"
             )
         h, hits_bp = controller.propose(t)
+        step_sid = rec.begin_span(TIMESTEP, t_sim=t + h, h=h) if tracing else 0
         solution = solve_timepoint(
             system, history, t + h, options, controller.force_be, buffers, solver
         )
@@ -302,18 +313,29 @@ def run_transient(
         stats.charge_lu(solution.result)
         if not solution.converged:
             stats.newton_failures += 1
+            if tracing:
+                rec.end_span(
+                    step_sid,
+                    outcome=OUTCOME_NEWTON_FAIL,
+                    cost=solution.result.work_units,
+                )
             controller.on_newton_failure(h)
             continue
 
         verdict = accept_point(system, history, solution, options)
         if not verdict.accepted:
             stats.rejected_points += 1
-            controller.on_reject(h, verdict)
             if tracing:
+                rec.end_span(
+                    step_sid,
+                    outcome=OUTCOME_LTE_REJECT,
+                    cost=solution.result.work_units,
+                )
                 rec.count("lte.rejects")
                 rec.event(
                     LTE_REJECT, t_sim=solution.t, h=h, h_optimal=verdict.h_optimal
                 )
+            controller.on_reject(h, verdict)
             continue
 
         history.append(solution.to_timepoint())
@@ -326,18 +348,17 @@ def run_transient(
         rec_x.append(solution.result.x)
         step_sizes.append(h)
         if tracing:
+            rec.end_span(
+                step_sid, outcome=OUTCOME_ACCEPTED, cost=solution.result.work_units
+            )
             rec.count("points.accepted")
             rec.observe("step.h_accepted", h)
             rec.event(STEP_ACCEPT, t_sim=t, h=h)
 
     stats.tran_seconds = time.perf_counter() - started - stats.dcop_seconds
     if tracing:
-        rec.event(
-            RUN,
-            ts=run_start,
-            dur=rec.clock() - run_start,
-            kind="sequential",
-            accepted=stats.accepted_points,
+        rec.end_span(
+            run_sid, cost=stats.total_work, accepted=stats.accepted_points
         )
     metrics = RunMetrics.from_stats(
         stats, scheme="sequential", threads=1, recorder=rec if tracing else None

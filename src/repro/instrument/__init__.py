@@ -36,11 +36,21 @@ from repro.instrument.events import (
     JOB_RUN,
     LTE_REJECT,
     NEWTON_SOLVE,
+    OUTCOME_ACCEPTED,
+    OUTCOME_LTE_REJECT,
+    OUTCOME_NEWTON_FAIL,
+    OUTCOME_SPECULATIVE_HIT,
+    OUTCOME_SPECULATIVE_WASTE,
+    PHASE_ASSEMBLY,
+    PHASE_BACKSOLVE,
+    PHASE_DEVICE_EVAL,
+    PHASE_FACTOR,
     RUN,
     SPECULATE,
     STAGE_RUN,
     STAGE_TASK,
     STEP_ACCEPT,
+    TIMESTEP,
     TraceEvent,
 )
 from repro.instrument.exporters import (
@@ -59,6 +69,14 @@ from repro.instrument.perf import (
     write_baseline,
 )
 from repro.instrument.prometheus import MetricsServer, serve_metrics, to_prometheus
+from repro.instrument.spans import (
+    SpanNode,
+    SpanTree,
+    aggregate_by_path,
+    build_span_tree,
+    outcome_counts,
+    span_events,
+)
 from repro.instrument.recorder import (
     EVENTS_DROPPED,
     NULL_RECORDER,
@@ -84,6 +102,22 @@ __all__ = [
     "RUN",
     "JOB_RUN",
     "CAMPAIGN_RUN",
+    "TIMESTEP",
+    "PHASE_DEVICE_EVAL",
+    "PHASE_ASSEMBLY",
+    "PHASE_FACTOR",
+    "PHASE_BACKSOLVE",
+    "OUTCOME_ACCEPTED",
+    "OUTCOME_LTE_REJECT",
+    "OUTCOME_NEWTON_FAIL",
+    "OUTCOME_SPECULATIVE_HIT",
+    "OUTCOME_SPECULATIVE_WASTE",
+    "SpanNode",
+    "SpanTree",
+    "span_events",
+    "build_span_tree",
+    "aggregate_by_path",
+    "outcome_counts",
     "Recorder",
     "NullRecorder",
     "NULL_RECORDER",

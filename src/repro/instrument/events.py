@@ -62,6 +62,28 @@ JOB_RUN = "job_run"
 #: Emitted by :func:`repro.jobs.campaign.run_campaign`.
 CAMPAIGN_RUN = "campaign_run"
 
+#: One attempted timepoint in the sequential transient loop (span).
+TIMESTEP = "timestep"
+
+#: Synthesized solver-phase spans nested inside a ``newton_solve`` span.
+#: Their costs come from the virtual-clock work model (see
+#: :func:`repro.solver.newton.iteration_work`), laid back-to-back inside
+#: the parent span's wall interval, so they are deterministic quantities
+#: drawn on a wall-clock canvas.
+PHASE_DEVICE_EVAL = "device_eval"
+PHASE_ASSEMBLY = "assembly"
+PHASE_FACTOR = "factor"
+PHASE_BACKSOLVE = "backsolve"
+
+#: Outcome tags a span may carry in ``attrs["outcome"]``. Every candidate
+#: timepoint span ends in exactly one of these, which is what lets
+#: ``repro explain`` classify 100% of rejected steps by cause.
+OUTCOME_ACCEPTED = "accepted"
+OUTCOME_LTE_REJECT = "lte_reject"
+OUTCOME_NEWTON_FAIL = "newton_fail"
+OUTCOME_SPECULATIVE_HIT = "speculative_hit"
+OUTCOME_SPECULATIVE_WASTE = "speculative_waste"
+
 
 @dataclass
 class TraceEvent:

@@ -122,10 +122,29 @@ def chrome_trace_dict(recorder) -> dict:
                 "args": {"sort_index": lane},
             }
         )
+    span_entries: list[tuple] = []
     for ev in recorder.events:
         args = dict(ev.attrs)
         if ev.t_sim is not None:
             args["t_sim"] = ev.t_sim
+        if "span" in ev.attrs and ev.dur is not None:
+            # Tree spans become nested duration (B/E) pairs so Perfetto
+            # renders real hierarchy. Sorted so that at equal timestamps
+            # ends precede begins (a sibling closes before the next
+            # opens) and enclosing spans open before their children.
+            dur = ev.dur * 1e6
+            ts = ev.ts * 1e6
+            begin = {
+                "name": ev.name, "ph": "B", "pid": _PID, "tid": ev.lane,
+                "ts": ts, "args": args,
+            }
+            end = {
+                "name": ev.name, "ph": "E", "pid": _PID, "tid": ev.lane,
+                "ts": ts + dur,
+            }
+            span_entries.append(((ts, 1, -dur), begin))
+            span_entries.append(((ts + dur, 0, dur), end))
+            continue
         entry = {
             "name": ev.name,
             "pid": _PID,
@@ -140,6 +159,7 @@ def chrome_trace_dict(recorder) -> dict:
             entry["ph"] = "i"
             entry["s"] = "t"  # instant event scoped to its thread row
         trace_events.append(entry)
+    trace_events.extend(entry for _, entry in sorted(span_entries, key=lambda p: p[0]))
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",

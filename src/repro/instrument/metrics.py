@@ -49,6 +49,8 @@ class RunMetrics:
     speculative_hits: int = 0
     wasted_solves: int = 0
     wasted_work: float = 0.0
+    speculative_work: float = 0.0
+    speculative_wasted_work: float = 0.0
     guard_salvages: int = 0
 
     #: Counter snapshot from the attached recorder, when one was enabled.
@@ -102,6 +104,18 @@ class RunMetrics:
         return self.speculative_hits / self.speculative_solves
 
     @property
+    def speculation_efficiency(self) -> float:
+        """Fraction of speculative work units that ended up useful.
+
+        1.0 when the scheme never speculated (nothing was risked), down
+        to 0.0 when every speculative solve was discarded — the economics
+        number the depth throttle is trying to maximise.
+        """
+        if self.speculative_work <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.speculative_wasted_work / self.speculative_work)
+
+    @property
     def reuse_hit_rate(self) -> float:
         """Back-solves served by reused factors, as a fraction of all
         back-solves (0.0 with jacobian_reuse off)."""
@@ -152,6 +166,10 @@ class RunMetrics:
         metrics.speculative_hits = getattr(stats, "speculative_hits", 0)
         metrics.wasted_solves = getattr(stats, "wasted_solves", 0)
         metrics.wasted_work = getattr(stats, "wasted_work", 0.0)
+        metrics.speculative_work = getattr(stats, "speculative_work", 0.0)
+        metrics.speculative_wasted_work = getattr(
+            stats, "speculative_wasted_work", 0.0
+        )
         extra = getattr(stats, "extra", None) or {}
         metrics.guard_salvages = extra.get("guard_salvages", 0)
         if recorder is not None and recorder.enabled:
@@ -198,6 +216,9 @@ class RunMetrics:
                     "speculation_hit_rate": self.speculation_hit_rate,
                     "wasted_solves": self.wasted_solves,
                     "wasted_work": self.wasted_work,
+                    "speculative_work": self.speculative_work,
+                    "speculative_wasted_work": self.speculative_wasted_work,
+                    "speculation_efficiency": self.speculation_efficiency,
                     "guard_salvages": self.guard_salvages,
                 }
             )
@@ -254,6 +275,12 @@ class RunMetrics:
                 f"({self.wasted_work:.1f} wu); "
                 f"{self.guard_salvages} guard salvages"
             )
+            if self.speculative_work > 0:
+                lines.append(
+                    f"  speculation economics: {self.speculative_work:.1f} wu "
+                    f"risked, {self.speculative_wasted_work:.1f} wu wasted "
+                    f"({self.speculation_efficiency:.1%} efficient)"
+                )
         return "\n".join(lines)
 
 

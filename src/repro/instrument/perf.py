@@ -46,6 +46,11 @@ BENEFIT_CHANNELS = frozenset(
         "jobs.cache_hits",
         "controller.h_taken",
         "step.h_accepted",
+        # Speculation-benefit channels: fewer speculative successes or
+        # fewer pipeline stages for the same simulated window means the
+        # pipelined schemes stopped overlapping work.
+        "speculate.successes",
+        "pipeline.stages",
     }
 )
 

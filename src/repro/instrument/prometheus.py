@@ -70,6 +70,19 @@ def to_prometheus(source, namespace: str = NAMESPACE) -> str:
         lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
         lines.append(f"{metric}_sum {_format_value(float(data.get('total', 0.0)))}")
         lines.append(f"{metric}_count {count}")
+    counters = snap.get("counters") or {}
+    useful = counters.get("speculate.useful_work")
+    wasted = counters.get("speculate.wasted_work")
+    if useful is not None or wasted is not None:
+        # Derived gauge: fraction of speculative work units that paid off.
+        # Only emitted when a pipelined scheme actually speculated, so
+        # sequential scrapes stay byte-identical to earlier releases.
+        total = float(useful or 0.0) + float(wasted or 0.0)
+        efficiency = float(useful or 0.0) / total if total > 0 else 0.0
+        metric = f"{namespace}_speculation_efficiency"
+        lines.append(f"# HELP {metric} useful fraction of speculative work units")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(efficiency)}")
     dropped = snap.get("dropped_events", 0)
     metric = f"{namespace}_instrument_dropped_events"
     lines.append(f"# HELP {metric} trace events not retained by the recorder")

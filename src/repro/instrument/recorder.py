@@ -131,6 +131,15 @@ class Recorder:
         self.histograms: dict[str, Histogram] = {}
         self.events = deque(maxlen=max_events) if evict == "tail" else []
         self.dropped_events = 0
+        #: span path ("run/timestep/newton_solve") -> {"count", "cost"}.
+        #: The deterministic aggregate of the span tree: pure counts and
+        #: virtual-clock work units, no wall time, so it can ride the
+        #: cached telemetry slice byte-stably.
+        self.span_totals: dict[str, dict] = {}
+        self._span_seq = 0
+        self._open_spans: dict[int, list] = {}
+        self._span_index: dict[int, TraceEvent] = {}
+        self._span_tls = threading.local()
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
 
@@ -194,6 +203,182 @@ class Recorder:
             self.event(name, ts=t0, dur=self.clock() - t0, lane=lane,
                        t_sim=t_sim, **attrs)
 
+    # -- span tree --------------------------------------------------------------
+    #
+    # Tree spans are completed TraceEvents whose attrs carry ``span`` (an
+    # id unique within this recorder), optionally ``parent`` (another
+    # span's id), ``outcome`` and ``cost`` (virtual-clock work units).
+    # Parentage nests automatically per thread: a begin_span on the same
+    # thread as an open span becomes its child, which is how a Newton
+    # solve lands inside the timestep that requested it. Cross-thread
+    # children (stage tasks running on pool threads) pass ``parent=``
+    # explicitly. See repro.instrument.spans for tree reconstruction.
+
+    #: Bound on the id->event map kept for post-hoc outcome tagging; old
+    #: entries are evicted FIFO (tags land promptly in practice — the
+    #: verify phase of the very next stage).
+    SPAN_INDEX_CAP = 8192
+
+    def _thread_stack(self) -> list:
+        stack = getattr(self._span_tls, "stack", None)
+        if stack is None:
+            stack = self._span_tls.stack = []
+        return stack
+
+    def begin_span(
+        self,
+        name: str,
+        lane: int | None = None,
+        t_sim: float | None = None,
+        parent: int | None = None,
+        **attrs,
+    ) -> int:
+        """Open a tree span; returns its id (0 on a NullRecorder).
+
+        ``lane=None`` inherits the parent's lane (explicit or enclosing),
+        so nested solver spans stay on the worker lane that ran them.
+        """
+        stack = self._thread_stack()
+        with self._lock:
+            self._span_seq += 1
+            sid = self._span_seq
+            if parent is None and stack:
+                parent = stack[-1]
+            entry = self._open_spans.get(parent) if parent is not None else None
+            if lane is None:
+                lane = entry[3] if entry is not None else 0
+            path = f"{entry[0]}/{name}" if entry is not None else name
+            # entry: [path, t0, t_sim, lane, parent, attrs]
+            self._open_spans[sid] = [path, self.clock(), t_sim, lane, parent, attrs]
+        stack.append(sid)
+        return sid
+
+    def end_span(
+        self,
+        span_id: int,
+        outcome: str | None = None,
+        cost: float | None = None,
+        t_sim: float | None = None,
+        **attrs,
+    ) -> None:
+        """Close a tree span, folding it into ``span_totals``.
+
+        ``t_sim`` overrides the begin-time value when given (a stage task
+        only learns its target time from the solution it produced).
+        """
+        stack = self._thread_stack()
+        if span_id in stack:
+            del stack[stack.index(span_id):]
+        with self._lock:
+            entry = self._open_spans.pop(span_id, None)
+            if entry is None:
+                return
+            path, t0, t_sim0, lane, parent, open_attrs = entry
+            self._close_span_locked(
+                path, t0, self.clock() - t0, lane,
+                t_sim if t_sim is not None else t_sim0, span_id, parent,
+                outcome, cost, {**open_attrs, **attrs},
+            )
+
+    def emit_span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        lane: int | None = None,
+        t_sim: float | None = None,
+        parent: int | None = None,
+        outcome: str | None = None,
+        cost: float | None = None,
+        **attrs,
+    ) -> int:
+        """Record an already-delimited span in one call (returns its id).
+
+        Used for synthesized spans (solver phases laid out inside their
+        parent's wall interval) and after-the-fact spans whose duration
+        was measured externally (batch job outcomes).
+        """
+        stack = self._thread_stack()
+        with self._lock:
+            self._span_seq += 1
+            sid = self._span_seq
+            if parent is None and stack:
+                parent = stack[-1]
+            entry = self._open_spans.get(parent) if parent is not None else None
+            if lane is None:
+                lane = entry[3] if entry is not None else 0
+            path = f"{entry[0]}/{name}" if entry is not None else name
+            self._close_span_locked(
+                path, ts, dur, lane, t_sim, sid, parent, outcome, cost, attrs
+            )
+        return sid
+
+    def _close_span_locked(
+        self, path, ts, dur, lane, t_sim, sid, parent, outcome, cost, attrs
+    ) -> None:
+        total = self.span_totals.get(path)
+        if total is None:
+            total = self.span_totals[path] = {"count": 0, "cost": 0.0}
+        total["count"] += 1
+        total["cost"] += float(cost) if cost is not None else 0.0
+        attrs["span"] = sid
+        if parent is not None:
+            attrs["parent"] = parent
+        if outcome is not None:
+            attrs["outcome"] = outcome
+        if cost is not None:
+            attrs["cost"] = cost
+        if not self.capture_events:
+            return
+        record = TraceEvent(name=path.rsplit("/", 1)[-1], ts=ts, dur=dur,
+                            lane=lane, t_sim=t_sim, attrs=attrs)
+        self._append_record(record)
+        self._span_index[sid] = record
+        while len(self._span_index) > self.SPAN_INDEX_CAP:
+            self._span_index.pop(next(iter(self._span_index)))
+
+    def tag_span(
+        self,
+        span_id: int | None,
+        outcome: str | None = None,
+        overwrite: bool = True,
+        **attrs,
+    ):
+        """Attach an outcome (decided later) to an already-closed span.
+
+        Pipeline candidate points learn their fate only when the
+        scheduler verifies the stage, well after the solve span closed on
+        its worker lane. No-op for unknown/evicted ids and ``None``.
+        ``overwrite=False`` keeps an outcome that is already set — the
+        blanket waste-tagging pass must not clobber a specific cause
+        (``newton_fail``/``lte_reject``) recorded moments earlier.
+        """
+        if not span_id:
+            return
+        with self._lock:
+            record = self._span_index.get(span_id)
+            if record is None:
+                return
+            if outcome is not None and (overwrite or "outcome" not in record.attrs):
+                record.attrs["outcome"] = outcome
+            record.attrs.update(attrs)
+
+    @contextlib.contextmanager
+    def tree_span(
+        self,
+        name: str,
+        lane: int | None = None,
+        t_sim: float | None = None,
+        parent: int | None = None,
+        **attrs,
+    ):
+        """Contextmanager form of :meth:`begin_span`/:meth:`end_span`."""
+        sid = self.begin_span(name, lane=lane, t_sim=t_sim, parent=parent, **attrs)
+        try:
+            yield sid
+        finally:
+            self.end_span(sid)
+
     # -- snapshots --------------------------------------------------------------
 
     def counter(self, name: str, default: float = 0) -> float:
@@ -214,6 +399,11 @@ class Recorder:
                 "events": len(self.events),
                 "dropped_events": self.dropped_events,
             }
+            if self.span_totals:
+                snap["span_totals"] = {
+                    path: dict(total)
+                    for path, total in sorted(self.span_totals.items())
+                }
             if events_tail > 0:
                 tail = list(self.events)[-events_tail:]
                 snap["events_tail"] = [ev.to_dict() for ev in tail]
@@ -245,6 +435,12 @@ class Recorder:
                     hist = self.histograms[name] = Histogram()
                 hist.merge_dict(data)
             self.dropped_events += int(snapshot.get("dropped_events", 0))
+            for path, total in (snapshot.get("span_totals") or {}).items():
+                mine = self.span_totals.get(path)
+                if mine is None:
+                    mine = self.span_totals[path] = {"count": 0, "cost": 0.0}
+                mine["count"] += int(total.get("count", 0))
+                mine["cost"] += float(total.get("cost", 0.0))
             if self.capture_events:
                 rows = snapshot.get("events_tail") or ()
                 if rows:
@@ -252,7 +448,27 @@ class Recorder:
                         row["ts"] + (row.get("dur") or 0.0) for row in rows
                     )
                     offset = self.clock() - tail_end
+                    # Span ids in the tail were allocated by the sender;
+                    # give them fresh ids here so merged trees from many
+                    # workers cannot collide. Parents whose own record
+                    # fell out of the sender's ring become roots.
+                    remap: dict = {}
+                    for row in rows:
+                        sid = (row.get("attrs") or {}).get("span")
+                        if sid is not None:
+                            self._span_seq += 1
+                            remap[sid] = self._span_seq
                 for row in rows:
+                    attrs = row.get("attrs", {})
+                    if "span" in attrs:
+                        attrs = dict(attrs)
+                        attrs["span"] = remap[attrs["span"]]
+                        parent = attrs.get("parent")
+                        if parent is not None:
+                            if parent in remap:
+                                attrs["parent"] = remap[parent]
+                            else:
+                                del attrs["parent"]
                     self._append_record(
                         TraceEvent(
                             name=row["name"],
@@ -260,7 +476,7 @@ class Recorder:
                             dur=row.get("dur"),
                             lane=row.get("lane", 0),
                             t_sim=row.get("t_sim"),
-                            attrs=row.get("attrs", {}),
+                            attrs=attrs,
                         )
                     )
 
@@ -289,6 +505,7 @@ class NullRecorder:
     counters: dict[str, float] = {}
     histograms: dict[str, Histogram] = {}
     events: list[TraceEvent] = []
+    span_totals: dict[str, dict] = {}
     dropped_events = 0
 
     def clock(self) -> float:
@@ -304,6 +521,21 @@ class NullRecorder:
         pass
 
     def span(self, name: str, **kwargs):
+        return _NULL_SPAN
+
+    def begin_span(self, name: str, **kwargs) -> int:
+        return 0
+
+    def end_span(self, span_id: int, **kwargs) -> None:
+        pass
+
+    def emit_span(self, name: str, ts: float, dur: float, **kwargs) -> int:
+        return 0
+
+    def tag_span(self, span_id, outcome=None, **attrs) -> None:
+        pass
+
+    def tree_span(self, name: str, **kwargs):
         return _NULL_SPAN
 
     def counter(self, name: str, default: float = 0) -> float:

@@ -1,0 +1,202 @@
+"""Span-tree reconstruction and validation.
+
+A tree span is an ordinary completed :class:`TraceEvent` whose attrs
+carry ``span`` (an id unique within the emitting recorder), optionally
+``parent``, and the analysis payload: ``outcome`` (one of the
+``OUTCOME_*`` constants) and ``cost`` (virtual-clock work units). That
+representation is deliberate — spans ride every existing transport
+untouched: the JSONL log, the Chrome exporter, the worker snapshot tail,
+and :meth:`Recorder.merge` (which re-ids them so trees from many worker
+processes cannot collide).
+
+This module rebuilds the hierarchy from a flat event list and checks the
+invariants the rest of the diagnosis stack relies on:
+
+* ids are unique;
+* a child's parent id refers to a known span (orphans whose parent fell
+  out of a worker's ring buffer are *not* malformed — they are promoted
+  to roots — but a parent id colliding with the child itself is);
+* children nest temporally inside their parent's ``[ts, ts + dur]``
+  interval (small float slack);
+* lanes are consistent: a child runs on its parent's lane, except that
+  the scheduler lane (0) may fan work out to worker lanes, which is
+  exactly what a pipeline stage does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.instrument.events import TraceEvent
+
+#: Relative slack on the nesting check: spans are measured with
+#: ``perf_counter`` and synthesized phases are laid out with float
+#: arithmetic, so exact closure cannot be demanded.
+NEST_SLACK = 1e-9
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span with its children."""
+
+    id: int
+    name: str
+    ts: float
+    dur: float
+    lane: int
+    t_sim: float | None
+    outcome: str | None
+    cost: float
+    attrs: dict
+    parent: "SpanNode | None" = None
+    children: list = field(default_factory=list)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    @property
+    def path(self) -> str:
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    def walk(self):
+        """Yield this node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class SpanTree:
+    """Reconstruction result: forest roots plus validation findings."""
+
+    roots: list
+    nodes: dict
+    problems: list
+
+    @property
+    def malformed(self) -> int:
+        return len(self.problems)
+
+    def walk(self):
+        for root in self.roots:
+            yield from root.walk()
+
+
+def span_events(events: Iterable[TraceEvent]) -> list[TraceEvent]:
+    """The subset of *events* that are tree spans."""
+    return [ev for ev in events if "span" in ev.attrs]
+
+
+def build_span_tree(events: Iterable[TraceEvent]) -> SpanTree:
+    """Rebuild the span forest from a flat event list and validate it.
+
+    Returns every problem found rather than raising: diagnosis must
+    still work on a partially-damaged trace (that the count is zero is
+    itself one of the report's assertions).
+    """
+    nodes: dict[int, SpanNode] = {}
+    problems: list[str] = []
+    order: list[SpanNode] = []
+    for ev in events:
+        sid = ev.attrs.get("span")
+        if sid is None:
+            continue
+        if sid in nodes:
+            problems.append(f"duplicate span id {sid} ({ev.name!r})")
+            continue
+        node = SpanNode(
+            id=sid,
+            name=ev.name,
+            ts=ev.ts,
+            dur=ev.dur if ev.dur is not None else 0.0,
+            lane=ev.lane,
+            t_sim=ev.t_sim,
+            outcome=ev.attrs.get("outcome"),
+            cost=float(ev.attrs.get("cost", 0.0)),
+            attrs=ev.attrs,
+        )
+        if ev.dur is None:
+            problems.append(f"span {sid} ({ev.name!r}) has no duration")
+        nodes[sid] = node
+        order.append(node)
+
+    roots: list[SpanNode] = []
+    for node in order:
+        pid = node.attrs.get("parent")
+        if pid is None:
+            roots.append(node)
+            continue
+        if pid == node.id:
+            problems.append(f"span {node.id} ({node.name!r}) is its own parent")
+            roots.append(node)
+            continue
+        parent = nodes.get(pid)
+        if parent is None:
+            # parent record evicted upstream (worker ring buffer): the
+            # subtree survives as its own root, nothing is malformed
+            roots.append(node)
+            continue
+        node.parent = parent
+        parent.children.append(node)
+
+    for node in order:
+        parent = node.parent
+        if parent is None:
+            continue
+        slack = NEST_SLACK * max(1.0, abs(parent.end))
+        if node.ts < parent.ts - slack or node.end > parent.end + slack:
+            problems.append(
+                f"span {node.id} ({node.name!r}) [{node.ts:.9f}, {node.end:.9f}] "
+                f"escapes parent {parent.id} ({parent.name!r}) "
+                f"[{parent.ts:.9f}, {parent.end:.9f}]"
+            )
+        if node.lane != parent.lane and parent.lane != 0:
+            problems.append(
+                f"span {node.id} ({node.name!r}) on lane {node.lane} under "
+                f"parent {parent.id} ({parent.name!r}) on lane {parent.lane}"
+            )
+
+    # cycles among spans whose parents resolved: every resolved node must
+    # reach a root; walk() from roots must visit each node exactly once
+    seen: set[int] = set()
+    for root in roots:
+        for node in root.walk():
+            if node.id in seen:
+                problems.append(f"span {node.id} visited twice (cycle)")
+                break
+            seen.add(node.id)
+    for node in order:
+        if node.id not in seen:
+            problems.append(f"span {node.id} ({node.name!r}) unreachable (cycle)")
+
+    return SpanTree(roots=roots, nodes=nodes, problems=problems)
+
+
+def aggregate_by_path(tree: SpanTree) -> dict[str, dict]:
+    """Fold a span forest into ``path -> {count, cost}`` totals.
+
+    Matches the shape of ``Recorder.span_totals`` (modulo spans whose
+    ancestry was truncated by a worker's ring buffer), sorted by path so
+    serialization is deterministic.
+    """
+    totals: dict[str, dict] = {}
+    for node in tree.walk():
+        entry = totals.setdefault(node.path, {"count": 0, "cost": 0.0})
+        entry["count"] += 1
+        entry["cost"] += node.cost
+    return dict(sorted(totals.items()))
+
+
+def outcome_counts(tree: SpanTree, names: Sequence[str] | None = None) -> dict:
+    """Count span outcomes, optionally restricted to the given span names."""
+    counts: dict[str, int] = {}
+    for node in tree.walk():
+        if names is not None and node.name not in names:
+            continue
+        key = node.outcome if node.outcome is not None else "untagged"
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))

@@ -14,15 +14,54 @@ Encapsulates the SPICE time-stepping state machine:
 
 from __future__ import annotations
 
+import enum
+
 import numpy as np
 
 from repro.errors import TimestepError
+from repro.instrument.events import (
+    OUTCOME_LTE_REJECT,
+    OUTCOME_NEWTON_FAIL,
+)
 from repro.instrument.recorder import resolve_recorder
 from repro.integration.lte import LteVerdict
 from repro.utils.options import SimOptions
 
 #: Relative slack when deciding a step "lands on" a breakpoint.
 BREAKPOINT_SNAP = 0.1
+
+
+class RejectReason(enum.Enum):
+    """Structured cause of a shrink-and-retry transition.
+
+    The enum value doubles as the span outcome tag and the suffix of the
+    ``controller.reject.<value>`` counter, so the diagnosis taxonomy in
+    ``repro explain`` and the counters literally cannot drift apart.
+    ``STALL_GUARD`` is reserved for the Newton bypass stall fallback
+    (booked by the solver as ``newton.bypass_fallback``); the controller
+    itself only ever shrinks for the first two.
+    """
+
+    LTE = OUTCOME_LTE_REJECT
+    NEWTON_FAIL = OUTCOME_NEWTON_FAIL
+    STALL_GUARD = "stall_guard"
+
+    @property
+    def describe(self) -> str:
+        """Human phrasing used in error messages."""
+        return _REJECT_DESCRIPTIONS[self]
+
+    @property
+    def counter(self) -> str:
+        """Canonical counter channel for this cause."""
+        return f"controller.reject.{self.value}"
+
+
+_REJECT_DESCRIPTIONS = {
+    RejectReason.LTE: "LTE rejection",
+    RejectReason.NEWTON_FAIL: "Newton failure",
+    RejectReason.STALL_GUARD: "bypass stall fallback",
+}
 
 
 class StepController:
@@ -53,6 +92,8 @@ class StepController:
         self._force_be = True  # cold start: no qdot/second point yet
         self.rejections = 0
         self.newton_failures = 0
+        #: Cause of the most recent shrink-and-retry, or None before any.
+        self.last_reject: RejectReason | None = None
         #: True when the latest recommendation was clamped by the
         #: consecutive-step ratio bound rather than by LTE — exactly the
         #: regime WavePipe's backward chain extension targets.
@@ -133,7 +174,7 @@ class StepController:
             h_taken * self.options.step_shrink,
             min(verdict.h_optimal, 0.9 * h_taken),
         )
-        self._set_retry(h_new, "LTE rejection")
+        self._set_retry(h_new, RejectReason.LTE)
 
     def on_newton_failure(self, h_taken: float) -> None:
         """Shrink hard after a Newton convergence failure."""
@@ -142,7 +183,7 @@ class StepController:
         self.ratio_streak = 0
         if self._rec.enabled:
             self._rec.count("controller.newton_failures")
-        self._set_retry(h_taken * self.options.step_shrink, "Newton failure")
+        self._set_retry(h_taken * self.options.step_shrink, RejectReason.NEWTON_FAIL)
 
     def restart(self, h: float | None = None) -> None:
         """Re-enter cold-start mode (after a breakpoint): BE + small step."""
@@ -156,10 +197,13 @@ class StepController:
             h = max(self.h_rec * self.options.step_shrink, self.min_step)
         self.h_rec = float(np.clip(h, self.min_step, self.max_step))
 
-    def _set_retry(self, h_new: float, why: str) -> None:
+    def _set_retry(self, h_new: float, reason: RejectReason) -> None:
+        self.last_reject = reason
+        if self._rec.enabled:
+            self._rec.count(reason.counter)
         if h_new < self.min_step:
             raise TimestepError(
-                f"step underflow after {why}: needed {h_new:.3e}s, "
+                f"step underflow after {reason.describe}: needed {h_new:.3e}s, "
                 f"minimum is {self.min_step:.3e}s"
             )
         self.h_rec = h_new

@@ -370,7 +370,9 @@ def run_campaign(
     if heartbeat is not None and heartbeat.total_jobs is None:
         heartbeat.total_jobs = len(campaign.jobs)
     beat_scope = heartbeat if heartbeat is not None else contextlib.nullcontext()
-    with rec.span(CAMPAIGN_RUN, campaign=campaign.name, jobs=len(campaign.jobs)):
+    # tree_span (not the flat span helper) so per-job ``job_run`` spans
+    # settled on this thread nest under the campaign root.
+    with rec.tree_span(CAMPAIGN_RUN, campaign=campaign.name, jobs=len(campaign.jobs)):
         with beat_scope, scheduler:
             outcomes = scheduler.run(campaign.jobs, on_outcome=checkpoint)
     rec.count("jobs.campaigns")

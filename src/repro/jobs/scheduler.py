@@ -353,9 +353,18 @@ class JobScheduler:
         def settle(index: int, outcome: JobOutcome) -> None:
             outcomes[index] = outcome
             if rec.enabled:
-                rec.event(
+                # A closed span rather than a bare event: it nests under
+                # the campaign_run span (same thread) and carries the
+                # job's serial work as its cost, which is what the
+                # explain critical-path pass ranks jobs by.
+                elapsed = float(outcome.elapsed or 0.0)
+                stats = outcome.result.stats if outcome.result is not None else {}
+                rec.emit_span(
                     JOB_RUN,
-                    dur=outcome.elapsed,
+                    ts=rec.clock() - elapsed,
+                    dur=elapsed,
+                    outcome=outcome.status,
+                    cost=float((stats or {}).get("work_units", 0.0)),
                     label=outcome.spec.label,
                     status=outcome.status,
                     attempts=outcome.attempts,

@@ -128,11 +128,17 @@ def deterministic_telemetry(recorder) -> dict | None:
         }
         for name, hist in snap["histograms"].items()
     }
-    return {
+    out = {
         "counters": snap["counters"],
         "histograms": histograms,
         "dropped_events": snap.get("dropped_events", 0),
     }
+    # Span-path aggregates are pure counts + virtual work units, so they
+    # are as cacheable as the counters; absent when the job traced no
+    # spans to keep legacy payloads byte-identical.
+    if snap.get("span_totals"):
+        out["span_totals"] = snap["span_totals"]
+    return out
 
 
 def execute_job(spec: JobSpec, instrument=None) -> JobResult:

@@ -158,6 +158,24 @@ class CompiledCircuit:
         """Cost-model work units for one full system evaluation."""
         return sum(bank.work_units for bank in self.banks) + 0.01 * self.n
 
+    def eval_cost_by_class(self) -> dict[str, float]:
+        """Per-device-class split of :attr:`work_units_per_eval`.
+
+        Keys follow :meth:`stats` naming (``resistors``, ``diodes``...)
+        plus ``overhead`` for the per-unknown gather/scatter charge. The
+        values sum to ``work_units_per_eval``; span tracing scales them
+        by the iteration count to attribute device-eval cost.
+        """
+        cached = getattr(self, "_eval_cost_by_class", None)
+        if cached is None:
+            cached = {
+                type(bank).__name__.replace("Bank", "s").lower(): bank.work_units
+                for bank in self.banks
+            }
+            cached["overhead"] = 0.01 * self.n
+            self._eval_cost_by_class = cached
+        return cached
+
     def stats(self) -> dict[str, int | str]:
         """Summary row for Table R1."""
         counts: dict[str, int | str] = {"unknowns": self.n, "nodes": self.n_nodes}

@@ -37,6 +37,11 @@ class StageExecutor(abc.ABC):
     #: Optional Recorder; the owning pipeline engine attaches its own.
     recorder = None
 
+    #: Span id of the currently-running stage (set by the engine around
+    #: each ``run_stage`` call); task spans attach to it explicitly since
+    #: pool threads don't share the scheduler thread's span stack.
+    parent_span = None
+
     #: Monotonic stage counter (tags stage_task events).
     _stage_index = 0
 
@@ -56,38 +61,47 @@ class StageExecutor(abc.ABC):
     # -- instrumentation ---------------------------------------------------------
 
     def _instrumented(self, tasks: Sequence[Callable[[], object]]):
-        """Wrap *tasks* so each emits a lane-tagged ``stage_task`` event.
+        """Wrap *tasks* so each records a lane-tagged ``stage_task`` span.
 
         Returns *tasks* untouched when no enabled recorder is attached —
-        the uninstrumented path adds zero per-task overhead.
+        the uninstrumented path adds zero per-task overhead. The span id
+        is stashed on the returned solution (``result.span_id``) so the
+        scheduler's verify/commit phase can tag the outcome after the
+        fact; Newton solves inside the task auto-nest under it.
         """
         rec = self.recorder
         if rec is None or not rec.enabled:
             return tasks
         stage = self._stage_index
         self._stage_index += 1
+        parent = self.parent_span
 
         def wrap(task, lane):
             def run():
-                t0 = rec.clock()
-                result = task()
-                attrs = {"stage": stage}
-                # Solutions carry their target time and Newton cost;
-                # stay duck-typed so arbitrary closures keep working.
-                t_sim = getattr(result, "t", None)
-                inner = getattr(result, "result", None)
-                work = getattr(inner, "work_units", None)
-                if work is not None:
-                    attrs["work_units"] = work
-                    attrs["iterations"] = getattr(inner, "iterations", None)
-                rec.event(
-                    STAGE_TASK,
-                    ts=t0,
-                    dur=rec.clock() - t0,
-                    lane=lane + 1,
-                    t_sim=t_sim if isinstance(t_sim, float) else None,
-                    **attrs,
-                )
+                sid = rec.begin_span(STAGE_TASK, lane=lane + 1, parent=parent)
+                result = None
+                try:
+                    result = task()
+                finally:
+                    attrs = {"stage": stage}
+                    # Solutions carry their target time and Newton cost;
+                    # stay duck-typed so arbitrary closures keep working.
+                    t_sim = getattr(result, "t", None)
+                    inner = getattr(result, "result", None)
+                    work = getattr(inner, "work_units", None)
+                    if work is not None:
+                        attrs["work_units"] = work
+                        attrs["iterations"] = getattr(inner, "iterations", None)
+                    rec.end_span(
+                        sid,
+                        cost=work if work is not None else 0.0,
+                        t_sim=t_sim if isinstance(t_sim, float) else None,
+                        **attrs,
+                    )
+                    try:
+                        result.span_id = sid
+                    except AttributeError:
+                        pass
                 return result
 
             return run

@@ -23,7 +23,14 @@ import numpy as np
 
 from repro.devices.base import EvalOutputs
 from repro.errors import SingularMatrixError
-from repro.instrument.events import NEWTON_SOLVE
+from repro.instrument.events import (
+    NEWTON_SOLVE,
+    OUTCOME_NEWTON_FAIL,
+    PHASE_ASSEMBLY,
+    PHASE_BACKSOLVE,
+    PHASE_DEVICE_EVAL,
+    PHASE_FACTOR,
+)
 from repro.instrument.recorder import get_recorder
 from repro.linalg.solve import LinearSolver
 from repro.mna.system import MnaSystem
@@ -104,7 +111,8 @@ def newton_solve(
     rec = opts.instrument if opts.instrument is not None else get_recorder()
     if not rec.enabled:
         return _newton_iterate(system, t, alpha0, beta, x0, opts, out, solver, iter_cap)
-    t_start = rec.clock()
+    sid = rec.begin_span(NEWTON_SOLVE, t_sim=t)
+    t_start = rec.clock()  # after begin_span so phase children nest inside
     result = _newton_iterate(system, t, alpha0, beta, x0, opts, out, solver, iter_cap)
     rec.count("newton.solves")
     rec.count("newton.iterations", result.iterations)
@@ -121,17 +129,61 @@ def newton_solve(
     if result.bypass_fallbacks:
         rec.count("newton.bypass_fallback", result.bypass_fallbacks)
     rec.observe("newton.iterations_per_solve", result.iterations)
-    rec.event(
-        NEWTON_SOLVE,
-        ts=t_start,
-        dur=rec.clock() - t_start,
-        t_sim=t,
+    _emit_phase_spans(rec, sid, t_start, system, result)
+    rec.end_span(
+        sid,
+        outcome="converged" if result.converged else OUTCOME_NEWTON_FAIL,
+        cost=result.work_units,
         iterations=result.iterations,
         converged=result.converged,
         work_units=result.work_units,
         failure=result.failure,
     )
     return result
+
+
+def _emit_phase_spans(rec, parent: int, t_start: float, system, result) -> None:
+    """Child spans splitting one solve's cost into its four phases.
+
+    The split is synthesized from the virtual-clock work model rather
+    than timed (the hot loop stays instrumentation-free): each phase's
+    ``cost`` attr is deterministic work units, while its wall interval
+    is the parent's window divided proportionally — a drawing aid for
+    Perfetto, not a measurement. ``device_eval`` additionally carries
+    the per-device-class attribution from the compiled circuit's banks.
+    """
+    nnz = system.pattern.nnz
+    factorisations = result.lu_factors + result.lu_refactors
+    eval_cost = result.iterations * system.work_units_per_eval
+    assembly_cost = 0.02 * nnz * factorisations
+    factor_cost = 0.02 * nnz * factorisations
+    backsolve_cost = 0.01 * nnz * result.lu_solves
+    phases = [
+        (PHASE_DEVICE_EVAL, eval_cost),
+        (PHASE_ASSEMBLY, assembly_cost),
+        (PHASE_FACTOR, factor_cost),
+        (PHASE_BACKSOLVE, backsolve_cost),
+    ]
+    total = sum(cost for _, cost in phases)
+    if total <= 0.0:
+        return
+    window = max(rec.clock() - t_start, 0.0)
+    compiled = getattr(system, "compiled", None)
+    cursor = t_start
+    for name, cost in phases:
+        if cost <= 0.0:
+            continue
+        dur = window * (cost / total)
+        extra = {}
+        if name == PHASE_DEVICE_EVAL and compiled is not None:
+            extra["classes"] = {
+                cls: result.iterations * units
+                for cls, units in compiled.eval_cost_by_class().items()
+            }
+        rec.emit_span(
+            name, ts=cursor, dur=dur, parent=parent, cost=cost, **extra
+        )
+        cursor += dur
 
 
 def _newton_iterate(

@@ -1,0 +1,341 @@
+"""Span tracing: recorder API, tree reconstruction, transport invariants.
+
+Covers the hierarchical span layer end to end: the Recorder's
+begin/end/emit/tag API and its path bookkeeping, reconstruction +
+validation in :func:`build_span_tree`, the Chrome B/E export nesting,
+the worker->parent merge re-iding, and the property the whole layer
+must hold: a pipelined run's span forest stays well-formed no matter
+how adversarially the executor permutes stage tasks.
+"""
+
+import json
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.components import DiodeModel
+from repro.circuit.sources import Sin
+from repro.core.wavepipe import run_wavepipe
+from repro.engine.transient import run_transient
+from repro.instrument import (
+    NullRecorder,
+    Recorder,
+    aggregate_by_path,
+    build_span_tree,
+    chrome_trace_dict,
+    outcome_counts,
+    span_events,
+)
+from repro.verify.chaos import ChaosExecutor
+
+
+def stiff_circuit() -> Circuit:
+    """Half-wave rectifier: nonlinear + stiff enough to reject and speculate."""
+    c = Circuit("spans-rectifier")
+    c.add_vsource("V1", "in", "0", Sin(0.0, 5.0, 1e5))
+    c.add_resistor("R1", "in", "a", 100.0)
+    c.add_diode("D1", "a", "out", DiodeModel(is_=1e-14, n=1.5))
+    c.add_capacitor("C1", "out", "0", 1e-7)
+    c.add_resistor("R2", "out", "0", 1e4)
+    return c
+
+
+TSTOP = 2e-5
+
+
+class TestRecorderSpanApi:
+    def test_begin_end_builds_paths_and_totals(self):
+        rec = Recorder()
+        outer = rec.begin_span("run")
+        inner = rec.begin_span("timestep")
+        rec.end_span(inner, cost=2.0)
+        rec.end_span(outer, cost=1.0)
+        assert rec.span_totals == {
+            "run": {"count": 1, "cost": 1.0},
+            "run/timestep": {"count": 1, "cost": 2.0},
+        }
+        tree = build_span_tree(rec.events)
+        assert tree.malformed == 0
+        (root,) = tree.roots
+        assert root.name == "run"
+        assert [c.name for c in root.children] == ["timestep"]
+        assert root.children[0].path == "run/timestep"
+
+    def test_lane_inherited_from_parent(self):
+        rec = Recorder()
+        outer = rec.begin_span("stage_task", lane=3)
+        inner = rec.begin_span("newton_solve")  # lane=None -> parent's
+        rec.end_span(inner)
+        rec.end_span(outer)
+        tree = build_span_tree(rec.events)
+        assert all(node.lane == 3 for node in tree.walk())
+
+    def test_emit_span_nests_under_open_span(self):
+        rec = Recorder()
+        outer = rec.begin_span("newton_solve", lane=2)
+        rec.emit_span("device_eval", ts=0.0, dur=0.5, cost=4.0)
+        rec.end_span(outer)
+        (phase,) = [ev for ev in rec.events if ev.name == "device_eval"]
+        assert phase.attrs["parent"] == outer
+        assert phase.lane == 2
+        assert rec.span_totals["newton_solve/device_eval"]["cost"] == 4.0
+
+    def test_end_span_pops_stack_suffix(self):
+        rec = Recorder()
+        a = rec.begin_span("a")
+        rec.begin_span("b")  # never explicitly ended
+        rec.end_span(a)
+        # a's close must clear the whole suffix: new spans are roots again
+        c = rec.begin_span("c")
+        rec.end_span(c)
+        (ev,) = [e for e in rec.events if e.name == "c"]
+        assert "parent" not in ev.attrs
+
+    def test_tag_span_overwrite_semantics(self):
+        rec = Recorder()
+        sid = rec.begin_span("stage_task")
+        rec.end_span(sid)
+        rec.tag_span(sid, outcome="newton_fail")
+        rec.tag_span(sid, outcome="speculative_waste", overwrite=False)
+        (ev,) = span_events(rec.events)
+        assert ev.attrs["outcome"] == "newton_fail"
+        rec.tag_span(sid, outcome="accepted")  # default overwrites
+        assert ev.attrs["outcome"] == "accepted"
+        rec.tag_span(None, outcome="ignored")  # no-op, no raise
+        rec.tag_span(10**9, outcome="ignored")  # unknown id, no-op
+
+    def test_tree_span_contextmanager(self):
+        rec = Recorder()
+        with rec.tree_span("campaign_run") as sid:
+            assert sid > 0
+            with rec.tree_span("job_run"):
+                pass
+        tree = build_span_tree(rec.events)
+        assert tree.malformed == 0
+        assert tree.roots[0].children[0].name == "job_run"
+
+    def test_capture_off_keeps_totals_but_no_events(self):
+        rec = Recorder(capture_events=False)
+        sid = rec.begin_span("run")
+        rec.end_span(sid, cost=5.0)
+        assert rec.span_totals["run"] == {"count": 1, "cost": 5.0}
+        assert rec.events == []
+        rec.tag_span(sid, outcome="accepted")  # nothing indexed: no-op
+
+    def test_null_recorder_is_inert_and_snapshot_unchanged(self):
+        rec = NullRecorder()
+        assert rec.begin_span("run") == 0
+        rec.end_span(0, outcome="accepted")
+        assert rec.emit_span("x", ts=0.0, dur=1.0) == 0
+        rec.tag_span(0, outcome="accepted")
+        with rec.tree_span("run") as sid:
+            assert not sid
+        assert rec.snapshot() == {
+            "counters": {},
+            "histograms": {},
+            "events": 0,
+            "dropped_events": 0,
+        }
+
+
+class TestSpanTreeValidation:
+    def test_duplicate_id_flagged(self):
+        rec = Recorder()
+        rec.event("stage_task", span=7)
+        rec.event("stage_task", span=7)
+        for ev in rec.events:
+            ev.dur = 1.0
+        tree = build_span_tree(rec.events)
+        assert any("duplicate" in p for p in tree.problems)
+
+    def test_missing_duration_flagged(self):
+        rec = Recorder()
+        rec.event("stage_task", span=1)
+        tree = build_span_tree(rec.events)
+        assert any("no duration" in p for p in tree.problems)
+
+    def test_child_escaping_parent_flagged(self):
+        rec = Recorder()
+        rec.event("stage_run", span=1)
+        rec.event("stage_task", span=2, parent=1)
+        rec.events[0].ts, rec.events[0].dur = 0.0, 1.0
+        rec.events[1].ts, rec.events[1].dur = 0.5, 2.0  # ends after parent
+        tree = build_span_tree(rec.events)
+        assert any("escapes parent" in p for p in tree.problems)
+
+    def test_orphan_parent_promotes_to_root(self):
+        rec = Recorder()
+        rec.event("stage_task", span=2, parent=999)
+        rec.events[0].dur = 1.0
+        tree = build_span_tree(rec.events)
+        assert tree.malformed == 0
+        assert [n.id for n in tree.roots] == [2]
+
+    def test_self_parent_flagged(self):
+        rec = Recorder()
+        rec.event("stage_task", span=3, parent=3)
+        rec.events[0].dur = 1.0
+        tree = build_span_tree(rec.events)
+        assert any("own parent" in p for p in tree.problems)
+
+    def test_aggregate_and_outcomes(self):
+        rec = Recorder()
+        with rec.tree_span("run"):
+            for outcome in ("accepted", "accepted", "lte_reject"):
+                sid = rec.begin_span("timestep")
+                rec.end_span(sid, outcome=outcome, cost=1.0)
+        tree = build_span_tree(rec.events)
+        totals = aggregate_by_path(tree)
+        assert totals["run/timestep"] == {"count": 3, "cost": 3.0}
+        assert outcome_counts(tree, names=["timestep"]) == {
+            "accepted": 2,
+            "lte_reject": 1,
+        }
+
+
+class TestEngineSpanTrees:
+    @pytest.fixture(scope="class")
+    def pipelined(self):
+        rec = Recorder()
+        run_wavepipe(
+            stiff_circuit(), TSTOP, scheme="combined", threads=3, instrument=rec
+        )
+        return rec
+
+    def test_pipelined_tree_well_formed(self, pipelined):
+        tree = build_span_tree(pipelined.events)
+        assert len(tree.nodes) > 50
+        assert tree.malformed == 0, tree.problems[:5]
+
+    def test_sequential_tree_well_formed(self):
+        rec = Recorder()
+        run_transient(stiff_circuit(), TSTOP, instrument=rec)
+        tree = build_span_tree(rec.events)
+        assert tree.malformed == 0, tree.problems[:5]
+        names = {n.name for n in tree.walk()}
+        assert {"run", "timestep", "newton_solve", "device_eval"} <= names
+
+    def test_every_candidate_outcome_in_vocabulary(self, pipelined):
+        tree = build_span_tree(pipelined.events)
+        outcomes = outcome_counts(tree, names=["timestep", "stage_task"])
+        allowed = {
+            "accepted",
+            "lte_reject",
+            "newton_fail",
+            "speculative_hit",
+            "speculative_waste",
+            "untagged",  # unused insurance guards never learn a fate
+        }
+        assert set(outcomes) <= allowed
+
+    def test_phase_costs_sum_to_solve_cost(self, pipelined):
+        tree = build_span_tree(pipelined.events)
+        solves = [n for n in tree.walk() if n.name == "newton_solve" and n.children]
+        assert solves
+        for solve in solves:
+            assert sum(c.cost for c in solve.children) == pytest.approx(solve.cost)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 23, 101])
+    def test_tree_well_formed_under_chaos_permutation(self, seed):
+        # Property: adversarial stage-task scheduling may reorder span
+        # emission arbitrarily, but the reconstructed forest must stay
+        # perfectly formed and the waveforms bit-identical to serial.
+        rec = Recorder()
+        chaos = ChaosExecutor(seed=seed)
+        try:
+            result = run_wavepipe(
+                stiff_circuit(),
+                TSTOP,
+                scheme="combined",
+                threads=3,
+                executor=chaos,
+                instrument=rec,
+            )
+        finally:
+            chaos.close()
+        tree = build_span_tree(rec.events)
+        assert tree.malformed == 0, tree.problems[:5]
+        assert result.stats.accepted_points > 0
+
+
+class TestChromeExport:
+    def test_b_e_pairs_nest_per_lane(self):
+        rec = Recorder()
+        run_wavepipe(
+            stiff_circuit(), TSTOP, scheme="forward", threads=3, instrument=rec
+        )
+        doc = chrome_trace_dict(rec)
+        stacks: dict[int, list] = {}
+        b_count = e_count = 0
+        for entry in doc["traceEvents"]:
+            if entry["ph"] == "B":
+                stacks.setdefault(entry["tid"], []).append(entry["name"])
+                b_count += 1
+            elif entry["ph"] == "E":
+                stack = stacks.setdefault(entry["tid"], [])
+                assert stack, f"E without open B on lane {entry['tid']}"
+                stack.pop()
+                e_count += 1
+        assert b_count == e_count > 0
+        assert all(not stack for stack in stacks.values())
+        json.dumps(doc)  # must stay JSON-serializable
+
+
+class TestWorkerMerge:
+    def _worker_snapshot(self):
+        worker = Recorder()
+        with worker.tree_span("job_run", label="w"):
+            sid = worker.begin_span("stage_task", lane=1)
+            worker.end_span(sid, outcome="accepted", cost=3.0)
+        worker.count("newton.iterations", 12)
+        return worker.snapshot(events_tail=16)
+
+    def test_merge_remaps_span_ids(self):
+        parent = Recorder()
+        blocker = parent.begin_span("campaign_run")  # occupies low ids
+        parent.end_span(blocker)
+        parent.merge(self._worker_snapshot())
+        tree = build_span_tree(parent.events)
+        assert tree.malformed == 0
+        ids = [n.id for n in tree.walk()]
+        assert len(ids) == len(set(ids))
+        merged = [n for n in tree.walk() if n.name == "job_run"]
+        assert merged and merged[0].children[0].name == "stage_task"
+
+    def test_merge_orphans_become_roots(self):
+        snap = self._worker_snapshot()
+        # Drop the job_run row: its child's parent id now dangles, as
+        # happens when the parent record fell out of the worker's ring.
+        snap["events_tail"] = [
+            row for row in snap["events_tail"] if row["name"] != "job_run"
+        ]
+        parent = Recorder()
+        parent.merge(snap)
+        tree = build_span_tree(parent.events)
+        assert tree.malformed == 0
+        assert all(node.parent is None for node in tree.roots)
+
+    def test_merge_deterministic_across_kill_resume(self):
+        # A killed worker ships a partial snapshot; the retry ships the
+        # full one. Two campaign recorders absorbing the same sequence
+        # must agree byte-for-byte on everything deterministic: span
+        # totals, counters, and the re-idded span/parent linkage.
+        partial = self._worker_snapshot()
+        partial["events_tail"] = partial["events_tail"][:1]
+        full = self._worker_snapshot()
+
+        def absorb():
+            campaign = Recorder()
+            campaign.merge(partial)
+            campaign.merge(full)
+            snap = campaign.snapshot()
+            linkage = [
+                (ev.name, ev.attrs.get("span"), ev.attrs.get("parent"))
+                for ev in campaign.events
+            ]
+            return json.dumps(
+                {"counters": snap["counters"], "span_totals": snap["span_totals"]},
+                sort_keys=True,
+            ), linkage
+
+        assert absorb() == absorb()
