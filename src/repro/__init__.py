@@ -32,14 +32,18 @@ from repro.api import (
     ANALYSES,
     AnalysisRequest,
     AnalysisResult,
+    EnsembleRequest,
+    EnsembleResult,
     ac_analysis,
     dc_sweep,
+    run_ensemble_request,
     run_request,
     run_transient,
     run_wavepipe,
     simulate,
     sweep,
 )
+from repro.engine.ensemble import EnsembleTransientResult, run_ensemble_transient
 from repro.verify import (
     ChaosExecutor,
     EquivalenceReport,
@@ -122,6 +126,9 @@ __all__ = [
     "Deviation",
     "Diode",
     "DiodeModel",
+    "EnsembleRequest",
+    "EnsembleResult",
+    "EnsembleTransientResult",
     "EquivalenceReport",
     "Exp",
     "format_si",
@@ -146,6 +153,8 @@ __all__ = [
     "Resistor",
     "RunMetrics",
     "read_csv",
+    "run_ensemble_request",
+    "run_ensemble_transient",
     "run_request",
     "run_transient",
     "run_verification",

@@ -15,6 +15,13 @@ The historical entry points (``run_transient``, ``run_wavepipe``,
 :mod:`repro` as thin deprecated shims over the same engines; new code
 should call :func:`simulate`.
 
+The sixth analysis, ``ensemble``, solves K parameter variants of one
+topology in lockstep through the vectorized ensemble engine
+(:mod:`repro.engine.ensemble`). It has a first-class request object,
+:class:`EnsembleRequest`, and :func:`simulate` reaches it implicitly:
+passing ``variants=[{...}, ...]`` or ``ensemble=K`` promotes a plain
+transient call to an ensemble run returning an :class:`EnsembleResult`.
+
 Example::
 
     from repro import simulate
@@ -24,6 +31,8 @@ Example::
                    scheme="combined", threads=4)
     dc = simulate(circuit, analysis="dc", source="V1",
                   values=np.linspace(0, 5, 51))
+    ens = simulate(circuit, tstop=1e-6, ensemble=16, jitter=0.02, seed=5)
+    print(ens.metrics.scheme, ens[0].waveforms.voltage("out"))
 """
 
 from __future__ import annotations
@@ -32,12 +41,16 @@ import functools
 import warnings
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.analysis.ac import ac_analysis as _ac_analysis
 from repro.analysis.dc import dc_sweep as _dc_sweep
 from repro.analysis.sweep import sweep as _sweep
 from repro.core.wavepipe import run_wavepipe as _run_wavepipe
+from repro.engine.ensemble import run_ensemble_transient as _run_ensemble_transient
 from repro.engine.transient import run_transient as _run_transient
 from repro.errors import SimulationError
+from repro.jobs.spec import apply_params, jitterable_params
 from repro.utils.options import SimOptions
 
 # Verification companions to simulate(): the differential oracle proving
@@ -53,11 +66,20 @@ from repro.verify.oracle import (  # noqa: F401  (public re-exports)
 )
 
 #: Analyses understood by :func:`simulate`.
-ANALYSES = ("transient", "wavepipe", "dc", "ac", "sweep")
+ANALYSES = ("transient", "wavepipe", "dc", "ac", "sweep", "ensemble")
 
 #: Extra keywords each analysis accepts beyond the shared ones.
 _ANALYSIS_EXTRAS = {
     "transient": {"uic", "node_ics", "instrument"},
+    "ensemble": {
+        "variants",
+        "ensemble",
+        "jitter",
+        "seed",
+        "uic",
+        "node_ics",
+        "instrument",
+    },
     "wavepipe": {"uic", "node_ics", "instrument", "executor"},
     "dc": {"source", "values"},
     "ac": {"source", "freqs"},
@@ -105,10 +127,18 @@ class AnalysisRequest:
             )
         if self.threads < 1:
             raise SimulationError("threads must be >= 1")
-        if self.analysis in ("transient", "wavepipe", "sweep"):
+        if self.analysis in ("transient", "wavepipe", "sweep", "ensemble"):
             if self.tstop is None or self.tstop <= 0:
                 raise SimulationError(
                     f"{self.analysis!r} analysis requires tstop > 0"
+                )
+        if self.analysis == "ensemble":
+            has_variants = self.extras.get("variants") is not None
+            has_count = self.extras.get("ensemble") is not None
+            if has_variants == has_count:
+                raise SimulationError(
+                    "'ensemble' analysis requires exactly one of "
+                    "variants= or ensemble="
                 )
         if self.analysis == "sweep":
             if self.circuit is None and self.extras.get("circuit_factory") is None:
@@ -228,6 +258,215 @@ class AnalysisResult:
         return getattr(self.raw, name)
 
 
+@dataclass
+class EnsembleRequest:
+    """K parameter variants of one topology, solved in one lockstep run.
+
+    The variant set is given either explicitly (``variants`` — a list of
+    ``{component name: value}`` override dicts, one per variant) or as a
+    jitter spec (``ensemble=K`` with ``jitter``/``seed``), in which case
+    the K variant parameter sets are drawn exactly like
+    :func:`repro.jobs.campaign.monte_carlo`: every perturbable component
+    value is multiplied by an independent seeded lognormal factor with
+    sigma ``jitter``, in sorted component-name order, so an ensemble run
+    and a Monte Carlo campaign with equal seeds simulate the same
+    circuits. Exactly one of the two spellings must be used.
+
+    ``extras`` carries the transient-engine pass-throughs (``uic``,
+    ``node_ics``, ``instrument``). The circuit must be a raw
+    :class:`~repro.circuit.circuit.Circuit` (variants are rebuilt from
+    it with per-variant parameter overrides).
+    """
+
+    circuit: object | None = None
+    tstop: float | None = None
+    tstep: float | None = None
+    options: SimOptions | None = None
+    variants: list | None = None
+    ensemble: int | None = None
+    jitter: float = 0.05
+    seed: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.circuit is None:
+            raise SimulationError("ensemble request requires a circuit")
+        if not hasattr(self.circuit, "components"):
+            raise SimulationError(
+                "ensemble request requires a raw Circuit (variants are "
+                "rebuilt with per-variant parameter overrides)"
+            )
+        if self.tstop is None or self.tstop <= 0:
+            raise SimulationError("ensemble request requires tstop > 0")
+        if (self.variants is None) == (self.ensemble is None):
+            raise SimulationError(
+                "exactly one of variants= or ensemble= is required"
+            )
+        if self.variants is not None:
+            if not self.variants:
+                raise SimulationError("variants must contain at least one entry")
+            normalized = []
+            for i, overrides in enumerate(self.variants):
+                if not isinstance(overrides, dict):
+                    raise SimulationError(
+                        f"variants[{i}] must be a dict of component-name "
+                        f"overrides, got {type(overrides).__name__}"
+                    )
+                normalized.append(
+                    {str(name): float(value) for name, value in overrides.items()}
+                )
+            self.variants = normalized
+        else:
+            self.ensemble = int(self.ensemble)
+            if self.ensemble < 1:
+                raise SimulationError("ensemble= must be >= 1")
+            if self.jitter < 0:
+                raise SimulationError("jitter must be >= 0")
+        allowed = {"uic", "node_ics", "instrument"}
+        unknown = set(self.extras) - allowed
+        if unknown:
+            raise SimulationError(
+                f"unexpected keyword(s) for ensemble request: "
+                f"{sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+
+    def resolve_variants(self) -> list:
+        """The per-variant parameter override dicts this request denotes.
+
+        Explicit ``variants`` are returned as given (copied); a jitter
+        spec draws them with :func:`numpy.random.default_rng`'s seeded
+        lognormal over the circuit's sorted perturbable components,
+        mirroring ``monte_carlo``'s draw order bit for bit.
+        """
+        if self.variants is not None:
+            return [dict(overrides) for overrides in self.variants]
+        nominal = jitterable_params(self.circuit)
+        if not nominal:
+            raise SimulationError(
+                "circuit has no perturbable parameters to jitter; "
+                "pass explicit variants= instead"
+            )
+        rng = np.random.default_rng(self.seed)
+        names = sorted(nominal)  # fixed draw order => seed-stable ensembles
+        out = []
+        for _ in range(self.ensemble):
+            factors = rng.lognormal(mean=0.0, sigma=self.jitter, size=len(names))
+            out.append(
+                {name: float(nominal[name] * f) for name, f in zip(names, factors)}
+            )
+        return out
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump of the request, minus the circuit.
+
+        Mirrors :meth:`AnalysisRequest.to_dict`: the circuit reattaches
+        through ``from_dict(..., circuit=...)``, everything else round-
+        trips exactly, and non-serializable extras (a live
+        ``instrument``) raise :class:`SimulationError`.
+        """
+        return {
+            "analysis": "ensemble",
+            "tstop": self.tstop,
+            "tstep": self.tstep,
+            "options": None if self.options is None else self.options.to_dict(),
+            "variants": self.variants,
+            "ensemble": self.ensemble,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "extras": {k: _json_safe(k, v) for k, v in self.extras.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, circuit=None) -> "EnsembleRequest":
+        """Rebuild a request from a :meth:`to_dict` dump.
+
+        Validation runs exactly as on direct construction, so the
+        circuit must be reattached here.
+        """
+        options = data.get("options")
+        variants = data.get("variants")
+        return cls(
+            circuit=circuit,
+            tstop=data.get("tstop"),
+            tstep=data.get("tstep"),
+            options=None if options is None else SimOptions.from_dict(options),
+            variants=None if variants is None else [dict(v) for v in variants],
+            ensemble=data.get("ensemble"),
+            jitter=data.get("jitter", 0.05),
+            seed=data.get("seed", 0),
+            extras=dict(data.get("extras") or {}),
+        )
+
+
+@dataclass
+class EnsembleResult:
+    """Per-variant :class:`AnalysisResult`s plus the shared-run rollup.
+
+    ``variants[k]`` wraps variant *k*'s
+    :class:`~repro.engine.transient.TransientResult` (its column of the
+    lockstep solve) exactly as a standalone transient run would be
+    wrapped; ``params[k]`` records the parameter overrides it simulated.
+    ``stats``/``metrics`` describe the one shared run (one adaptive
+    grid, one Newton history, ``metrics.scheme == "ensemble"``);
+    anything else is delegated to the raw
+    :class:`~repro.engine.ensemble.EnsembleTransientResult`.
+    """
+
+    request: EnsembleRequest
+    raw: object
+    params: list
+    variants: list
+
+    analysis = "ensemble"
+
+    @property
+    def stats(self):
+        return self.raw.stats
+
+    @property
+    def metrics(self):
+        return self.raw.metrics
+
+    @property
+    def times(self):
+        return self.raw.times
+
+    @property
+    def sims(self) -> int:
+        return len(self.variants)
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def __getitem__(self, k: int) -> AnalysisResult:
+        return self.variants[k]
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.raw, name)
+
+
+def run_ensemble_request(request: EnsembleRequest) -> EnsembleResult:
+    """Dispatch an already-validated :class:`EnsembleRequest`."""
+    params = request.resolve_variants()
+    circuits = [apply_params(request.circuit, overrides) for overrides in params]
+    raw = _run_ensemble_transient(
+        circuits,
+        request.tstop,
+        tstep=request.tstep,
+        options=request.options,
+        **request.extras,
+    )
+    variants = [
+        AnalysisResult(analysis="transient", request=request, raw=variant)
+        for variant in raw.variants
+    ]
+    return EnsembleResult(request=request, raw=raw, params=params, variants=variants)
+
+
 def simulate(
     circuit=None,
     analysis: str = "transient",
@@ -238,7 +477,7 @@ def simulate(
     threads: int = 2,
     scheme: str | None = None,
     **extras,
-) -> AnalysisResult:
+) -> "AnalysisResult | EnsembleResult":
     """Run any analysis through one harmonised signature.
 
     Args:
@@ -246,7 +485,9 @@ def simulate(
             already-compiled circuit (optional for ``sweep`` when a
             ``circuit_factory`` is given).
         analysis: one of ``transient``, ``wavepipe``, ``dc``, ``ac``,
-            ``sweep``.
+            ``sweep``, ``ensemble``. Passing ``variants=`` or
+            ``ensemble=`` promotes a ``transient`` call to ``ensemble``
+            implicitly.
         tstop / tstep: simulation window and suggested step for the
             time-domain analyses.
         options: :class:`~repro.utils.options.SimOptions`; defaults to
@@ -258,11 +499,17 @@ def simulate(
         **extras: analysis-specific keywords — ``source``/``values``
             (dc), ``source``/``freqs`` (ac), ``parameter``/``values``/
             ``metrics`` (sweep), ``uic``/``node_ics``/``instrument``
-            (transient, wavepipe).
+            (transient, wavepipe, ensemble), ``variants``/``ensemble``/
+            ``jitter``/``seed`` (ensemble).
 
     Returns:
-        An :class:`AnalysisResult` wrapping the engine's native result.
+        An :class:`AnalysisResult` wrapping the engine's native result,
+        or an :class:`EnsembleResult` for ensemble runs.
     """
+    if analysis == "transient" and (
+        extras.get("variants") is not None or extras.get("ensemble") is not None
+    ):
+        analysis = "ensemble"
     request = AnalysisRequest(
         analysis=analysis,
         circuit=circuit,
@@ -276,9 +523,27 @@ def simulate(
     return run_request(request)
 
 
-def run_request(request: AnalysisRequest) -> AnalysisResult:
+def run_request(request: AnalysisRequest) -> "AnalysisResult | EnsembleResult":
     """Dispatch an already-validated :class:`AnalysisRequest`."""
     extras = request.extras
+    if request.analysis == "ensemble":
+        return run_ensemble_request(
+            EnsembleRequest(
+                circuit=request.circuit,
+                tstop=request.tstop,
+                tstep=request.tstep,
+                options=request.options,
+                variants=extras.get("variants"),
+                ensemble=extras.get("ensemble"),
+                jitter=extras.get("jitter", 0.05),
+                seed=extras.get("seed", 0),
+                extras={
+                    k: v
+                    for k, v in extras.items()
+                    if k in ("uic", "node_ics", "instrument")
+                },
+            )
+        )
     if request.analysis == "transient":
         raw = _run_transient(
             request.circuit,

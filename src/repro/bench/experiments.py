@@ -640,6 +640,167 @@ def table_r10_smoke() -> ExperimentResult:
     return table_r10(jobs=4, workers=(2,), exp_id="table_r10_smoke")
 
 
+#: Verify-generator seeds for Table R11 — each draws a different family
+#: (diode-clipper, mosfet-chain, bjt-follower, rlc-ladder, rc-ladder,
+#: random-resistive, rc-mesh), so the ensemble engine is exercised on
+#: every device bank.
+R11_SEEDS = (11, 303, 42, 7, 19, 3, 101)
+
+
+def table_r11(
+    seeds=R11_SEEDS,
+    jobs=16,
+    mc_seed=5,
+    jitter=0.02,
+    workers=16,
+    exp_id="table_r11",
+) -> ExperimentResult:
+    """Extension: ensemble lockstep solve vs per-job process pool.
+
+    A Monte Carlo campaign's jobs differ only in component values, so K
+    of them can share one transient solve: batched device evaluation and
+    assembly over ``(n, K)`` state, per-variant numeric factorisations
+    off one cached symbolic ordering, and a shared adaptive grid accepted
+    by max-reduction over per-variant LTE. The table runs the same
+    *jobs*-variant campaign both ways — one :class:`EnsembleRequest`
+    against a *workers*-process pool — and reports wall time and the
+    virtual-clock cost (``work_units``).
+
+    Accuracy is oracle-checked, not assumed: every ensemble variant is
+    compared against its own standalone sequential run (the exact
+    simulation a per-job backend performs) and classified on the verify
+    tolerance ladder. Options are verification-grade (``reltol=3e-6``,
+    ``max_step=tstop/256``) so legal tolerance-scaled drift between the
+    shared grid and each variant's native grid stays below the ``loose``
+    (1e-3) rung.
+    """
+    import time
+
+    from repro.api import EnsembleRequest, run_ensemble_request
+    from repro.engine.transient import TransientResult  # noqa: F401 (doc link)
+    from repro.jobs import CircuitRef, JobSpec, apply_params, monte_carlo, run_campaign
+    from repro.utils.options import SimOptions
+    from repro.verify.generators import draw_circuit
+    from repro.verify.oracle import classify_tier
+
+    headers = [
+        "circuit",
+        "K",
+        "ens wall (s)",
+        "pool wall (s)",
+        "wall x",
+        "ens work",
+        "pool work",
+        "work x",
+        "worst rel dev",
+        "tier",
+    ]
+    rows = []
+    data = {}
+    for seed in seeds:
+        gen = draw_circuit(seed)
+        options = SimOptions(
+            reltol=3e-6, max_step=gen.tstop / 256, jacobian_reuse=True
+        )
+
+        request = EnsembleRequest(
+            circuit=gen.circuit,
+            tstop=gen.tstop,
+            options=options,
+            ensemble=jobs,
+            jitter=jitter,
+            seed=mc_seed,
+        )
+        t0 = time.perf_counter()
+        ens = run_ensemble_request(request)
+        ens_wall = time.perf_counter() - t0
+        ens_work = ens.stats.work_units
+
+        # The pool arm runs the identical variant set: monte_carlo and
+        # EnsembleRequest share the seeded draw protocol (sorted
+        # component order, lognormal factors).
+        base = JobSpec(
+            circuit=CircuitRef(kind="verify", seed=seed),
+            analysis="transient",
+            tstop=gen.tstop,
+            options={
+                "reltol": 3e-6,
+                "max_step": gen.tstop / 256,
+                "jacobian_reuse": True,
+            },
+        )
+        campaign = monte_carlo(base, n=jobs, seed=mc_seed, jitter=jitter)
+        t0 = time.perf_counter()
+        pool = run_campaign(campaign, backend="process", workers=workers)
+        pool_wall = time.perf_counter() - t0
+        pool_work = pool.metrics.work_units
+
+        # Oracle: each variant against its own sequential run.
+        worst_rel = 0.0
+        tiers = []
+        for k, overrides in enumerate(ens.params):
+            ref = run_transient(
+                apply_params(gen.circuit, overrides), gen.tstop, options=options
+            )
+            worst = worst_deviation(
+                compare(ref.waveforms, ens.variants[k].waveforms)
+            )
+            rel = worst.max_relative if worst else 0.0
+            tiers.append(classify_tier(rel))
+            worst_rel = max(worst_rel, rel)
+
+        name = f"{gen.family}[{seed}]"
+        wall_x = pool_wall / ens_wall if ens_wall > 0 else 0.0
+        work_x = pool_work / ens_work if ens_work > 0 else 0.0
+        rows.append(
+            [
+                name,
+                jobs,
+                f"{ens_wall:.2f}",
+                f"{pool_wall:.2f}",
+                f"{wall_x:.2f}x",
+                f"{ens_work:.0f}",
+                f"{pool_work:.0f}",
+                f"{work_x:.2f}x",
+                f"{worst_rel:.2e}",
+                classify_tier(worst_rel),
+            ]
+        )
+        data[name] = {
+            "family": gen.family,
+            "seed": seed,
+            "variants": jobs,
+            "ens_wall_seconds": ens_wall,
+            "pool_wall_seconds": pool_wall,
+            "wall_speedup": wall_x,
+            "ens_work_units": ens_work,
+            "pool_work_units": pool_work,
+            "work_ratio": work_x,
+            "pool_passed": pool.passed,
+            "worst_rel_dev": worst_rel,
+            "tier": classify_tier(worst_rel),
+            "variant_tiers": tiers,
+        }
+    title = (
+        f"Table R11 (extension): {jobs}-variant ensemble Monte Carlo vs "
+        f"{workers}-worker process pool (mc seed {mc_seed}, jitter {jitter:g})"
+    )
+    return ExperimentResult(exp_id, title, render_table(headers, rows, title), data)
+
+
+def table_r11_smoke() -> ExperimentResult:
+    """Two-circuit, six-variant Table R11 subset for CI smoke runs.
+
+    This is the perf-gate's window onto the ensemble benefit channel
+    (``ensemble.variants_per_solve``): a backend that stops batching
+    variants into shared solves moves that counter down, which
+    ``repro perf diff`` treats as the regression direction.
+    """
+    return table_r11(
+        seeds=(11, 42), jobs=6, workers=2, exp_id="table_r11_smoke"
+    )
+
+
 #: Experiment id -> callable returning an ExperimentResult.
 EXPERIMENTS = {
     "table_r1": table_r1,
@@ -655,6 +816,8 @@ EXPERIMENTS = {
     "table_r9_smoke": table_r9_smoke,
     "table_r10": table_r10,
     "table_r10_smoke": table_r10_smoke,
+    "table_r11": table_r11,
+    "table_r11_smoke": table_r11_smoke,
     "fig_r1": fig_r1,
     "fig_r2": fig_r2,
     "fig_r3": fig_r3,

@@ -3,7 +3,9 @@
 Runs the analyses a SPICE deck requests (``.op``, ``.dc``, ``.tran``) and
 prints results as tables; ``--wavepipe SCHEME`` switches the transient to
 waveform pipelining and reports the virtual-clock speedup against the
-sequential baseline. ``--csv FILE`` exports transient waveforms.
+sequential baseline; ``--ensemble K`` solves K parameter-jittered
+variants in one lockstep run. ``--csv FILE`` exports transient
+waveforms.
 
 ``python -m repro verify`` runs the differential-oracle fuzzing campaign
 (:mod:`repro.verify`): random circuits through the full scheme x executor
@@ -30,6 +32,8 @@ Examples::
     python -m repro batch --circuit rectifier --montecarlo 16 --seed 7 \\
         --store out/rect-mc --backend process --workers 4 \\
         --heartbeat beats.jsonl --progress
+    python -m repro batch --circuit rectifier --montecarlo 16 --ensemble 16
+    python -m repro lowpass.cir --ensemble 8 --jitter 0.02 --seed 5
     python -m repro perf diff --baseline benchmarks/BENCH_BASELINE.json
 """
 
@@ -92,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["serial", "thread"],
         default="serial",
         help="pipeline runtime (serial = deterministic reference)",
+    )
+    parser.add_argument(
+        "--ensemble", type=int, metavar="K",
+        help="run the transient as a K-variant parameter-jittered ensemble "
+        "(one lockstep solve; see --jitter/--seed)",
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.05, metavar="SIGMA",
+        help="lognormal sigma for --ensemble parameter jitter (default 0.05)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for --ensemble jitter draws"
     )
     parser.add_argument("--csv", help="export transient waveforms to this CSV file")
     parser.add_argument(
@@ -213,7 +229,12 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "cache hits and checkpoint/resume",
     )
     parser.add_argument(
-        "--backend", choices=["serial", "process"], default="serial"
+        "--backend", choices=["serial", "process", "ensemble"], default="serial"
+    )
+    parser.add_argument(
+        "--ensemble", type=int, metavar="K",
+        help="batch same-topology jobs into lockstep ensemble solves, at "
+        "most K variants per solve (implies --backend ensemble)",
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="process-pool size (default 2)"
@@ -590,6 +611,15 @@ def _run_batch(argv: list[str]) -> int:
         else:
             campaign = single(base)
 
+        backend = args.backend
+        if args.ensemble is not None:
+            if args.ensemble < 1:
+                print("error: --ensemble needs K >= 1", file=sys.stderr)
+                return 2
+            from repro.jobs.ensemble import EnsembleBackend
+
+            backend = EnsembleBackend(max_group=args.ensemble)
+
         telemetry_wanted = (
             args.metrics
             or args.heartbeat
@@ -617,7 +647,7 @@ def _run_batch(argv: list[str]) -> int:
             report = run_campaign(
                 campaign,
                 store=args.store,
-                backend=args.backend,
+                backend=backend,
                 workers=args.workers,
                 timeout=args.timeout,
                 retries=args.retries,
@@ -749,6 +779,7 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
                     progress=args.progress,
                 )
             )
+        ensemble = None
         if args.wavepipe:
             report = compare_with_sequential(
                 compiled,
@@ -761,6 +792,21 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
                 instrument=recorder,
             )
             result = report.pipelined
+        elif args.ensemble:
+            report = None
+            # The ensemble facade rebuilds per-variant circuits from the
+            # raw netlist circuit, so it bypasses the compiled form.
+            ensemble = simulate(
+                netlist.circuit,
+                tstop=command.tstop,
+                tstep=command.tstep,
+                options=netlist.options,
+                instrument=recorder,
+                ensemble=args.ensemble,
+                jitter=args.jitter,
+                seed=args.seed,
+            )
+            result = ensemble[0]
         else:
             report = None
             result = simulate(
@@ -773,6 +819,13 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
             )
     if report is not None:
         print(f"* wavepipe {report.summary()}")
+    elif ensemble is not None:
+        print(
+            f"* ensemble: {ensemble.sims} variants in lockstep, "
+            f"{ensemble.stats.accepted_points} shared points, "
+            f"{ensemble.stats.rejected_points} rejected, "
+            f"{ensemble.stats.newton_iterations} Newton iterations"
+        )
     else:
         print(
             f"* transient: {result.stats.accepted_points} points, "
@@ -796,13 +849,27 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
         [format_si(t, "s")] + [result.waveforms[s].at(t) for s in signals]
         for t in grid
     ]
-    print(render_table(["time"] + signals, rows, title="Transient samples"))
+    title = "Transient samples (variant 0)" if ensemble is not None else "Transient samples"
+    print(render_table(["time"] + signals, rows, title=title))
+
+    if ensemble is not None:
+        rows = [
+            [str(k)] + [variant.waveforms[s].values[-1] for s in signals]
+            for k, variant in enumerate(ensemble.variants)
+        ]
+        print(
+            render_table(
+                ["variant"] + signals, rows,
+                title=f"Ensemble spread at t={format_si(result.final_time, 's')}",
+            )
+        )
 
     if args.csv:
         from repro.waveform.export import write_csv
 
         write_csv(result.waveforms, args.csv, args.signals)
-        print(f"* waveforms written to {args.csv}")
+        note = " (variant 0)" if ensemble is not None else ""
+        print(f"* waveforms written to {args.csv}{note}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,35 @@ ground/trash slot):
   banks are evaluated concurrently by WavePipe tasks.
 * ``limit(x_proposed, x_previous)`` — optionally adjust the proposed Newton
   iterate in place (junction limiting). Returns True if it changed anything.
+
+Shape contract (scalar vs ensemble)
+-----------------------------------
+
+Every bank evaluates in one of two modes, selected by its ``sims``
+attribute:
+
+* **Scalar mode** (``sims is None``, the default): parameter vectors are
+  ``(n_devices,)``, the solution ``x_full`` is ``(n + 1,)``, and every
+  :class:`EvalOutputs` buffer is 1-D — ``f``/``q``/``s`` are ``(n + 1,)``
+  and the slot arrays are ``(n_slots,)``. This is the legacy path and is
+  bit-for-bit unchanged.
+* **Ensemble mode** (``sims == K``): the bank simulates K parameter
+  variants of the *same topology* at once. Per-variant parameters are
+  ``(n_devices, K)``; topology (index arrays) stays ``(n_devices,)`` and
+  identical across variants. ``x_full`` is ``(n + 1, K)`` and every
+  :class:`EvalOutputs` buffer gains the trailing ``sims`` axis:
+  ``f``/``q``/``s`` are ``(n + 1, K)``, slot arrays ``(n_slots, K)``.
+
+Broadcasting rules: the device axis leads, the ``sims`` axis trails.
+A ``(n_devices,)`` constant does **not** broadcast against a
+``(n_devices, K)`` value under NumPy's trailing-axis alignment — lift it
+to a column first (``p[:, None]``). :func:`stamp_values` does this
+automatically for interleaved Jacobian stamps, so banks write one stamp
+expression that is correct in both modes. Banks advertise ensemble
+capability via the ``supports_ensemble`` class flag; driving an
+unsupporting bank with K > 1 raises :class:`~repro.errors.SimulationError`
+from :meth:`DeviceBank.ensure_ensemble` rather than a NumPy broadcast
+traceback deep inside ``eval``.
 """
 
 from __future__ import annotations
@@ -25,6 +54,7 @@ import abc
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.mna.pattern import PatternBuilder
 
 #: Thermal voltage at the fixed simulation temperature (300.15 K).
@@ -63,15 +93,20 @@ class EvalOutputs:
         q: charge accumulator, length ``n + 1``.
         s: source-injection accumulator, length ``n + 1``.
         g_vals / c_vals: Jacobian slot value arrays (dI/dx and dQ/dx).
+        sims: None for the scalar path; K for an ensemble of K variants,
+            in which case every buffer carries a trailing ``(..., K)``
+            axis per the module-level shape contract.
     """
 
-    def __init__(self, n_unknowns: int, n_g_slots: int, n_c_slots: int):
+    def __init__(self, n_unknowns: int, n_g_slots: int, n_c_slots: int, sims: int | None = None):
         self.n = n_unknowns
-        self.f = np.zeros(n_unknowns + 1)
-        self.q = np.zeros(n_unknowns + 1)
-        self.s = np.zeros(n_unknowns + 1)
-        self.g_vals = np.zeros(n_g_slots)
-        self.c_vals = np.zeros(n_c_slots)
+        self.sims = sims
+        tail = () if sims is None else (sims,)
+        self.f = np.zeros((n_unknowns + 1, *tail))
+        self.q = np.zeros((n_unknowns + 1, *tail))
+        self.s = np.zeros((n_unknowns + 1, *tail))
+        self.g_vals = np.zeros((n_g_slots, *tail))
+        self.c_vals = np.zeros((n_c_slots, *tail))
         #: True when g_vals/c_vals are re-seeded from precomputed static
         #: baselines on reset(); banks with constant stamps then skip
         #: rewriting them every eval (the fast path).
@@ -115,9 +150,35 @@ class DeviceBank(abc.ABC):
     #: devices cost more than linear ones (used by the cost model).
     work_weight: float = 1.0
 
+    #: Capability flag: True when this bank honours the ensemble shape
+    #: contract (trailing ``sims`` axis on parameters, stamps and
+    #: limiting). Concrete banks opt in explicitly; the base default is
+    #: False so new bank types fail loudly rather than mis-broadcast.
+    supports_ensemble: bool = False
+
+    #: Per-device float parameter attributes that vary across ensemble
+    #: variants; :mod:`repro.mna.ensemble` stacks these into
+    #: ``(n_devices, K)`` arrays when building an ensemble bank. Index
+    #: arrays and everything not listed here must be identical across
+    #: variants (same topology).
+    ensemble_params: tuple[str, ...] = ()
+
+    #: None in scalar mode; K when this bank instance evaluates an
+    #: ensemble of K parameter variants.
+    sims: int | None = None
+
     def __init__(self, names: list[str]):
         self.names = list(names)
         self.count = len(self.names)
+
+    def ensure_ensemble(self, sims: int) -> None:
+        """Raise a clear error when this bank cannot run K > 1 variants."""
+        if sims > 1 and not self.supports_ensemble:
+            raise SimulationError(
+                f"{type(self).__name__} does not support ensemble evaluation: "
+                f"asked for {sims} variants but supports_ensemble is False. "
+                "Run these circuits as separate jobs instead."
+            )
 
     @abc.abstractmethod
     def register(self, builder: PatternBuilder) -> None:
@@ -127,8 +188,19 @@ class DeviceBank(abc.ABC):
     def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
         """Evaluate all instances at solution *x_full* and time *t*."""
 
-    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
-        """Junction-limit the proposed iterate in place; default no-op."""
+    def limit(
+        self,
+        x_proposed: np.ndarray,
+        x_previous: np.ndarray,
+        changed_cols: np.ndarray | None = None,
+    ) -> bool:
+        """Junction-limit the proposed iterate in place; default no-op.
+
+        In ensemble mode *changed_cols* (a ``(K,)`` bool array, when
+        provided) must be OR-updated with True for every variant column
+        this bank altered, so the solver can track per-variant limiting
+        without comparing arrays.
+        """
         return False
 
     def write_static_stamps(self, g_vals: np.ndarray, c_vals: np.ndarray) -> bool:
@@ -164,8 +236,52 @@ def two_terminal_conductance_pattern(a: np.ndarray, b: np.ndarray):
 
 
 def two_terminal_values(g: np.ndarray) -> np.ndarray:
-    """Values matching :func:`two_terminal_conductance_pattern` order."""
+    """Values matching :func:`two_terminal_conductance_pattern` order.
+
+    Accepts ``(n_devices,)`` (scalar mode) or ``(n_devices, K)``
+    (ensemble mode); the interleave keeps the device-major slot order in
+    both cases, yielding ``(4*n_devices,)`` or ``(4*n_devices, K)``.
+    """
+    g = np.asarray(g)
+    if g.ndim == 2:
+        return np.stack([g, -g, -g, g], axis=1).reshape(-1, g.shape[1])
     return np.stack([g, -g, -g, g], axis=1).ravel()
+
+
+def stamp_values(*parts: np.ndarray, sims: int | None = None) -> np.ndarray:
+    """Interleave per-device stamp parts into device-major slot order.
+
+    Scalar mode (``sims is None``): each part is ``(n_devices,)`` and the
+    result is the flat ``(P*n_devices,)`` interleave — all P entries of
+    device 0, then device 1, and so on — exactly
+    ``np.stack(parts, axis=1).ravel()``.
+
+    Ensemble mode (``sims == K``): parts may be ``(n_devices, K)``
+    per-variant arrays or ``(n_devices,)`` variant-invariant constants
+    (lifted to a broadcast column automatically); the result is
+    ``(P*n_devices, K)`` in the same device-major slot order, suitable
+    for assignment into an ensemble :class:`EvalOutputs` slot slice.
+    """
+    if sims is None:
+        return np.stack(parts, axis=1).ravel()
+    lifted = [
+        p if p.ndim == 2 else np.broadcast_to(p[:, None], (p.shape[0], sims))
+        for p in (np.asarray(part, dtype=float) for part in parts)
+    ]
+    return np.stack(lifted, axis=1).reshape(-1, sims)
+
+
+def lift_sims(values: np.ndarray, sims: int | None) -> np.ndarray:
+    """Broadcast a per-device ``(n_devices,)`` array to ``(n_devices, sims)``.
+
+    No-op in scalar mode (``sims is None``) or when *values* already
+    carries the sims axis. Needed because NumPy aligns trailing axes, so
+    a variant-invariant per-device vector must be lifted to a column
+    before accumulating into an ensemble buffer.
+    """
+    if sims is None or values.ndim == 2:
+        return values
+    return np.broadcast_to(values[:, None], (values.shape[0], sims))
 
 
 def scatter_pair(target: np.ndarray, a: np.ndarray, b: np.ndarray, current: np.ndarray) -> None:

@@ -24,6 +24,7 @@ from repro.devices.base import (
     DeviceBank,
     EvalOutputs,
     safe_exp,
+    stamp_values,
 )
 from repro.devices.diode import pnjlim
 from repro.mna.pattern import PatternBuilder
@@ -33,6 +34,19 @@ class BjtBank(DeviceBank):
     """All bipolar transistors (both polarities)."""
 
     work_weight = 2.0
+    supports_ensemble = True
+    ensemble_params = (
+        "sign",
+        "isat",
+        "bf",
+        "br",
+        "inv_vaf",
+        "cje",
+        "cjc",
+        "tf",
+        "vt",
+        "vcrit",
+    )
 
     def __init__(self, names, c_idx, b_idx, e_idx, models, areas, gmin):
         super().__init__(names)
@@ -103,9 +117,9 @@ class BjtBank(DeviceBank):
         g_ec = -(g_cc + g_bc)
         g_eb = -(g_cb + g_bb)
         g_ee = -(g_ce + g_be)
-        out.g_vals[self._g_slots.slice] = np.stack(
-            [g_cc, g_cb, g_ce, g_bc, g_bb, g_be, g_ec, g_eb, g_ee], axis=1
-        ).ravel()
+        out.g_vals[self._g_slots.slice] = stamp_values(
+            g_cc, g_cb, g_ce, g_bc, g_bb, g_be, g_ec, g_eb, g_ee, sims=self.sims
+        )
 
         # Charges: q_be on B-E, q_bc on B-C (device space), real sign p.
         q_be = self.cje * vbe + self.tf * i_f
@@ -118,22 +132,25 @@ class BjtBank(DeviceBank):
         zeros = np.zeros(self.count)
         # C-stream over the same 3x3 (c, b, e) block:
         # dQc/d(c,b,e); dQb/...; dQe/...
-        out.c_vals[self._c_slots.slice] = np.stack(
-            [
-                c_bc,  # dQc/dVc = -p*cjc*d vbc/dVc = -p*cjc*(-p) = cjc
-                -c_bc,  # dQc/dVb
-                zeros,  # dQc/dVe
-                -c_bc,  # dQb/dVc
-                c_be + c_bc,  # dQb/dVb
-                -c_be,  # dQb/dVe
-                zeros,  # dQe/dVc
-                -c_be,  # dQe/dVb
-                c_be,  # dQe/dVe
-            ],
-            axis=1,
-        ).ravel()
+        out.c_vals[self._c_slots.slice] = stamp_values(
+            c_bc,  # dQc/dVc = -p*cjc*d vbc/dVc = -p*cjc*(-p) = cjc
+            -c_bc,  # dQc/dVb
+            zeros,  # dQc/dVe
+            -c_bc,  # dQb/dVc
+            c_be + c_bc,  # dQb/dVb
+            -c_be,  # dQb/dVe
+            zeros,  # dQe/dVc
+            -c_be,  # dQe/dVb
+            c_be,  # dQe/dVe
+            sims=self.sims,
+        )
 
-    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
+    def limit(
+        self,
+        x_proposed: np.ndarray,
+        x_previous: np.ndarray,
+        changed_cols: np.ndarray | None = None,
+    ) -> bool:
         changed_any = False
         for plus, minus in ((self.b, self.e), (self.b, self.c)):
             p = self.sign
@@ -142,11 +159,14 @@ class BjtBank(DeviceBank):
             vlim, changed = pnjlim(vnew, vold, self.vt, self.vcrit)
             if changed.any():
                 changed_any = True
+                if changed_cols is not None and changed.ndim == 2:
+                    changed_cols |= changed.any(axis=0)
                 delta = p * (vlim - vnew)
-                trash = x_proposed.size - 1
-                for i in np.nonzero(changed)[0]:
+                trash = x_proposed.shape[0] - 1
+                for pos in zip(*np.nonzero(changed)):
+                    i = pos[0]
                     if plus[i] != trash:
-                        x_proposed[plus[i]] += delta[i]
+                        x_proposed[(plus[i], *pos[1:])] += delta[pos]
                     else:
-                        x_proposed[minus[i]] -= delta[i]
+                        x_proposed[(minus[i], *pos[1:])] -= delta[pos]
         return changed_any

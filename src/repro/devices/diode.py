@@ -40,7 +40,8 @@ def pnjlim(vnew: np.ndarray, vold: np.ndarray, vt: np.ndarray, vcrit: np.ndarray
     """SPICE junction-voltage limiter (vectorised).
 
     Returns ``(vlimited, changed)`` where *changed* is a boolean mask of
-    entries that were pulled back.
+    entries that were pulled back. Shapes follow the ensemble contract:
+    all four inputs are ``(n_devices,)`` or all are ``(n_devices, K)``.
     """
     vnew = np.asarray(vnew, dtype=float).copy()
     vold = np.asarray(vold, dtype=float)
@@ -49,17 +50,16 @@ def pnjlim(vnew: np.ndarray, vold: np.ndarray, vt: np.ndarray, vcrit: np.ndarray
     if not hot.any():
         return vnew, changed
 
-    idx = np.nonzero(hot)[0]
-    for i in idx:
-        if vold[i] > 0:
-            arg = 1.0 + (vnew[i] - vold[i]) / vt[i]
+    for pos in zip(*np.nonzero(hot)):
+        if vold[pos] > 0:
+            arg = 1.0 + (vnew[pos] - vold[pos]) / vt[pos]
             if arg > 0:
-                vnew[i] = vold[i] + vt[i] * np.log(arg)
+                vnew[pos] = vold[pos] + vt[pos] * np.log(arg)
             else:
-                vnew[i] = vcrit[i]
+                vnew[pos] = vcrit[pos]
         else:
-            vnew[i] = vt[i] * np.log(vnew[i] / vt[i])
-        changed[i] = True
+            vnew[pos] = vt[pos] * np.log(vnew[pos] / vt[pos])
+        changed[pos] = True
     return vnew, changed
 
 
@@ -97,6 +97,8 @@ class DiodeBank(DeviceBank):
     """All junction diodes sharing the Shockley equations (per-instance params)."""
 
     work_weight = 1.0
+    supports_ensemble = True
+    ensemble_params = ("isat", "n", "cj0", "vj", "m", "tt", "vt", "vcrit")
 
     def __init__(self, names, anode_idx, cathode_idx, models, areas, gmin: float):
         super().__init__(names)
@@ -145,24 +147,33 @@ class DiodeBank(DeviceBank):
         scatter_pair(out.q, self.a, self.b, charge)
         out.c_vals[self._c_slots.slice] = two_terminal_values(cap)
 
-    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
+    def limit(
+        self,
+        x_proposed: np.ndarray,
+        x_previous: np.ndarray,
+        changed_cols: np.ndarray | None = None,
+    ) -> bool:
         vnew = x_proposed[self.a] - x_proposed[self.b]
         vold = x_previous[self.a] - x_previous[self.b]
         vlim, changed = pnjlim(vnew, vold, self.vt, self.vcrit)
         if not changed.any():
             return False
+        if changed_cols is not None and changed.ndim == 2:
+            changed_cols |= changed.any(axis=0)
         # Apply the voltage correction across the junction symmetrically
         # (cathode side held, anode adjusted) unless the anode is ground.
         delta = vlim - vnew
-        for i in np.nonzero(changed)[0]:
+        trash = out_of_range(x_proposed)
+        for pos in zip(*np.nonzero(changed)):
+            i = pos[0]
             ai, bi = self.a[i], self.b[i]
-            if ai < out_of_range(x_proposed):
-                x_proposed[ai] += delta[i]
+            if ai < trash:
+                x_proposed[(ai, *pos[1:])] += delta[pos]
             else:
-                x_proposed[bi] -= delta[i]
+                x_proposed[(bi, *pos[1:])] -= delta[pos]
         return True
 
 
 def out_of_range(x_full: np.ndarray) -> int:
-    """Index of the trash/ground slot (last element) in a padded vector."""
-    return x_full.size - 1
+    """Index of the trash/ground slot (last row) in a padded vector."""
+    return x_full.shape[0] - 1

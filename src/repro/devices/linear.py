@@ -19,6 +19,7 @@ from repro.devices.base import (
     DeviceBank,
     EvalOutputs,
     scatter_pair,
+    stamp_values,
     two_terminal_conductance_pattern,
     two_terminal_values,
 )
@@ -29,6 +30,8 @@ class ResistorBank(DeviceBank):
     """All linear resistors, parameterised by conductance."""
 
     work_weight = 0.25
+    supports_ensemble = True
+    ensemble_params = ("g",)
 
     def __init__(self, names, a_idx, b_idx, resistances):
         super().__init__(names)
@@ -57,6 +60,8 @@ class CapacitorBank(DeviceBank):
     """All linear capacitors; contributes charge, not resistive current."""
 
     work_weight = 0.25
+    supports_ensemble = True
+    ensemble_params = ("c",)
 
     def __init__(self, names, a_idx, b_idx, capacitances):
         super().__init__(names)
@@ -90,6 +95,8 @@ class MutualInductanceBank(DeviceBank):
     """
 
     work_weight = 0.25
+    supports_ensemble = True
+    ensemble_params = ("m",)
 
     def __init__(self, names, j1_idx, j2_idx, mutuals):
         super().__init__(names)
@@ -107,12 +114,12 @@ class MutualInductanceBank(DeviceBank):
         np.add.at(out.q, self.j1, -self.m * x_full[self.j2])
         np.add.at(out.q, self.j2, -self.m * x_full[self.j1])
         if not out.static:
-            out.c_vals[self._c_slots.slice] = np.stack(
-                [-self.m, -self.m], axis=1
-            ).ravel()
+            out.c_vals[self._c_slots.slice] = stamp_values(
+                -self.m, -self.m, sims=self.sims
+            )
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
-        c_vals[self._c_slots.slice] = np.stack([-self.m, -self.m], axis=1).ravel()
+        c_vals[self._c_slots.slice] = stamp_values(-self.m, -self.m, sims=self.sims)
         return True
 
 
@@ -120,6 +127,8 @@ class InductorBank(DeviceBank):
     """All linear inductors, each owning one branch-current unknown."""
 
     work_weight = 0.25
+    supports_ensemble = True
+    ensemble_params = ("l",)
 
     def __init__(self, names, a_idx, b_idx, branch_idx, inductances):
         super().__init__(names)
@@ -144,15 +153,15 @@ class InductorBank(DeviceBank):
         np.add.at(out.q, self.j, -self.l * current)
         if not out.static:
             ones = np.ones(self.count)
-            out.g_vals[self._g_slots.slice] = np.stack(
-                [ones, -ones, ones, -ones], axis=1
-            ).ravel()
+            out.g_vals[self._g_slots.slice] = stamp_values(
+                ones, -ones, ones, -ones, sims=self.sims
+            )
             out.c_vals[self._c_slots.slice] = -self.l
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
         ones = np.ones(self.count)
-        g_vals[self._g_slots.slice] = np.stack(
-            [ones, -ones, ones, -ones], axis=1
-        ).ravel()
+        g_vals[self._g_slots.slice] = stamp_values(
+            ones, -ones, ones, -ones, sims=self.sims
+        )
         c_vals[self._c_slots.slice] = -self.l
         return True

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.devices.base import DeviceBank, EvalOutputs, scatter_pair
+from repro.devices.base import DeviceBank, EvalOutputs, scatter_pair, stamp_values
 from repro.mna.pattern import PatternBuilder
 
 
@@ -30,6 +30,8 @@ class MosfetBank(DeviceBank):
     """All level-1 MOSFETs (both polarities in one bank)."""
 
     work_weight = 2.0
+    supports_ensemble = True
+    ensemble_params = ("sign", "vto", "beta", "lam", "gamma", "phi", "cgs", "cgd")
 
     def __init__(self, names, d_idx, g_idx, s_idx, b_idx, models, widths, lengths, gmin):
         super().__init__(names)
@@ -126,9 +128,9 @@ class MosfetBank(DeviceBank):
         a_s = a_s - self.gmin
 
         scatter_pair(out.f, self.d, self.s, i_drain)
-        out.g_vals[self._g_slots.slice] = np.stack(
-            [a_d, a_g, a_s, a_b, -a_d, -a_g, -a_s, -a_b], axis=1
-        ).ravel()
+        out.g_vals[self._g_slots.slice] = stamp_values(
+            a_d, a_g, a_s, a_b, -a_d, -a_g, -a_s, -a_b, sims=self.sims
+        )
 
         # Constant gate capacitances.
         q_gs = self.cgs * (vg - vs)
@@ -136,18 +138,16 @@ class MosfetBank(DeviceBank):
         np.add.at(out.q, self.g, q_gs + q_gd)
         np.add.at(out.q, self.s, -q_gs)
         np.add.at(out.q, self.d, -q_gd)
-        out.c_vals[self._c_slots.slice] = np.stack(
-            [
-                self.cgs + self.cgd,
-                -self.cgs,
-                -self.cgd,
-                -self.cgs,
-                self.cgs,
-                -self.cgd,
-                self.cgd,
-            ],
-            axis=1,
-        ).ravel()
+        out.c_vals[self._c_slots.slice] = stamp_values(
+            self.cgs + self.cgd,
+            -self.cgs,
+            -self.cgd,
+            -self.cgs,
+            self.cgs,
+            -self.cgd,
+            self.cgd,
+            sims=self.sims,
+        )
 
     def operating_regions(self, x_full: np.ndarray) -> list[str]:
         """Human-readable region of each device ("off"/"linear"/"saturation").

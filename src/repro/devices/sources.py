@@ -10,7 +10,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuit.sources import SourceWaveform
-from repro.devices.base import DeviceBank, EvalOutputs, scatter_pair
+from repro.devices.base import (
+    DeviceBank,
+    EvalOutputs,
+    lift_sims,
+    scatter_pair,
+    stamp_values,
+)
 from repro.mna.pattern import PatternBuilder
 
 
@@ -22,6 +28,7 @@ class VoltageSourceBank(DeviceBank):
     """
 
     work_weight = 0.5
+    supports_ensemble = True
 
     def __init__(self, names, plus_idx, minus_idx, branch_idx, waveforms):
         super().__init__(names)
@@ -46,20 +53,20 @@ class VoltageSourceBank(DeviceBank):
         current = x_full[self.j]
         scatter_pair(out.f, self.p, self.m, current)
         np.add.at(out.f, self.j, x_full[self.p] - x_full[self.m])
-        np.add.at(out.s, self.j, -self.scale * self._levels(t))
+        np.add.at(out.s, self.j, lift_sims(-self.scale * self._levels(t), self.sims))
         if not out.static:
             ones = np.ones(self.count)
-            out.g_vals[self._slots.slice] = np.stack(
-                [ones, -ones, ones, -ones], axis=1
-            ).ravel()
+            out.g_vals[self._slots.slice] = stamp_values(
+                ones, -ones, ones, -ones, sims=self.sims
+            )
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
         # Only the source *injection* depends on time/scale; the branch
         # constraint rows are constant +-1 stamps.
         ones = np.ones(self.count)
-        g_vals[self._slots.slice] = np.stack(
-            [ones, -ones, ones, -ones], axis=1
-        ).ravel()
+        g_vals[self._slots.slice] = stamp_values(
+            ones, -ones, ones, -ones, sims=self.sims
+        )
         return True
 
     def branch_index(self, name: str) -> int:
@@ -72,6 +79,7 @@ class CurrentSourceBank(DeviceBank):
     from plus, through the source, out of minus)."""
 
     work_weight = 0.25
+    supports_ensemble = True
 
     def __init__(self, names, plus_idx, minus_idx, waveforms):
         super().__init__(names)
@@ -85,7 +93,7 @@ class CurrentSourceBank(DeviceBank):
 
     def eval(self, x_full: np.ndarray, t: float, out: EvalOutputs) -> None:
         levels = self.scale * np.array([w.value(t) for w in self.waveforms])
-        scatter_pair(out.s, self.p, self.m, levels)
+        scatter_pair(out.s, self.p, self.m, lift_sims(levels, self.sims))
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
         return True  # no Jacobian entries at all
@@ -95,6 +103,8 @@ class VcvsBank(DeviceBank):
     """Voltage-controlled voltage sources (E): v_p - v_m = gain*(v_cp - v_cm)."""
 
     work_weight = 0.5
+    supports_ensemble = True
+    ensemble_params = ("gain",)
 
     def __init__(self, names, plus_idx, minus_idx, cp_idx, cm_idx, branch_idx, gains):
         super().__init__(names)
@@ -123,15 +133,15 @@ class VcvsBank(DeviceBank):
         np.add.at(out.f, self.j, branch)
         if not out.static:
             ones = np.ones(self.count)
-            out.g_vals[self._slots.slice] = np.stack(
-                [ones, -ones, ones, -ones, -self.gain, self.gain], axis=1
-            ).ravel()
+            out.g_vals[self._slots.slice] = stamp_values(
+                ones, -ones, ones, -ones, -self.gain, self.gain, sims=self.sims
+            )
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
         ones = np.ones(self.count)
-        g_vals[self._slots.slice] = np.stack(
-            [ones, -ones, ones, -ones, -self.gain, self.gain], axis=1
-        ).ravel()
+        g_vals[self._slots.slice] = stamp_values(
+            ones, -ones, ones, -ones, -self.gain, self.gain, sims=self.sims
+        )
         return True
 
 
@@ -139,6 +149,8 @@ class VccsBank(DeviceBank):
     """Voltage-controlled current sources (G): i(p->m) = gm*(v_cp - v_cm)."""
 
     work_weight = 0.5
+    supports_ensemble = True
+    ensemble_params = ("gm",)
 
     def __init__(self, names, plus_idx, minus_idx, cp_idx, cm_idx, gms):
         super().__init__(names)
@@ -159,14 +171,14 @@ class VccsBank(DeviceBank):
         current = self.gm * (x_full[self.cp] - x_full[self.cm])
         scatter_pair(out.f, self.p, self.m, current)
         if not out.static:
-            out.g_vals[self._slots.slice] = np.stack(
-                [self.gm, -self.gm, -self.gm, self.gm], axis=1
-            ).ravel()
+            out.g_vals[self._slots.slice] = stamp_values(
+                self.gm, -self.gm, -self.gm, self.gm, sims=self.sims
+            )
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
-        g_vals[self._slots.slice] = np.stack(
-            [self.gm, -self.gm, -self.gm, self.gm], axis=1
-        ).ravel()
+        g_vals[self._slots.slice] = stamp_values(
+            self.gm, -self.gm, -self.gm, self.gm, sims=self.sims
+        )
         return True
 
 
@@ -174,6 +186,8 @@ class CccsBank(DeviceBank):
     """Current-controlled current sources (F): i(p->m) = gain * i(ctrl branch)."""
 
     work_weight = 0.5
+    supports_ensemble = True
+    ensemble_params = ("gain",)
 
     def __init__(self, names, plus_idx, minus_idx, ctrl_branch_idx, gains):
         super().__init__(names)
@@ -192,12 +206,12 @@ class CccsBank(DeviceBank):
         current = self.gain * x_full[self.jc]
         scatter_pair(out.f, self.p, self.m, current)
         if not out.static:
-            out.g_vals[self._slots.slice] = np.stack(
-                [self.gain, -self.gain], axis=1
-            ).ravel()
+            out.g_vals[self._slots.slice] = stamp_values(
+                self.gain, -self.gain, sims=self.sims
+            )
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
-        g_vals[self._slots.slice] = np.stack([self.gain, -self.gain], axis=1).ravel()
+        g_vals[self._slots.slice] = stamp_values(self.gain, -self.gain, sims=self.sims)
         return True
 
 
@@ -205,6 +219,8 @@ class CcvsBank(DeviceBank):
     """Current-controlled voltage sources (H): v_p - v_m = r * i(ctrl branch)."""
 
     work_weight = 0.5
+    supports_ensemble = True
+    ensemble_params = ("r",)
 
     def __init__(self, names, plus_idx, minus_idx, ctrl_branch_idx, branch_idx, rs):
         super().__init__(names)
@@ -228,13 +244,13 @@ class CcvsBank(DeviceBank):
         np.add.at(out.f, self.j, branch)
         if not out.static:
             ones = np.ones(self.count)
-            out.g_vals[self._slots.slice] = np.stack(
-                [ones, -ones, ones, -ones, -self.r], axis=1
-            ).ravel()
+            out.g_vals[self._slots.slice] = stamp_values(
+                ones, -ones, ones, -ones, -self.r, sims=self.sims
+            )
 
     def write_static_stamps(self, g_vals, c_vals) -> bool:
         ones = np.ones(self.count)
-        g_vals[self._slots.slice] = np.stack(
-            [ones, -ones, ones, -ones, -self.r], axis=1
-        ).ravel()
+        g_vals[self._slots.slice] = stamp_values(
+            ones, -ones, ones, -ones, -self.r, sims=self.sims
+        )
         return True

@@ -1,0 +1,413 @@
+"""Ensemble transient engine: K parameter variants per solve.
+
+Runs the sequential LTE-controlled loop of
+:mod:`repro.engine.transient` over an
+:class:`~repro.mna.ensemble.EnsembleSystem`: one shared time grid, one
+lockstep Newton solve per candidate point
+(:func:`~repro.solver.ensemble.ensemble_newton_solve`), per-variant LTE
+ratios combined with a max-reduction accept rule
+(:func:`~repro.integration.lte.ensemble_lte_verdict`). DC operating
+points stay on the scalar path — homotopy fallbacks mutate per-variant
+bank state — and are stacked into the ``(n, K)`` starting state.
+
+The control flow mirrors :func:`~repro.engine.transient.run_transient`
+statement for statement (same initial step, attempt budget, breakpoint
+handling and controller transitions), so a K=1 ensemble retraces the
+sequential run bit for bit, with factorisation reuse on or off.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.circuit import Circuit
+from repro.errors import TimestepError
+from repro.instrument.events import (
+    DCOP,
+    LTE_REJECT,
+    OUTCOME_ACCEPTED,
+    OUTCOME_LTE_REJECT,
+    OUTCOME_NEWTON_FAIL,
+    RUN,
+    STEP_ACCEPT,
+    TIMESTEP,
+)
+from repro.instrument.metrics import RunMetrics
+from repro.instrument.recorder import resolve_recorder
+from repro.engine.transient import (
+    END_SLACK,
+    MAX_ATTEMPTS_FACTOR,
+    TransientResult,
+    TransientStats,
+)
+from repro.integration.controller import StepController
+from repro.integration.history import Timepoint, TimepointHistory
+from repro.integration.lte import LteVerdict, ensemble_lte_verdict
+from repro.integration.methods import SchemeCoefficients, scheme_coefficients
+from repro.linalg.solve import BlockSolver
+from repro.mna.compiler import CompiledCircuit
+from repro.mna.ensemble import (
+    EnsembleCompilation,
+    compile_ensemble,
+    ensemble_from_compiled,
+)
+from repro.mna.system import MnaSystem
+from repro.solver.dcop import solve_operating_point
+from repro.solver.ensemble import EnsembleNewtonResult, ensemble_newton_solve
+from repro.utils.options import SimOptions
+from repro.waveform.waveform import WaveformSet
+
+
+@dataclass
+class EnsemblePointSolution:
+    """One attempted ensemble time point: lockstep Newton outcome + scheme."""
+
+    t: float
+    result: EnsembleNewtonResult
+    scheme: SchemeCoefficients
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+    def to_timepoint(self) -> Timepoint:
+        """Package as an accepted history point (requires convergence)."""
+        return Timepoint(
+            t=self.t, x=self.result.x, q=self.result.q, qdot=self.result.qdot
+        )
+
+
+def solve_ensemble_timepoint(
+    system,
+    history: TimepointHistory,
+    t_new: float,
+    options: SimOptions,
+    force_be: bool,
+    buffers=None,
+    solver: BlockSolver | None = None,
+    x_guess: np.ndarray | None = None,
+    iter_cap: int | None = None,
+) -> EnsemblePointSolution:
+    """Lockstep Newton-solve all K variants at *t_new* against *history*.
+
+    The ensemble analogue of
+    :func:`~repro.engine.transient.solve_timepoint`: the history carries
+    ``(n, K)`` solutions and charges, so the predictor, the scheme's
+    ``beta`` and the converged charge derivative all inherit the variant
+    axis elementwise.
+    """
+    buffers = (
+        buffers
+        if buffers is not None
+        else system.make_buffers(fast_path=options.jacobian_reuse)
+    )
+    scheme = scheme_coefficients(options.method, history, t_new, force_be=force_be)
+    if x_guess is None:
+        if options.newton_guess == "predictor":
+            x_guess = history.predict(t_new, options.predictor_order)
+        else:
+            x_guess = history.last.x
+    result = ensemble_newton_solve(
+        system,
+        t_new,
+        scheme.alpha0,
+        scheme.beta,
+        x_guess,
+        options,
+        out=buffers,
+        solver=solver,
+        iter_cap=iter_cap,
+    )
+    if result.converged:
+        system.eval(result.x, t_new, buffers)
+        result.q = system.charge(buffers)
+        result.qdot = scheme.qdot(result.q)
+    return EnsemblePointSolution(t_new, result, scheme)
+
+
+def accept_ensemble_point(
+    system,
+    history: TimepointHistory,
+    solution: EnsemblePointSolution,
+    options: SimOptions,
+) -> tuple[LteVerdict, np.ndarray]:
+    """Max-reduction truncation-error test for a converged ensemble point."""
+    return ensemble_lte_verdict(
+        solution.scheme.method_used,
+        solution.scheme.order,
+        history,
+        solution.t,
+        solution.result.x,
+        system.voltage_mask,
+        options,
+        h_solve=solution.scheme.h,
+    )
+
+
+@dataclass
+class EnsembleTransientResult:
+    """Per-variant transient results sharing one adaptive time grid.
+
+    ``variants[k]`` is an ordinary
+    :class:`~repro.engine.transient.TransientResult` whose waveforms are
+    variant *k*'s columns of the lockstep solve; ``stats`` and
+    ``metrics`` describe the *shared* run (one Newton history, one grid),
+    which all variants reference.
+    """
+
+    variants: list[TransientResult]
+    stats: TransientStats
+    times: np.ndarray
+    step_sizes: np.ndarray
+    options: SimOptions
+    metrics: RunMetrics | None = None
+
+    @property
+    def sims(self) -> int:
+        return len(self.variants)
+
+    @property
+    def final_time(self) -> float:
+        return float(self.times[-1])
+
+    def __getitem__(self, k: int) -> TransientResult:
+        return self.variants[k]
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+
+def _ensemble_initial_solution(
+    ensemble: EnsembleCompilation,
+    options: SimOptions,
+    uic: bool,
+    node_ics: dict[str, float] | None,
+    stats: TransientStats,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked ``(n, K)`` starting state from per-variant scalar solves.
+
+    DC homotopy fallbacks mutate bank state (gshunt schedule, source
+    scale), so each variant gets its own scalar
+    :class:`~repro.mna.system.MnaSystem` over its own compiled circuit;
+    the ensemble banks stay untouched. Books the phase's wall time and
+    cost sums into *stats* exactly as the scalar engine does, and emits
+    one ``dcop`` span per variant.
+    """
+    rec = resolve_recorder(options.instrument)
+    started = time.perf_counter()
+    xs: list[np.ndarray] = []
+    qs: list[np.ndarray] = []
+    for k, compiled in enumerate(ensemble.variants):
+        system = MnaSystem(compiled)
+        if not uic:
+            var_started = time.perf_counter()
+            op = solve_operating_point(system, options)
+            stats.dc_work_units += op.work_units
+            stats.newton_iterations += op.iterations
+            stats.lu_factors += op.lu_factors
+            stats.lu_refactors += op.lu_refactors
+            stats.lu_solves += op.lu_solves
+            stats.lu_reuse_hits += op.lu_reuse_hits
+            if rec.enabled:
+                dur = time.perf_counter() - var_started
+                rec.emit_span(
+                    DCOP,
+                    ts=rec.clock() - dur,
+                    dur=dur,
+                    t_sim=0.0,
+                    cost=op.work_units,
+                    strategy=op.strategy,
+                    iterations=op.iterations,
+                    work_units=op.work_units,
+                    variant=k,
+                )
+            xs.append(op.x)
+            qs.append(op.q)
+            continue
+        x0 = np.zeros(system.n)
+        for key, value in compiled.initial_conditions.items():
+            kind, _, name = key.partition(":")
+            if kind == "v":
+                x0[compiled.node_voltage_index(name)] = value
+            else:
+                x0[compiled.branch_current_index(name)] = value
+        for node, value in (node_ics or {}).items():
+            x0[compiled.node_voltage_index(node)] = value
+        out = system.make_buffers()
+        system.eval(x0, 0.0, out)
+        xs.append(x0)
+        qs.append(system.charge(out))
+    stats.dcop_seconds = time.perf_counter() - started
+    return np.stack(xs, axis=1), np.stack(qs, axis=1)
+
+
+def run_ensemble_transient(
+    circuits: list[Circuit] | list[CompiledCircuit] | EnsembleCompilation,
+    tstop: float,
+    tstep: float | None = None,
+    options: SimOptions | None = None,
+    uic: bool = False,
+    node_ics: dict[str, float] | None = None,
+    instrument=None,
+) -> EnsembleTransientResult:
+    """Transient-simulate K same-topology variants in lockstep, 0 to *tstop*.
+
+    Args:
+        circuits: K circuit variants (raw or compiled) sharing one
+            topology, or an already-built
+            :class:`~repro.mna.ensemble.EnsembleCompilation`.
+        tstep: suggested output/initial step, as in
+            :func:`~repro.engine.transient.run_transient`.
+        uic: skip the operating points and start from initial conditions.
+        node_ics: extra initial node voltages for ``uic`` runs (applied to
+            every variant).
+        instrument: optional :class:`~repro.instrument.Recorder`.
+
+    Raises:
+        SimulationError: when the variants' topologies differ or a bank
+            type does not support ensemble evaluation.
+    """
+    if isinstance(circuits, EnsembleCompilation):
+        ensemble = circuits
+    elif circuits and isinstance(circuits[0], Circuit):
+        ensemble = compile_ensemble(list(circuits), options)
+    else:
+        ensemble = ensemble_from_compiled(list(circuits))
+    options = options or ensemble.variants[0].options
+    if instrument is not None:
+        options = options.replace(instrument=instrument)
+    rec = resolve_recorder(options.instrument)
+    tracing = rec.enabled
+    system = ensemble.system
+    sims = system.sims
+    stats = TransientStats()
+    started = time.perf_counter()
+    run_sid = rec.begin_span(RUN, kind="ensemble", sims=sims) if tracing else 0
+
+    x0, q0 = _ensemble_initial_solution(ensemble, options, uic, node_ics, stats)
+    history = TimepointHistory()
+    history.append(Timepoint(0.0, x0, q0, np.zeros((system.n, sims))))
+
+    compiled0 = ensemble.variants[0]
+    h0 = options.first_step_fraction * (tstep if tstep else tstop / 50.0)
+    controller = StepController(
+        options, tstop, h0, compiled0.collect_breakpoints(tstop)
+    )
+
+    rec_times = [0.0]
+    rec_x = [x0]
+    step_sizes: list[float] = []
+    buffers = system.make_buffers(fast_path=options.jacobian_reuse)
+    solver = BlockSolver(sims, system.unknown_names)
+
+    t = 0.0
+    attempts = 0
+    max_attempts = MAX_ATTEMPTS_FACTOR * max(int(tstop / h0), 1000)
+    while t < tstop * (1.0 - END_SLACK):
+        attempts += 1
+        if attempts > max_attempts:
+            raise TimestepError(
+                f"attempt budget exhausted at t={t:.3e}s "
+                f"({stats.accepted_points} accepted, {stats.rejected_points} rejected)"
+            )
+        h, hits_bp = controller.propose(t)
+        step_sid = (
+            rec.begin_span(TIMESTEP, t_sim=t + h, h=h, sims=sims) if tracing else 0
+        )
+        solution = solve_ensemble_timepoint(
+            system, history, t + h, options, controller.force_be, buffers, solver
+        )
+        stats.work_units += solution.result.work_units
+        stats.newton_iterations += solution.result.iterations
+        stats.charge_lu(solution.result)
+        if not solution.converged:
+            stats.newton_failures += 1
+            if tracing:
+                rec.end_span(
+                    step_sid,
+                    outcome=OUTCOME_NEWTON_FAIL,
+                    cost=solution.result.work_units,
+                )
+            controller.on_newton_failure(h)
+            continue
+
+        verdict, ratios = accept_ensemble_point(system, history, solution, options)
+        if not verdict.accepted:
+            stats.rejected_points += 1
+            if tracing:
+                rec.end_span(
+                    step_sid,
+                    outcome=OUTCOME_LTE_REJECT,
+                    cost=solution.result.work_units,
+                )
+                rec.count("lte.rejects")
+                rec.count("ensemble.lte.rejects")
+                rec.event(
+                    LTE_REJECT,
+                    t_sim=solution.t,
+                    h=h,
+                    h_optimal=verdict.h_optimal,
+                    worst_variant=int(ratios.argmax()) if ratios.size else -1,
+                )
+            controller.on_reject(h, verdict)
+            continue
+
+        history.append(solution.to_timepoint())
+        controller.on_accept(h, verdict, hits_bp)
+        if hits_bp:
+            history.mark_era()
+        t = solution.t
+        stats.accepted_points += 1
+        rec_times.append(t)
+        rec_x.append(solution.result.x)
+        step_sizes.append(h)
+        if tracing:
+            rec.end_span(
+                step_sid, outcome=OUTCOME_ACCEPTED, cost=solution.result.work_units
+            )
+            rec.count("points.accepted")
+            rec.count("ensemble.points.accepted")
+            rec.observe("step.h_accepted", h)
+            if ratios.size:
+                rec.observe("ensemble.lte.worst_ratio", float(ratios.max()))
+            rec.event(STEP_ACCEPT, t_sim=t, h=h)
+
+    stats.tran_seconds = time.perf_counter() - started - stats.dcop_seconds
+    if tracing:
+        rec.end_span(
+            run_sid, cost=stats.total_work, accepted=stats.accepted_points
+        )
+    metrics = RunMetrics.from_stats(
+        stats, scheme="ensemble", threads=1, recorder=rec if tracing else None
+    )
+
+    times = np.array(rec_times)
+    steps = np.array(step_sizes)
+    block = np.stack(rec_x, axis=0)  # (points, n, K)
+    variants = []
+    for k in range(sims):
+        data = {
+            name: np.ascontiguousarray(block[:, i, k])
+            for i, name in enumerate(system.unknown_names)
+        }
+        variants.append(
+            TransientResult(
+                waveforms=WaveformSet(times, data),
+                stats=stats,
+                times=times,
+                step_sizes=steps,
+                options=options,
+                metrics=metrics,
+            )
+        )
+    return EnsembleTransientResult(
+        variants=variants,
+        stats=stats,
+        times=times,
+        step_sizes=steps,
+        options=options,
+        metrics=metrics,
+    )

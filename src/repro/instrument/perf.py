@@ -51,6 +51,9 @@ BENEFIT_CHANNELS = frozenset(
         # pipelined schemes stopped overlapping work.
         "speculate.successes",
         "pipeline.stages",
+        # Fewer variants amortised per lockstep solve means the ensemble
+        # backend stopped batching same-topology jobs together.
+        "ensemble.variants_per_solve",
     }
 )
 

@@ -107,6 +107,69 @@ def lte_verdict(
     return LteVerdict(ratio <= 1.0, ratio, h_optimal, True)
 
 
+def ensemble_lte_verdict(
+    method_used: str,
+    order: int,
+    history: TimepointHistory,
+    t_new: float,
+    x_new: np.ndarray,
+    voltage_mask: np.ndarray,
+    options: SimOptions,
+    h_solve: float | None = None,
+) -> tuple[LteVerdict, np.ndarray]:
+    """Per-variant truncation-error test with a max-reduction accept rule.
+
+    The ensemble shares one time grid, so a candidate point is accepted
+    only when **every** variant's error ratio passes (max-reduction over
+    the ``(K,)`` per-variant ratios), and the next-step suggestion is the
+    most conservative variant's optimum (min-reduction over per-variant
+    ``h_optimal``). History and *x_new* carry the trailing variant axis;
+    all per-unknown formulas match :func:`lte_verdict` elementwise, so
+    K=1 reproduces the scalar verdict bit for bit.
+
+    Returns ``(combined verdict, per-variant error ratios)``; the ratio
+    array is empty when no estimate was possible.
+    """
+    h = h_solve if h_solve is not None else t_new - history.last.t
+    sims = x_new.shape[1]
+    needed = order + 2
+    points = [(t_new, x_new)] + [(p.t, p.x) for p in history.newest(needed - 1)]
+    if len(points) < needed:
+        return LteVerdict(True, 0.0, h * options.step_ratio_max, False), np.zeros(0)
+
+    dd = divided_difference(points[:needed])
+    err = ERROR_CONSTANTS[method_used] * (h ** (order + 1)) * np.abs(dd)
+
+    scale = np.maximum(np.abs(x_new), np.abs(history.last.x))
+    tol = options.trtol * (
+        options.effective_lte_reltol * scale + options.effective_lte_abstol
+    )
+    masked_err = err[voltage_mask]
+    masked_tol = tol[voltage_mask]
+    if masked_err.size == 0:
+        return LteVerdict(True, 0.0, h * options.step_ratio_max, False), np.zeros(0)
+
+    ratios = np.max(masked_err / masked_tol, axis=0)
+    # Per-variant h_optimal in Python floats: C pow and numpy's float64
+    # pow can differ in the last ulp, and K=1 must retrace the scalar
+    # verdict bit for bit.
+    h_opts = np.empty(ratios.shape[0])
+    for k in range(ratios.shape[0]):
+        ratio_k = float(ratios[k])
+        if ratio_k <= 0.0:
+            h_opts[k] = h * ZERO_ERROR_GROWTH
+        else:
+            factor = ratio_k ** (-1.0 / (order + 1))
+            h_opts[k] = h * min(SAFETY * factor, ZERO_ERROR_GROWTH)
+    worst = float(ratios.max())
+    if worst <= 0.0:
+        return LteVerdict(True, 0.0, h * ZERO_ERROR_GROWTH, True), ratios
+    return (
+        LteVerdict(worst <= 1.0, worst, float(h_opts.min()), True),
+        ratios,
+    )
+
+
 def predicted_max_step(
     method_used: str,
     order: int,

@@ -53,7 +53,7 @@ _POLL_INTERVAL = 0.2
 _TERMINATE_GRACE = 0.5
 
 #: Backend registry keys accepted by :func:`make_backend`.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "ensemble")
 
 
 @dataclass
@@ -288,6 +288,11 @@ def make_backend(kind, workers: int = 1):
         return SerialBackend()
     if kind == "process":
         return ProcessPoolBackend(workers)
+    if kind == "ensemble":
+        # Imported lazily: the backend pulls in the whole ensemble engine.
+        from repro.jobs.ensemble import EnsembleBackend
+
+        return EnsembleBackend()
     raise SimulationError(f"unknown backend {kind!r}; expected one of {BACKENDS}")
 
 

@@ -260,6 +260,82 @@ class LinearSolver:
         return result
 
 
+class BlockSolver:
+    """K per-variant solvers for an ensemble, sharing one symbolic ordering.
+
+    Each variant of an ensemble factorises its own numeric Jacobian, but
+    every variant matrix is assembled over the same sparsity pattern (the
+    :class:`~repro.mna.pattern.BlockAssemblyWorkspace` matrices share the
+    pattern's ``indices`` array). The first sparse factorisation computes
+    the column ordering once; :meth:`factor_all` then seeds that cached
+    ordering into every other variant's solver before its first factor,
+    so variants 1..K-1 only ever pay the numeric phase (they book as
+    ``refactor_count``, exactly like the scalar reuse fast path).
+
+    Per-variant factor *caches* stay independent — the modified-Newton
+    bypass freezes and refactors variants individually — so the ensemble
+    Newton loop drives ``solvers[k]`` directly for back-solves and
+    bypass decisions.
+    """
+
+    def __init__(self, sims: int, unknown_names: list[str] | None = None):
+        self.sims = sims
+        self.solvers = [LinearSolver(unknown_names) for _ in range(sims)]
+
+    def factor_all(
+        self,
+        matrices,
+        key: object | None = None,
+        active: np.ndarray | None = None,
+    ) -> None:
+        """Factor each variant's matrix, sharing the symbolic ordering.
+
+        Args:
+            matrices: K CSC matrices over one shared pattern.
+            key: factor-cache key recorded on every factored solver.
+            active: optional ``(K,)`` bool mask; variants marked False
+                (converged/frozen) keep their existing factors untouched.
+        """
+        donor = next((s for s in self.solvers if s._perm_c is not None), None)
+        for k, (solver, matrix) in enumerate(zip(self.solvers, matrices)):
+            if active is not None and not active[k]:
+                continue
+            if (
+                solver._perm_c is None
+                and donor is not None
+                and sp.issparse(matrix)
+                and matrix.indices is donor._sym_indices
+            ):
+                solver._perm_c = donor._perm_c
+                solver._sym_indices = donor._sym_indices
+            solver.factor(matrix, key=key)
+            if donor is None and solver._perm_c is not None:
+                donor = solver
+
+    def invalidate_all(self) -> None:
+        """Drop every variant's cached factors (symbolic orderings survive)."""
+        for solver in self.solvers:
+            solver.invalidate()
+
+    # -- aggregate counters (sum over variants) ----------------------------------
+
+    @property
+    def factor_count(self) -> int:
+        return sum(s.factor_count for s in self.solvers)
+
+    @property
+    def refactor_count(self) -> int:
+        return sum(s.refactor_count for s in self.solvers)
+
+    @property
+    def solve_count(self) -> int:
+        return sum(s.solve_count for s in self.solvers)
+
+    @property
+    def reuse_hits(self) -> int:
+        return sum(s.reuse_hits for s in self.solvers)
+
+
 def condition_estimate(matrix: sp.csc_matrix) -> float:
     """Cheap 1-norm condition estimate (exact for the dense path).
 

@@ -211,6 +211,10 @@ class JacobianPattern:
         """A reusable in-place assembly buffer bound to this pattern."""
         return AssemblyWorkspace(self)
 
+    def block_workspace(self, sims: int) -> "BlockAssemblyWorkspace":
+        """A reusable K-variant ensemble assembly buffer for this pattern."""
+        return BlockAssemblyWorkspace(self, sims)
+
 
 class AssemblyWorkspace:
     """Persistent assembly buffers for one pattern (the fast path).
@@ -261,3 +265,79 @@ class AssemblyWorkspace:
         if diag_shift:
             np.add.at(data, pattern.diag_map, diag_shift)
         return self._matrix
+
+
+class BlockAssemblyWorkspace:
+    """Ensemble assembly: K Jacobians over one shared sparsity pattern.
+
+    One ``np.add.at`` per stream scatters all K variants' slot values
+    (shaped ``(n_slots, K)`` per the ensemble device contract) into an
+    ``(nnz + 1, K)`` block whose columns are contiguous; each variant's
+    column is then copied into that variant's owned CSC data array. The
+    copy is needed because scipy will not alias a column of a 2-D block;
+    it is O(nnz) per variant, the same order as the scatter itself.
+
+    The K ``csc_matrix`` objects are built once and share the pattern's
+    ``indices`` / ``indptr`` arrays, so every variant matrix carries the
+    same symbolic-reuse identity key as the scalar fast path
+    (:class:`~repro.linalg.solve.LinearSolver` caches the ordering by the
+    identity of ``indices``). Matrices are aliased exactly like
+    :class:`AssemblyWorkspace` — a later :meth:`assemble` overwrites all
+    of them.
+    """
+
+    __slots__ = ("pattern", "sims", "_scatter", "_datas", "_matrices")
+
+    def __init__(self, pattern: JacobianPattern, sims: int):
+        if sims < 1:
+            raise AssemblyError("ensemble workspace needs sims >= 1")
+        self.pattern = pattern
+        self.sims = sims
+        # F-order: per-variant columns are contiguous for the row copies.
+        self._scatter = np.zeros((sims, pattern.nnz + 1)).T
+        self._datas = [np.zeros(pattern.nnz) for _ in range(sims)]
+        self._matrices = [
+            sp.csc_matrix(
+                (self._datas[k], pattern.indices, pattern.indptr),
+                shape=(pattern.size, pattern.size),
+            )
+            for k in range(sims)
+        ]
+        # scipy copies the structure arrays at construction; re-alias them
+        # so all K matrices share one indices identity (the symbolic-reuse
+        # cache key) and the pattern's memory.
+        for matrix in self._matrices:
+            matrix.indices = pattern.indices
+            matrix.indptr = pattern.indptr
+
+    def assemble(
+        self,
+        g_vals: np.ndarray,
+        c_vals: np.ndarray,
+        alpha0: float,
+        diag_shift: float = 0.0,
+    ) -> list[sp.csc_matrix]:
+        """Assemble all K variant Jacobians; returns the aliased matrices.
+
+        *g_vals*/*c_vals* are ``(n_slots, K)`` ensemble slot arrays.
+        """
+        pattern = self.pattern
+        if g_vals.shape != (pattern.n_g_slots, self.sims) or c_vals.shape != (
+            pattern.n_c_slots,
+            self.sims,
+        ):
+            raise AssemblyError(
+                f"ensemble slot value shapes ({g_vals.shape}, {c_vals.shape}) do "
+                f"not match pattern ({pattern.n_g_slots}, {pattern.n_c_slots}) "
+                f"x sims={self.sims}"
+            )
+        scatter = self._scatter
+        scatter.fill(0.0)
+        np.add.at(scatter, pattern.g_map, g_vals)
+        if alpha0 != 0.0 and c_vals.size:
+            np.add.at(scatter, pattern.c_map, alpha0 * c_vals)
+        if diag_shift:
+            np.add.at(scatter, pattern.diag_map, diag_shift)
+        for k, data in enumerate(self._datas):
+            np.copyto(data, scatter[: pattern.nnz, k])
+        return self._matrices

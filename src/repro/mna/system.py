@@ -120,11 +120,20 @@ class MnaSystem:
             out.g_vals, out.c_vals, alpha0, diag_shift=self.gshunt
         )
 
-    def limit(self, x_proposed: np.ndarray, x_previous: np.ndarray) -> bool:
-        """Run per-device junction limiting on padded vectors, in place."""
+    def limit(
+        self,
+        x_proposed: np.ndarray,
+        x_previous: np.ndarray,
+        changed_cols: np.ndarray | None = None,
+    ) -> bool:
+        """Run per-device junction limiting on padded vectors, in place.
+
+        *changed_cols* (ensemble mode only) is a ``(K,)`` bool array that
+        banks OR-update with the variant columns they altered.
+        """
         changed = False
         for bank in self.compiled.banks:
-            if bank.limit(x_proposed, x_previous):
+            if bank.limit(x_proposed, x_previous, changed_cols):
                 changed = True
         return changed
 

@@ -1,0 +1,338 @@
+"""Lockstep damped Newton for an ensemble of K parameter variants.
+
+One call of :func:`ensemble_newton_solve` drives all K variants of an
+:class:`~repro.mna.ensemble.EnsembleSystem` through the same Newton loop:
+device evaluation and Jacobian assembly are batched (one vectorised pass
+over ``(n, K)`` state), while factorisation, back-solve, damping,
+limiting, bypass policy and convergence are tracked *per variant* so each
+column follows exactly the trajectory the scalar solver would give it.
+Converged variants freeze — their column stops moving and their solver
+stops factoring — until every variant has converged or the iteration cap
+is hit.
+
+Failure semantics: any variant diverging (non-finite residual) or hitting
+a singular Jacobian fails the whole solve, exactly as one job would fail
+its own timestep; the transient engine then shrinks the shared step for
+the ensemble. K=1 reproduces the scalar solver bit for bit (same
+residuals, same factors, same update, same convergence test — and the
+same work units, since the ensemble eval margin vanishes at K=1).
+
+Cost model: K variants share one vectorised device evaluation, so an
+ensemble iteration charges ``work_units_per_eval * (1 + (K-1) *
+ENSEMBLE_EVAL_MARGIN)`` instead of K full evaluations; each *active*
+variant then pays its own factorisation (or back-solve-only bypass)
+charge, identical per variant to the scalar model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.devices.base import EvalOutputs
+from repro.errors import SingularMatrixError
+from repro.instrument.events import (
+    NEWTON_SOLVE,
+    OUTCOME_NEWTON_FAIL,
+    PHASE_ASSEMBLY,
+    PHASE_BACKSOLVE,
+    PHASE_DEVICE_EVAL,
+    PHASE_FACTOR,
+)
+from repro.instrument.recorder import get_recorder
+from repro.linalg.solve import BlockSolver
+from repro.mna.ensemble import EnsembleSystem
+from repro.utils.options import SimOptions
+
+#: Marginal cost of evaluating one extra ensemble variant, as a fraction
+#: of a full device evaluation. Vectorised banks amortise the Python
+#: dispatch and index gathers across variants; only the raw numpy
+#: arithmetic scales with K.
+ENSEMBLE_EVAL_MARGIN = 0.25
+
+
+@dataclass
+class EnsembleNewtonResult:
+    """Outcome of one lockstep ensemble Newton solve.
+
+    Mirrors :class:`~repro.solver.newton.NewtonResult` with per-variant
+    detail: *x* is ``(n, K)``, *converged* means every variant met the
+    SPICE delta-x criterion, and the ``lu_*`` counters sum over variants.
+    """
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+    work_units: float
+    converged_mask: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    residual_norms: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    q: np.ndarray | None = None
+    qdot: np.ndarray | None = None
+    failure: str = ""
+    lu_factors: int = 0
+    lu_refactors: int = 0
+    lu_solves: int = 0
+    lu_reuse_hits: int = 0
+    bypass_fallbacks: int = 0
+
+
+def ensemble_iteration_work(
+    system: EnsembleSystem, factored: int, bypassed: int
+) -> float:
+    """Work units for one lockstep iteration.
+
+    One shared device evaluation covers all K variants at the marginal
+    rate; *factored* variants pay the full per-variant LU charge and
+    *bypassed* ones the back-solve-only charge (frozen variants pay
+    nothing), matching :func:`repro.solver.newton.iteration_work` per
+    variant.
+    """
+    eval_factor = 1.0 + ENSEMBLE_EVAL_MARGIN * (system.sims - 1)
+    nnz = system.pattern.nnz
+    return (
+        system.work_units_per_eval * eval_factor
+        + 0.05 * nnz * factored
+        + 0.01 * nnz * bypassed
+    )
+
+
+def ensemble_newton_solve(
+    system: EnsembleSystem,
+    t: float,
+    alpha0: float,
+    beta,
+    x0: np.ndarray,
+    options: SimOptions | None = None,
+    out: EvalOutputs | None = None,
+    solver: BlockSolver | None = None,
+    iter_cap: int | None = None,
+) -> EnsembleNewtonResult:
+    """Solve the discretised equations for all K variants at time *t*.
+
+    Arguments mirror :func:`repro.solver.newton.newton_solve`; *x0* and
+    *beta* carry the trailing variant axis (``beta`` may also be the
+    scalar 0.0 for DC-style solves).
+    """
+    opts = options or system.options
+    rec = opts.instrument if opts.instrument is not None else get_recorder()
+    if not rec.enabled:
+        return _ensemble_iterate(system, t, alpha0, beta, x0, opts, out, solver, iter_cap)
+    sid = rec.begin_span(NEWTON_SOLVE, t_sim=t, sims=system.sims)
+    t_start = rec.clock()
+    result = _ensemble_iterate(system, t, alpha0, beta, x0, opts, out, solver, iter_cap)
+    rec.count("newton.solves")
+    rec.count("newton.iterations", result.iterations)
+    rec.count("ensemble.solves")
+    rec.count("ensemble.variants_per_solve", system.sims)
+    if not result.converged:
+        rec.count("newton.failures")
+    if result.lu_factors:
+        rec.count("lu.factor", result.lu_factors)
+    if result.lu_refactors:
+        rec.count("lu.refactor", result.lu_refactors)
+    if result.lu_solves:
+        rec.count("lu.solve", result.lu_solves)
+    if result.lu_reuse_hits:
+        rec.count("lu.reuse_hit", result.lu_reuse_hits)
+    if result.bypass_fallbacks:
+        rec.count("newton.bypass_fallback", result.bypass_fallbacks)
+    rec.observe("newton.iterations_per_solve", result.iterations)
+    _emit_ensemble_phase_spans(rec, sid, t_start, system, result)
+    rec.end_span(
+        sid,
+        outcome="converged" if result.converged else OUTCOME_NEWTON_FAIL,
+        cost=result.work_units,
+        iterations=result.iterations,
+        converged=result.converged,
+        work_units=result.work_units,
+        failure=result.failure,
+    )
+    return result
+
+
+def _emit_ensemble_phase_spans(rec, parent: int, t_start: float, system, result) -> None:
+    """Phase split of one ensemble solve (device_eval/assembly/factor/backsolve).
+
+    Same synthesized-from-work-units convention as the scalar solver's
+    phase lane; ``device_eval`` cost reflects the shared vectorised pass
+    (marginal rate per extra variant) and carries the per-class split.
+    """
+    nnz = system.pattern.nnz
+    factorisations = result.lu_factors + result.lu_refactors
+    eval_factor = 1.0 + ENSEMBLE_EVAL_MARGIN * (system.sims - 1)
+    eval_cost = result.iterations * system.work_units_per_eval * eval_factor
+    assembly_cost = 0.02 * nnz * factorisations
+    factor_cost = 0.02 * nnz * factorisations
+    backsolve_cost = 0.01 * nnz * result.lu_solves
+    phases = [
+        (PHASE_DEVICE_EVAL, eval_cost),
+        (PHASE_ASSEMBLY, assembly_cost),
+        (PHASE_FACTOR, factor_cost),
+        (PHASE_BACKSOLVE, backsolve_cost),
+    ]
+    total = sum(cost for _, cost in phases)
+    if total <= 0.0:
+        return
+    window = max(rec.clock() - t_start, 0.0)
+    compiled = getattr(system, "compiled", None)
+    cursor = t_start
+    for name, cost in phases:
+        if cost <= 0.0:
+            continue
+        dur = window * (cost / total)
+        extra = {}
+        if name == PHASE_DEVICE_EVAL and compiled is not None:
+            extra["classes"] = {
+                cls: result.iterations * units * eval_factor
+                for cls, units in compiled.eval_cost_by_class().items()
+            }
+        rec.emit_span(name, ts=cursor, dur=dur, parent=parent, cost=cost, **extra)
+        cursor += dur
+
+
+def _ensemble_iterate(
+    system: EnsembleSystem,
+    t: float,
+    alpha0: float,
+    beta,
+    x0: np.ndarray,
+    opts: SimOptions,
+    out: EvalOutputs | None,
+    solver: BlockSolver | None,
+    iter_cap: int | None,
+) -> EnsembleNewtonResult:
+    """The lockstep damped-Newton loop (instrumentation-free hot path)."""
+    sims = system.sims
+    n = system.n
+    out = out if out is not None else system.make_buffers(fast_path=opts.jacobian_reuse)
+    solver = solver or BlockSolver(sims, system.unknown_names)
+    max_iters = iter_cap if iter_cap is not None else opts.max_newton_iters
+
+    reuse = opts.jacobian_reuse
+    key = (system.pattern, alpha0, system.gshunt) if reuse else None
+    f0 = solver.factor_count
+    rf0 = solver.refactor_count
+    s0 = solver.solve_count
+    rh0 = solver.reuse_hits
+    fallbacks = 0
+    work = 0.0
+    prev_norm = np.full(sims, np.inf)
+    allow_bypass = np.ones(sims, dtype=bool)
+    converged_mask = np.zeros(sims, dtype=bool)
+
+    def finish(converged: bool, iterations: int, norms: np.ndarray, failure: str = ""):
+        norm = float(norms.max()) if norms.size else 0.0
+        return EnsembleNewtonResult(
+            x, converged, iterations, norm, work,
+            converged_mask=converged_mask.copy(),
+            residual_norms=np.asarray(norms, dtype=float).copy(),
+            failure=failure,
+            lu_factors=solver.factor_count - f0,
+            lu_refactors=solver.refactor_count - rf0,
+            lu_solves=solver.solve_count - s0,
+            lu_reuse_hits=solver.reuse_hits - rh0,
+            bypass_fallbacks=fallbacks,
+        )
+
+    abs_tol = system.convergence_tolerances(opts)[:, None]
+    x = np.asarray(x0, dtype=float).copy()
+    if x.shape != (n, sims):
+        raise ValueError(f"ensemble x0 must be shaped ({n}, {sims}), got {x.shape}")
+    residual_norms = np.full(sims, np.inf)
+
+    for iteration in range(1, max_iters + 1):
+        active = ~converged_mask
+        system.eval(x, t, out)
+        residual = system.resistive_residual(out, x)
+        if alpha0 != 0.0 or np.ndim(beta) > 0:
+            residual = residual + alpha0 * out.q[:n] + beta
+        residual_norms = (
+            np.abs(residual).max(axis=0) if residual.size else np.zeros(sims)
+        )
+        if not np.all(np.isfinite(residual_norms[active])):
+            work += ensemble_iteration_work(system, factored=int(active.sum()), bypassed=0)
+            return finish(False, iteration, residual_norms,
+                          failure="residual diverged (non-finite)")
+
+        # Per-variant Jacobian bypass, mirroring the scalar policy.
+        bypass = np.zeros(sims, dtype=bool)
+        for k in np.nonzero(active)[0]:
+            sk = solver.solvers[k]
+            bk = reuse and allow_bypass[k] and sk.matches(key)
+            if bk and opts.refactor_every > 0 and sk.bypass_streak >= opts.refactor_every:
+                bk = False
+            if bk and residual_norms[k] > opts.reuse_stall_ratio * prev_norm[k]:
+                bk = False
+                allow_bypass[k] = False
+                fallbacks += 1
+            bypass[k] = bk
+        prev_norm[active] = residual_norms[active]
+
+        delta = np.zeros((n, sims))
+        need_factor = active & ~bypass
+        # Bypassed variants first: a stale-singular fallback joins the
+        # factor set for this same iteration, as in the scalar solver.
+        for k in np.nonzero(active & bypass)[0]:
+            sk = solver.solvers[k]
+            try:
+                delta[:, k] = sk.solve_reused(-residual[:, k])
+                sk.bypass_streak += 1
+            except SingularMatrixError:
+                fallbacks += 1
+                allow_bypass[k] = False
+                bypass[k] = False
+                need_factor[k] = True
+        try:
+            if need_factor.any():
+                matrices = system.jacobian(out, alpha0)
+                solver.factor_all(matrices, key=key, active=need_factor)
+                for k in np.nonzero(need_factor)[0]:
+                    delta[:, k] = solver.solvers[k].resolve(-residual[:, k])
+        except SingularMatrixError as exc:
+            work += ensemble_iteration_work(
+                system, factored=int(need_factor.sum()), bypassed=int(bypass.sum())
+            )
+            return finish(False, iteration, residual_norms,
+                          failure=f"singular Jacobian: {exc}")
+        work += ensemble_iteration_work(
+            system, factored=int(need_factor.sum()), bypassed=int((active & bypass).sum())
+        )
+
+        # Global damping, per variant column (scalar semantics per column).
+        if system.has_nonlinear:
+            if opts.voltage_limit > 0:
+                if system.voltage_mask.any():
+                    vmax = np.abs(delta[system.voltage_mask]).max(axis=0)
+                else:
+                    vmax = np.zeros(sims)
+                hot = vmax > opts.voltage_limit
+                if hot.any():
+                    scale_cols = np.where(hot, opts.voltage_limit / np.maximum(vmax, 1e-300), 1.0)
+                    delta = delta * scale_cols
+            if opts.damping < 1.0:
+                delta = delta * opts.damping
+
+        x_new = x + delta
+        x_new[:, converged_mask] = x[:, converged_mask]
+
+        # Per-device junction limiting on the padded iterate, tracking
+        # which variant columns were touched.
+        changed_cols = np.zeros(sims, dtype=bool)
+        x_new_full = system.pad(x_new)
+        limited = system.limit(x_new_full, system.pad(x), changed_cols)
+        if limited:
+            x_new = x_new_full[:n]
+
+        scale = np.maximum(np.abs(x_new), np.abs(x))
+        tol = opts.reltol * scale + abs_tol
+        small = np.all(np.abs(x_new - x) <= tol, axis=0)
+        x = x_new
+        newly = active & small & ~changed_cols
+        converged_mask |= newly
+        if converged_mask.all():
+            return finish(True, iteration, residual_norms)
+
+    failure = "" if iter_cap is not None else "iteration limit reached"
+    return finish(False, max_iters, residual_norms, failure=failure)

@@ -1,0 +1,192 @@
+"""Ensemble scheduler backend: grouping, cost apportionment, resume.
+
+The backend batches same-topology transient jobs into lockstep solves
+while keeping the campaign contract intact: per-job content-hash cache
+addressing, exact integer cost accounting (apportioned counters sum back
+to the batched solve's totals), per-job failure isolation through the
+scalar fallback, and — the headline — killed-and-resumed ensemble
+campaigns still converge on a manifest byte-identical to an
+uninterrupted run's (and to a serial backend's, since manifests record
+nothing backend-dependent).
+"""
+
+import json
+
+import pytest
+
+from repro.jobs import (
+    CampaignStore,
+    CircuitRef,
+    JobSpec,
+    monte_carlo,
+    run_campaign,
+)
+from repro.jobs.ensemble import EnsembleBackend, _apportion, group_key
+
+DECK = """rc lowpass
+V1 in 0 SIN(0 1 1k)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 1m
+.end
+"""
+
+
+def rc_spec(**kw) -> JobSpec:
+    return JobSpec(circuit=CircuitRef(kind="netlist", netlist=DECK), **kw)
+
+
+class TestGroupKey:
+    def test_params_do_not_split_groups(self):
+        a = rc_spec(params={"R1": 900.0})
+        b = rc_spec(params={"R1": 1100.0, "C1": 1.1e-6})
+        assert group_key(a) == group_key(b)
+
+    def test_everything_else_does(self):
+        base = rc_spec()
+        assert group_key(rc_spec(tstop=1e-3)) != group_key(base)
+        assert group_key(rc_spec(options={"reltol": 1e-5})) != group_key(base)
+        assert group_key(rc_spec(signals=["vout"])) != group_key(base)
+
+    def test_key_is_canonical_json(self):
+        key = group_key(rc_spec())
+        decoded = json.loads(key)
+        assert "params" not in decoded
+
+
+class TestApportion:
+    @pytest.mark.parametrize("total", [0, 1, 7, 100, 12345])
+    @pytest.mark.parametrize("sims", [1, 2, 3, 16])
+    def test_shares_sum_exactly(self, total, sims):
+        shares = [_apportion(total, sims, k) for k in range(sims)]
+        assert sum(shares) == total
+        assert max(shares) - min(shares) <= 1
+
+    def test_remainder_goes_to_leading_members(self):
+        assert [_apportion(7, 3, k) for k in range(3)] == [3, 2, 2]
+
+
+class TestEnsembleBackendCampaign:
+    def test_batched_campaign_passes_and_sums_costs(self, tmp_path):
+        campaign = monte_carlo(rc_spec(), n=5, seed=7)
+        result = run_campaign(
+            campaign, store=tmp_path, backend=EnsembleBackend(max_group=64)
+        )
+        assert result.passed and result.counts == {"done": 5}
+        # one shared grid: every member reports identical accepted points
+        accepted = {o.result.stats["accepted_points"] for o in result.outcomes}
+        assert len(accepted) == 1
+        # apportioned integer counters sum back to the batched totals
+        lu_solves = [o.result.stats["lu_solves"] for o in result.outcomes]
+        assert max(lu_solves) - min(lu_solves) <= 1
+
+    def test_max_group_chunks_and_still_passes(self, tmp_path):
+        campaign = monte_carlo(rc_spec(), n=5, seed=7)
+        result = run_campaign(
+            campaign, store=tmp_path, backend=EnsembleBackend(max_group=2)
+        )
+        assert result.passed and result.counts == {"done": 5}
+
+    def test_invalid_max_group_rejected(self):
+        with pytest.raises(ValueError, match="max_group"):
+            EnsembleBackend(max_group=0)
+
+    def test_singleton_group_matches_serial_backend(self, tmp_path):
+        campaign = monte_carlo(rc_spec(), n=1, seed=3)
+        serial = run_campaign(campaign, store=tmp_path / "serial")
+        batched = run_campaign(
+            campaign, store=tmp_path / "ens", backend=EnsembleBackend()
+        )
+        assert serial.passed and batched.passed
+        s, e = serial.outcomes[0].result, batched.outcomes[0].result
+        assert s.spec_hash == e.spec_hash
+        assert s.times == e.times
+        assert s.signals == e.signals
+        assert s.stats == e.stats
+
+    def test_failed_group_falls_back_per_job(self, tmp_path, monkeypatch):
+        import repro.jobs.workers as workers_module
+
+        def hook(spec):
+            if spec.label.endswith("mc001"):
+                raise RuntimeError("injected")
+
+        monkeypatch.setattr(workers_module, "FAULT_HOOK", hook)
+        campaign = monte_carlo(rc_spec(), n=3, seed=2)
+        result = run_campaign(
+            campaign,
+            store=tmp_path,
+            backend=EnsembleBackend(),
+            retries=0,
+        )
+        # the poisoned member fails alone; its groupmates survive via
+        # the scalar fallback
+        assert not result.passed
+        assert result.counts == {"done": 2, "failed": 1}
+        assert "injected" in result.failures[0].error
+        manifest = CampaignStore(tmp_path).load_manifest()
+        assert sorted(row["status"] for row in manifest["jobs"]) == [
+            "done",
+            "done",
+            "failed",
+        ]
+
+    def test_cached_rerun_hits_per_variant(self, tmp_path):
+        campaign = monte_carlo(rc_spec(), n=4, seed=11)
+        first = run_campaign(
+            campaign, store=tmp_path, backend=EnsembleBackend()
+        )
+        assert first.counts == {"done": 4}
+        rerun = run_campaign(
+            campaign, store=tmp_path, backend=EnsembleBackend()
+        )
+        assert rerun.counts == {"cached": 4}
+        assert rerun.cache_hits == 4
+
+
+class TestKillResume:
+    def test_interrupted_ensemble_campaign_resumes_byte_identically(
+        self, tmp_path
+    ):
+        campaign = monte_carlo(rc_spec(), n=4, seed=9)
+
+        # References: an uninterrupted ensemble run and a serial run —
+        # manifests record nothing backend-dependent, so all three must
+        # converge on identical bytes.
+        clean = tmp_path / "clean"
+        run_campaign(campaign, store=clean, backend=EnsembleBackend())
+        serial = tmp_path / "serial"
+        run_campaign(campaign, store=serial)
+
+        # Victim: killed after the second member of the batch checkpoints.
+        broken = tmp_path / "broken"
+        seen = []
+
+        def killer(outcome):
+            seen.append(outcome)
+            if len(seen) == 2:
+                raise KeyboardInterrupt("simulated kill")
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                campaign,
+                store=broken,
+                backend=EnsembleBackend(),
+                on_outcome=killer,
+            )
+
+        partial = json.loads((broken / "manifest.json").read_text())
+        statuses = [row["status"] for row in partial["jobs"]]
+        assert statuses.count("done") == 2 and statuses.count("pending") == 2
+
+        # Resume: the two checkpointed members come back as cache hits,
+        # the survivors re-batch as a smaller ensemble.
+        resumed = run_campaign(
+            campaign, store=broken, backend=EnsembleBackend()
+        )
+        assert resumed.passed
+        assert resumed.cache_hits == 2
+
+        clean_bytes = (clean / "manifest.json").read_bytes()
+        assert (broken / "manifest.json").read_bytes() == clean_bytes
+        assert (serial / "manifest.json").read_bytes() == clean_bytes

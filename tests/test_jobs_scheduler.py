@@ -122,7 +122,7 @@ class TestBackendFactory:
         backend = make_backend("process", workers=3)
         assert isinstance(backend, ProcessPoolBackend) and backend.workers == 3
         assert make_backend(backend) is backend
-        assert set(BACKENDS) == {"serial", "process"}
+        assert set(BACKENDS) == {"serial", "process", "ensemble"}
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SimulationError, match="unknown backend"):
