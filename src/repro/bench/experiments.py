@@ -801,6 +801,111 @@ def table_r11_smoke() -> ExperimentResult:
     )
 
 
+def table_r12(
+    requests=200,
+    unique=12,
+    workers=2,
+    campaign_every=25,
+    campaign_jobs=4,
+    seed=0,
+    exp_id="table_r12",
+) -> ExperimentResult:
+    """Extension: simulation service under deterministic mixed load.
+
+    Boots a :class:`repro.service.ServiceServer` (persistent queue +
+    *workers* in-process farm nodes sharing one result cache) on a
+    throwaway directory and drives it with the seeded load generator:
+    a fixed pool of *unique* Monte Carlo variants submitted repeatedly
+    across rotating tenants, campaign bursts every *campaign_every*
+    requests, status polls in between, then a drain and one result
+    fetch per distinct hash.
+
+    Every counter the run leaves behind is deterministic — the op
+    sequence is seeded and response-independent, monitoring probes are
+    unmetered, and each unique spec simulates exactly once no matter
+    which node claims it — so the dump doubles as the perf gate's view
+    of the service stack: queue dedup rate, per-node completion split,
+    and the solver work behind the farm are all trended by
+    ``repro perf diff``.
+    """
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro.instrument import get_recorder
+    from repro.service import ServiceServer, run_load
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = ServiceServer(
+            Path(tmp) / "queue", recorder=get_recorder(), workers=workers
+        )
+        with server:
+            t0 = time.perf_counter()
+            report = run_load(
+                server.url,
+                requests=requests,
+                seed=seed,
+                unique=unique,
+                campaign_every=campaign_every,
+                campaign_jobs=campaign_jobs,
+                wait_timeout=600.0,
+            )
+            wall = time.perf_counter() - t0
+
+    executed = report.submitted - report.deduped
+    headers = [
+        "requests",
+        "accepted",
+        "deduped",
+        "campaigns",
+        "polls",
+        "unique jobs",
+        "executed",
+        "fetched",
+        "drained",
+        "req/s",
+    ]
+    rows = [
+        [
+            report.requests,
+            report.submitted,
+            report.deduped,
+            report.campaigns,
+            report.polls,
+            report.unique_jobs,
+            executed,
+            report.results_fetched,
+            "yes" if report.drained else "NO",
+            f"{report.requests / wall:.0f}" if wall > 0 else "-",
+        ]
+    ]
+    title = (
+        f"Table R12 (extension): {workers}-node service farm under "
+        f"{requests}-request mixed load (seed {seed}, {unique} unique specs)"
+    )
+    data = {
+        "load": report.to_dict(),
+        "executed": executed,
+        "wall_seconds": wall,
+        "workers": workers,
+    }
+    return ExperimentResult(exp_id, title, render_table(headers, rows, title), data)
+
+
+def table_r12_smoke() -> ExperimentResult:
+    """Sixty-request Table R12 subset for CI smoke runs.
+
+    The perf gate trends its ``service.*`` counters: a falling
+    ``service.deduped`` means the content-hash dedup stopped absorbing
+    repeat submissions, and any growth in solver work for the same fixed
+    op sequence means jobs are being resimulated instead of served from
+    the shared cache.
+    """
+    return table_r12(
+        requests=60, unique=6, campaign_every=20, exp_id="table_r12_smoke"
+    )
+
+
 #: Experiment id -> callable returning an ExperimentResult.
 EXPERIMENTS = {
     "table_r1": table_r1,
@@ -818,6 +923,8 @@ EXPERIMENTS = {
     "table_r10_smoke": table_r10_smoke,
     "table_r11": table_r11,
     "table_r11_smoke": table_r11_smoke,
+    "table_r12": table_r12,
+    "table_r12_smoke": table_r12_smoke,
     "fig_r1": fig_r1,
     "fig_r2": fig_r2,
     "fig_r3": fig_r3,

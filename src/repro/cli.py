@@ -411,6 +411,14 @@ def main(argv: list[str] | None = None) -> int:
         return _run_perf(argv[1:])
     if argv[:1] == ["explain"]:
         return _run_explain(argv[1:])
+    if argv[:1] == ["serve"]:
+        return _run_serve(argv[1:])
+    if argv[:1] == ["node"]:
+        return _run_node(argv[1:])
+    if argv[:1] == ["submit"]:
+        return _run_submit(argv[1:])
+    if argv[:1] == ["loadgen"]:
+        return _run_loadgen(argv[1:])
     args = build_parser().parse_args(argv)
     try:
         if args.experiment:
@@ -686,6 +694,415 @@ def _run_batch(argv: list[str]) -> int:
             if name.startswith("jobs."):
                 print(f"  {name} = {report.metrics.counters[name]:g}")
     return 0 if report.passed else 1
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the simulation service: an HTTP/JSON front end over "
+        "a persistent multi-tenant job queue, optionally with in-process "
+        "farm-node workers",
+    )
+    parser.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="queue directory shared with the farm nodes",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = ephemeral; the actual port is printed "
+        "and reported by /healthz)",
+    )
+    parser.add_argument(
+        "--quota", type=int, default=None, metavar="N",
+        help="per-tenant active-job cap; submits beyond it get 429s",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="claim attempts before a job is marked failed (default 3)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="in-process farm-node threads (default 0 = accept-only; run "
+        "`repro node` processes against the same --root instead)",
+    )
+    parser.add_argument(
+        "--backend", choices=["serial", "process", "ensemble"],
+        default="serial", help="backend of the in-process nodes",
+    )
+    parser.add_argument(
+        "--node-workers", type=int, default=1,
+        help="process-pool size per in-process node",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1,
+        help="jobs claimed per node transaction (raise for ensemble batching)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=30.0,
+        help="lease seconds per claim (default 30)",
+    )
+    return parser
+
+
+def _run_serve(argv: list[str]) -> int:
+    import signal as signal_module
+    import threading
+
+    from repro.instrument import Recorder
+    from repro.service.server import ServiceServer
+
+    args = build_serve_parser().parse_args(argv)
+    stop = threading.Event()
+    for signum in (signal_module.SIGTERM, signal_module.SIGINT):
+        signal_module.signal(signum, lambda *_: stop.set())
+    try:
+        server = ServiceServer(
+            args.root,
+            recorder=Recorder(capture_events=False),
+            host=args.host,
+            port=args.port,
+            quota=args.quota,
+            max_attempts=args.max_attempts,
+            workers=args.workers,
+            backend=args.backend,
+            node_workers=args.node_workers,
+            batch=args.batch,
+            lease_seconds=args.lease,
+        ).start()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"* service on {server.url} (queue {args.root})", flush=True)
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+    return 0
+
+
+def build_node_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro node",
+        description="Run one farm node: claim jobs from a queue directory by "
+        "content hash under a lease, execute them, publish to the shared "
+        "result cache",
+    )
+    parser.add_argument("--root", required=True, metavar="DIR")
+    parser.add_argument("--id", dest="node_id", help="node identity in leases")
+    parser.add_argument(
+        "--backend", choices=["serial", "process", "ensemble"], default="serial"
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--batch", type=int, default=1, help="jobs claimed per transaction"
+    )
+    parser.add_argument(
+        "--ensemble", type=int, metavar="K",
+        help="lockstep-batch same-topology jobs, at most K per solve "
+        "(implies --backend ensemble; pair with --batch >= K)",
+    )
+    parser.add_argument("--lease", type=float, default=30.0)
+    parser.add_argument("--poll", type=float, default=0.05)
+    parser.add_argument(
+        "--timeout", type=float, help="per-job wall-clock limit in seconds"
+    )
+    parser.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue has no active (pending or leased) work",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="print the node's service.node.* / jobs.* counters on exit",
+    )
+    return parser
+
+
+def _run_node(argv: list[str]) -> int:
+    from repro.instrument import Recorder
+    from repro.service.node import run_node
+
+    args = build_node_parser().parse_args(argv)
+    backend = args.backend
+    if args.ensemble is not None:
+        if args.ensemble < 1:
+            print("error: --ensemble needs K >= 1", file=sys.stderr)
+            return 2
+        from repro.jobs.ensemble import EnsembleBackend
+
+        backend = EnsembleBackend(max_group=args.ensemble)
+    recorder = Recorder(capture_events=False) if args.metrics else None
+    try:
+        total = run_node(
+            args.root,
+            node_id=args.node_id,
+            backend=backend,
+            workers=args.workers,
+            batch=args.batch,
+            lease_seconds=args.lease,
+            poll_interval=args.poll,
+            timeout=args.timeout,
+            drain=args.drain,
+            instrument=recorder,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"* node settled after claiming {total} job(s)")
+    if recorder is not None:
+        for name in sorted(recorder.counters):
+            if name.startswith(("service.", "jobs.")):
+                print(f"  {name} = {recorder.counters[name]:g}")
+    return 0
+
+
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit a job or a generated campaign to a running "
+        "`repro serve` instance over HTTP",
+    )
+    parser.add_argument("--url", required=True, help="service base URL")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--circuit", help="registry benchmark name")
+    source.add_argument("--deck", help="SPICE netlist file")
+    source.add_argument(
+        "--verify-seed", type=int, metavar="SEED",
+        help="draw the circuit from the verify generators with this seed",
+    )
+    parser.add_argument(
+        "--families", nargs="*", default=None,
+        help="family restriction for --verify-seed draws",
+    )
+    generator = parser.add_mutually_exclusive_group()
+    generator.add_argument("--montecarlo", type=int, metavar="N")
+    generator.add_argument("--corners", nargs="*", metavar="NAME")
+    generator.add_argument("--sweep", nargs="+", metavar=("COMP", "VALUE"))
+    generator.add_argument(
+        "--ensemble", type=int, metavar="N",
+        help="N Monte Carlo variants flagged for lockstep ensemble batching",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jitter", type=float, default=0.05)
+    parser.add_argument(
+        "--analysis", choices=["transient", "wavepipe"], default="transient"
+    )
+    parser.add_argument("--scheme", choices=["backward", "forward", "combined"])
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--tstop", type=parse_value)
+    parser.add_argument("--tstep", type=parse_value)
+    parser.add_argument("--tenant", default=None)
+    parser.add_argument("--priority", type=int, default=0)
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job/campaign settles; exit 1 on failures",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="(campaigns) print the chunked heartbeat stream while waiting",
+    )
+    parser.add_argument("--json", metavar="FILE", help="write the receipt JSON")
+    return parser
+
+
+def _run_submit(argv: list[str]) -> int:
+    import json as json_module
+
+    from repro.jobs import CircuitRef, JobSpec
+    from repro.service.client import Backpressure, ServiceClient, ServiceError
+
+    args = build_submit_parser().parse_args(argv)
+    try:
+        if args.circuit:
+            ref = CircuitRef(kind="registry", name=args.circuit)
+        elif args.deck:
+            with open(args.deck, encoding="utf-8") as handle:
+                ref = CircuitRef(kind="netlist", netlist=handle.read())
+        elif args.verify_seed is not None:
+            ref = CircuitRef(
+                kind="verify", seed=args.verify_seed, families=args.families
+            )
+        else:
+            build_submit_parser().print_usage()
+            print(
+                "error: provide --circuit, --deck or --verify-seed",
+                file=sys.stderr,
+            )
+            return 2
+        base = JobSpec(
+            circuit=ref,
+            analysis=args.analysis,
+            tstop=args.tstop,
+            tstep=args.tstep,
+            scheme=args.scheme,
+            threads=args.threads,
+        )
+    except (ReproError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    generator = None
+    if args.montecarlo is not None:
+        generator = {
+            "kind": "monte_carlo", "n": args.montecarlo,
+            "seed": args.seed, "jitter": args.jitter,
+        }
+    elif args.ensemble is not None:
+        generator = {
+            "kind": "ensemble", "n": args.ensemble,
+            "seed": args.seed, "jitter": args.jitter,
+        }
+    elif args.corners is not None:
+        generator = {"kind": "pvt_corners", "corners": args.corners or None}
+    elif args.sweep is not None:
+        if len(args.sweep) < 2:
+            print(
+                "error: --sweep needs a component name and at least one value",
+                file=sys.stderr,
+            )
+            return 2
+        generator = {
+            "kind": "param_sweep", "component": args.sweep[0],
+            "values": [parse_value(v) for v in args.sweep[1:]],
+        }
+
+    client = ServiceClient(args.url, tenant=args.tenant)
+    try:
+        if generator is None:
+            receipt = client.submit_job(base, priority=args.priority)
+            print(
+                f"* job {receipt['id'][:16]} {receipt['status']}"
+                + (" (deduped)" if receipt["deduped"] else "")
+            )
+        else:
+            receipt = client.submit_campaign(
+                base, generator, priority=args.priority
+            )
+            print(
+                f"* campaign {receipt['id']}: {len(receipt['jobs'])} job(s), "
+                f"{receipt['submitted']} new, {receipt['deduped']} deduped"
+            )
+    except Backpressure as exc:
+        print(
+            f"error: backpressure (429): {exc} "
+            f"[queue depth {exc.queue_depth}, tenant depth {exc.tenant_depth}, "
+            f"retry after {exc.retry_after:g}s]",
+            file=sys.stderr,
+        )
+        return 3
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(receipt, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if not (args.wait or args.stream):
+        return 0
+
+    try:
+        if generator is None:
+            status = client.wait_job(receipt["id"])
+            print(f"* job settled: {status['status']}")
+            return 0 if status["status"] == "done" else 1
+        if args.stream:
+            for record in client.stream(receipt["id"]):
+                jobs = record["jobs"]
+                print(
+                    f"  [stream {record['elapsed']:6.1f}s] "
+                    f"{jobs['done']:g}/{jobs['total']} done, "
+                    f"{jobs['failed']:g} failed",
+                    flush=True,
+                )
+            rollup = client.campaign(receipt["id"])
+        else:
+            rollup = client.wait_campaign(receipt["id"])
+        print(f"* campaign settled: {rollup['counts']}")
+        return 0 if rollup["counts"].get("done", 0) == rollup["jobs"] else 1
+    except (ServiceError, ConnectionError, OSError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def build_loadgen_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Drive a deterministic mixed request stream (unique / "
+        "duplicate submissions, status polls, campaigns) against a running "
+        "service",
+    )
+    parser.add_argument("--url", required=True, help="service base URL")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--circuit", default="rcladder20")
+    parser.add_argument(
+        "--tenants", nargs="*", default=["acme", "bulk", "free"],
+        help="tenant rotation for submissions",
+    )
+    parser.add_argument(
+        "--unique", type=int, default=8,
+        help="distinct-spec pool size submissions draw from",
+    )
+    parser.add_argument("--jitter", type=float, default=0.02)
+    parser.add_argument("--campaign-every", type=int, default=25)
+    parser.add_argument("--campaign-jobs", type=int, default=4)
+    parser.add_argument("--tstop", type=parse_value)
+    parser.add_argument("--no-wait", action="store_true")
+    parser.add_argument("--wait-timeout", type=float, default=300.0)
+    parser.add_argument("--no-fetch", action="store_true")
+    parser.add_argument("--think", type=float, default=0.0)
+    parser.add_argument("--json", metavar="FILE", help="write the LoadReport")
+    parser.add_argument(
+        "--assert-backpressure", action="store_true",
+        help="exit 1 unless at least one 429 was observed",
+    )
+    parser.add_argument(
+        "--assert-drained", action="store_true",
+        help="exit 1 unless the queue drained within --wait-timeout",
+    )
+    return parser
+
+
+def _run_loadgen(argv: list[str]) -> int:
+    import json as json_module
+
+    from repro.service.loadgen import run_load
+
+    args = build_loadgen_parser().parse_args(argv)
+    try:
+        report = run_load(
+            args.url,
+            requests=args.requests,
+            seed=args.seed,
+            circuit=args.circuit,
+            tenants=tuple(args.tenants),
+            unique=args.unique,
+            jitter=args.jitter,
+            campaign_every=args.campaign_every,
+            campaign_jobs=args.campaign_jobs,
+            tstop=args.tstop,
+            wait=not args.no_wait,
+            wait_timeout=args.wait_timeout,
+            fetch_results=not args.no_fetch,
+            think=args.think,
+        )
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"* report written to {args.json}")
+    if args.assert_backpressure and report.rejected == 0:
+        print("error: expected at least one 429, saw none", file=sys.stderr)
+        return 1
+    if args.assert_drained and not report.drained:
+        print("error: queue failed to drain in time", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_experiment(exp_id: str) -> int:

@@ -19,9 +19,13 @@ PORT`` for long campaigns.
 
 from __future__ import annotations
 
+import json
+import logging
 import re
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+logger = logging.getLogger("repro.instrument.metrics")
 
 #: Metric-name prefix for everything the engine exports.
 NAMESPACE = "repro"
@@ -94,9 +98,11 @@ def to_prometheus(source, namespace: str = NAMESPACE) -> str:
 class MetricsServer:
     """Background ``/metrics`` endpoint over one recorder.
 
-    ``port=0`` binds an ephemeral port; read the actual one from
-    ``server.port`` after :meth:`start`. Only ``GET /metrics`` (plus a
-    trivial ``/healthz``) is served; everything else is 404.
+    ``port=0`` binds an ephemeral port; after :meth:`start` the actual
+    one is available as ``server.port``, is logged, and is reported in
+    the ``/healthz`` JSON body — so scrapers (and tests) never have to
+    guess which port the kernel handed out. Only ``GET /metrics`` (plus
+    ``/healthz``) is served; everything else is 404.
     """
 
     def __init__(self, recorder, port: int = 0, host: str = "127.0.0.1"):
@@ -116,6 +122,7 @@ class MetricsServer:
         if self._httpd is not None:
             return self
         recorder = self.recorder
+        server = self
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self):  # noqa: N802 (http.server API)
@@ -124,9 +131,19 @@ class MetricsServer:
                     self.send_response(200)
                     self.send_header("Content-Type", CONTENT_TYPE)
                 elif self.path == "/healthz":
-                    body = b"ok\n"
+                    # The *actual* bound address: with port=0 the kernel
+                    # picked an ephemeral port, and health probes are the
+                    # one place a client can discover it.
+                    payload = {
+                        "status": "ok",
+                        "host": server.host,
+                        "port": server.port,
+                    }
+                    body = (json.dumps(payload, sort_keys=True) + "\n").encode(
+                        "utf-8"
+                    )
                     self.send_response(200)
-                    self.send_header("Content-Type", "text/plain")
+                    self.send_header("Content-Type", "application/json")
                 else:
                     body = b"try /metrics\n"
                     self.send_response(404)
@@ -145,6 +162,9 @@ class MetricsServer:
             daemon=True,
         )
         self._thread.start()
+        logger.info(
+            "metrics server listening on http://%s:%d/metrics", self.host, self.port
+        )
         return self
 
     def stop(self) -> None:

@@ -15,14 +15,17 @@ studies. Two recorder types realise that bargain:
 
 A process-global default (initially a :class:`NullRecorder`) backs call
 sites that were not handed an explicit recorder through
-``SimOptions.instrument``; :func:`use_recorder` swaps it in a scoped way,
-which is how the bench harness attaches metrics collection to whole
-experiment campaigns without threading a recorder through every call.
+``SimOptions.instrument``; :func:`use_recorder` binds a replacement for
+the current thread only (a contextvar, nestable), which is how the bench
+harness attaches metrics collection to whole experiment campaigns — and
+how concurrent farm-node threads each run jobs under their own per-job
+telemetry recorder without cross-contaminating one another's counters.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import math
 import threading
 import time
@@ -558,9 +561,25 @@ NULL_RECORDER = NullRecorder()
 _default_recorder = NULL_RECORDER
 _default_lock = threading.Lock()
 
+#: Thread/task-scoped ambient recorder. :func:`use_recorder` binds here
+#: first, so two threads scoping different recorders concurrently (e.g.
+#: in-process farm nodes running per-job telemetry recorders) never see
+#: each other's — a shared global swap would let one thread's solver
+#: counts land in another job's about-to-be-discarded recorder.
+_scoped_recorder = contextvars.ContextVar("repro_recorder", default=None)
+
 
 def get_recorder():
-    """The process-global default recorder (NullRecorder unless set)."""
+    """The ambient recorder: the current scope's, else the process default.
+
+    :func:`use_recorder` scopes are thread-local (contextvar), so a
+    freshly spawned thread starts from the process default set by
+    :func:`set_recorder` — not from whatever scope its parent happened
+    to be inside.
+    """
+    scoped = _scoped_recorder.get()
+    if scoped is not None:
+        return scoped
     return _default_recorder
 
 
@@ -578,12 +597,18 @@ def set_recorder(recorder) -> object:
 
 @contextlib.contextmanager
 def use_recorder(recorder):
-    """Scoped :func:`set_recorder`: restores the previous default on exit."""
-    previous = set_recorder(recorder)
+    """Bind *recorder* as the ambient recorder for the current scope.
+
+    The binding is a contextvar: it only affects the calling thread (and
+    asyncio tasks forked from it), and nests correctly. The process
+    default from :func:`set_recorder` is untouched, so threads spawned
+    *inside* the scope still fall back to it.
+    """
+    token = _scoped_recorder.set(recorder if recorder is not None else NULL_RECORDER)
     try:
         yield recorder
     finally:
-        set_recorder(previous)
+        _scoped_recorder.reset(token)
 
 
 def resolve_recorder(instrument):

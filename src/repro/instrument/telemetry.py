@@ -120,6 +120,20 @@ class Heartbeat:
         while not self._stop.wait(self.interval):
             self.sample()
 
+    def prime(self) -> "Heartbeat":
+        """Initialise sampling baselines without starting the thread.
+
+        For callers that drive :meth:`sample` manually on their own
+        cadence (the service's chunked campaign streams): after
+        ``prime()`` the first sample reports deltas against *now* rather
+        than against an all-zero ancient past, and ``elapsed`` counts
+        from the prime instant.
+        """
+        if self._started_at is None:
+            self._started_at = self._last_time = time.monotonic()
+            self._last_counters = dict(self.recorder.snapshot()["counters"])
+        return self
+
     # -- sampling ---------------------------------------------------------------
 
     def sample(self, final: bool = False) -> dict:
@@ -201,6 +215,32 @@ class Heartbeat:
         else:
             self.stream.write(line + "\n")
         self.stream.flush()
+
+
+#: Counter prefix the service layer uses for per-tenant accounting.
+TENANT_PREFIX = "service.tenant."
+
+
+def tenant_rollups(counters: dict) -> dict[str, dict[str, float]]:
+    """Group ``service.tenant.<tenant>.<metric>`` counters by tenant.
+
+    The service records every tenant-attributed event twice: once on the
+    global channel (``service.submitted``) and once under the tenant's
+    own prefix. This helper inverts the flat counter namespace back into
+    ``{tenant: {metric: value}}`` for quota dashboards and the farm
+    reconciliation tests. Tenant names are sanitised at record time
+    (non-alphanumerics fold to ``_``), so the first dot after the prefix
+    is always the tenant/metric boundary.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        if not name.startswith(TENANT_PREFIX):
+            continue
+        tenant, _, metric = name[len(TENANT_PREFIX):].partition(".")
+        if not tenant or not metric:
+            continue
+        out.setdefault(tenant, {})[metric] = value
+    return out
 
 
 def heartbeat_for(

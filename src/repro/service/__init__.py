@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: persistent queue, farm nodes, HTTP front end.
+
+The package turns the batch layer (:mod:`repro.jobs`) into a long-lived
+multi-tenant service:
+
+* :mod:`repro.service.queue` — the persistent, atomically-rewritten,
+  content-hash-keyed priority queue with lease/expiry claims and
+  per-tenant quotas;
+* :mod:`repro.service.node` — farm nodes that claim queue work and run
+  it through a :class:`~repro.jobs.scheduler.JobScheduler`, sharing one
+  result cache as the dedup store;
+* :mod:`repro.service.server` — the stdlib HTTP/JSON front end
+  (``repro serve``), including chunked campaign heartbeat streaming;
+* :mod:`repro.service.client` — the matching ``http.client`` wrapper;
+* :mod:`repro.service.loadgen` — the deterministic mixed-traffic load
+  generator behind the Table R12 benchmark and the CI smoke job.
+"""
+
+from repro.service.client import Backpressure, ServiceClient, ServiceError
+from repro.service.loadgen import LoadReport, run_load
+from repro.service.node import FarmNode, run_node
+from repro.service.queue import (
+    ClaimedJob,
+    JobQueue,
+    QuotaExceeded,
+    SubmitReceipt,
+    campaign_id,
+)
+from repro.service.server import CampaignHeartbeat, ServiceServer, serve
+
+__all__ = [
+    "Backpressure",
+    "CampaignHeartbeat",
+    "ClaimedJob",
+    "FarmNode",
+    "JobQueue",
+    "LoadReport",
+    "QuotaExceeded",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "SubmitReceipt",
+    "campaign_id",
+    "run_load",
+    "run_node",
+    "serve",
+]

@@ -1,0 +1,207 @@
+"""Stdlib HTTP client for the simulation service.
+
+:class:`ServiceClient` wraps ``http.client`` — one fresh connection per
+call, so instances are trivially thread-safe and a dead server surfaces
+as an ordinary ``ConnectionError`` instead of a wedged keep-alive socket.
+The streaming endpoint is the exception: :meth:`stream` holds one
+connection open and yields decoded heartbeat records as the server emits
+chunks (``http.client`` de-chunks transparently).
+
+A 429 from the quota layer raises :class:`Backpressure`, carrying the
+``Retry-After`` hint and both queue-depth headers so callers (the load
+generator, `repro submit --wait`) can implement honest backoff.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+from repro.errors import ReproError
+
+#: Default per-request socket timeout, seconds.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceError(ReproError):
+    """Non-2xx response from the service (other than backpressure)."""
+
+    def __init__(self, status: int, payload):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"service returned {status}: {detail}")
+
+
+class Backpressure(ServiceError):
+    """429: the tenant's quota is full; retry after ``retry_after``."""
+
+    def __init__(self, payload, retry_after: float, queue_depth: int,
+                 tenant_depth: int):
+        super().__init__(429, payload)
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+        self.tenant_depth = tenant_depth
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8765``)."""
+
+    def __init__(self, base_url: str, tenant: str | None = None,
+                 timeout: float = DEFAULT_TIMEOUT):
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _headers(self, tenant: str | None) -> dict:
+        headers = {"Content-Type": "application/json"}
+        effective = tenant or self.tenant
+        if effective:
+            headers["X-Tenant"] = effective
+        return headers
+
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 tenant: str | None = None):
+        conn = self._connect()
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            conn.request(method, path, body=payload, headers=self._headers(tenant))
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = raw.decode("utf-8", "replace")
+            if response.status == 429:
+                raise Backpressure(
+                    decoded,
+                    retry_after=float(response.getheader("Retry-After") or 1.0),
+                    queue_depth=int(response.getheader("X-Queue-Depth") or 0),
+                    tenant_depth=int(response.getheader("X-Tenant-Queue-Depth") or 0),
+                )
+            if response.status >= 400:
+                raise ServiceError(response.status, decoded)
+            return decoded
+        finally:
+            conn.close()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit_job(self, spec, tenant: str | None = None,
+                   priority: int = 0) -> dict:
+        """Submit one job; *spec* is a JobSpec or its dict form."""
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        return self._request(
+            "POST", "/jobs",
+            {"spec": payload, "priority": priority}, tenant=tenant,
+        )
+
+    def submit_campaign(self, spec, generator: dict, name: str | None = None,
+                        tenant: str | None = None, priority: int = 0) -> dict:
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        body = {"spec": payload, "generator": generator, "priority": priority}
+        if name:
+            body["name"] = name
+        return self._request("POST", "/campaigns", body, tenant=tenant)
+
+    # -- reads -------------------------------------------------------------------
+
+    def job(self, spec_hash: str) -> dict:
+        return self._request("GET", f"/jobs/{spec_hash}")
+
+    def result(self, spec_hash: str) -> dict:
+        return self._request("GET", f"/jobs/{spec_hash}/result")
+
+    def waveform(self, spec_hash: str) -> dict:
+        return self._request("GET", f"/jobs/{spec_hash}/waveform")
+
+    def campaign(self, cid: str) -> dict:
+        return self._request("GET", f"/campaigns/{cid}")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        conn = self._connect()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            if response.status >= 400:
+                raise ServiceError(response.status, body)
+            return body
+        finally:
+            conn.close()
+
+    # -- streaming / waiting -----------------------------------------------------
+
+    def stream(self, cid: str, interval: float | None = None):
+        """Yield heartbeat records for a campaign until its final tick."""
+        path = f"/campaigns/{cid}/stream"
+        if interval is not None:
+            path += f"?interval={interval:g}"
+        conn = self._connect()
+        try:
+            conn.request("GET", path, headers=self._headers(None))
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                try:
+                    decoded = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    decoded = raw.decode("utf-8", "replace")
+                raise ServiceError(response.status, decoded)
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                yield record
+                if record.get("final"):
+                    break
+        finally:
+            conn.close()
+
+    def wait_job(self, spec_hash: str, timeout: float = 60.0,
+                 poll: float = 0.05) -> dict:
+        """Poll a job until it settles (done/failed); returns the status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(spec_hash)
+            if status["status"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {spec_hash} still {status['status']} after {timeout:g}s"
+                )
+            time.sleep(poll)
+
+    def wait_campaign(self, cid: str, timeout: float = 120.0,
+                      poll: float = 0.1) -> dict:
+        """Poll a campaign rollup until every member settled."""
+        deadline = time.monotonic() + timeout
+        while True:
+            rollup = self.campaign(cid)
+            if rollup["done"]:
+                return rollup
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {cid} unfinished after {timeout:g}s: "
+                    f"{rollup['counts']}"
+                )
+            time.sleep(poll)

@@ -1,0 +1,509 @@
+"""Persistent multi-tenant priority queue with lease/expiry claims.
+
+The :class:`JobQueue` is the shared ground truth of a simulation farm:
+one directory, one ``queue.json`` manifest, any number of submitting
+front ends and claiming farm nodes. Three properties carry the service:
+
+* **Persistent and atomic** — every mutation rewrites the manifest with
+  the temp-file + ``os.replace`` idiom of
+  :class:`~repro.jobs.store.CampaignStore`, under an ``flock``-held
+  ``queue.lock``, so a SIGKILLed node never leaves a torn manifest and a
+  restarted farm resumes from exactly the state the last transaction
+  committed.
+* **Content-hash keyed** — a job's id *is* its spec's
+  :meth:`~repro.jobs.spec.JobSpec.content_hash`. Identical specs from
+  different tenants collapse into one queue entry (each tenant is
+  subscribed to the shared job) and one
+  :class:`~repro.jobs.cache.ResultCache` entry: the physics is computed
+  once, served to everyone.
+* **Lease semantics** — a claim marks the entry ``leased`` with a
+  wall-clock expiry. Nodes that die mid-job simply stop renewing; the
+  next transaction's reap pass returns the entry to ``pending`` (or
+  ``failed`` once ``max_attempts`` claims have burned), and another node
+  picks it up. Completion is idempotent: a node that lost its lease but
+  finished anyway publishes the same deterministic bytes the reclaiming
+  node would, so a late ``complete`` is harmless.
+
+Per-tenant quotas bound the number of *active* (pending + leased) jobs a
+tenant may hold; a submit beyond the quota raises :class:`QuotaExceeded`,
+which the HTTP layer translates into a 429 with queue-depth headers.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ReproError, SimulationError
+from repro.jobs.spec import JobSpec
+
+try:  # pragma: no cover - always present on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+#: Queue manifest schema version (bump on incompatible layout changes).
+QUEUE_VERSION = 1
+
+#: States a queue entry may be in.
+ENTRY_STATUSES = ("pending", "leased", "done", "failed")
+
+#: States that count against a tenant's quota (work not yet settled).
+ACTIVE_STATUSES = ("pending", "leased")
+
+
+class QuotaExceeded(ReproError):
+    """A tenant's active-job quota is full (HTTP layer: 429).
+
+    Attributes:
+        tenant: the tenant whose quota is exhausted.
+        depth: the tenant's current active-job count.
+        quota: the configured per-tenant cap.
+    """
+
+    def __init__(self, tenant: str, depth: int, quota: int):
+        self.tenant = tenant
+        self.depth = depth
+        self.quota = quota
+        super().__init__(
+            f"tenant {tenant!r} has {depth} active job(s), quota is {quota}"
+        )
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """What one submission did to the queue."""
+
+    spec_hash: str
+    status: str
+    created: bool  # a new entry was inserted
+    deduped: bool  # an existing entry (any status) absorbed the submit
+
+
+@dataclass(frozen=True)
+class ClaimedJob:
+    """One leased unit of work handed to a farm node."""
+
+    spec: JobSpec
+    spec_hash: str
+    attempts: int
+    lease_expires: float
+
+
+def campaign_id(name: str, job_hashes: list[str]) -> str:
+    """Deterministic campaign id: digest of the name + member hashes."""
+    payload = json.dumps(
+        {"name": name, "jobs": list(job_hashes)}, sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+class JobQueue:
+    """One farm's persistent queue (manifest + lock file under *root*).
+
+    Args:
+        root: directory holding ``queue.json`` / ``queue.lock`` (created
+            if missing). Farm nodes and front ends sharing a queue pass
+            the same directory.
+        quota: max active (pending + leased) jobs per tenant; None
+            disables quota enforcement.
+        max_attempts: claims an entry may burn (initial + reclaims after
+            lease expiry) before it is marked ``failed``.
+        clock: wall-clock source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        root,
+        quota: int | None = None,
+        max_attempts: int = 3,
+        clock=time.time,
+    ):
+        if quota is not None and quota < 1:
+            raise SimulationError("queue quota must be >= 1 (or None)")
+        if max_attempts < 1:
+            raise SimulationError("queue max_attempts must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quota = quota
+        self.max_attempts = max_attempts
+        self.clock = clock
+
+    @property
+    def path(self) -> Path:
+        return self.root / "queue.json"
+
+    @property
+    def lock_path(self) -> Path:
+        return self.root / "queue.lock"
+
+    # -- state persistence -------------------------------------------------------
+
+    @staticmethod
+    def _fresh_state() -> dict:
+        return {"version": QUEUE_VERSION, "seq": 0, "jobs": {}, "campaigns": {}}
+
+    def _load(self) -> dict:
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                state = json.load(handle)
+        except FileNotFoundError:
+            return self._fresh_state()
+        if state.get("version") != QUEUE_VERSION:
+            raise SimulationError(
+                f"queue manifest version {state.get('version')!r} unsupported "
+                f"(expected {QUEUE_VERSION})"
+            )
+        return state
+
+    def _save(self, state: dict) -> None:
+        text = json.dumps(state, sort_keys=True, indent=2) + "\n"
+        tmp = self.path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}"
+        )
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    @contextlib.contextmanager
+    def _transaction(self, write: bool = True):
+        """Load-mutate-save under the cross-process queue lock.
+
+        ``flock`` on a dedicated lock file serialises transactions across
+        processes *and* threads (each transaction opens its own file
+        description). The manifest itself is only ever replaced
+        atomically, so lock-free readers (:meth:`status`, :meth:`depth`)
+        still observe a consistent snapshot.
+        """
+        handle = open(self.lock_path, "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            state = self._load()
+            self._reaped_in_txn = self._reap_locked(state)
+            yield state
+            if write:
+                self._save(state)
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    # -- lease reaping -----------------------------------------------------------
+
+    def _reap_locked(self, state: dict) -> list[str]:
+        """Expire dead leases in *state*; returns the touched hashes.
+
+        Runs at the head of every transaction, so no dedicated reaper
+        process is required: any queue activity (a submit, a claim, a
+        status poll through :meth:`reap_expired`) collects the leases of
+        crashed nodes. Entries that burned ``max_attempts`` claims go to
+        ``failed`` instead of looping forever.
+        """
+        now = self.clock()
+        touched = []
+        for spec_hash, entry in state["jobs"].items():
+            lease = entry.get("lease")
+            if entry["status"] != "leased" or not lease:
+                continue
+            if lease["expires"] > now:
+                continue
+            entry["lease"] = None
+            if entry["attempts"] >= self.max_attempts:
+                entry["status"] = "failed"
+                entry["error"] = (
+                    f"lease expired after {entry['attempts']} claim attempt(s) "
+                    f"(last node {lease['node']!r})"
+                )
+            else:
+                entry["status"] = "pending"
+            touched.append(spec_hash)
+        return touched
+
+    def reap_expired(self) -> list[str]:
+        """Explicitly run one reap pass; returns the touched hashes."""
+        with self._transaction():
+            return list(self._reaped_in_txn)
+
+    # -- submission --------------------------------------------------------------
+
+    def _active_depth(self, state: dict, tenant: str | None = None) -> int:
+        return sum(
+            1
+            for entry in state["jobs"].values()
+            if entry["status"] in ACTIVE_STATUSES
+            and (tenant is None or tenant in entry["tenants"])
+        )
+
+    def _check_quota(self, state: dict, tenant: str, new_active: int) -> None:
+        if self.quota is None:
+            return
+        depth = self._active_depth(state, tenant)
+        if depth + new_active > self.quota:
+            raise QuotaExceeded(tenant, depth, self.quota)
+
+    def _submit_locked(
+        self, state: dict, spec: JobSpec, tenant: str, priority: int,
+        enforce_quota: bool = True,
+    ) -> SubmitReceipt:
+        spec_hash = spec.content_hash()
+        entry = state["jobs"].get(spec_hash)
+        if entry is not None:
+            deduped = True
+            if tenant not in entry["tenants"]:
+                if entry["status"] in ACTIVE_STATUSES and enforce_quota:
+                    self._check_quota(state, tenant, 1)
+                entry["tenants"] = sorted([*entry["tenants"], tenant])
+            entry["priority"] = max(entry["priority"], int(priority))
+            if entry["status"] == "failed":
+                # Resubmission grants a failed job a fresh set of attempts.
+                entry["status"] = "pending"
+                entry["attempts"] = 0
+                entry["error"] = None
+                entry["lease"] = None
+            return SubmitReceipt(spec_hash, entry["status"], False, deduped)
+        if enforce_quota:
+            self._check_quota(state, tenant, 1)
+        state["seq"] += 1
+        state["jobs"][spec_hash] = {
+            "hash": spec_hash,
+            "label": spec.label,
+            "spec": spec.canonical_dict(),
+            "tenants": [tenant],
+            "priority": int(priority),
+            "status": "pending",
+            "attempts": 0,
+            "submitted": state["seq"],
+            "lease": None,
+            "error": None,
+        }
+        return SubmitReceipt(spec_hash, "pending", True, False)
+
+    def submit(
+        self, spec: JobSpec, tenant: str = "default", priority: int = 0
+    ) -> SubmitReceipt:
+        """Enqueue one spec for *tenant*; dedups by content hash.
+
+        Raises :class:`QuotaExceeded` when the tenant's active-job quota
+        is full (the queue is left untouched).
+        """
+        with self._transaction() as state:
+            return self._submit_locked(state, spec, tenant, priority)
+
+    def submit_campaign(
+        self,
+        name: str,
+        jobs: list[JobSpec],
+        generator: dict | None = None,
+        tenant: str = "default",
+        priority: int = 0,
+    ) -> tuple[str, list[SubmitReceipt]]:
+        """Enqueue a whole campaign atomically (all jobs or a 429).
+
+        The quota check is all-or-nothing: either every member fits under
+        the tenant's cap or nothing is enqueued. Returns the
+        deterministic campaign id and one receipt per member.
+        """
+        if not jobs:
+            raise SimulationError("a campaign needs at least one job")
+        hashes = [spec.content_hash() for spec in jobs]
+        cid = campaign_id(name, hashes)
+        with self._transaction() as state:
+            if self.quota is not None:
+                new_active = 0
+                for spec_hash in dict.fromkeys(hashes):
+                    entry = state["jobs"].get(spec_hash)
+                    if entry is None:
+                        new_active += 1
+                    elif (
+                        entry["status"] in ACTIVE_STATUSES
+                        and tenant not in entry["tenants"]
+                    ):
+                        new_active += 1
+                self._check_quota(state, tenant, new_active)
+            receipts = [
+                self._submit_locked(state, spec, tenant, priority,
+                                    enforce_quota=False)
+                for spec in jobs
+            ]
+            campaign = state["campaigns"].get(cid)
+            if campaign is None:
+                state["campaigns"][cid] = {
+                    "id": cid,
+                    "name": name,
+                    "generator": dict(generator or {}),
+                    "jobs": hashes,
+                    "tenants": [tenant],
+                }
+            elif tenant not in campaign["tenants"]:
+                campaign["tenants"] = sorted([*campaign["tenants"], tenant])
+        return cid, receipts
+
+    # -- claiming / settlement ---------------------------------------------------
+
+    def claim(
+        self, node: str, lease_seconds: float = 30.0, limit: int = 1
+    ) -> list[ClaimedJob]:
+        """Lease up to *limit* pending jobs to *node*.
+
+        Selection order is priority (higher first), then submission
+        order — a strict total order, so concurrent nodes racing the
+        same queue partition the work deterministically given their
+        claim interleaving. Expired leases are reaped first, which is
+        how work abandoned by a SIGKILLed node migrates to the claimant.
+        """
+        if limit < 1:
+            raise SimulationError("claim limit must be >= 1")
+        if lease_seconds <= 0:
+            raise SimulationError("lease_seconds must be positive")
+        claimed: list[ClaimedJob] = []
+        with self._transaction() as state:
+            pending = sorted(
+                (e for e in state["jobs"].values() if e["status"] == "pending"),
+                key=lambda e: (-e["priority"], e["submitted"]),
+            )
+            now = self.clock()
+            for entry in pending[:limit]:
+                entry["status"] = "leased"
+                entry["attempts"] += 1
+                expires = now + lease_seconds
+                entry["lease"] = {"node": node, "expires": expires}
+                spec = JobSpec.from_dict(
+                    dict(entry["spec"], label=entry.get("label", ""))
+                )
+                claimed.append(
+                    ClaimedJob(spec, entry["hash"], entry["attempts"], expires)
+                )
+        return claimed
+
+    def renew(self, spec_hash: str, node: str, lease_seconds: float = 30.0) -> bool:
+        """Extend *node*'s lease on an entry; False when the lease is lost."""
+        with self._transaction() as state:
+            entry = state["jobs"].get(spec_hash)
+            if (
+                entry is None
+                or entry["status"] != "leased"
+                or not entry["lease"]
+                or entry["lease"]["node"] != node
+            ):
+                return False
+            entry["lease"]["expires"] = self.clock() + lease_seconds
+            return True
+
+    def complete(self, spec_hash: str, node: str) -> bool:
+        """Mark an entry done (idempotent). Returns False on a duplicate.
+
+        Completion is accepted even from a node whose lease expired —
+        results are content-addressed and deterministic, so a late
+        publisher wrote the same bytes the reclaiming node would.
+        """
+        with self._transaction() as state:
+            entry = state["jobs"].get(spec_hash)
+            if entry is None:
+                raise SimulationError(f"unknown job {spec_hash!r}")
+            if entry["status"] == "done":
+                return False
+            entry["status"] = "done"
+            entry["lease"] = None
+            entry["error"] = None
+            return True
+
+    def fail(self, spec_hash: str, node: str, error: str) -> str:
+        """Record a failed attempt; returns the entry's new status.
+
+        The entry goes back to ``pending`` while claim attempts remain,
+        ``failed`` once they are burned. A concurrent completion wins:
+        failing a ``done`` entry is a no-op.
+        """
+        with self._transaction() as state:
+            entry = state["jobs"].get(spec_hash)
+            if entry is None:
+                raise SimulationError(f"unknown job {spec_hash!r}")
+            if entry["status"] == "done":
+                return "done"
+            entry["lease"] = None
+            if entry["attempts"] >= self.max_attempts:
+                entry["status"] = "failed"
+                entry["error"] = error
+            else:
+                entry["status"] = "pending"
+                entry["error"] = error
+            return entry["status"]
+
+    # -- inspection (lock-free reads of the atomic manifest) ---------------------
+
+    def status(self, spec_hash: str) -> dict | None:
+        """JSON-safe status payload for one job, or None when unknown."""
+        entry = self._load()["jobs"].get(spec_hash)
+        if entry is None:
+            return None
+        return {
+            "id": entry["hash"],
+            "label": entry.get("label", ""),
+            "status": entry["status"],
+            "tenants": list(entry["tenants"]),
+            "priority": entry["priority"],
+            "attempts": entry["attempts"],
+            "lease": dict(entry["lease"]) if entry["lease"] else None,
+            "error": entry["error"],
+        }
+
+    def campaign_status(self, cid: str) -> dict | None:
+        """Rollup payload for one campaign, or None when unknown."""
+        state = self._load()
+        campaign = state["campaigns"].get(cid)
+        if campaign is None:
+            return None
+        counts: dict[str, int] = {}
+        statuses: dict[str, str] = {}
+        for spec_hash in campaign["jobs"]:
+            entry = state["jobs"].get(spec_hash)
+            status = entry["status"] if entry is not None else "pending"
+            statuses[spec_hash] = status
+            counts[status] = counts.get(status, 0) + 1
+        settled = counts.get("done", 0) + counts.get("failed", 0)
+        return {
+            "id": cid,
+            "name": campaign["name"],
+            "generator": dict(campaign["generator"]),
+            "tenants": list(campaign["tenants"]),
+            "jobs": len(campaign["jobs"]),
+            "counts": counts,
+            "statuses": statuses,
+            "done": settled == len(campaign["jobs"]),
+        }
+
+    def depth(self, tenant: str | None = None) -> int:
+        """Active (pending + leased) job count, optionally per tenant."""
+        return self._active_depth(self._load(), tenant)
+
+    def depths_by_tenant(self) -> dict[str, int]:
+        """Active job count per tenant (shared jobs count for each)."""
+        out: dict[str, int] = {}
+        for entry in self._load()["jobs"].values():
+            if entry["status"] not in ACTIVE_STATUSES:
+                continue
+            for tenant in entry["tenants"]:
+                out[tenant] = out.get(tenant, 0) + 1
+        return out
+
+    def counts(self) -> dict[str, int]:
+        """Entry count per status across the whole queue."""
+        out: dict[str, int] = {}
+        for entry in self._load()["jobs"].values():
+            out[entry["status"]] = out.get(entry["status"], 0) + 1
+        return out
+
+    def job_hashes(self) -> list[str]:
+        """Every known job hash, in submission order."""
+        state = self._load()
+        return [
+            e["hash"]
+            for e in sorted(state["jobs"].values(), key=lambda e: e["submitted"])
+        ]

@@ -136,6 +136,39 @@ class TestGlobalDefault:
         set_recorder(None)
         assert get_recorder() is NULL_RECORDER
 
+    def test_use_recorder_is_thread_local(self):
+        # Concurrent scopes must not bleed into each other: two threads
+        # each bind their own recorder and hammer the ambient counter;
+        # every count must land in the binding thread's recorder (the
+        # farm-node telemetry undercount regression).
+        import threading
+
+        recorders = [Recorder(), Recorder()]
+        barrier = threading.Barrier(2)
+
+        def work(rec):
+            with use_recorder(rec):
+                barrier.wait()
+                for _ in range(2000):
+                    get_recorder().count("ambient.hits")
+
+        threads = [threading.Thread(target=work, args=(r,)) for r in recorders]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [r.counter("ambient.hits") for r in recorders] == [2000, 2000]
+
+    def test_threads_spawned_inside_scope_fall_back_to_process_default(self):
+        import threading
+
+        seen = []
+        with use_recorder(Recorder()):
+            t = threading.Thread(target=lambda: seen.append(get_recorder()))
+            t.start()
+            t.join()
+        assert seen == [NULL_RECORDER]
+
     def test_resolve_recorder(self):
         rec = Recorder()
         assert resolve_recorder(rec) is rec

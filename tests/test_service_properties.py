@@ -1,0 +1,224 @@
+"""Hypothesis property tests for the service layer (satellite 2).
+
+Two families:
+
+* the queue manifest survives *arbitrary* interleavings of submit /
+  claim / complete / fail / crash (lease expiry) across nodes, with the
+  manifest reloaded from disk before every operation — no job is ever
+  lost and none is completed twice;
+* every JSON payload that crosses the HTTP boundary round-trips through
+  ``json.dumps``/``json.loads`` without changing meaning.
+"""
+
+import dataclasses
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+    run_state_machine_as_test,
+)
+
+from repro.jobs.spec import CircuitRef, JobSpec
+from repro.service.loadgen import LoadReport
+from repro.service.queue import ENTRY_STATUSES, JobQueue, QuotaExceeded
+
+DECK = """rc lowpass
+V1 in 0 SIN(0 1 1k)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 1m
+.end
+"""
+
+LEASE = 10.0
+UNIVERSE = 4  # distinct job specs the machine draws from
+NODES = ("n1", "n2", "n3")
+
+
+def variant(i: int) -> JobSpec:
+    return JobSpec(
+        circuit=CircuitRef(kind="netlist", netlist=DECK),
+        label=f"v{i}",
+        params={"R1": 1e3 * (1.0 + 0.01 * i)},
+    )
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """Model-based check of the persistent queue's lifecycle invariants.
+
+    The model tracks, per spec hash: whether it was ever submitted, and
+    how many times ``complete`` acknowledged a completion.  A fresh
+    ``JobQueue`` handle is opened from disk for every operation, so any
+    state the manifest fails to persist shows up as a model divergence.
+    """
+
+    @initialize()
+    def setup(self) -> None:
+        import tempfile
+
+        self.dir = tempfile.TemporaryDirectory()
+        self.clock = FakeClock()
+        self.submitted: set[str] = set()
+        self.completions: dict[str, int] = {}
+        self.leases: list[tuple[str, str]] = []  # (hash, node) claims seen
+
+    def queue(self) -> JobQueue:
+        # a *new* handle per operation: everything must come from disk
+        return JobQueue(self.dir.name, clock=self.clock)
+
+    @rule(i=st.integers(0, UNIVERSE - 1), priority=st.integers(0, 2),
+          tenant=st.sampled_from(("acme", "free")))
+    def submit(self, i, priority, tenant) -> None:
+        receipt = self.queue().submit(variant(i), tenant=tenant, priority=priority)
+        self.submitted.add(receipt.spec_hash)
+
+    @rule(node=st.sampled_from(NODES), limit=st.integers(1, 3))
+    def claim(self, node, limit) -> None:
+        for job in self.queue().claim(node, lease_seconds=LEASE, limit=limit):
+            assert job.spec_hash in self.submitted
+            self.leases.append((job.spec_hash, node))
+
+    @rule(pick=st.randoms(use_true_random=False))
+    def complete(self, pick) -> None:
+        if not self.leases:
+            return
+        spec_hash, node = pick.choice(self.leases)
+        if self.queue().complete(spec_hash, node):
+            self.completions[spec_hash] = self.completions.get(spec_hash, 0) + 1
+
+    @rule(pick=st.randoms(use_true_random=False))
+    def fail(self, pick) -> None:
+        if not self.leases:
+            return
+        spec_hash, node = pick.choice(self.leases)
+        self.queue().fail(spec_hash, node, "injected")
+
+    @rule()
+    def crash(self) -> None:
+        # every outstanding lease expires: the holder died without settling
+        self.clock.advance(LEASE + 1)
+        self.queue().reap_expired()
+
+    @invariant()
+    def no_lost_or_double_completed_jobs(self) -> None:
+        if not hasattr(self, "submitted"):
+            return
+        queue = self.queue()
+        hashes = set(queue.job_hashes())
+        assert hashes == self.submitted, "manifest lost or invented jobs"
+        for spec_hash in self.submitted:
+            status = queue.status(spec_hash)
+            assert status is not None
+            assert status["status"] in ENTRY_STATUSES
+            done = status["status"] == "done"
+            acked = self.completions.get(spec_hash, 0)
+            assert acked <= 1, "job completed twice"
+            assert (acked == 1) == done, "done flag out of sync with acks"
+
+    def teardown(self) -> None:
+        if hasattr(self, "dir"):
+            self.dir.cleanup()
+
+
+def test_queue_survives_arbitrary_interleavings():
+    run_state_machine_as_test(
+        QueueMachine,
+        settings=settings(
+            max_examples=30,
+            stateful_step_count=30,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        ),
+    )
+
+
+# --- JSON round-trips for HTTP payloads -------------------------------------
+
+finite = st.floats(
+    min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_", min_size=1, max_size=12
+)
+
+spec_strategy = st.builds(
+    JobSpec,
+    circuit=st.just(CircuitRef(kind="netlist", netlist=DECK)),
+    analysis=st.sampled_from(("transient", "wavepipe")),
+    label=st.text(max_size=20),
+    tstop=st.none() | finite,
+    tstep=st.none() | finite,
+    threads=st.integers(1, 8),
+    params=st.dictionaries(names, finite, max_size=4),
+    options=st.dictionaries(
+        st.sampled_from(("reltol", "abstol")), finite, max_size=2
+    ),
+)
+
+
+@given(spec=spec_strategy)
+@settings(max_examples=50, deadline=None)
+def test_job_spec_round_trips_through_wire_json(spec):
+    wire = json.loads(json.dumps({"spec": spec.to_dict()}))
+    rebuilt = JobSpec.from_dict(wire["spec"])
+    assert rebuilt == spec
+    assert rebuilt.content_hash() == spec.content_hash()
+
+
+@given(spec=spec_strategy, tenant=names, priority=st.integers(0, 5))
+@settings(max_examples=15, deadline=None)
+def test_submit_receipt_payload_round_trips(tmp_path_factory, spec, tenant, priority):
+    root = tmp_path_factory.mktemp("queue")
+    queue = JobQueue(root)
+    receipt = queue.submit(spec, tenant=tenant, priority=priority)
+    payload = json.loads(json.dumps(dataclasses.asdict(receipt)))
+    assert payload["spec_hash"] == spec.content_hash()
+    assert payload["created"] is True and payload["deduped"] is False
+    status = json.loads(json.dumps(queue.status(receipt.spec_hash)))
+    assert status["id"] == spec.content_hash()
+    assert status["tenants"] == [tenant]
+    assert status["priority"] == priority
+
+
+@given(
+    requests=st.integers(0, 500),
+    rejected=st.integers(0, 50),
+    elapsed=finite,
+    counts=st.dictionaries(st.sampled_from(ENTRY_STATUSES), st.integers(0, 99)),
+)
+@settings(max_examples=25, deadline=None)
+def test_load_report_round_trips(requests, rejected, elapsed, counts):
+    report = LoadReport(
+        requests=requests, rejected=rejected, elapsed=elapsed, counts=counts
+    )
+    wire = json.loads(json.dumps(report.to_dict()))
+    assert LoadReport(**wire) == report
+
+
+@given(depth=st.integers(1, 20), quota=st.integers(1, 19))
+@settings(max_examples=10, deadline=None)
+def test_quota_error_payload_is_json_safe(depth, quota):
+    exc = QuotaExceeded("acme", depth=depth, quota=quota)
+    # the 429 body the server derives from the exception
+    body = json.loads(json.dumps(
+        {"error": str(exc), "tenant": exc.tenant, "depth": exc.depth,
+         "quota": exc.quota}
+    ))
+    assert body["depth"] == depth and body["quota"] == quota
+    assert "acme" in body["error"]

@@ -1,0 +1,311 @@
+"""JobQueue semantics: dedup, quotas, leases, attempts, persistence.
+
+Everything time-dependent runs on an injected fake clock, so lease
+expiry and reaping are tested deterministically; everything else reloads
+the manifest from disk through fresh JobQueue handles to prove the queue
+has no hidden in-memory state a node restart would lose.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.jobs.spec import CircuitRef, JobSpec
+from repro.service.queue import (
+    JobQueue,
+    QuotaExceeded,
+    campaign_id,
+)
+
+DECK = """rc lowpass
+V1 in 0 SIN(0 1 1k)
+R1 in out 1k
+C1 out 0 1u
+.tran 10u 1m
+.end
+"""
+
+
+def rc_spec(label="rc", **kw) -> JobSpec:
+    return JobSpec(circuit=CircuitRef(kind="netlist", netlist=DECK), label=label, **kw)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    return JobQueue(tmp_path / "q", clock=clock)
+
+
+class TestSubmit:
+    def test_submit_creates_pending_entry(self, queue):
+        receipt = queue.submit(rc_spec())
+        assert receipt.created and not receipt.deduped
+        assert receipt.status == "pending"
+        status = queue.status(receipt.spec_hash)
+        assert status["status"] == "pending"
+        assert status["tenants"] == ["default"]
+        assert queue.depth() == 1
+
+    def test_identical_specs_dedup_by_content_hash(self, queue):
+        first = queue.submit(rc_spec(label="a"), tenant="t1")
+        second = queue.submit(rc_spec(label="b"), tenant="t2")  # label is not content
+        assert second.spec_hash == first.spec_hash
+        assert second.deduped and not second.created
+        status = queue.status(first.spec_hash)
+        assert status["tenants"] == ["t1", "t2"]
+        assert queue.depth() == 1  # one physical job
+        assert queue.depth("t1") == queue.depth("t2") == 1
+
+    def test_priority_takes_the_max_across_submitters(self, queue):
+        receipt = queue.submit(rc_spec(), priority=1)
+        queue.submit(rc_spec(), tenant="other", priority=5)
+        queue.submit(rc_spec(), priority=2)
+        assert queue.status(receipt.spec_hash)["priority"] == 5
+
+    def test_resubmitting_a_failed_job_requeues_it(self, queue, clock):
+        queue = JobQueue(queue.root, max_attempts=1, clock=clock)
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1")
+        assert queue.fail(receipt.spec_hash, "n1", "boom") == "failed"
+        again = queue.submit(rc_spec())
+        assert again.deduped
+        status = queue.status(receipt.spec_hash)
+        assert status["status"] == "pending"
+        assert status["attempts"] == 0 and status["error"] is None
+
+    def test_manifest_is_plain_json_on_disk(self, queue):
+        queue.submit(rc_spec())
+        state = json.loads(queue.path.read_text())
+        assert state["version"] == 1
+        assert len(state["jobs"]) == 1
+
+    def test_persistence_across_handles(self, queue, clock):
+        receipt = queue.submit(rc_spec())
+        reopened = JobQueue(queue.root, clock=clock)
+        assert reopened.status(receipt.spec_hash)["status"] == "pending"
+        assert reopened.claim("n1")[0].spec_hash == receipt.spec_hash
+
+
+class TestQuota:
+    def test_quota_rejects_excess_active_jobs(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", quota=2, clock=clock)
+        queue.submit(rc_spec(params={"R1": 1.0e3}))
+        queue.submit(rc_spec(params={"R1": 1.1e3}))
+        with pytest.raises(QuotaExceeded) as err:
+            queue.submit(rc_spec(params={"R1": 1.2e3}))
+        assert err.value.tenant == "default"
+        assert err.value.depth == 2 and err.value.quota == 2
+        assert queue.depth() == 2  # rejected submit left no trace
+
+    def test_quota_counts_per_tenant(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", quota=1, clock=clock)
+        queue.submit(rc_spec(params={"R1": 1.0e3}), tenant="a")
+        queue.submit(rc_spec(params={"R1": 1.1e3}), tenant="b")  # other tenant ok
+        with pytest.raises(QuotaExceeded):
+            queue.submit(rc_spec(params={"R1": 1.2e3}), tenant="a")
+
+    def test_subscribing_to_an_active_job_counts_against_quota(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", quota=1, clock=clock)
+        queue.submit(rc_spec(params={"R1": 1.0e3}), tenant="a")
+        queue.submit(rc_spec(params={"R1": 1.1e3}), tenant="b")
+        # b is at quota; joining a's (distinct) active job must be refused
+        with pytest.raises(QuotaExceeded):
+            queue.submit(rc_spec(params={"R1": 1.0e3}), tenant="b")
+
+    def test_settled_jobs_free_quota(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", quota=1, clock=clock)
+        first = queue.submit(rc_spec(params={"R1": 1.0e3}))
+        queue.claim("n1")
+        queue.complete(first.spec_hash, "n1")
+        queue.submit(rc_spec(params={"R1": 1.1e3}))  # no raise
+
+    def test_campaign_quota_is_all_or_nothing(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", quota=2, clock=clock)
+        jobs = [rc_spec(params={"R1": 1e3 * (1 + i)}) for i in range(3)]
+        with pytest.raises(QuotaExceeded):
+            queue.submit_campaign("big", jobs)
+        assert queue.depth() == 0  # nothing partially enqueued
+        cid, receipts = queue.submit_campaign("ok", jobs[:2])
+        assert len(receipts) == 2 and queue.depth() == 2
+
+
+class TestClaimAndLease:
+    def test_claim_order_priority_then_submission(self, queue):
+        low = queue.submit(rc_spec(params={"R1": 1.0e3}), priority=0)
+        high = queue.submit(rc_spec(params={"R1": 1.1e3}), priority=9)
+        mid = queue.submit(rc_spec(params={"R1": 1.2e3}), priority=5)
+        order = [job.spec_hash for job in queue.claim("n1", limit=3)]
+        assert order == [high.spec_hash, mid.spec_hash, low.spec_hash]
+
+    def test_claimed_spec_round_trips(self, queue):
+        spec = rc_spec(label="keepme", tstop=5e-4)
+        queue.submit(spec)
+        [claimed] = queue.claim("n1")
+        assert claimed.spec.content_hash() == spec.content_hash()
+        assert claimed.spec.label == "keepme"
+        assert claimed.attempts == 1
+
+    def test_claimed_jobs_are_invisible_to_other_claimants(self, queue):
+        queue.submit(rc_spec())
+        assert queue.claim("n1")
+        assert queue.claim("n2") == []
+
+    def test_lease_expiry_returns_job_to_pending(self, queue, clock):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1", lease_seconds=30.0)
+        clock.advance(31.0)
+        [reclaimed] = queue.claim("n2", lease_seconds=30.0)
+        assert reclaimed.spec_hash == receipt.spec_hash
+        assert reclaimed.attempts == 2
+        assert queue.status(receipt.spec_hash)["lease"]["node"] == "n2"
+
+    def test_renew_extends_the_lease(self, queue, clock):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1", lease_seconds=30.0)
+        clock.advance(25.0)
+        assert queue.renew(receipt.spec_hash, "n1", lease_seconds=30.0)
+        clock.advance(25.0)  # would have expired without the renewal
+        assert queue.claim("n2") == []
+
+    def test_renew_refused_after_losing_the_lease(self, queue, clock):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1", lease_seconds=30.0)
+        clock.advance(31.0)
+        queue.claim("n2")
+        assert not queue.renew(receipt.spec_hash, "n1")
+
+    def test_burned_attempts_fail_the_job(self, tmp_path, clock):
+        queue = JobQueue(tmp_path / "q", max_attempts=2, clock=clock)
+        receipt = queue.submit(rc_spec())
+        for node in ("n1", "n2"):
+            assert queue.claim(node, lease_seconds=10.0)
+            clock.advance(11.0)
+        assert queue.claim("n3") == []
+        status = queue.status(receipt.spec_hash)
+        assert status["status"] == "failed"
+        assert "lease expired" in status["error"]
+
+    def test_reap_expired_reports_touched_hashes(self, queue, clock):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1", lease_seconds=10.0)
+        assert queue.reap_expired() == []
+        clock.advance(11.0)
+        assert queue.reap_expired() == [receipt.spec_hash]
+        assert queue.status(receipt.spec_hash)["status"] == "pending"
+
+
+class TestSettlement:
+    def test_complete_is_idempotent(self, queue):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1")
+        assert queue.complete(receipt.spec_hash, "n1")
+        assert not queue.complete(receipt.spec_hash, "n2")  # duplicate
+        assert queue.status(receipt.spec_hash)["status"] == "done"
+
+    def test_late_completion_after_lost_lease_is_accepted(self, queue, clock):
+        # n1's lease expires, n2 reclaims — then n1 finishes anyway.
+        # Deterministic content-addressed results make that harmless.
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1", lease_seconds=10.0)
+        clock.advance(11.0)
+        queue.claim("n2")
+        assert queue.complete(receipt.spec_hash, "n1")
+        assert not queue.complete(receipt.spec_hash, "n2")
+        assert queue.status(receipt.spec_hash)["status"] == "done"
+
+    def test_fail_requeues_while_attempts_remain(self, queue):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1")
+        assert queue.fail(receipt.spec_hash, "n1", "sim blew up") == "pending"
+        status = queue.status(receipt.spec_hash)
+        assert status["error"] == "sim blew up"
+        assert queue.claim("n2")  # claimable again
+
+    def test_fail_after_completion_is_a_noop(self, queue):
+        receipt = queue.submit(rc_spec())
+        queue.claim("n1")
+        queue.complete(receipt.spec_hash, "n1")
+        assert queue.fail(receipt.spec_hash, "n2", "late error") == "done"
+
+    def test_unknown_hash_rejected(self, queue):
+        with pytest.raises(SimulationError, match="unknown job"):
+            queue.complete("0" * 64, "n1")
+        with pytest.raises(SimulationError, match="unknown job"):
+            queue.fail("0" * 64, "n1", "x")
+
+
+class TestCampaigns:
+    def test_campaign_id_is_deterministic(self):
+        a = campaign_id("mc", ["h1", "h2"])
+        assert a == campaign_id("mc", ["h1", "h2"])
+        assert a != campaign_id("mc", ["h2", "h1"])
+        assert a != campaign_id("other", ["h1", "h2"])
+
+    def test_campaign_rollup_tracks_member_statuses(self, queue):
+        jobs = [rc_spec(params={"R1": 1e3 * (1 + i)}) for i in range(3)]
+        cid, receipts = queue.submit_campaign("mc3", jobs, generator={"kind": "x"})
+        rollup = queue.campaign_status(cid)
+        assert rollup["jobs"] == 3 and not rollup["done"]
+        assert rollup["counts"] == {"pending": 3}
+        queue.claim("n1", limit=2)
+        queue.complete(receipts[0].spec_hash, "n1")
+        queue.fail(receipts[1].spec_hash, "n1", "err")
+        rollup = queue.campaign_status(cid)
+        assert rollup["counts"] == {"done": 1, "pending": 2}
+        assert not rollup["done"]
+
+    def test_campaign_resubmission_dedups_members(self, queue):
+        jobs = [rc_spec(params={"R1": 1e3 * (1 + i)}) for i in range(2)]
+        cid1, _ = queue.submit_campaign("mc", jobs, tenant="a")
+        cid2, receipts = queue.submit_campaign("mc", jobs, tenant="b")
+        assert cid1 == cid2
+        assert all(r.deduped for r in receipts)
+        assert queue.campaign_status(cid1)["tenants"] == ["a", "b"]
+        assert queue.depth() == 2
+
+    def test_unknown_campaign_is_none(self, queue):
+        assert queue.campaign_status("feedbeef") is None
+
+
+class TestInspection:
+    def test_counts_and_depths(self, queue):
+        a = queue.submit(rc_spec(params={"R1": 1.0e3}), tenant="a")
+        queue.submit(rc_spec(params={"R1": 1.1e3}), tenant="b")
+        queue.claim("n1", limit=1)
+        queue.complete(a.spec_hash, "n1")
+        assert queue.counts() == {"done": 1, "pending": 1}
+        assert queue.depths_by_tenant() == {"b": 1}
+
+    def test_job_hashes_in_submission_order(self, queue):
+        first = queue.submit(rc_spec(params={"R1": 1.0e3}))
+        second = queue.submit(rc_spec(params={"R1": 1.1e3}))
+        assert queue.job_hashes() == [first.spec_hash, second.spec_hash]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(SimulationError):
+            JobQueue(tmp_path, quota=0)
+        with pytest.raises(SimulationError):
+            JobQueue(tmp_path, max_attempts=0)
+        queue = JobQueue(tmp_path / "q")
+        with pytest.raises(SimulationError):
+            queue.claim("n", limit=0)
+        with pytest.raises(SimulationError):
+            queue.claim("n", lease_seconds=0)
+        with pytest.raises(SimulationError):
+            queue.submit_campaign("empty", [])

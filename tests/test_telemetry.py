@@ -310,10 +310,35 @@ class TestPrometheus:
             assert "text/plain" in response.getheader("Content-Type")
             assert "repro_newton_iterations_total 42" in body
             conn.request("GET", "/healthz")
-            assert conn.getresponse().read() == b"ok\n"
+            health = json.loads(conn.getresponse().read())
+            assert health["status"] == "ok"
             conn.request("GET", "/nope")
             assert conn.getresponse().status == 404
             conn.close()
+
+    def test_healthz_reports_actual_ephemeral_port(self):
+        # Regression: started with port=0, the server must report the
+        # kernel-assigned port in /healthz (clients used to have to
+        # guess it out-of-band).
+        rec = Recorder(capture_events=False)
+        with serve_metrics(rec, port=0) as server:
+            bound = server.port
+            assert bound > 0
+            conn = http.client.HTTPConnection("127.0.0.1", bound, timeout=5)
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert "application/json" in response.getheader("Content-Type")
+            health = json.loads(response.read())
+            conn.close()
+        assert health == {"status": "ok", "host": "127.0.0.1", "port": bound}
+
+    def test_start_logs_the_bound_address(self, caplog):
+        rec = Recorder(capture_events=False)
+        with caplog.at_level("INFO", logger="repro.instrument.metrics"):
+            with serve_metrics(rec, port=0) as server:
+                port = server.port
+        assert any(f":{port}/metrics" in message for message in caplog.messages)
 
     def test_scrape_sees_live_updates(self):
         rec = Recorder(capture_events=False)
