@@ -44,6 +44,14 @@ from repro.api import (
     sweep,
 )
 from repro.engine.ensemble import EnsembleTransientResult, run_ensemble_transient
+from repro.partition import (
+    PartitionManifest,
+    WtmResult,
+    WtmStats,
+    partition_circuit,
+    run_wtm,
+    wtm_vs_monolithic,
+)
 from repro.verify import (
     ChaosExecutor,
     EquivalenceReport,
@@ -144,6 +152,8 @@ __all__ = [
     "parse_file",
     "parse_netlist",
     "parse_value",
+    "PartitionManifest",
+    "partition_circuit",
     "PipelineResult",
     "PipelineStats",
     "Pulse",
@@ -159,6 +169,7 @@ __all__ = [
     "run_transient",
     "run_verification",
     "run_wavepipe",
+    "run_wtm",
     "simulate",
     "SampledWaveform",
     "SimOptions",
@@ -185,4 +196,7 @@ __all__ = [
     "write_csv",
     "write_jsonl",
     "write_trace",
+    "WtmResult",
+    "WtmStats",
+    "wtm_vs_monolithic",
 ]

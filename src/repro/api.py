@@ -22,6 +22,14 @@ topology in lockstep through the vectorized ensemble engine
 passing ``variants=[{...}, ...]`` or ``ensemble=K`` promotes a plain
 transient call to an ensemble run returning an :class:`EnsembleResult`.
 
+The seventh, ``wtm``, decomposes the circuit itself: the waveform
+transmission method (:mod:`repro.partition`) cuts the network at its
+weak couplings and iterates concurrent per-partition transients that
+exchange boundary waveforms until fixed point. Passing ``partitions=N``
+promotes a plain transient call the same way ``ensemble=`` does, and
+``scheme=`` selects per-partition WavePipe pipelining inside each
+partition solve.
+
 Example::
 
     from repro import simulate
@@ -50,6 +58,7 @@ from repro.core.wavepipe import run_wavepipe as _run_wavepipe
 from repro.engine.ensemble import run_ensemble_transient as _run_ensemble_transient
 from repro.engine.transient import run_transient as _run_transient
 from repro.errors import SimulationError
+from repro.partition.coordinator import run_wtm as _run_wtm
 from repro.jobs.spec import apply_params, jitterable_params
 from repro.utils.options import SimOptions
 
@@ -66,11 +75,25 @@ from repro.verify.oracle import (  # noqa: F401  (public re-exports)
 )
 
 #: Analyses understood by :func:`simulate`.
-ANALYSES = ("transient", "wavepipe", "dc", "ac", "sweep", "ensemble")
+ANALYSES = ("transient", "wavepipe", "dc", "ac", "sweep", "ensemble", "wtm")
 
 #: Extra keywords each analysis accepts beyond the shared ones.
 _ANALYSIS_EXTRAS = {
     "transient": {"uic", "node_ics", "instrument"},
+    "wtm": {
+        "partitions",
+        "manifest",
+        "mode",
+        "max_outer",
+        "wtm_tol",
+        "relax",
+        "windows",
+        "grid_points",
+        "multirate",
+        "strict",
+        "instrument",
+        "executor",
+    },
     "ensemble": {
         "variants",
         "ensemble",
@@ -127,10 +150,16 @@ class AnalysisRequest:
             )
         if self.threads < 1:
             raise SimulationError("threads must be >= 1")
-        if self.analysis in ("transient", "wavepipe", "sweep", "ensemble"):
+        if self.analysis in ("transient", "wavepipe", "sweep", "ensemble", "wtm"):
             if self.tstop is None or self.tstop <= 0:
                 raise SimulationError(
                     f"{self.analysis!r} analysis requires tstop > 0"
+                )
+        if self.analysis == "wtm":
+            if self.circuit is not None and not hasattr(self.circuit, "components"):
+                raise SimulationError(
+                    "'wtm' analysis requires a raw Circuit (the partitioner "
+                    "cuts the component graph before compilation)"
                 )
         if self.analysis == "ensemble":
             has_variants = self.extras.get("variants") is not None
@@ -485,9 +514,9 @@ def simulate(
             already-compiled circuit (optional for ``sweep`` when a
             ``circuit_factory`` is given).
         analysis: one of ``transient``, ``wavepipe``, ``dc``, ``ac``,
-            ``sweep``, ``ensemble``. Passing ``variants=`` or
+            ``sweep``, ``ensemble``, ``wtm``. Passing ``variants=`` or
             ``ensemble=`` promotes a ``transient`` call to ``ensemble``
-            implicitly.
+            implicitly; passing ``partitions=`` promotes it to ``wtm``.
         tstop / tstep: simulation window and suggested step for the
             time-domain analyses.
         options: :class:`~repro.utils.options.SimOptions`; defaults to
@@ -500,7 +529,9 @@ def simulate(
             (dc), ``source``/``freqs`` (ac), ``parameter``/``values``/
             ``metrics`` (sweep), ``uic``/``node_ics``/``instrument``
             (transient, wavepipe, ensemble), ``variants``/``ensemble``/
-            ``jitter``/``seed`` (ensemble).
+            ``jitter``/``seed`` (ensemble), ``partitions``/``mode``/
+            ``windows``/``relax``/``grid_points``/``strict`` (wtm, where
+            ``scheme`` selects per-partition WavePipe pipelining).
 
     Returns:
         An :class:`AnalysisResult` wrapping the engine's native result,
@@ -510,6 +541,8 @@ def simulate(
         extras.get("variants") is not None or extras.get("ensemble") is not None
     ):
         analysis = "ensemble"
+    if analysis == "transient" and extras.get("partitions") is not None:
+        analysis = "wtm"
     request = AnalysisRequest(
         analysis=analysis,
         circuit=circuit,
@@ -544,6 +577,19 @@ def run_request(request: AnalysisRequest) -> "AnalysisResult | EnsembleResult":
                 },
             )
         )
+    if request.analysis == "wtm":
+        wtm_extras = {k: v for k, v in extras.items() if k != "partitions"}
+        raw = _run_wtm(
+            request.circuit,
+            request.tstop,
+            extras.get("partitions", 2),
+            scheme=request.scheme,
+            threads=request.threads,
+            tstep=request.tstep,
+            options=request.options,
+            **wtm_extras,
+        )
+        return AnalysisResult(analysis="wtm", request=request, raw=raw)
     if request.analysis == "transient":
         raw = _run_transient(
             request.circuit,

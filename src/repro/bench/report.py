@@ -36,6 +36,8 @@ CLAIMS = {
     "table_r11_smoke": "CI smoke subset of Table R11 (two families, 6 variants, 2 workers); same both-clocks win and per-variant accuracy expectations, and its metrics dump feeds the perf gate's ensemble.variants_per_solve benefit channel.",
     "table_r12": "Extension (no paper counterpart): the simulation service — persistent content-hash queue, farm nodes sharing one result cache, stdlib HTTP front end — absorbs a seeded 200-request mixed workload (duplicate submissions, campaign bursts, status polls, rotating tenants) with zero errors, drains completely, and executes each distinct spec exactly once; the counter dump is deterministic and trends the queue dedup rate and per-node completion split in the perf gate.",
     "table_r12_smoke": "CI smoke subset of Table R12 (60 requests, 6 unique specs, 2 in-process nodes); same zero-error drain and exactly-once execution expectations, with service.* counters gated by repro perf diff.",
+    "table_r13": "Extension (no paper counterpart): waveform-transmission domain decomposition composes with per-partition WavePipe pipelining — on a rate-disparate multi-block workload the multirate Gauss-Jacobi run beats the best monolithic virtual-clock cost outright (global step control must run dense everywhere; partitioned quiet blocks stride), the Gauss-Seidel coordinator needs fewer outer sweeps than the naive waveform-relaxation baseline on the same cut, and every headline configuration classifies loose (1e-3) or tighter against the verification-grade monolithic reference.",
+    "table_r13_smoke": "CI smoke subset of Table R13 (multirate jacobi on mixedrate6, seidel on rcblocks6); same beat-the-monolith and beat-the-baseline expectations, with wtm.* counters — wtm.outer_iterations foremost — gated by repro perf diff.",
     "fig_r1": "Speedup grows from exactly 1.0 at one thread and saturates quickly — coarse-grained application-level parallelism, not linear scaling.",
     "fig_r2": "Pipelining covers the same simulated window in fewer stages than the sequential run has points (the speedup mechanism made visible).",
     "fig_r3": "Pipelined waveforms overlay the sequential ones; oscillation frequency matches within a fraction of a percent.",

@@ -1,0 +1,213 @@
+"""Multi-block benchmark circuits for the WTM partition subsystem.
+
+These are the loosely-coupled composites the Waveform Transmission Method
+targets: several self-contained blocks (own supplies, own stimulus, own
+fast internal dynamics) tied together by deliberately weak resistive or
+capacitive bridges. The weak bridges are where
+:func:`repro.partition.partitioner.partition_circuit` places its cuts,
+and the near-unidirectional signal flow across them is what keeps the
+Gauss-Seidel outer iteration count low.
+
+The builders are deterministic pure functions of their arguments — the
+registry wraps fixed configurations, and the seeded verify families in
+:mod:`repro.verify.generators` randomise the parameters.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Pulse, Sin
+from repro.circuits.digital import NMOS, PMOS, add_inverter
+
+
+def bridged_rc_blocks(
+    blocks: int = 3,
+    rungs: int = 4,
+    section_r: float = 1e3,
+    section_c: float = 1e-12,
+    bridge_r: float = 2.5e5,
+    bridge_c: float = 1e-14,
+    amplitude: float = 1.0,
+    period: float = 20e-9,
+    stagger: float = 2e-9,
+    edge: float = 1e-9,
+) -> Circuit:
+    """Chain of RC-ladder blocks joined by weak R ∥ C bridges.
+
+    Every block is an independently pulsed RC ladder (``rungs`` sections
+    of *section_r*/*section_c*); block *k*'s last node couples to block
+    *k+1*'s first node through *bridge_r* in parallel with *bridge_c* —
+    three orders of magnitude weaker than the intra-block couplings, so
+    the partitioner's cut lands there for any partition count up to
+    *blocks*. Pulse delays stagger by *stagger* per block, giving every
+    block its own activity instead of one source trickling through the
+    bridges.
+    """
+    if blocks < 1 or rungs < 1:
+        raise ValueError("bridged_rc_blocks needs blocks >= 1 and rungs >= 1")
+    circuit = Circuit(f"bridged-rc-{blocks}x{rungs}")
+    for b in range(blocks):
+        drive = f"b{b}in"
+        circuit.add_vsource(
+            f"VIN{b}",
+            drive,
+            "0",
+            Pulse(
+                0.0,
+                amplitude,
+                delay=1e-9 + b * stagger,
+                rise=edge,
+                fall=edge,
+                width=0.4 * period,
+                period=period,
+            ),
+        )
+        prev = drive
+        for k in range(rungs):
+            node = f"b{b}n{k}"
+            circuit.add_resistor(f"R{b}_{k}", prev, node, section_r)
+            circuit.add_capacitor(f"C{b}_{k}", node, "0", section_c)
+            prev = node
+        if b > 0:
+            tap = f"b{b - 1}n{rungs - 1}"
+            circuit.add_resistor(f"RBR{b}", tap, f"b{b}n0", bridge_r)
+            if bridge_c > 0:
+                circuit.add_capacitor(f"CBR{b}", tap, f"b{b}n0", bridge_c)
+    return circuit
+
+
+def mixed_rate_blocks(
+    blocks: int = 6,
+    rungs: int = 3,
+    fast_period: float = 2e-9,
+    slow_period: float = 160e-9,
+    section_r: float = 1e3,
+    section_c: float = 1e-12,
+    bridge_r: float = 1e6,
+    edge_frac: float = 0.1,
+) -> Circuit:
+    """Rate-disparate RC blocks: one fast pulsed block, the rest slow.
+
+    Block 0 is driven by a pulse train at *fast_period*; every other
+    block by a gentle sine at *slow_period* (80x slower by default). A
+    monolithic adaptive solver must step at the fast block's rate for
+    the **whole** circuit — its global step control cannot exempt the
+    quiet blocks — so its work scales as (dense steps) x (total size).
+    Partitioned with ``multirate=True``, only block 0 pays dense cost
+    while the slow blocks stride over the same span in a handful of
+    LTE-controlled steps, which is the circuit-axis latency win the
+    waveform-relaxation literature builds on. This is the Table R13
+    workload where WTM beats the monolithic virtual clock outright.
+
+    Unlike :func:`bridged_rc_blocks` the slow blocks' boundary exports
+    are smooth, so free-running block step controllers do not inject
+    sample-placement jitter into the exchange and the outer iteration
+    count stays at the topology's minimum.
+    """
+    if blocks < 2 or rungs < 1:
+        raise ValueError("mixed_rate_blocks needs blocks >= 2 and rungs >= 1")
+    edge = edge_frac * fast_period
+    circuit = Circuit(f"mixed-rate-{blocks}x{rungs}")
+    for b in range(blocks):
+        drive = f"b{b}n0"
+        if b == 0:
+            circuit.add_vsource(
+                "VIN0",
+                drive,
+                "0",
+                Pulse(
+                    0.0,
+                    1.0,
+                    delay=1e-9,
+                    rise=edge,
+                    fall=edge,
+                    width=0.5 * fast_period - edge,
+                    period=fast_period,
+                ),
+            )
+        else:
+            circuit.add_vsource(
+                f"VIN{b}", drive, "0", Sin(0.5, 0.5, freq=1.0 / slow_period)
+            )
+        for k in range(rungs):
+            circuit.add_resistor(
+                f"R{b}_{k}", f"b{b}n{k}", f"b{b}n{k + 1}", section_r
+            )
+            circuit.add_capacitor(f"C{b}_{k}", f"b{b}n{k + 1}", "0", section_c)
+    for b in range(1, blocks):
+        circuit.add_resistor(
+            f"RBR{b}", f"b{b - 1}n{rungs}", f"b{b}n{rungs}", bridge_r
+        )
+    return circuit
+
+
+def coupled_inverter_chains(
+    blocks: int = 3,
+    stages: int = 4,
+    vdd: float = 3.0,
+    load_cap: float = 2e-13,
+    coupling_r: float = 5e4,
+    coupling_c: float = 1e-14,
+    period: float = 20e-9,
+    edge: float = 1e-9,
+    drive: str = "pulse",
+) -> Circuit:
+    """CMOS inverter-chain blocks with weak resistive inter-block links.
+
+    Each block is a *stages*-long inverter chain on its **own** supply
+    node (``vdd<k>``) — a shared rail would weld every block into one
+    partition through the MOSFET device cliques. Block 0 is pulse-driven;
+    each later block's input hangs off the previous block's output
+    through *coupling_r* with *coupling_c* of input loading, an RC weak
+    link the partitioner can cut. Signal flow across the links is
+    unidirectional (a MOS gate draws no DC current), the WTM best case.
+
+    The default loads are deliberately heavy (*load_cap* = 200 fF) and
+    the drive edges soft (1 ns): sub-grid switching edges are where both
+    the sampled boundary exchange and pointwise waveform comparison
+    degrade into measuring edge-timing jitter instead of solver
+    agreement — the same reason the verify generators drive their MOSFET
+    chains sinusoidally.
+
+    *drive* selects the block-0 stimulus: ``"pulse"`` (default, the
+    benchmark workload) or ``"sin"`` — a rail-to-rail sine at
+    ``1/period``. The fuzz families use the sine form because a pulse
+    makes ``i(VIN)`` a spike train riding the edges, whose pointwise
+    comparison measures grid alignment rather than solver agreement.
+    """
+    if blocks < 1 or stages < 1:
+        raise ValueError(
+            "coupled_inverter_chains needs blocks >= 1 and stages >= 1"
+        )
+    if drive not in ("pulse", "sin"):
+        raise ValueError(f"unknown drive {drive!r}: expected 'pulse' or 'sin'")
+    circuit = Circuit(f"coupled-inverters-{blocks}x{stages}")
+    for b in range(blocks):
+        rail = f"vdd{b}"
+        circuit.add_vsource(f"VDD{b}", rail, "0", vdd)
+        drive_node = f"b{b}g0"
+        if b == 0:
+            if drive == "sin":
+                stimulus = Sin(0.5 * vdd, 0.5 * vdd, freq=1.0 / period)
+            else:
+                stimulus = Pulse(
+                    0.0,
+                    vdd,
+                    delay=1e-9,
+                    rise=edge,
+                    fall=edge,
+                    width=0.4 * period,
+                    period=period,
+                )
+            circuit.add_vsource("VIN", drive_node, "0", stimulus)
+        else:
+            tap = f"b{b - 1}g{stages}"
+            circuit.add_resistor(f"RLINK{b}", tap, drive_node, coupling_r)
+            circuit.add_capacitor(f"CLINK{b}", drive_node, "0", coupling_c)
+        for s in range(stages):
+            vin, vout = f"b{b}g{s}", f"b{b}g{s + 1}"
+            add_inverter(
+                circuit, f"{b}_{s}", vin, vout, vdd=rail, nmos=NMOS, pmos=PMOS
+            )
+            circuit.add_capacitor(f"CL{b}_{s}", vout, "0", load_cap)
+    return circuit

@@ -14,6 +14,11 @@ from repro.circuit.circuit import Circuit
 from repro.circuits.analog import gilbert_mixer, lc_oscillator, rectifier
 from repro.circuits.digital import inverter_chain, nand_chain, ring_oscillator
 from repro.circuits.interconnect import rc_grid, rc_ladder, rlc_line
+from repro.circuits.multiblock import (
+    bridged_rc_blocks,
+    coupled_inverter_chains,
+    mixed_rate_blocks,
+)
 from repro.utils.options import SimOptions
 
 
@@ -151,6 +156,46 @@ _register(
         tstop=60e-6,
         signals=("v(dcp)",),
         description="Full-wave diode bridge rectifier with RC load",
+    )
+)
+_register(
+    Benchmark(
+        name="rcblocks3",
+        kind="interconnect",
+        factory=lambda: bridged_rc_blocks(blocks=3, rungs=4),
+        tstop=40e-9,
+        signals=("v(b0n3)", "v(b1n3)", "v(b2n3)"),
+        description="3 pulsed RC-ladder blocks joined by weak R||C bridges",
+    )
+)
+_register(
+    Benchmark(
+        name="invblocks3",
+        kind="digital",
+        factory=lambda: coupled_inverter_chains(blocks=3, stages=4),
+        tstop=30e-9,
+        signals=("v(b0g4)", "v(b1g4)", "v(b2g4)"),
+        description="3 CMOS inverter-chain blocks with weak resistive links",
+    )
+)
+_register(
+    Benchmark(
+        name="rcblocks6",
+        kind="interconnect",
+        factory=lambda: bridged_rc_blocks(blocks=6, rungs=3),
+        tstop=40e-9,
+        signals=("v(b0n2)", "v(b3n2)", "v(b5n2)"),
+        description="6 staggered pulsed RC-ladder blocks in a deep weak-bridge chain",
+    )
+)
+_register(
+    Benchmark(
+        name="mixedrate6",
+        kind="interconnect",
+        factory=lambda: mixed_rate_blocks(blocks=6, rungs=3),
+        tstop=40e-9,
+        signals=("v(b0n3)", "v(b3n3)", "v(b5n3)"),
+        description="1 fast-pulsed + 5 slow RC blocks, weak bridges (multirate)",
     )
 )
 

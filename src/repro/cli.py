@@ -98,6 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline runtime (serial = deterministic reference)",
     )
     parser.add_argument(
+        "--partitions", type=int, metavar="N",
+        help="run the transient with the waveform transmission method, "
+        "cutting the circuit into N weakly-coupled partitions "
+        "(--wavepipe then pipelines each partition solve)",
+    )
+    parser.add_argument(
+        "--wtm-mode",
+        choices=["jacobi", "seidel"],
+        default="seidel",
+        help="WTM outer iteration: jacobi (concurrent) or seidel "
+        "(in-sweep updates, fewer iterations)",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=1, metavar="W",
+        help="split the WTM run into W time windows iterated in sequence",
+    )
+    parser.add_argument(
         "--ensemble", type=int, metavar="K",
         help="run the transient as a K-variant parameter-jittered ensemble "
         "(one lockstep solve; see --jitter/--seed)",
@@ -1197,7 +1214,28 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
                 )
             )
         ensemble = None
-        if args.wavepipe:
+        wtm = None
+        if args.partitions:
+            report = None
+            # WTM partitions the raw netlist circuit before compilation;
+            # --wavepipe here selects the per-partition pipelining scheme
+            # rather than a monolithic pipelined run.
+            wtm = simulate(
+                netlist.circuit,
+                analysis="wtm",
+                tstop=command.tstop,
+                tstep=command.tstep,
+                options=netlist.options,
+                scheme=args.wavepipe,
+                threads=args.threads,
+                executor=args.executor,
+                instrument=recorder,
+                partitions=args.partitions,
+                mode=args.wtm_mode,
+                windows=args.windows,
+            )
+            result = wtm
+        elif args.wavepipe:
             report = compare_with_sequential(
                 compiled,
                 command.tstop,
@@ -1236,6 +1274,16 @@ def _print_tran(compiled, netlist, command: TranCommand, args) -> None:
             )
     if report is not None:
         print(f"* wavepipe {report.summary()}")
+    elif wtm is not None:
+        raw = wtm.raw
+        state = "converged" if raw.converged else "NOT CONVERGED"
+        scheme_note = f", {args.wavepipe} pipelining" if args.wavepipe else ""
+        print(
+            f"* wtm: {raw.partitions} partitions ({raw.mode}{scheme_note}), "
+            f"{raw.outer_iterations} outer iterations over {raw.windows} "
+            f"window(s), {state}; virtual work "
+            f"{raw.stats.virtual_total:.0f} vs serial {raw.stats.serial_total:.0f}"
+        )
     elif ensemble is not None:
         print(
             f"* ensemble: {ensemble.sims} variants in lockstep, "

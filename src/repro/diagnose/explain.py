@@ -42,6 +42,8 @@ from repro.instrument.events import (
     STAGE_TASK,
     STEP_ACCEPT,
     TIMESTEP,
+    WTM_OUTER_ITER,
+    WTM_PARTITION,
     OUTCOME_ACCEPTED,
     OUTCOME_LTE_REJECT,
     OUTCOME_NEWTON_FAIL,
@@ -137,6 +139,53 @@ def _critical_path(tree, events) -> dict:
             "slowest_jobs": slowest,
             "critical_job": slowest[0]["label"] if slowest else None,
             "critical_lane": ranked[0].lane if ranked else None,
+        }
+
+    # WTM traces must be recognised before the stage scan: each partition
+    # solve nests its own stage_run spans, and folding those per lane
+    # would attribute the run to the partitions' *internal* pipelines
+    # instead of the outer Gauss-Jacobi/Seidel sweeps. Here every outer
+    # iteration is bounded by its costliest partition solve (exactly the
+    # virtual-clock rule the coordinator books for a jacobi stage; for
+    # seidel it names the dominant partition of each serial sweep).
+    outer_iters = [n for n in tree.walk() if n.name == WTM_OUTER_ITER]
+    partition_nodes = [
+        c for n in outer_iters for c in n.children if c.name == WTM_PARTITION
+    ]
+    if partition_nodes:
+        lanes: dict[int, dict] = {}
+        total = 0.0
+        for sweep in outer_iters:
+            parts = [c for c in sweep.children if c.name == WTM_PARTITION]
+            if not parts:
+                continue
+            # ties break toward the lowest partition index for stability
+            bounding = max(
+                parts,
+                key=lambda n: (n.cost, -int(n.attrs.get("partition", 0))),
+            )
+            index = int(bounding.attrs.get("partition", 0))
+            entry = lanes.setdefault(
+                index,
+                {"lane": index, "stages_bounded": 0, "bounding_cost": 0.0},
+            )
+            entry["stages_bounded"] += 1
+            entry["bounding_cost"] += bounding.cost
+            total += bounding.cost
+        ranked = sorted(
+            lanes.values(), key=lambda e: (-e["bounding_cost"], e["lane"])
+        )
+        for entry in ranked:
+            entry["share"] = _round(
+                entry["bounding_cost"] / total if total > 0 else 0.0
+            )
+        return {
+            "kind": "wtm",
+            "stages": len(outer_iters),
+            "partitions": len(lanes),
+            "bounding_cost_total": total,
+            "lanes": ranked,
+            "critical_lane": ranked[0]["lane"] if ranked else None,
         }
 
     stage_nodes = [n for n in tree.walk() if n.name == STAGE_RUN]
@@ -347,6 +396,10 @@ _REPORT_COUNTERS = (
     "jobs.completed",
     "jobs.failed",
     "jobs.cache_hits",
+    "wtm.outer_iterations",
+    "wtm.partition_solves",
+    "wtm.converged",
+    "wtm.not_converged",
 )
 
 
@@ -430,6 +483,21 @@ def render_text(report: ExplainReport) -> str:
             )
         if cp.get("critical_job"):
             lines.append(f"  bounded by job {cp['critical_job']!r}")
+    elif kind == "wtm":
+        lines.append(
+            f"  {cp.get('stages', 0)} WTM outer sweeps over "
+            f"{cp.get('partitions', 0)} partition(s), bounding cost "
+            f"{_fmt_units(cp.get('bounding_cost_total', 0.0))} wu"
+        )
+        for entry in cp.get("lanes", [])[:6]:
+            lines.append(
+                f"  partition {entry['lane']}: bounded "
+                f"{entry['stages_bounded']} sweep(s), "
+                f"{_fmt_units(entry['bounding_cost'])} wu "
+                f"({entry['share']:.0%} of the critical path)"
+            )
+        if cp.get("critical_lane") is not None:
+            lines.append(f"  bounded by partition {cp['critical_lane']}")
     else:
         label = "pipeline stages" if kind == "pipeline" else "sequential steps"
         lines.append(

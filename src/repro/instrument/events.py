@@ -65,6 +65,21 @@ CAMPAIGN_RUN = "campaign_run"
 #: One attempted timepoint in the sequential transient loop (span).
 TIMESTEP = "timestep"
 
+#: One whole WTM (waveform-transmission) partitioned transient (span).
+#: Emitted by :func:`repro.partition.coordinator.run_wtm`.
+WTM_RUN = "wtm_run"
+
+#: One WTM time window iterated to convergence (span, child of wtm_run).
+WTM_WINDOW = "wtm_window"
+
+#: One Gauss-Jacobi/Seidel outer iteration (span, child of wtm_window).
+WTM_OUTER_ITER = "wtm_outer_iter"
+
+#: One per-partition transient solve inside an outer iteration (span,
+#: child of wtm_outer_iter; ``attrs["partition"]`` carries the partition
+#: index — lanes stay at 0 because nested engine spans inherit them).
+WTM_PARTITION = "wtm_partition"
+
 #: Synthesized solver-phase spans nested inside a ``newton_solve`` span.
 #: Their costs come from the virtual-clock work model (see
 #: :func:`repro.solver.newton.iteration_work`), laid back-to-back inside

@@ -54,6 +54,10 @@ BENEFIT_CHANNELS = frozenset(
         # Fewer variants amortised per lockstep solve means the ensemble
         # backend stopped batching same-topology jobs together.
         "ensemble.variants_per_solve",
+        # Deliberately NOT listed: wtm.outer_iterations. The default
+        # direction is the right one — more outer sweeps for the same
+        # Table R13 workloads means the boundary exchange stopped
+        # contracting (a convergence regression), so it gates on increase.
     }
 )
 

@@ -1,0 +1,47 @@
+"""Waveform-transmission domain decomposition (the circuit parallel axis).
+
+WavePipe pipelines a single shared-matrix transient along the *time*
+axis; this package adds the *circuit* axis: a deterministic weak-coupling
+partitioner (:mod:`~repro.partition.partitioner`), boundary waveform
+exchange (:mod:`~repro.partition.boundary`), and a Gauss-Jacobi/Seidel
+WTM coordinator (:mod:`~repro.partition.coordinator`) whose per-partition
+solves can themselves be WavePipe-pipelined — both axes at once, costed
+on the shared virtual clock. :mod:`~repro.partition.checks` classifies
+converged runs against the monolithic reference on the oracle's
+tolerance ladder.
+"""
+
+from repro.partition.boundary import (
+    BOUNDARY_SOURCE_PREFIX,
+    BoundarySource,
+    BoundaryWaveform,
+    build_partition_circuit,
+)
+from repro.partition.checks import WtmAgreement, wtm_vs_monolithic
+from repro.partition.coordinator import WtmResult, WtmStats, run_wtm
+from repro.partition.partitioner import (
+    CutEdge,
+    PartitionManifest,
+    PartitionSpec,
+    coupling_edges,
+    manifest_from_node_sets,
+    partition_circuit,
+)
+
+__all__ = [
+    "BOUNDARY_SOURCE_PREFIX",
+    "BoundarySource",
+    "BoundaryWaveform",
+    "CutEdge",
+    "PartitionManifest",
+    "PartitionSpec",
+    "WtmAgreement",
+    "WtmResult",
+    "WtmStats",
+    "build_partition_circuit",
+    "coupling_edges",
+    "manifest_from_node_sets",
+    "partition_circuit",
+    "run_wtm",
+    "wtm_vs_monolithic",
+]

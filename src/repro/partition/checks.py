@@ -1,0 +1,107 @@
+"""WTM-vs-monolithic agreement check on the oracle tolerance ladder.
+
+The differential oracle in :mod:`repro.verify.oracle` compares engine
+*configurations* of the same monolithic solve; this module applies the
+same ladder to a genuinely different numerical method — the partitioned
+WTM fixed point against the verification-grade monolithic sequential
+reference. A converged WTM run on a well-cut circuit should classify at
+``loose`` (1e-3) or tighter; a non-converged run is reported as such and
+never silently classified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.circuit import Circuit
+from repro.engine.transient import run_transient
+from repro.partition.coordinator import WtmResult, run_wtm
+from repro.utils.options import SimOptions
+from repro.verify.oracle import MIN_GRID_POINTS, VERIFY_RELTOL, classify_tier
+from repro.waveform.waveform import Deviation, compare, worst_deviation
+
+
+@dataclass(frozen=True)
+class WtmAgreement:
+    """One WTM-vs-monolithic comparison.
+
+    Attributes:
+        tier: tolerance-ladder rung of the worst deviation, or
+            ``"not_converged"`` when the WTM run failed to converge
+            (deviations are still reported for diagnosis, but the run
+            must not be classified as agreeing).
+        converged: the WTM run's convergence flag.
+        worst: largest relative deviation across shared node voltages.
+        deviations: per-signal deviation records.
+        wtm: the WTM result (``strict=False`` — inspectable either way).
+        reference_work: the monolithic reference's serial work units.
+    """
+
+    tier: str
+    converged: bool
+    worst: float
+    deviations: tuple[Deviation, ...]
+    wtm: WtmResult
+    reference_work: float
+
+    @property
+    def ok(self) -> bool:
+        """Converged and classified at ``loose`` (1e-3) or tighter."""
+        return self.converged and self.worst <= 1e-3
+
+
+def wtm_vs_monolithic(
+    circuit: Circuit,
+    tstop: float,
+    partitions: int = 2,
+    *,
+    options: SimOptions | None = None,
+    **wtm_kwargs,
+) -> WtmAgreement:
+    """Run WTM and the monolithic reference; classify their agreement.
+
+    The reference is the sequential engine at verification-grade
+    tolerances (reltol tightened to :data:`VERIFY_RELTOL`, step capped
+    well below the oracle's ``tstop / MIN_GRID_POINTS`` — see the inline
+    note on interpolation chord error). Extra keyword
+    arguments pass through to :func:`~repro.partition.coordinator.run_wtm`
+    (``strict`` is forced off: non-convergence is reported via ``tier``,
+    not an exception).
+    """
+    base = options or SimOptions()
+    if base.reltol > VERIFY_RELTOL:
+        base = base.replace(reltol=VERIFY_RELTOL)
+    # Both runs are LTE-accurate at their own accepted points; what the
+    # comparison actually sees between points is piecewise-linear
+    # interpolation, whose chord error at waveform corners scales as
+    # dt^2 * v''. Loose-tier (1e-3) classification therefore needs a
+    # denser reference step cap and exchange grid than the oracle's
+    # config-vs-config comparisons (which accept the lte rung).
+    max_step = tstop / (4 * MIN_GRID_POINTS)
+    if base.max_step is None or base.max_step > max_step:
+        base = base.replace(max_step=max_step)
+
+    wtm_kwargs.setdefault("grid_points", 8 * MIN_GRID_POINTS)
+    wtm = run_wtm(
+        circuit,
+        tstop,
+        partitions,
+        options=base,
+        strict=False,
+        **wtm_kwargs,
+    )
+    reference = run_transient(circuit, tstop, options=base)
+
+    names = [f"v({node})" for node in circuit.nodes()]
+    deviations = compare(reference.waveforms, wtm.waveforms, names=names)
+    worst = worst_deviation(deviations)
+    worst_rel = worst.max_relative if worst is not None else 0.0
+    tier = classify_tier(worst_rel) if wtm.converged else "not_converged"
+    return WtmAgreement(
+        tier=tier,
+        converged=wtm.converged,
+        worst=worst_rel,
+        deviations=tuple(deviations),
+        wtm=wtm,
+        reference_work=reference.stats.total_work,
+    )

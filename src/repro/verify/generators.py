@@ -370,12 +370,69 @@ def _gen_bjt_follower(rng) -> GeneratedCircuit:
     )
 
 
+def _gen_bridged_rc_mesh(rng) -> GeneratedCircuit:
+    """Weakly-bridged multi-block RC composite (the WTM target workload)."""
+    from repro.circuits.multiblock import bridged_rc_blocks
+
+    blocks = int(rng.integers(2, 4))
+    rungs = int(rng.integers(2, 5))
+    section_r = float(rng.uniform(500.0, 2e3))
+    section_c = float(rng.uniform(0.5e-12, 2e-12))
+    period = max(20e-9, 10.0 * rungs * section_r * section_c)
+    circuit = bridged_rc_blocks(
+        blocks=blocks,
+        rungs=rungs,
+        section_r=section_r,
+        section_c=section_c,
+        bridge_r=float(rng.uniform(1e5, 1e6)),
+        bridge_c=float(rng.uniform(0.0, 2e-14)),
+        amplitude=float(rng.uniform(0.5, 2.0)),
+        period=period,
+        stagger=float(rng.uniform(0.0, 0.2)) * period,
+        # Soft edges relative to the network taus: sub-tau pulse corners
+        # push the speculative wavepipe schemes past their lte rung.
+        edge=0.05 * period,
+    )
+    return GeneratedCircuit(
+        family="bridged-rc-mesh", circuit=circuit, tstop=2.0 * period
+    )
+
+
+def _gen_inverter_composite(rng) -> GeneratedCircuit:
+    """Inverter-chain blocks with weak resistive inter-block couplings.
+
+    Heavily loaded on purpose: see
+    :func:`repro.circuits.multiblock.coupled_inverter_chains` for why
+    steep sub-grid switching edges would turn every waveform comparison
+    into an edge-timing-jitter measurement.
+    """
+    from repro.circuits.multiblock import coupled_inverter_chains
+
+    blocks = int(rng.integers(2, 4))
+    stages = int(rng.integers(2, 4))
+    circuit = coupled_inverter_chains(
+        blocks=blocks,
+        stages=stages,
+        vdd=float(rng.uniform(2.5, 3.5)),
+        load_cap=float(rng.uniform(1e-13, 3e-13)),
+        coupling_r=float(rng.uniform(2e4, 1e5)),
+        coupling_c=float(rng.uniform(0.5e-14, 2e-14)),
+        drive="sin",
+    )
+    tstop = (10.0 + 4.0 * blocks * stages) * 1e-9
+    return GeneratedCircuit(
+        family="inverter-composite", circuit=circuit, tstop=tstop, linear=False
+    )
+
+
 #: Family name -> builder(rng) -> GeneratedCircuit. Sorted iteration order
 #: is part of the determinism contract (draw_circuit indexes into it).
 FAMILIES = {
     "bjt-follower": _gen_bjt_follower,
+    "bridged-rc-mesh": _gen_bridged_rc_mesh,
     "diode-clipper": _gen_diode_clipper,
     "diode-mesh": _gen_diode_mesh,
+    "inverter-composite": _gen_inverter_composite,
     "mosfet-chain": _gen_mosfet_chain,
     "rc-ladder": _gen_rc_ladder,
     "rc-mesh": _gen_rc_mesh,

@@ -124,7 +124,9 @@ class TestRequestValidation:
             simulate(_rc(), analysis="wavepipe", tstop=1e-6, threads=0)
 
     def test_analyses_tuple_is_complete(self):
-        assert ANALYSES == ("transient", "wavepipe", "dc", "ac", "sweep", "ensemble")
+        assert ANALYSES == (
+            "transient", "wavepipe", "dc", "ac", "sweep", "ensemble", "wtm"
+        )
 
 
 class TestDeprecatedShims:

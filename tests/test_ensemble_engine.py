@@ -24,13 +24,17 @@ from repro.verify.generators import draw_circuit
 from repro.verify.oracle import classify_tier
 from repro.waveform.waveform import compare, worst_deviation
 
-#: One seed per verify family (same map as the Table R11 bench).
+#: One seed per covered verify family (same map as the Table R11 bench).
+#: The multi-block WTM families (bridged-rc-mesh, inverter-composite) are
+#: deliberately absent: their verification story is the partition oracle
+#: in test_wtm_oracle.py, not the shared-grid ensemble, whose pointwise
+#: comparison degenerates into edge-timing jitter on switching blocks.
 FAMILY_SEEDS = {
-    "diode-clipper": 11,
-    "mosfet-chain": 303,
+    "diode-clipper": 38,
+    "mosfet-chain": 16,
     "bjt-follower": 42,
     "rlc-ladder": 7,
-    "rc-ladder": 19,
+    "rc-ladder": 5,
     "resistive-sin": 3,
     "diode-mesh": 101,
 }

@@ -1,0 +1,183 @@
+"""Deterministic weak-coupling partitioner over Circuit.
+
+The partitioner's contract: cuts land on the weakest couplings the
+circuit offers (high-R bridges, small coupling caps), device node
+cliques are never severed, the boundary interface names exactly who
+owns and who consumes each shared node, and the whole manifest is a
+pure function of the circuit — byte-identical JSON on every call.
+"""
+
+import pytest
+
+from repro.circuit.circuit import Circuit
+from repro.circuit.sources import Pulse
+from repro.circuits.multiblock import (
+    bridged_rc_blocks,
+    coupled_inverter_chains,
+    mixed_rate_blocks,
+)
+from repro.errors import SimulationError
+from repro.partition import (
+    PartitionManifest,
+    coupling_edges,
+    manifest_from_node_sets,
+    partition_circuit,
+)
+from repro.partition.partitioner import DEVICE_WEIGHT, coupling_weight
+
+
+def two_block_bridge(bridge_r=2e5) -> Circuit:
+    """Two RC sections joined by one weak bridge resistor."""
+    c = Circuit("two-block-bridge")
+    c.add_vsource("V1", "a0", "0", Pulse(0.0, 1.0, delay=1e-9, rise=1e-9,
+                                         fall=1e-9, width=8e-9, period=20e-9))
+    c.add_resistor("R1", "a0", "a1", 1e3)
+    c.add_capacitor("C1", "a1", "0", 1e-12)
+    c.add_resistor("RBR", "a1", "b0", bridge_r)
+    c.add_resistor("R2", "b0", "b1", 1e3)
+    c.add_capacitor("C2", "b1", "0", 1e-12)
+    return c
+
+
+class TestWeakCouplingCuts:
+    def test_cut_lands_on_the_bridge(self):
+        manifest = partition_circuit(two_block_bridge(), 2)
+        assert len(manifest) == 2
+        (cut,) = manifest.cuts
+        assert cut.components == ("RBR",)
+        assert {cut.a, cut.b} == {"a1", "b0"}
+
+    def test_blocks_stay_whole(self):
+        manifest = partition_circuit(two_block_bridge(), 2)
+        nodes = [set(spec.nodes) for spec in manifest.partitions]
+        assert nodes == [{"a0", "a1"}, {"b0", "b1"}]
+
+    @pytest.mark.parametrize("blocks", [2, 3, 6])
+    def test_bridged_rc_blocks_split_at_every_bridge(self, blocks):
+        circuit = bridged_rc_blocks(blocks=blocks, rungs=3)
+        manifest = partition_circuit(circuit, blocks)
+        assert len(manifest) == blocks
+        for cut in manifest.cuts:
+            assert all(name.startswith(("RBR", "CBR")) for name in cut.components)
+
+    def test_mixed_rate_blocks_split_at_bridges(self):
+        manifest = partition_circuit(mixed_rate_blocks(blocks=4, rungs=2), 4)
+        assert [len(spec.nodes) for spec in manifest.partitions] == [3, 3, 3, 3]
+
+    def test_coarser_than_natural_blocks(self):
+        # Asking for fewer partitions than blocks merges across the
+        # *strongest* bridges first, still cutting only weak couplings.
+        manifest = partition_circuit(bridged_rc_blocks(blocks=4, rungs=2), 2)
+        assert len(manifest) == 2
+        for cut in manifest.cuts:
+            assert cut.weight < DEVICE_WEIGHT
+
+
+class TestDeviceCliquesNeverCut:
+    def test_inverter_chains_cut_only_the_links(self):
+        circuit = coupled_inverter_chains(blocks=3, stages=2)
+        manifest = partition_circuit(circuit, 3)
+        for cut in manifest.cuts:
+            assert all(name.startswith(("RLINK", "CLINK")) for name in cut.components)
+
+    def test_refuses_to_cut_through_a_device(self):
+        # 4 partitions over 3 inverter blocks would have to sever a
+        # MOSFET clique or a supply branch.
+        circuit = coupled_inverter_chains(blocks=3, stages=2)
+        with pytest.raises(SimulationError, match="device/branch coupling"):
+            partition_circuit(circuit, 4)
+
+    def test_allow_strong_cuts_overrides(self):
+        circuit = coupled_inverter_chains(blocks=3, stages=2)
+        manifest = partition_circuit(circuit, 4, allow_strong_cuts=True)
+        assert len(manifest) == 4
+
+
+class TestDeterminism:
+    def test_manifest_json_is_byte_identical_across_builds(self):
+        a = partition_circuit(bridged_rc_blocks(blocks=3, rungs=4), 3)
+        b = partition_circuit(bridged_rc_blocks(blocks=3, rungs=4), 3)
+        assert a.to_json() == b.to_json()
+
+    def test_roundtrip_through_dict_is_stable(self):
+        manifest = partition_circuit(two_block_bridge(), 2)
+        d = manifest.to_dict()
+        assert d["requested"] == 2
+        assert [p["index"] for p in d["partitions"]] == [0, 1]
+        assert isinstance(manifest, PartitionManifest)
+
+
+class TestBoundaryInterface:
+    def test_owner_and_consumers(self):
+        manifest = partition_circuit(two_block_bridge(), 2)
+        by_node = {spec.node: spec for spec in manifest.boundary}
+        # both bridge endpoints are shared: each side consumes the other's
+        assert by_node["a1"].owner == 0 and by_node["a1"].consumers == (1,)
+        assert by_node["b0"].owner == 1 and by_node["b0"].consumers == (0,)
+        assert manifest.foreign_nodes(0) == ("b0",)
+        assert manifest.foreign_nodes(1) == ("a1",)
+        assert manifest.owner_of("a0") == 0
+        with pytest.raises(KeyError):
+            manifest.owner_of("nope")
+
+
+class TestValidation:
+    def test_partition_count_bounds(self):
+        with pytest.raises(SimulationError, match=">= 1"):
+            partition_circuit(two_block_bridge(), 0)
+        with pytest.raises(SimulationError, match="cannot split"):
+            partition_circuit(two_block_bridge(), 99)
+
+    def test_disconnected_halves_cannot_merge(self):
+        c = Circuit("disconnected")
+        c.add_vsource("V1", "a", "0", 1.0)
+        c.add_resistor("R1", "a", "b", 1e3)
+        c.add_vsource("V2", "x", "0", 1.0)
+        c.add_resistor("R2", "x", "y", 1e3)
+        with pytest.raises(SimulationError, match="connectivity supports"):
+            partition_circuit(c, 1)
+
+
+class TestExplicitNodeSets:
+    def test_matches_partitioner_on_the_natural_cut(self):
+        circuit = two_block_bridge()
+        auto = partition_circuit(circuit, 2)
+        manual = manifest_from_node_sets(
+            circuit, [{"a0", "a1"}, {"b0", "b1"}]
+        )
+        assert [s.nodes for s in manual.partitions] == [
+            s.nodes for s in auto.partitions
+        ]
+        assert manual.boundary == auto.boundary
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(SimulationError, match="two partitions"):
+            manifest_from_node_sets(
+                two_block_bridge(), [{"a0", "a1"}, {"a1", "b0", "b1"}]
+            )
+
+    def test_missing_node_rejected(self):
+        with pytest.raises(SimulationError, match="misses node"):
+            manifest_from_node_sets(two_block_bridge(), [{"a0", "a1"}, {"b0"}])
+
+
+class TestCouplingWeights:
+    def test_resistor_weight_is_conductance(self):
+        c = two_block_bridge(bridge_r=1e6)
+        edges = coupling_edges(c)
+        assert edges[("a1", "b0")]["weight"] == pytest.approx(1e-6)
+
+    def test_parallel_couplings_sum(self):
+        c = two_block_bridge()
+        c.add_capacitor("CBR", "a1", "b0", 1e-14)
+        edges = coupling_edges(c)
+        assert edges[("a1", "b0")]["components"] == ["RBR", "CBR"]
+        assert edges[("a1", "b0")]["weight"] == pytest.approx(
+            1.0 / 2e5 + 1e-14 / 1e-9
+        )
+
+    def test_device_weight_for_branch_components(self):
+        c = Circuit("branch")
+        c.add_inductor("L1", "a", "b", 1e-9)
+        (comp,) = c.components
+        assert coupling_weight(comp) == DEVICE_WEIGHT
