@@ -434,6 +434,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_node(argv[1:])
     if argv[:1] == ["submit"]:
         return _run_submit(argv[1:])
+    if argv[:1] == ["trace"]:
+        return _run_trace(argv[1:])
     if argv[:1] == ["loadgen"]:
         return _run_loadgen(argv[1:])
     args = build_parser().parse_args(argv)
@@ -759,6 +761,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--lease", type=float, default=30.0,
         help="lease seconds per claim (default 30)",
     )
+    parser.add_argument(
+        "--request-log", metavar="FILE", default=None,
+        help="append one structured JSON line per HTTP request (route, "
+        "tenant, status, duration_ms, trace_id)",
+    )
     return parser
 
 
@@ -786,6 +793,7 @@ def _run_serve(argv: list[str]) -> int:
             node_workers=args.node_workers,
             batch=args.batch,
             lease_seconds=args.lease,
+            request_log=args.request_log,
         ).start()
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -848,7 +856,10 @@ def _run_node(argv: list[str]) -> int:
         from repro.jobs.ensemble import EnsembleBackend
 
         backend = EnsembleBackend(max_group=args.ensemble)
-    recorder = Recorder(capture_events=False) if args.metrics else None
+    # Always instrument the node: with a live recorder the scheduler asks
+    # workers for telemetry snapshots, which is what puts engine spans
+    # into the per-job trace records (--metrics only controls printing).
+    recorder = Recorder(capture_events=False)
     try:
         total = run_node(
             args.root,
@@ -866,10 +877,52 @@ def _run_node(argv: list[str]) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(f"* node settled after claiming {total} job(s)")
-    if recorder is not None:
+    if args.metrics:
         for name in sorted(recorder.counters):
             if name.startswith(("service.", "jobs.")):
                 print(f"  {name} = {recorder.counters[name]:g}")
+    return 0
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Fetch a campaign's stitched cross-node trace from a "
+        "running `repro serve` instance (GET /trace/<campaign>) as a "
+        "repro-trace-v1 JSONL dump that `repro explain` consumes",
+    )
+    parser.add_argument("--url", required=True, help="service base URL")
+    parser.add_argument("cid", help="campaign id (from the submit receipt)")
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSONL dump here (default: print to stdout)",
+    )
+    return parser
+
+
+def _run_trace(argv: list[str]) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    args = build_trace_parser().parse_args(argv)
+    client = ServiceClient(args.url)
+    try:
+        body = client.trace(args.cid)
+    except ServiceError as exc:
+        if exc.status == 404:
+            print(f"error: unknown campaign {args.cid!r}", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(body)
+        lines = body.count("\n")
+        print(f"* trace written to {args.out} ({lines} record(s))")
+    else:
+        print(body, end="")
     return 0
 
 
@@ -999,6 +1052,8 @@ def _run_submit(argv: list[str]) -> int:
                 f"* campaign {receipt['id']}: {len(receipt['jobs'])} job(s), "
                 f"{receipt['submitted']} new, {receipt['deduped']} deduped"
             )
+            if receipt.get("trace_id"):
+                print(f"* trace id {receipt['trace_id']}")
     except Backpressure as exc:
         print(
             f"error: backpressure (429): {exc} "

@@ -37,6 +37,12 @@ from repro.instrument.events import (
     PHASE_BACKSOLVE,
     PHASE_DEVICE_EVAL,
     PHASE_FACTOR,
+    QUEUE_WAIT,
+    RESULT_UPLOAD,
+    SERVICE_DEDUP,
+    SERVICE_JOB,
+    SERVICE_REQUEST,
+    SERVICE_SOLVE,
     SPECULATE,
     STAGE_RUN,
     STAGE_TASK,
@@ -114,8 +120,94 @@ def _round(value: float) -> float:
     return round(float(value), 9)
 
 
+#: Stitched service tiers in request-lifecycle order (queue wait, solve,
+#: result upload); the order also breaks cost ties deterministically.
+SERVICE_TIERS = (QUEUE_WAIT, SERVICE_SOLVE, RESULT_UPLOAD)
+
+
+def _service_path(tree) -> dict | None:
+    """Cross-node request breakdown for a stitched service trace.
+
+    Service traces are the one tier where the costs are wall-clock
+    **seconds** (the stitcher's choice: request latency has no
+    virtual-clock answer). Worker snapshots re-parented beneath each
+    ``service_solve`` still carry ``job_run`` spans, so this check must
+    run before the campaign scan or a farm trace would be misread as a
+    plain campaign.
+    """
+    requests = [n for n in tree.walk() if n.name == SERVICE_REQUEST]
+    if not requests:
+        return None
+    tiers = {name: {"count": 0, "cost": 0.0} for name in SERVICE_TIERS}
+    tenants: dict[str, dict] = {}
+    jobs = []
+    dedup_served = 0
+    for request in requests:
+        tenant = str(request.attrs.get("tenant", "default"))
+        entry = tenants.setdefault(
+            tenant, {"requests": 0, "jobs": 0, "cost": 0.0}
+        )
+        entry["requests"] += 1
+        for job in request.children:
+            if job.name != SERVICE_JOB:
+                continue
+            jobs.append(job)
+            entry["jobs"] += 1
+            entry["cost"] += job.cost
+            for child in job.children:
+                if child.name in tiers:
+                    tiers[child.name]["count"] += 1
+                    tiers[child.name]["cost"] += child.cost
+                elif child.name == SERVICE_DEDUP:
+                    dedup_served += 1
+    tier_total = sum(entry["cost"] for entry in tiers.values())
+    for entry in tiers.values():
+        entry["share"] = _round(
+            entry["cost"] / tier_total if tier_total > 0 else 0.0
+        )
+    critical_tier = max(SERVICE_TIERS, key=lambda name: tiers[name]["cost"])
+    ranked = sorted(
+        jobs,
+        key=lambda n: (
+            -n.cost,
+            str(n.attrs.get("label", "")),
+            str(n.attrs.get("hash", "")),
+        ),
+    )
+    slowest = [
+        {
+            "label": str(n.attrs.get("label") or n.attrs.get("hash", "")),
+            "cost": n.cost,
+            "status": n.outcome or str(n.attrs.get("status", "")),
+            "tenant": str(n.attrs.get("tenant", "default")),
+            "node": n.attrs.get("node"),
+            "cached": bool(n.attrs.get("cached", False)),
+        }
+        for n in ranked[:10]
+    ]
+    return {
+        "kind": "service",
+        "requests": len(requests),
+        "jobs": len(jobs),
+        "dedup_served": dedup_served,
+        "bounding_cost_total": sum(n.cost for n in jobs),
+        "tiers": tiers,
+        "critical_tier": critical_tier,
+        "tenants": {name: tenants[name] for name in sorted(tenants)},
+        "slowest_jobs": slowest,
+        "critical_job": slowest[0]["label"] if slowest else None,
+        "critical_lane": ranked[0].lane if ranked else None,
+    }
+
+
 def _critical_path(tree, events) -> dict:
     """Attribute the run's virtual-clock cost to its bounding lane."""
+    # Stitched farm traces first: they embed worker job_run spans under
+    # their solve tiers, so any later scan would misclassify them.
+    service = _service_path(tree)
+    if service is not None:
+        return service
+
     # Campaign traces rank whole jobs: the stage spans riding along in
     # the workers' event tails are ring-buffer fragments (the *end* of
     # each job only) and would misattribute the run if folded per lane.
@@ -469,9 +561,44 @@ def render_text(report: ExplainReport) -> str:
 
     cp = report.critical_path
     lines.append("")
-    lines.append("critical path (virtual clock)")
     kind = cp.get("kind")
-    if kind == "campaign":
+    if kind == "service":
+        lines.append("critical path (wall clock)")
+        lines.append(
+            f"  {cp.get('requests', 0)} request(s), {cp.get('jobs', 0)} "
+            f"job(s), {cp.get('bounding_cost_total', 0.0):.3f} s end-to-end"
+        )
+        tiers = cp.get("tiers", {})
+        for name in SERVICE_TIERS:
+            entry = tiers.get(name, {})
+            if entry.get("count"):
+                lines.append(
+                    f"  {name}: {entry['cost']:.3f} s "
+                    f"({entry['share']:.0%}, {entry['count']} span(s))"
+                )
+        if cp.get("critical_tier"):
+            lines.append(f"  dominated by tier {cp['critical_tier']!r}")
+        for job in cp.get("slowest_jobs", [])[:5]:
+            where = f" on {job['node']}" if job.get("node") else ""
+            cached = " [dedup-served]" if job.get("cached") else ""
+            lines.append(
+                f"  job {job['label'] or '<unnamed>'}: {job['cost']:.3f} s "
+                f"({job['status']}, tenant {job['tenant']}){where}{cached}"
+            )
+        if cp.get("critical_job"):
+            lines.append(f"  bounded by job {cp['critical_job']!r}")
+        for tenant, entry in cp.get("tenants", {}).items():
+            lines.append(
+                f"  tenant {tenant}: {entry['requests']} request(s), "
+                f"{entry['jobs']} job(s), {entry['cost']:.3f} s"
+            )
+        if cp.get("dedup_served"):
+            lines.append(
+                f"  dedup served {cp['dedup_served']} duplicate "
+                f"submission(s) at zero cost"
+            )
+    elif kind == "campaign":
+        lines.append("critical path (virtual clock)")
         lines.append(
             f"  campaign of {cp.get('jobs', 0)} jobs, "
             f"{_fmt_units(cp.get('bounding_cost_total', 0.0))} work units total"
@@ -484,6 +611,7 @@ def render_text(report: ExplainReport) -> str:
         if cp.get("critical_job"):
             lines.append(f"  bounded by job {cp['critical_job']!r}")
     elif kind == "wtm":
+        lines.append("critical path (virtual clock)")
         lines.append(
             f"  {cp.get('stages', 0)} WTM outer sweeps over "
             f"{cp.get('partitions', 0)} partition(s), bounding cost "
@@ -500,6 +628,7 @@ def render_text(report: ExplainReport) -> str:
             lines.append(f"  bounded by partition {cp['critical_lane']}")
     else:
         label = "pipeline stages" if kind == "pipeline" else "sequential steps"
+        lines.append("critical path (virtual clock)")
         lines.append(
             f"  {cp.get('stages', 0)} {label}, bounding cost "
             f"{_fmt_units(cp.get('bounding_cost_total', 0.0))} wu"

@@ -45,7 +45,13 @@ from repro.instrument.events import (
     PHASE_BACKSOLVE,
     PHASE_DEVICE_EVAL,
     PHASE_FACTOR,
+    QUEUE_WAIT,
+    RESULT_UPLOAD,
     RUN,
+    SERVICE_DEDUP,
+    SERVICE_JOB,
+    SERVICE_REQUEST,
+    SERVICE_SOLVE,
     SPECULATE,
     STAGE_RUN,
     STAGE_TASK,
@@ -88,7 +94,18 @@ from repro.instrument.recorder import (
     set_recorder,
     use_recorder,
 )
-from repro.instrument.telemetry import Heartbeat, heartbeat_for
+from repro.instrument.telemetry import (
+    TENANT_PREFIX,
+    Heartbeat,
+    heartbeat_for,
+    tenant_counter,
+    tenant_rollups,
+)
+from repro.instrument.tracectx import (
+    TraceContext,
+    current_trace,
+    use_trace,
+)
 
 __all__ = [
     "TraceEvent",
@@ -103,6 +120,12 @@ __all__ = [
     "JOB_RUN",
     "CAMPAIGN_RUN",
     "TIMESTEP",
+    "SERVICE_REQUEST",
+    "SERVICE_JOB",
+    "QUEUE_WAIT",
+    "SERVICE_SOLVE",
+    "RESULT_UPLOAD",
+    "SERVICE_DEDUP",
     "PHASE_DEVICE_EVAL",
     "PHASE_ASSEMBLY",
     "PHASE_FACTOR",
@@ -137,6 +160,12 @@ __all__ = [
     "EVENTS_DROPPED",
     "Heartbeat",
     "heartbeat_for",
+    "TENANT_PREFIX",
+    "tenant_counter",
+    "tenant_rollups",
+    "TraceContext",
+    "current_trace",
+    "use_trace",
     "MetricsServer",
     "serve_metrics",
     "to_prometheus",

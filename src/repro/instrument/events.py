@@ -80,6 +80,25 @@ WTM_OUTER_ITER = "wtm_outer_iter"
 #: index — lanes stay at 0 because nested engine spans inherit them).
 WTM_PARTITION = "wtm_partition"
 
+#: Synthesized service-tier spans. These are *stitched* rather than
+#: recorded live: :func:`repro.service.trace.build_campaign_trace` builds
+#: them from queue-manifest timestamps and per-node trace records, so a
+#: single tree spans every process and farm node a campaign touched.
+#: One submitting request (one trace id) — the root of a service trace.
+SERVICE_REQUEST = "service_request"
+#: One queued job's end-to-end life under its request (enqueue→settle).
+SERVICE_JOB = "service_job"
+#: Time a job sat pending in the queue before a node claimed it.
+QUEUE_WAIT = "queue_wait"
+#: The claimed job executing on a farm node (the worker span snapshot is
+#: re-parented under this span at stitch time).
+SERVICE_SOLVE = "service_solve"
+#: Settling the finished job back into the queue/result store.
+RESULT_UPLOAD = "result_upload"
+#: A dedup-served duplicate submission: zero-cost child of the job that
+#: paid for the miss, attributed to the duplicate's own trace id/tenant.
+SERVICE_DEDUP = "service_dedup"
+
 #: Synthesized solver-phase spans nested inside a ``newton_solve`` span.
 #: Their costs come from the virtual-clock work model (see
 #: :func:`repro.solver.newton.iteration_work`), laid back-to-back inside

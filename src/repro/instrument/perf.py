@@ -58,6 +58,11 @@ BENEFIT_CHANNELS = frozenset(
         # direction is the right one — more outer sweeps for the same
         # Table R13 workloads means the boundary exchange stopped
         # contracting (a convergence regression), so it gates on increase.
+        # Deliberately NOT listed: service.request_duration (and its
+        # service.tenant.<name>.request_duration variants). Request
+        # latency regresses when it *grows*, so the default direction
+        # already gates it; listing it here would invert the gate and
+        # celebrate a slower front door.
     }
 )
 

@@ -9,7 +9,15 @@ dict) in the Prometheus text exposition format (version 0.0.4):
 * every histogram becomes a native Prometheus histogram: cumulative
   ``_bucket{le="..."}`` lines derived from the recorder's log2 buckets
   (upper bound ``2**(b+1)`` for bucket *b*), plus ``_sum`` and
-  ``_count``.
+  ``_count``;
+* per-tenant service channels (``service.tenant.<tenant>.<metric>``,
+  minted by :func:`~repro.instrument.telemetry.tenant_counter`) fold
+  into **labeled** samples of one family per metric —
+  ``repro_service_requests_total{tenant="acme"}`` rather than a metric
+  name per tenant — so dashboards can aggregate and slice by the
+  ``tenant`` label. The unlabeled sample of the same family (the
+  all-tenants channel, e.g. ``service.requests``) is emitted first when
+  present.
 
 :class:`MetricsServer` serves that rendering on a plain
 ``http.server``-based ``/metrics`` endpoint — no third-party client
@@ -50,30 +58,87 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _split_tenant(name: str):
+    """``(family_channel, tenant)`` for a per-tenant service channel.
+
+    ``service.tenant.acme.requests`` → ``("service.requests", "acme")``;
+    None for every other channel. The tenant segment is dot-free by
+    construction (:func:`~repro.instrument.telemetry.tenant_counter`
+    sanitizes it), so the first dot after the prefix is the boundary.
+    """
+    from repro.instrument.telemetry import TENANT_PREFIX
+
+    if not name.startswith(TENANT_PREFIX):
+        return None
+    tenant, _, metric = name[len(TENANT_PREFIX):].partition(".")
+    if not tenant or not metric:
+        return None
+    return f"service.{metric}", tenant
+
+
+def _histogram_samples(lines: list, metric: str, data: dict,
+                       label: str = "") -> None:
+    """Append one histogram's bucket/sum/count samples to *lines*."""
+    prefix = f"{label}," if label else ""
+    suffix = f"{{{label}}}" if label else ""
+    cumulative = 0
+    buckets = {int(b): int(n) for b, n in (data.get("buckets") or {}).items()}
+    for bucket in sorted(buckets):
+        cumulative += buckets[bucket]
+        le = 2.0 ** (bucket + 1)
+        lines.append(f'{metric}_bucket{{{prefix}le="{le!r}"}} {cumulative}')
+    count = int(data.get("count", 0))
+    lines.append(f'{metric}_bucket{{{prefix}le="+Inf"}} {count}')
+    lines.append(f"{metric}_sum{suffix} {_format_value(float(data.get('total', 0.0)))}")
+    lines.append(f"{metric}_count{suffix} {count}")
+
+
 def to_prometheus(source, namespace: str = NAMESPACE) -> str:
     """Render *source* (Recorder or snapshot dict) as exposition text."""
     snap = source if isinstance(source, dict) else source.snapshot()
     lines: list[str] = []
-    for name in sorted(snap.get("counters") or {}):
+
+    plain_counters: dict[str, float] = {}
+    tenant_counters: dict[str, dict[str, float]] = {}
+    for name, value in (snap.get("counters") or {}).items():
+        split = _split_tenant(name)
+        if split is None:
+            plain_counters[name] = value
+        else:
+            family, tenant = split
+            tenant_counters.setdefault(family, {})[tenant] = value
+    for name in sorted(set(plain_counters) | set(tenant_counters)):
         metric = metric_name(name, namespace) + "_total"
         lines.append(f"# HELP {metric} repro counter {name}")
         lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {_format_value(snap['counters'][name])}")
-    for name in sorted(snap.get("histograms") or {}):
-        data = snap["histograms"][name]
+        if name in plain_counters:
+            lines.append(f"{metric} {_format_value(plain_counters[name])}")
+        for tenant in sorted(tenant_counters.get(name, ())):
+            lines.append(
+                f'{metric}{{tenant="{tenant}"}} '
+                f"{_format_value(tenant_counters[name][tenant])}"
+            )
+
+    plain_hists: dict[str, dict] = {}
+    tenant_hists: dict[str, dict[str, dict]] = {}
+    for name, data in (snap.get("histograms") or {}).items():
+        split = _split_tenant(name)
+        if split is None:
+            plain_hists[name] = data
+        else:
+            family, tenant = split
+            tenant_hists.setdefault(family, {})[tenant] = data
+    for name in sorted(set(plain_hists) | set(tenant_hists)):
         metric = metric_name(name, namespace)
         lines.append(f"# HELP {metric} repro histogram {name}")
         lines.append(f"# TYPE {metric} histogram")
-        cumulative = 0
-        buckets = {int(b): int(n) for b, n in (data.get("buckets") or {}).items()}
-        for bucket in sorted(buckets):
-            cumulative += buckets[bucket]
-            le = 2.0 ** (bucket + 1)
-            lines.append(f'{metric}_bucket{{le="{le!r}"}} {cumulative}')
-        count = int(data.get("count", 0))
-        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
-        lines.append(f"{metric}_sum {_format_value(float(data.get('total', 0.0)))}")
-        lines.append(f"{metric}_count {count}")
+        if name in plain_hists:
+            _histogram_samples(lines, metric, plain_hists[name])
+        for tenant in sorted(tenant_hists.get(name, ())):
+            _histogram_samples(
+                lines, metric, tenant_hists[name][tenant],
+                label=f'tenant="{tenant}"',
+            )
     counters = snap.get("counters") or {}
     useful = counters.get("speculate.useful_work")
     wasted = counters.get("speculate.wasted_work")

@@ -412,7 +412,12 @@ class Recorder:
                 snap["events_tail"] = [ev.to_dict() for ev in tail]
         return snap
 
-    def merge(self, snapshot: dict | None) -> None:
+    def merge(
+        self,
+        snapshot: dict | None,
+        parent: int | None = None,
+        at: float | None = None,
+    ) -> None:
         """Fold another recorder's :meth:`snapshot` into this one.
 
         Counters add, histograms combine (count/total/min/max and log2
@@ -426,6 +431,18 @@ class Recorder:
         worker finished — with relative spacing inside the tail
         preserved. This is how the batch scheduler aggregates per-worker
         telemetry into the campaign-level recorder.
+
+        Args:
+            parent: a span id in *this* recorder to re-parent the tail's
+                root spans under. Without it, sender spans whose parent
+                is unknown here become roots; with it, the whole worker
+                tree hangs under the caller's span (the distributed-trace
+                stitch: a worker's spans become children of the service
+                request that caused them).
+            at: timestamp on this recorder's clock the tail should end
+                at, instead of "now". Callers that emit the enclosing
+                span first pass its end time so the rebased tail stays
+                inside the parent span's interval.
         """
         if not snapshot:
             return
@@ -450,7 +467,7 @@ class Recorder:
                     tail_end = max(
                         row["ts"] + (row.get("dur") or 0.0) for row in rows
                     )
-                    offset = self.clock() - tail_end
+                    offset = (at if at is not None else self.clock()) - tail_end
                     # Span ids in the tail were allocated by the sender;
                     # give them fresh ids here so merged trees from many
                     # workers cannot collide. Parents whose own record
@@ -466,12 +483,13 @@ class Recorder:
                     if "span" in attrs:
                         attrs = dict(attrs)
                         attrs["span"] = remap[attrs["span"]]
-                        parent = attrs.get("parent")
-                        if parent is not None:
-                            if parent in remap:
-                                attrs["parent"] = remap[parent]
-                            else:
-                                del attrs["parent"]
+                        row_parent = attrs.get("parent")
+                        if row_parent is not None and row_parent in remap:
+                            attrs["parent"] = remap[row_parent]
+                        elif parent is not None:
+                            attrs["parent"] = parent
+                        elif row_parent is not None:
+                            del attrs["parent"]
                     self._append_record(
                         TraceEvent(
                             name=row["name"],

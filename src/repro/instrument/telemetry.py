@@ -26,6 +26,7 @@ the batch scheduler merging worker snapshots, or both at once.
 from __future__ import annotations
 
 import json
+import re
 import sys
 import threading
 import time
@@ -219,6 +220,23 @@ class Heartbeat:
 
 #: Counter prefix the service layer uses for per-tenant accounting.
 TENANT_PREFIX = "service.tenant."
+
+#: Characters allowed verbatim in a tenant's counter-name segment; the
+#: rest fold to "_" so tenant names can never smuggle a "." separator
+#: (which is what keeps :func:`tenant_rollups` parseable).
+_TENANT_SAFE = re.compile(r"[^A-Za-z0-9_-]")
+
+
+def tenant_counter(tenant: str, metric: str) -> str:
+    """Channel name for *metric* attributed to *tenant*.
+
+    Lives here (not in the server) because every farm component — the
+    HTTP front end, the farm-node claim loop, future batch reporters —
+    records per-tenant channels, and the instrument layer must not
+    depend on ``repro.service``.
+    """
+    safe = _TENANT_SAFE.sub("_", tenant) or "default"
+    return f"{TENANT_PREFIX}{safe}.{metric}"
 
 
 def tenant_rollups(counters: dict) -> dict[str, dict[str, float]]:

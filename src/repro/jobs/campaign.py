@@ -32,6 +32,7 @@ from repro.errors import SimulationError
 from repro.instrument.events import CAMPAIGN_RUN
 from repro.instrument.metrics import RunMetrics
 from repro.instrument.recorder import resolve_recorder
+from repro.instrument.tracectx import current_trace
 from repro.jobs.scheduler import JobOutcome, JobScheduler
 from repro.jobs.spec import JobSpec, jitterable_params
 from repro.jobs.store import CampaignStore
@@ -370,9 +371,18 @@ def run_campaign(
     if heartbeat is not None and heartbeat.total_jobs is None:
         heartbeat.total_jobs = len(campaign.jobs)
     beat_scope = heartbeat if heartbeat is not None else contextlib.nullcontext()
+    # When an ambient trace context is bound (a farm node running this
+    # campaign on behalf of a service submission), stamp its ids on the
+    # campaign root so a stitched cross-node trace can tie the span back
+    # to the request that paid for it.
+    ambient = current_trace()
+    span_attrs = {"campaign": campaign.name, "jobs": len(campaign.jobs)}
+    if ambient is not None:
+        span_attrs["trace_id"] = ambient.trace_id
+        span_attrs["tenant"] = ambient.tenant
     # tree_span (not the flat span helper) so per-job ``job_run`` spans
     # settled on this thread nest under the campaign root.
-    with rec.tree_span(CAMPAIGN_RUN, campaign=campaign.name, jobs=len(campaign.jobs)):
+    with rec.tree_span(CAMPAIGN_RUN, **span_attrs):
         with beat_scope, scheduler:
             outcomes = scheduler.run(campaign.jobs, on_outcome=checkpoint)
     rec.count("jobs.campaigns")

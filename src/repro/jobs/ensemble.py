@@ -91,7 +91,11 @@ class EnsembleBackend:
             raise ValueError(f"max_group must be >= 1, got {max_group}")
         self.max_group = max_group
 
-    def run(self, indexed_specs, timeout, emit, telemetry: bool = False) -> None:
+    def run(
+        self, indexed_specs, timeout, emit, telemetry: bool = False, trace=None
+    ) -> None:
+        # trace contexts are accepted for scheduler compatibility but not
+        # bound per job: a lockstep group mixes jobs from many requests.
         groups: dict[str, list[tuple[int, JobSpec]]] = {}
         order: list[str] = []
         for index, spec in indexed_specs:

@@ -33,6 +33,7 @@ from multiprocessing import connection as mp_connection
 from repro.errors import SimulationError
 from repro.instrument.events import JOB_RUN
 from repro.instrument.recorder import Recorder, resolve_recorder
+from repro.instrument.tracectx import TraceContext, use_trace
 from repro.jobs.spec import JobSpec
 from repro.jobs.workers import (
     TELEMETRY_EVENT_TAIL,
@@ -84,7 +85,9 @@ class SerialBackend:
     kind = "serial"
     workers = 1
 
-    def run(self, indexed_specs, timeout, emit, telemetry: bool = False) -> None:
+    def run(
+        self, indexed_specs, timeout, emit, telemetry: bool = False, trace=None
+    ) -> None:
         for index, spec in indexed_specs:
             recorder = (
                 Recorder(max_events=TELEMETRY_EVENT_TAIL, evict="tail")
@@ -97,9 +100,11 @@ class SerialBackend:
                     return None
                 return recorder.snapshot(events_tail=TELEMETRY_EVENT_TAIL)
 
+            ctx = TraceContext.from_dict((trace or {}).get(index))
             t0 = time.perf_counter()
             try:
-                result = execute_job(spec, instrument=recorder)
+                with use_trace(ctx):
+                    result = execute_job(spec, instrument=recorder)
             except Exception as exc:
                 emit(index, "error", f"{type(exc).__name__}: {exc}",
                      time.perf_counter() - t0, snapshot())
@@ -170,7 +175,9 @@ class ProcessPoolBackend:
         self.start_method = start_method
         self._ctx = multiprocessing.get_context(start_method)
 
-    def run(self, indexed_specs, timeout, emit, telemetry: bool = False) -> None:
+    def run(
+        self, indexed_specs, timeout, emit, telemetry: bool = False, trace=None
+    ) -> None:
         pending = deque(indexed_specs)
         running: dict = {}  # reader conn -> [index, process, started]
         try:
@@ -180,7 +187,12 @@ class ProcessPoolBackend:
                     reader, writer = self._ctx.Pipe(duplex=False)
                     process = self._ctx.Process(
                         target=worker_main,
-                        args=(writer, spec.to_dict(), telemetry),
+                        args=(
+                            writer,
+                            spec.to_dict(),
+                            telemetry,
+                            (trace or {}).get(index),
+                        ),
                         daemon=True,
                     )
                     process.start()
@@ -343,19 +355,29 @@ class JobScheduler:
         self.backoff = backoff
         self.instrument = instrument
 
-    def run(self, specs: list[JobSpec], on_outcome=None) -> list[JobOutcome]:
+    def run(
+        self, specs: list[JobSpec], on_outcome=None, trace=None
+    ) -> list[JobOutcome]:
         """Execute *specs*; returns one outcome per spec, in order.
 
         *on_outcome* is called with each :class:`JobOutcome` as it is
         (re)determined — including failures that will still be retried —
         which is the hook campaign checkpointing uses to rewrite its
         manifest incrementally.
+
+        *trace* maps spec content hashes to trace-context dicts (see
+        :mod:`repro.instrument.tracectx`). A traced job's ``job_run``
+        span carries the trace id and tenant, and the worker's span
+        snapshot is re-parented *under* that span at merge — which is
+        what lets a stitched service trace show worker solve internals
+        as children of the request that caused them.
         """
         rec = resolve_recorder(self.instrument)
         outcomes: list[JobOutcome | None] = [None] * len(specs)
         attempts = [0] * len(specs)
+        trace_by_index: dict[int, dict] = {}
 
-        def settle(index: int, outcome: JobOutcome) -> None:
+        def settle(index: int, outcome: JobOutcome, snapshot=None) -> None:
             outcomes[index] = outcome
             if rec.enabled:
                 # A closed span rather than a bare event: it nests under
@@ -364,9 +386,17 @@ class JobScheduler:
                 # explain critical-path pass ranks jobs by.
                 elapsed = float(outcome.elapsed or 0.0)
                 stats = outcome.result.stats if outcome.result is not None else {}
-                rec.emit_span(
+                end = rec.clock()
+                extra = {}
+                ctx = trace_by_index.get(index)
+                if ctx:
+                    extra = {
+                        "trace_id": ctx.get("trace_id"),
+                        "tenant": ctx.get("tenant", "default"),
+                    }
+                sid = rec.emit_span(
                     JOB_RUN,
-                    ts=rec.clock() - elapsed,
+                    ts=end - elapsed,
                     dur=elapsed,
                     outcome=outcome.status,
                     cost=float((stats or {}).get("work_units", 0.0)),
@@ -374,13 +404,24 @@ class JobScheduler:
                     status=outcome.status,
                     attempts=outcome.attempts,
                     hash=outcome.spec_hash[:12],
+                    **extra,
                 )
+                # The worker's solver spans land *inside* the job_run
+                # interval: the span was emitted to end now with the
+                # measured elapsed, and every worker event happened
+                # within that window, so rebasing the tail to end at the
+                # same instant keeps temporal nesting valid.
+                if snapshot:
+                    rec.merge(snapshot, parent=sid, at=end)
             if on_outcome is not None:
                 on_outcome(outcome)
 
         to_run: list[int] = []
         for index, spec in enumerate(specs):
             spec_hash = spec.content_hash()
+            ctx = (trace or {}).get(spec_hash)
+            if ctx:
+                trace_by_index[index] = ctx
             cached = self.cache.get(spec_hash) if self.cache is not None else None
             if cached is not None:
                 rec.count("jobs.cache_hits")
@@ -418,11 +459,11 @@ class JobScheduler:
             ) -> None:
                 spec = specs[index]
                 attempts[index] += 1
-                # Fold the worker's solver work into the campaign-level
-                # recorder whatever the outcome — failed and timed-out
-                # jobs burned real Newton iterations too.
-                if rec.enabled and snapshot:
-                    rec.merge(snapshot)
+                # The worker's solver work is folded into the campaign
+                # recorder inside settle() — after the job_run span
+                # exists, so the worker tree re-parents under it —
+                # whatever the outcome: failed and timed-out jobs burned
+                # real Newton iterations too.
                 if status == "ok":
                     result: JobResult = payload
                     if self.cache is not None:
@@ -439,6 +480,7 @@ class JobScheduler:
                             elapsed=elapsed,
                             telemetry=snapshot,
                         ),
+                        snapshot=snapshot,
                     )
                     return
                 outcome_status, counter = _FAILURE_STATUS[status]
@@ -455,13 +497,25 @@ class JobScheduler:
                         elapsed=elapsed,
                         telemetry=snapshot,
                     ),
+                    snapshot=snapshot,
                 )
 
+            run_kwargs: dict = {"telemetry": rec.enabled}
+            # The trace kwarg is only passed when there is something to
+            # propagate, so third-party backends with the pre-trace run()
+            # signature keep working for untraced schedules.
+            run_trace = {
+                index: trace_by_index[index]
+                for index in to_run
+                if index in trace_by_index
+            }
+            if run_trace:
+                run_kwargs["trace"] = run_trace
             self.backend.run(
                 [(index, specs[index]) for index in to_run],
                 self.timeout,
                 emit,
-                telemetry=rec.enabled,
+                **run_kwargs,
             )
             # Jobs the backend never reported (defensive): mark failed.
             for index in to_run:

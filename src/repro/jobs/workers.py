@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.instrument import Recorder, use_recorder
+from repro.instrument.tracectx import TraceContext, use_trace
 from repro.jobs.spec import JobSpec, apply_params
 from repro.utils.options import SimOptions
 
@@ -222,7 +223,9 @@ def _on_sigterm(signum, frame):
     raise _Terminated(f"worker received signal {signum}")
 
 
-def worker_main(conn, spec_dict: dict, telemetry: bool = False) -> None:
+def worker_main(
+    conn, spec_dict: dict, telemetry: bool = False, trace=None
+) -> None:
     """Child-process entry: run one job, ship the outcome over *conn*.
 
     Sends ``("ok", result_dict, elapsed, snapshot)`` or ``("error",
@@ -233,6 +236,13 @@ def worker_main(conn, spec_dict: dict, telemetry: bool = False) -> None:
     partial solver work of jobs that never finished. Anything else the
     parent observes (EOF, nonzero exit) means the worker died mid-job —
     which fails that job only.
+
+    *trace* is the claimed job's trace-context dict, if any; it is bound
+    as the ambient :func:`~repro.instrument.tracectx.current_trace` for
+    the duration of the job so in-worker layers (fault hooks, future
+    engine attribution) can see which request they are working for. It
+    never enters the result payload — cached bytes stay identical no
+    matter who asked.
     """
     recorder = (
         Recorder(max_events=TELEMETRY_EVENT_TAIL, evict="tail") if telemetry else None
@@ -251,7 +261,8 @@ def worker_main(conn, spec_dict: dict, telemetry: bool = False) -> None:
     send_in_flight = False
     try:
         spec = JobSpec.from_dict(spec_dict)
-        result = execute_job(spec, instrument=recorder)
+        with use_trace(TraceContext.from_dict(trace)):
+            result = execute_job(spec, instrument=recorder)
         message = ("ok", result.to_dict(), result.elapsed, snapshot())
         send_in_flight = True
         conn.send(message)

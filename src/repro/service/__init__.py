@@ -12,6 +12,9 @@ multi-tenant service:
 * :mod:`repro.service.server` — the stdlib HTTP/JSON front end
   (``repro serve``), including chunked campaign heartbeat streaming;
 * :mod:`repro.service.client` — the matching ``http.client`` wrapper;
+* :mod:`repro.service.trace` — per-job trace records written by nodes
+  plus the stitcher that merges them into one cross-node campaign trace
+  (served at ``GET /trace/<campaign>`` for ``repro explain``);
 * :mod:`repro.service.loadgen` — the deterministic mixed-traffic load
   generator behind the Table R12 benchmark and the CI smoke job.
 """
@@ -27,6 +30,7 @@ from repro.service.queue import (
     campaign_id,
 )
 from repro.service.server import CampaignHeartbeat, ServiceServer, serve
+from repro.service.trace import TraceStore, build_campaign_trace
 
 __all__ = [
     "Backpressure",
@@ -40,6 +44,8 @@ __all__ = [
     "ServiceError",
     "ServiceServer",
     "SubmitReceipt",
+    "TraceStore",
+    "build_campaign_trace",
     "campaign_id",
     "run_load",
     "run_node",

@@ -20,6 +20,7 @@ import time
 from urllib.parse import urlsplit
 
 from repro.errors import ReproError
+from repro.instrument.tracectx import TraceContext
 
 #: Default per-request socket timeout, seconds.
 DEFAULT_TIMEOUT = 30.0
@@ -62,19 +63,24 @@ class ServiceClient:
     def _connect(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
-    def _headers(self, tenant: str | None) -> dict:
+    def _headers(self, tenant: str | None, trace=None) -> dict:
         headers = {"Content-Type": "application/json"}
         effective = tenant or self.tenant
         if effective:
             headers["X-Tenant"] = effective
+        if trace is not None:
+            headers.update(trace.to_headers())
         return headers
 
     def _request(self, method: str, path: str, body: dict | None = None,
-                 tenant: str | None = None):
+                 tenant: str | None = None, trace=None):
         conn = self._connect()
         try:
             payload = json.dumps(body).encode("utf-8") if body is not None else None
-            conn.request(method, path, body=payload, headers=self._headers(tenant))
+            conn.request(
+                method, path, body=payload,
+                headers=self._headers(tenant, trace=trace),
+            )
             response = conn.getresponse()
             raw = response.read()
             try:
@@ -96,22 +102,44 @@ class ServiceClient:
 
     # -- submission --------------------------------------------------------------
 
+    def _trace_for(self, tenant: str | None, trace) -> TraceContext:
+        """The context a submission travels under: the caller's, or a
+        fresh client-origin mint. Every submission is traced — that is
+        the point of the front end — so the ids on the receipt always
+        match a ``/trace/<campaign>`` root."""
+        if trace is not None:
+            return trace
+        return TraceContext.mint(
+            tenant=tenant or self.tenant or "default", origin="client"
+        )
+
     def submit_job(self, spec, tenant: str | None = None,
-                   priority: int = 0) -> dict:
-        """Submit one job; *spec* is a JobSpec or its dict form."""
+                   priority: int = 0, trace: TraceContext | None = None) -> dict:
+        """Submit one job; *spec* is a JobSpec or its dict form.
+
+        The submission carries a W3C ``traceparent`` header (from
+        *trace*, or minted here with origin ``client``); the receipt's
+        ``trace_id`` is the id the request will appear under in the
+        campaign trace.
+        """
         payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
         return self._request(
             "POST", "/jobs",
             {"spec": payload, "priority": priority}, tenant=tenant,
+            trace=self._trace_for(tenant, trace),
         )
 
     def submit_campaign(self, spec, generator: dict, name: str | None = None,
-                        tenant: str | None = None, priority: int = 0) -> dict:
+                        tenant: str | None = None, priority: int = 0,
+                        trace: TraceContext | None = None) -> dict:
         payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
         body = {"spec": payload, "generator": generator, "priority": priority}
         if name:
             body["name"] = name
-        return self._request("POST", "/campaigns", body, tenant=tenant)
+        return self._request(
+            "POST", "/campaigns", body, tenant=tenant,
+            trace=self._trace_for(tenant, trace),
+        )
 
     # -- reads -------------------------------------------------------------------
 
@@ -141,6 +169,27 @@ class ServiceClient:
             body = response.read().decode("utf-8")
             if response.status >= 400:
                 raise ServiceError(response.status, body)
+            return body
+        finally:
+            conn.close()
+
+    def trace(self, cid: str) -> str:
+        """The campaign's stitched cross-node trace, as raw JSONL text.
+
+        The body is the ``repro-trace-v1`` format — write it to a file
+        and feed it to ``repro explain`` (or ``--html``).
+        """
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/trace/{cid}", headers=self._headers(None))
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            if response.status >= 400:
+                try:
+                    decoded = json.loads(body) if body else {}
+                except json.JSONDecodeError:
+                    decoded = body
+                raise ServiceError(response.status, decoded)
             return body
         finally:
             conn.close()

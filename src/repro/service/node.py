@@ -24,9 +24,11 @@ import time
 from pathlib import Path
 
 from repro.instrument.recorder import resolve_recorder
+from repro.instrument.telemetry import tenant_counter
 from repro.jobs.cache import ResultCache
 from repro.jobs.scheduler import JobScheduler
 from repro.service.queue import ClaimedJob, JobQueue
+from repro.service.trace import TraceStore
 
 #: Subdirectory of the queue root holding the shared result cache.
 RESULTS_DIR = "results"
@@ -89,6 +91,7 @@ class FarmNode:
         self.instrument = instrument
         self.queue = JobQueue(self.root, quota=quota, max_attempts=max_attempts)
         self.cache = ResultCache(self.root / RESULTS_DIR)
+        self.traces = TraceStore(self.root)
         self.scheduler = JobScheduler(
             backend=backend,
             workers=workers,
@@ -114,8 +117,20 @@ class FarmNode:
             self.node_id, lease_seconds=self.lease_seconds, limit=self.batch
         )
         if not claimed:
+            # Starvation signal: the node asked and the queue had nothing.
+            # A dashboard where claims_empty dominates node.claims means
+            # the farm is over-provisioned; the inverse means saturation.
+            rec.count("service.claims_empty")
             return 0
         rec.count("service.node.claims", len(claimed))
+        claim_wall = time.time()
+        by_hash = {job.spec_hash: job for job in claimed}
+        for job in claimed:
+            # Queue age at the moment of claim — the staleness knob that
+            # backpressure 429s should be tuned against, not raw depth.
+            rec.observe("service.queue_age", job.queue_age)
+            for tenant in job.tenants:
+                rec.observe(tenant_counter(tenant, "queue_age"), job.queue_age)
         outstanding = {job.spec_hash for job in claimed}
 
         def settle(outcome) -> None:
@@ -132,11 +147,51 @@ class FarmNode:
                     spec_hash, self.node_id, outcome.error or outcome.status
                 )
                 rec.count("service.node.failed")
+            job = by_hash.get(spec_hash)
+            if job is not None:
+                settled = time.time()
+                claimed_at = (
+                    job.enqueued + job.queue_age
+                    if job.enqueued is not None
+                    else claim_wall
+                )
+                lease_latency = max(settled - claimed_at, 0.0)
+                rec.observe("service.lease_latency", lease_latency)
+                for tenant in job.tenants:
+                    rec.observe(
+                        tenant_counter(tenant, "lease_latency"), lease_latency
+                    )
+                self.traces.put(
+                    spec_hash,
+                    {
+                        "hash": spec_hash,
+                        "node": self.node_id,
+                        "attempts": job.attempts,
+                        "status": outcome.status,
+                        "ok": outcome.ok,
+                        "cached": outcome.status == "cached",
+                        "trace": job.trace,
+                        "enqueued": job.enqueued,
+                        "claimed": claimed_at,
+                        "settled": settled,
+                        "elapsed": float(outcome.elapsed or 0.0),
+                        "queue_age": job.queue_age,
+                        "lease_latency": lease_latency,
+                        "telemetry": outcome.telemetry,
+                    },
+                )
             outstanding.discard(spec_hash)
             for other in outstanding:
                 self.queue.renew(other, self.node_id, self.lease_seconds)
 
-        self.scheduler.run([job.spec for job in claimed], on_outcome=settle)
+        trace_map = {
+            job.spec_hash: job.trace for job in claimed if job.trace
+        }
+        self.scheduler.run(
+            [job.spec for job in claimed],
+            on_outcome=settle,
+            trace=trace_map or None,
+        )
         return len(claimed)
 
     # -- the node loop -----------------------------------------------------------
@@ -149,6 +204,7 @@ class FarmNode:
         draining node alive, so a survivor waits out a crashed peer's
         lease and absorbs its work before exiting.
         """
+        rec = resolve_recorder(self.instrument)
         total = 0
         while stop is None or not stop.is_set():
             claimed = self.step()
@@ -157,6 +213,10 @@ class FarmNode:
                 continue
             if drain and self.queue.depth() == 0:
                 break
+            # Idle-backoff histogram: how much of the node's life is
+            # spent sleeping on an empty queue (complement of the
+            # saturation story claims_empty tells in counts).
+            rec.observe("service.idle_backoff", self.poll_interval)
             time.sleep(self.poll_interval)
         return total
 

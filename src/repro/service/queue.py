@@ -57,6 +57,22 @@ ENTRY_STATUSES = ("pending", "leased", "done", "failed")
 #: States that count against a tenant's quota (work not yet settled).
 ACTIVE_STATUSES = ("pending", "leased")
 
+#: Dedup-served trace contexts retained per entry. The first submission
+#: "pays" for the solve and owns ``entry["trace"]``; later duplicate
+#: submissions are linked (capped, oldest first) so the trace stitcher
+#: can attribute cache hits back to each requester without letting a
+#: pathological duplicate storm grow the manifest without bound.
+TRACE_LINK_LIMIT = 16
+
+
+def _trace_dict(trace) -> dict | None:
+    """Normalise a trace context (TraceContext or dict) for the manifest."""
+    if trace is None:
+        return None
+    if hasattr(trace, "to_dict"):
+        return trace.to_dict()
+    return dict(trace)
+
 
 class QuotaExceeded(ReproError):
     """A tenant's active-job quota is full (HTTP layer: 429).
@@ -88,12 +104,22 @@ class SubmitReceipt:
 
 @dataclass(frozen=True)
 class ClaimedJob:
-    """One leased unit of work handed to a farm node."""
+    """One leased unit of work handed to a farm node.
+
+    Carries the observability context along with the work: the paying
+    submission's trace context, the subscribed tenants, and how long the
+    entry sat pending (``queue_age``, seconds) so the node can record
+    staleness at the moment of claim.
+    """
 
     spec: JobSpec
     spec_hash: str
     attempts: int
     lease_expires: float
+    trace: dict | None = None
+    tenants: tuple = ()
+    enqueued: float | None = None
+    queue_age: float = 0.0
 
 
 def campaign_id(name: str, job_hashes: list[str]) -> str:
@@ -250,7 +276,7 @@ class JobQueue:
 
     def _submit_locked(
         self, state: dict, spec: JobSpec, tenant: str, priority: int,
-        enforce_quota: bool = True,
+        enforce_quota: bool = True, trace: dict | None = None,
     ) -> SubmitReceipt:
         spec_hash = spec.content_hash()
         entry = state["jobs"].get(spec_hash)
@@ -261,12 +287,22 @@ class JobQueue:
                     self._check_quota(state, tenant, 1)
                 entry["tenants"] = sorted([*entry["tenants"], tenant])
             entry["priority"] = max(entry["priority"], int(priority))
+            if trace is not None:
+                if not entry.get("trace"):
+                    entry["trace"] = trace
+                else:
+                    links = entry.setdefault("trace_links", [])
+                    if len(links) < TRACE_LINK_LIMIT:
+                        links.append(trace)
             if entry["status"] == "failed":
-                # Resubmission grants a failed job a fresh set of attempts.
+                # Resubmission grants a failed job a fresh set of attempts
+                # (and restarts its queue-age clock: the wait being measured
+                # is the wait of the submission that revived the entry).
                 entry["status"] = "pending"
                 entry["attempts"] = 0
                 entry["error"] = None
                 entry["lease"] = None
+                entry["enqueued"] = self.clock()
             return SubmitReceipt(spec_hash, entry["status"], False, deduped)
         if enforce_quota:
             self._check_quota(state, tenant, 1)
@@ -280,21 +316,35 @@ class JobQueue:
             "status": "pending",
             "attempts": 0,
             "submitted": state["seq"],
+            "enqueued": self.clock(),
             "lease": None,
             "error": None,
+            "trace": trace,
+            "trace_links": [],
         }
         return SubmitReceipt(spec_hash, "pending", True, False)
 
     def submit(
-        self, spec: JobSpec, tenant: str = "default", priority: int = 0
+        self,
+        spec: JobSpec,
+        tenant: str = "default",
+        priority: int = 0,
+        trace=None,
     ) -> SubmitReceipt:
         """Enqueue one spec for *tenant*; dedups by content hash.
+
+        *trace* (a :class:`~repro.instrument.tracectx.TraceContext` or
+        its dict form) is persisted with the entry: the first submission
+        becomes the entry's paying trace, later duplicates are linked for
+        dedup attribution.
 
         Raises :class:`QuotaExceeded` when the tenant's active-job quota
         is full (the queue is left untouched).
         """
         with self._transaction() as state:
-            return self._submit_locked(state, spec, tenant, priority)
+            return self._submit_locked(
+                state, spec, tenant, priority, trace=_trace_dict(trace)
+            )
 
     def submit_campaign(
         self,
@@ -303,6 +353,7 @@ class JobQueue:
         generator: dict | None = None,
         tenant: str = "default",
         priority: int = 0,
+        trace=None,
     ) -> tuple[str, list[SubmitReceipt]]:
         """Enqueue a whole campaign atomically (all jobs or a 429).
 
@@ -327,9 +378,10 @@ class JobQueue:
                     ):
                         new_active += 1
                 self._check_quota(state, tenant, new_active)
+            ctx = _trace_dict(trace)
             receipts = [
                 self._submit_locked(state, spec, tenant, priority,
-                                    enforce_quota=False)
+                                    enforce_quota=False, trace=ctx)
                 for spec in jobs
             ]
             campaign = state["campaigns"].get(cid)
@@ -374,11 +426,26 @@ class JobQueue:
                 entry["attempts"] += 1
                 expires = now + lease_seconds
                 entry["lease"] = {"node": node, "expires": expires}
+                entry["claimed"] = now
                 spec = JobSpec.from_dict(
                     dict(entry["spec"], label=entry.get("label", ""))
                 )
+                enqueued = entry.get("enqueued")
                 claimed.append(
-                    ClaimedJob(spec, entry["hash"], entry["attempts"], expires)
+                    ClaimedJob(
+                        spec,
+                        entry["hash"],
+                        entry["attempts"],
+                        expires,
+                        trace=entry.get("trace"),
+                        tenants=tuple(entry["tenants"]),
+                        enqueued=enqueued,
+                        queue_age=(
+                            max(now - enqueued, 0.0)
+                            if enqueued is not None
+                            else 0.0
+                        ),
+                    )
                 )
         return claimed
 
@@ -412,6 +479,8 @@ class JobQueue:
             entry["status"] = "done"
             entry["lease"] = None
             entry["error"] = None
+            entry["settled"] = self.clock()
+            entry["node"] = node
             return True
 
     def fail(self, spec_hash: str, node: str, error: str) -> str:
@@ -428,6 +497,8 @@ class JobQueue:
             if entry["status"] == "done":
                 return "done"
             entry["lease"] = None
+            entry["settled"] = self.clock()
+            entry["node"] = node
             if entry["attempts"] >= self.max_attempts:
                 entry["status"] = "failed"
                 entry["error"] = error
@@ -478,6 +549,24 @@ class JobQueue:
             "statuses": statuses,
             "done": settled == len(campaign["jobs"]),
         }
+
+    def entries(self, hashes=None) -> dict[str, dict]:
+        """Raw manifest entries (shallow copies), keyed by hash.
+
+        With *hashes* the result is restricted to (and ordered like) the
+        known members of that list. This is the trace stitcher's read
+        path: it needs the enqueue/claim/settle timestamps and persisted
+        trace contexts that the shaped :meth:`status` payload omits.
+        """
+        jobs = self._load()["jobs"]
+        if hashes is None:
+            return {h: dict(e) for h, e in jobs.items()}
+        return {h: dict(jobs[h]) for h in hashes if h in jobs}
+
+    def campaign(self, cid: str) -> dict | None:
+        """Raw campaign record (shallow copy), or None when unknown."""
+        campaign = self._load()["campaigns"].get(cid)
+        return dict(campaign) if campaign is not None else None
 
     def depth(self, tenant: str | None = None) -> int:
         """Active (pending + leased) job count, optionally per tenant."""

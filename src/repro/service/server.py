@@ -32,6 +32,7 @@ without the front end noticing beyond a lease hand-off.
 
 from __future__ import annotations
 
+import io
 import json
 import logging
 import re
@@ -41,14 +42,22 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
 from repro.errors import ReproError, SimulationError
+from repro.instrument.exporters import write_jsonl
 from repro.instrument.prometheus import CONTENT_TYPE, metric_name, to_prometheus
 from repro.instrument.recorder import Recorder, resolve_recorder
-from repro.instrument.telemetry import Heartbeat, tenant_rollups
+from repro.instrument.telemetry import (
+    _TENANT_SAFE,
+    Heartbeat,
+    tenant_counter,
+    tenant_rollups,
+)
+from repro.instrument.tracectx import TraceContext
 from repro.jobs.cache import ResultCache
 from repro.jobs.campaign import monte_carlo, param_sweep, pvt_corners, single
 from repro.jobs.spec import JobSpec
 from repro.service.node import RESULTS_DIR, FarmNode
 from repro.service.queue import JobQueue, QuotaExceeded
+from repro.service.trace import TraceStore, build_campaign_trace
 
 logger = logging.getLogger("repro.service")
 
@@ -62,12 +71,10 @@ GENERATOR_KINDS = ("monte_carlo", "pvt_corners", "param_sweep", "single", "ensem
 #: Default tick of the campaign heartbeat stream, seconds.
 STREAM_INTERVAL = 0.5
 
-_TENANT_SAFE = re.compile(r"[^A-Za-z0-9_-]")
-
-
-def tenant_counter(tenant: str, metric: str) -> str:
-    """Per-tenant counter name (tenant folded to counter-safe chars)."""
-    return f"service.tenant.{_TENANT_SAFE.sub('_', tenant)}.{metric}"
+# tenant_counter / _TENANT_SAFE used to live here; they moved to
+# repro.instrument.telemetry (the farm nodes meter per-tenant channels
+# too, and instrument must not import the service layer). Re-exported
+# above for existing importers.
 
 
 def spec_from_payload(data: dict) -> JobSpec:
@@ -180,6 +187,9 @@ class ServiceServer:
             separately).
         backend / node_workers / batch / lease_seconds: configuration of
             those in-process nodes.
+        request_log: path of a structured JSONL request log (one object
+            per metered request: timestamp, method, route, tenant,
+            status, duration, trace id), or None to disable.
     """
 
     def __init__(
@@ -196,6 +206,7 @@ class ServiceServer:
         batch: int = 1,
         lease_seconds: float = 30.0,
         poll_interval: float = 0.05,
+        request_log=None,
     ):
         self.root = Path(root)
         self.recorder = (
@@ -205,6 +216,10 @@ class ServiceServer:
         self._requested_port = port
         self.queue = JobQueue(self.root, quota=quota, max_attempts=max_attempts)
         self.cache = ResultCache(self.root / RESULTS_DIR)
+        self.traces = TraceStore(self.root)
+        self.request_log_path = Path(request_log) if request_log else None
+        self._request_log_handle = None
+        self._request_log_lock = threading.Lock()
         self.workers = workers
         self._node_config = {
             "backend": backend,
@@ -284,6 +299,23 @@ class ServiceServer:
             httpd.server_close()
         if thread is not None:
             thread.join()
+        with self._request_log_lock:
+            handle, self._request_log_handle = self._request_log_handle, None
+            if handle is not None:
+                handle.close()
+
+    def log_request(self, record: dict) -> None:
+        """Append one JSONL record to the request log (no-op when off)."""
+        if self.request_log_path is None:
+            return
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._request_log_lock:
+            if self._request_log_handle is None:
+                self._request_log_handle = open(
+                    self.request_log_path, "a", encoding="utf-8"
+                )
+            self._request_log_handle.write(line)
+            self._request_log_handle.flush()
 
     def __enter__(self) -> "ServiceServer":
         return self.start()
@@ -293,17 +325,19 @@ class ServiceServer:
 
     # -- request-side helpers (called from handler threads) ----------------------
 
-    def submit_job(self, payload: dict, tenant: str) -> dict:
+    def submit_job(self, payload: dict, tenant: str, trace=None) -> dict:
         spec = spec_from_payload(payload.get("spec") or {})
         priority = int(payload.get("priority", 0))
-        receipt = self.queue.submit(spec, tenant=tenant, priority=priority)
+        receipt = self.queue.submit(
+            spec, tenant=tenant, priority=priority, trace=trace
+        )
         rec = resolve_recorder(self.recorder)
         rec.count("service.submitted")
         rec.count(tenant_counter(tenant, "submitted"))
         if receipt.deduped:
             rec.count("service.deduped")
             rec.count(tenant_counter(tenant, "deduped"))
-        return {
+        out = {
             "id": receipt.spec_hash,
             "status": receipt.status,
             "created": receipt.created,
@@ -311,8 +345,11 @@ class ServiceServer:
             "queue_depth": self.queue.depth(),
             "tenant_depth": self.queue.depth(tenant),
         }
+        if trace is not None:
+            out["trace_id"] = trace.trace_id
+        return out
 
-    def submit_campaign(self, payload: dict, tenant: str) -> dict:
+    def submit_campaign(self, payload: dict, tenant: str, trace=None) -> dict:
         base = spec_from_payload(payload.get("spec") or {})
         campaign = build_campaign(base, payload.get("generator") or {})
         if payload.get("name"):
@@ -324,6 +361,7 @@ class ServiceServer:
             generator=campaign.generator,
             tenant=tenant,
             priority=priority,
+            trace=trace,
         )
         rec = resolve_recorder(self.recorder)
         rec.count("service.campaigns")
@@ -338,7 +376,7 @@ class ServiceServer:
         if deduped:
             rec.count("service.deduped", deduped)
             rec.count(tenant_counter(tenant, "deduped"), deduped)
-        return {
+        out = {
             "id": cid,
             "name": campaign.name,
             "generator": campaign.generator,
@@ -348,6 +386,9 @@ class ServiceServer:
             "queue_depth": self.queue.depth(),
             "tenant_depth": self.queue.depth(tenant),
         }
+        if trace is not None:
+            out["trace_id"] = trace.trace_id
+        return out
 
     def reject(self, exc: QuotaExceeded) -> None:
         rec = resolve_recorder(self.recorder)
@@ -394,7 +435,13 @@ _GET_ROUTES = [
     ("job_status", re.compile(r"^/jobs/([0-9a-f]{64})$")),
     ("campaign_stream", re.compile(r"^/campaigns/([0-9a-f]+)/stream$")),
     ("campaign_status", re.compile(r"^/campaigns/([0-9a-f]+)$")),
+    ("trace", re.compile(r"^/trace/([0-9a-f]+)$")),
 ]
+
+#: Routes excluded from the request-duration histogram: a campaign
+#: stream stays open for the campaign's whole life, so folding it into
+#: ``service.request_duration`` would swamp the API-latency signal.
+_UNMETERED_DURATION = frozenset({"campaign_stream"})
 
 
 def _make_handler(server: ServiceServer):
@@ -411,7 +458,43 @@ def _make_handler(server: ServiceServer):
             rec.count("service.requests")
             rec.count(f"service.requests.{route}")
 
+        def _observe(
+            self, route: str, tenant: str, t0: float, ctx=None
+        ) -> None:
+            """Per-tenant RED telemetry + request log for one request.
+
+            Rate rides on ``service.requests`` / the per-tenant request
+            counter, Errors on any >= 400 response, Duration on the
+            log2 histogram pair (global + per-tenant) — except for the
+            wall-clock-long stream route, which is counted but not
+            duration-observed.
+            """
+            duration = time.perf_counter() - t0
+            status = getattr(self, "_last_code", 0)
+            rec.count(tenant_counter(tenant, "requests"))
+            if status >= 400:
+                rec.count("service.errors")
+                rec.count(tenant_counter(tenant, "errors"))
+            if route not in _UNMETERED_DURATION:
+                rec.observe("service.request_duration", duration)
+                rec.observe(
+                    tenant_counter(tenant, "request_duration"), duration
+                )
+            server.log_request(
+                {
+                    "ts": round(time.time(), 6),
+                    "method": self.command,
+                    "path": self.path,
+                    "route": route,
+                    "tenant": tenant,
+                    "status": status,
+                    "duration_ms": round(duration * 1000.0, 3),
+                    "trace_id": ctx.trace_id if ctx is not None else None,
+                }
+            )
+
         def _send_json(self, code: int, payload: dict, headers=None) -> None:
+            self._last_code = code
             body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
@@ -448,7 +531,10 @@ def _make_handler(server: ServiceServer):
         # -- verbs -----------------------------------------------------------
 
         def do_POST(self):  # noqa: N802 (http.server API)
+            t0 = time.perf_counter()
             path, _ = self._query()
+            tenant = str(self.headers.get("X-Tenant") or "default")
+            ctx = None
             if path == "/jobs":
                 submit, route = server.submit_job, "jobs_post"
             elif path == "/campaigns":
@@ -456,34 +542,47 @@ def _make_handler(server: ServiceServer):
             else:
                 self._count("unknown")
                 self._send_json(404, {"error": f"no such endpoint {path}"})
+                self._observe("unknown", tenant, t0)
                 return
             self._count(route)
             try:
-                payload = self._read_body()
-            except ValueError as exc:
-                self._send_json(400, {"error": f"bad request body: {exc}"})
-                return
-            tenant = self._tenant(payload)
-            try:
-                self._send_json(202, submit(payload, tenant))
-            except QuotaExceeded as exc:
-                server.reject(exc)
-                self._send_json(
-                    429,
-                    {
-                        "error": str(exc),
-                        "tenant": exc.tenant,
-                        "depth": exc.depth,
-                        "quota": exc.quota,
-                    },
-                    headers={
-                        "Retry-After": "1",
-                        "X-Queue-Depth": str(server.queue.depth()),
-                        "X-Tenant-Queue-Depth": str(exc.depth),
-                    },
+                try:
+                    payload = self._read_body()
+                except ValueError as exc:
+                    self._send_json(400, {"error": f"bad request body: {exc}"})
+                    return
+                tenant = self._tenant(payload)
+                # Ingress minting: honour a propagated W3C traceparent
+                # (the tenant header wins over whatever the context
+                # claims), mint a fresh server-origin context otherwise.
+                ctx = TraceContext.from_headers(self.headers, tenant=tenant)
+                ctx = (
+                    ctx.bound(tenant=tenant)
+                    if ctx is not None
+                    else TraceContext.mint(tenant=tenant, origin="server")
                 )
-            except ReproError as exc:
-                self._send_json(400, {"error": str(exc)})
+                try:
+                    self._send_json(202, submit(payload, tenant, trace=ctx))
+                except QuotaExceeded as exc:
+                    server.reject(exc)
+                    self._send_json(
+                        429,
+                        {
+                            "error": str(exc),
+                            "tenant": exc.tenant,
+                            "depth": exc.depth,
+                            "quota": exc.quota,
+                        },
+                        headers={
+                            "Retry-After": "1",
+                            "X-Queue-Depth": str(server.queue.depth()),
+                            "X-Tenant-Queue-Depth": str(exc.depth),
+                        },
+                    )
+                except ReproError as exc:
+                    self._send_json(400, {"error": str(exc)})
+            finally:
+                self._observe(route, tenant, t0, ctx)
 
         def do_GET(self):  # noqa: N802 (http.server API)
             path, query = self._query()
@@ -505,14 +604,20 @@ def _make_handler(server: ServiceServer):
             if path == "/stats":
                 self._send_json(200, server.stats())
                 return
+            t0 = time.perf_counter()
+            tenant = str(self.headers.get("X-Tenant") or "default")
             for route, pattern in _GET_ROUTES:
                 match = pattern.match(path)
                 if match:
                     self._count(route)
-                    getattr(self, f"_get_{route}")(match.group(1), query)
+                    try:
+                        getattr(self, f"_get_{route}")(match.group(1), query)
+                    finally:
+                        self._observe(route, tenant, t0)
                     return
             self._count("unknown")
             self._send_json(404, {"error": f"no such endpoint {path}"})
+            self._observe("unknown", tenant, t0)
 
         # -- GET routes -------------------------------------------------------
 
@@ -577,6 +682,28 @@ def _make_handler(server: ServiceServer):
                 return
             self._send_json(200, rollup)
 
+        def _get_trace(self, cid: str, query: dict) -> None:
+            """Stream the stitched cross-node campaign trace as JSONL.
+
+            The body is a standard ``repro-trace-v1`` dump (header,
+            event rows, summary footer) — exactly what ``repro explain``
+            and ``repro explain --html`` consume.
+            """
+            trace_rec = build_campaign_trace(server.queue, server.traces, cid)
+            if trace_rec is None:
+                self._send_json(404, {"error": f"unknown campaign {cid}"})
+                return
+            rec.count("service.traces_served")
+            buffer = io.StringIO()
+            write_jsonl(trace_rec, buffer)
+            body = buffer.getvalue().encode("utf-8")
+            self._last_code = 200
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def _get_campaign_stream(self, cid: str, query: dict) -> None:
             if server.queue.campaign_status(cid) is None:
                 self._send_json(404, {"error": f"unknown campaign {cid}"})
@@ -589,6 +716,7 @@ def _make_handler(server: ServiceServer):
             heartbeat = CampaignHeartbeat(
                 server.recorder, server.queue, cid, interval
             ).prime()
+            self._last_code = 200
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
             self.send_header("Transfer-Encoding", "chunked")

@@ -174,3 +174,75 @@ class TestFaultInjection:
         # the hard kill left no torn state: the final artifact directory is
         # byte-identical to the uninterrupted run
         assert result_bytes(root) == expected
+
+    def test_sigkill_mid_lease_keeps_the_trace_id(self, tmp_path):
+        """Observability satellite: a job re-leased after SIGKILL settles
+        under the *same* trace id — its stitched spans re-parent beneath
+        the originating request — and the result artifacts stay
+        byte-identical to an uninterrupted run."""
+        from repro.instrument.spans import build_span_tree
+        from repro.instrument.tracectx import TraceContext
+        from repro.service.trace import TraceStore, build_campaign_trace
+
+        plan = monte_carlo(rc_spec(), n=4, seed=7, jitter=0.03)
+
+        clean_root = tmp_path / "clean"
+        JobQueue(clean_root).submit_campaign(
+            "farm-demo", plan.jobs, generator=plan.generator
+        )
+        FarmNode(clean_root, node_id="solo").run(drain=True)
+        expected = result_bytes(clean_root)
+
+        root = tmp_path / "farm"
+        queue = JobQueue(root)
+        ctx = TraceContext.mint(
+            tenant="acme", origin="client", entropy="sigkill-trace"
+        )
+        cid, _ = queue.submit_campaign(
+            "farm-demo", plan.jobs, generator=plan.generator,
+            tenant="acme", trace=ctx,
+        )
+        marker = tmp_path / "claimed.marker"
+        victim = subprocess.Popen(
+            [sys.executable, "-c", VICTIM_SCRIPT, str(root), str(marker)],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=Path(__file__).resolve().parent.parent,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not marker.exists():
+                assert time.monotonic() < deadline, "victim never claimed"
+                assert victim.poll() is None, "victim exited prematurely"
+                time.sleep(0.02)
+        finally:
+            victim.kill()
+        victim.wait(timeout=10)
+        victim_hash = marker.read_text()
+
+        FarmNode(root, node_id="rescue", poll_interval=0.05).run(drain=True)
+        assert queue.status(victim_hash)["attempts"] == 2
+
+        # the rescue node's record carries the original submission's ids
+        store = TraceStore(root)
+        record = store.get(victim_hash)
+        assert record["node"] == "rescue"
+        assert record["attempts"] == 2
+        assert record["trace"]["trace_id"] == ctx.trace_id
+
+        # stitched trace: one request root under the original trace id,
+        # the re-leased job's spans nested beneath it, nothing malformed
+        trace_rec = build_campaign_trace(queue, store, cid)
+        tree = build_span_tree(list(trace_rec.events))
+        assert tree.malformed == 0
+        roots = [n for n in tree.roots if n.name == "service_request"]
+        assert [n.attrs["trace_id"] for n in roots] == [ctx.trace_id]
+        jobs = {c.attrs["hash"]: c for c in roots[0].children
+                if c.name == "service_job"}
+        relased = jobs[victim_hash[:12]]
+        assert relased.attrs["node"] == "rescue"
+        assert relased.attrs["attempts"] == 2
+        assert relased.attrs["trace_id"] == ctx.trace_id
+
+        # and the crash never leaked into the physics: artifacts match
+        # the uninterrupted run byte for byte
+        assert result_bytes(root) == expected

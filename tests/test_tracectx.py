@@ -1,0 +1,125 @@
+"""Trace context: minting, W3C header round-trips, ambient binding."""
+
+import dataclasses
+
+import pytest
+
+from repro.instrument.tracectx import (
+    ORIGIN_HEADER,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_trace,
+    use_trace,
+)
+
+
+class TestMint:
+    def test_mint_shapes(self):
+        ctx = TraceContext.mint(tenant="acme", origin="client")
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.span_id) == 16
+        int(ctx.trace_id, 16)  # valid hex
+        int(ctx.span_id, 16)
+        assert ctx.tenant == "acme"
+        assert ctx.origin == "client"
+
+    def test_mint_is_unique(self):
+        ids = {TraceContext.mint(tenant="t", origin="o").trace_id
+               for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_entropy_pins_the_ids(self):
+        a = TraceContext.mint(tenant="t", origin="o", entropy="seed-1")
+        b = TraceContext.mint(tenant="t", origin="o", entropy="seed-1")
+        c = TraceContext.mint(tenant="t", origin="o", entropy="seed-2")
+        assert (a.trace_id, a.span_id) == (b.trace_id, b.span_id)
+        assert a.trace_id != c.trace_id
+
+    def test_entropy_mixes_tenant_and_origin(self):
+        a = TraceContext.mint(tenant="t1", origin="o", entropy="seed")
+        b = TraceContext.mint(tenant="t2", origin="o", entropy="seed")
+        assert a.trace_id != b.trace_id
+
+    def test_frozen(self):
+        ctx = TraceContext.mint(tenant="t", origin="o")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ctx.tenant = "other"
+
+    def test_bound_rebinds_without_changing_ids(self):
+        ctx = TraceContext.mint(tenant="t", origin="o")
+        child = ctx.bound(tenant="acme")
+        assert child.tenant == "acme"
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id == ctx.span_id
+        assert ctx.tenant == "t"  # original untouched
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        ctx = TraceContext.mint(tenant="acme", origin="client")
+        header = ctx.to_traceparent()
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        back = TraceContext.from_traceparent(
+            header, tenant="acme", origin="server"
+        )
+        assert back.trace_id == ctx.trace_id
+        assert back.span_id == ctx.span_id
+        assert back.origin == "server"
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            "",
+            "garbage",
+            "00-zz-11-01",
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+            "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+            "00-" + "1" * 31 + "-" + "2" * 16 + "-01",  # short trace id
+        ],
+    )
+    def test_invalid_headers_rejected(self, header):
+        assert TraceContext.from_traceparent(header) is None
+
+    def test_header_dict_roundtrip(self):
+        ctx = TraceContext.mint(tenant="acme", origin="client")
+        headers = ctx.to_headers()
+        assert headers[TRACEPARENT_HEADER] == ctx.to_traceparent()
+        assert headers[ORIGIN_HEADER] == "client"
+        back = TraceContext.from_headers(headers, tenant="acme")
+        assert back == ctx
+
+    def test_from_headers_without_traceparent(self):
+        assert TraceContext.from_headers({}, tenant="t") is None
+
+
+class TestDictForm:
+    def test_roundtrip(self):
+        ctx = TraceContext.mint(tenant="acme", origin="client")
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    @pytest.mark.parametrize(
+        "data",
+        [None, {}, {"trace_id": "nothex!", "span_id": "1" * 16},
+         {"trace_id": "1" * 32}, 42],
+    )
+    def test_invalid_dicts_give_none(self, data):
+        assert TraceContext.from_dict(data) is None
+
+
+class TestAmbient:
+    def test_default_is_none(self):
+        assert current_trace() is None
+
+    def test_use_trace_binds_and_restores(self):
+        ctx = TraceContext.mint(tenant="t", origin="o")
+        with use_trace(ctx):
+            assert current_trace() is ctx
+            inner = TraceContext.mint(tenant="t2", origin="o")
+            with use_trace(inner):
+                assert current_trace() is inner
+            assert current_trace() is ctx
+        assert current_trace() is None
+
+    def test_use_trace_none_is_a_noop_scope(self):
+        with use_trace(None):
+            assert current_trace() is None
